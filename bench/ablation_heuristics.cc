@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Ablation study over Encore's heuristic knobs (not a paper figure;
+ * exercises the design choices DESIGN.md calls out):
+ *
+ *  - Pmin sweep: statistical pruning vs overhead and protected share;
+ *  - gamma sweep: region-selection threshold vs coverage/overhead;
+ *  - eta / merging: interval merging on vs off;
+ *  - storage budget: Table 1's working-set cap vs protected share;
+ *  - call summaries: interprocedural mod/ref vs paper-style Unknown.
+ *
+ * Reported per configuration: projected overhead, dynamic fraction
+ * protected, and region counts — averaged over all workloads.
+ */
+#include <iostream>
+
+#include "common.h"
+#include "support/strings.h"
+
+using namespace encore;
+
+namespace {
+
+struct AblationRow
+{
+    double overhead = 0;
+    double protected_dyn = 0;
+    double regions = 0;
+    double selected = 0;
+    int count = 0;
+};
+
+AblationRow
+evaluate(const EncoreConfig &config)
+{
+    AblationRow row;
+    bench::forEachWorkload([&](const workloads::Workload &w) {
+        auto prepared = bench::prepareWorkload(w, config);
+        row.overhead += prepared.report.projectedOverheadFraction();
+        row.protected_dyn += prepared.report.dynFractionIdempotent() +
+                             prepared.report.dynFractionCheckpointed();
+        row.regions += static_cast<double>(
+            prepared.report.regions.size());
+        for (const RegionReport &region : prepared.report.regions)
+            row.selected += region.selected ? 1.0 : 0.0;
+        ++row.count;
+    });
+    return row;
+}
+
+void
+addRow(Table &table, const std::string &label, const AblationRow &row)
+{
+    table.addRow({label, formatPercent(row.overhead / row.count),
+                  formatPercent(row.protected_dyn / row.count),
+                  formatFixed(row.regions / row.count, 1),
+                  formatFixed(row.selected / row.count, 1)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli = bench::standardFlags("0");
+    cli.parse(argc, argv);
+
+    bench::printHeader(
+        "Ablations",
+        "Heuristic sweeps (means over all 23 workloads): overhead, "
+        "dynamic fraction\nprotected, candidate regions, selected "
+        "regions.");
+
+    Table table({"configuration", "overhead", "protected", "regions",
+                 "selected"});
+
+    {
+        EncoreConfig base;
+        addRow(table, "baseline (Pmin=0, gamma=50, merge on)",
+               evaluate(base));
+    }
+    table.addSeparator();
+
+    for (const double pmin : {-1.0, 0.0, 0.1, 0.25}) {
+        EncoreConfig config;
+        config.prune = pmin >= 0.0;
+        config.pmin = std::max(pmin, 0.0);
+        addRow(table,
+               pmin < 0 ? "Pmin=none"
+                        : "Pmin=" + formatFixed(pmin, 2),
+               evaluate(config));
+    }
+    table.addSeparator();
+
+    for (const double gamma : {5.0, 50.0, 500.0, 5000.0}) {
+        EncoreConfig config;
+        config.gamma = gamma;
+        addRow(table, "gamma=" + formatFixed(gamma, 0),
+               evaluate(config));
+    }
+    table.addSeparator();
+
+    {
+        EncoreConfig config;
+        config.merge_regions = false;
+        addRow(table, "merging off (level-0 intervals only)",
+               evaluate(config));
+    }
+    for (const double eta : {10.0, 100.0, 1000.0}) {
+        EncoreConfig config;
+        config.eta = eta;
+        addRow(table, "eta=" + formatFixed(eta, 0), evaluate(config));
+    }
+    table.addSeparator();
+
+    for (const double bytes : {64.0, 256.0, 1024.0, 8192.0}) {
+        EncoreConfig config;
+        config.max_storage_bytes = bytes;
+        addRow(table, "storage<=" + formatFixed(bytes, 0) + "B",
+               evaluate(config));
+    }
+    table.addSeparator();
+
+    {
+        EncoreConfig config;
+        config.use_call_summaries = false;
+        addRow(table, "call summaries off (paper Unknown rule)",
+               evaluate(config));
+    }
+    {
+        EncoreConfig config;
+        config.auto_tune = false;
+        addRow(table, "budget auto-tune off", evaluate(config));
+    }
+    {
+        EncoreConfig config;
+        config.alias_mode = EncoreConfig::AliasMode::Optimistic;
+        addRow(table, "optimistic alias analysis", evaluate(config));
+    }
+
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the compiler passes themselves:
+ * scalability of interval partitioning, dominators, loop analysis,
+ * the idempotence dataflow, and the full pipeline, as a function of
+ * workload size. Verifies the §3.1 claim that the analysis is
+ * "efficient, scalable".
+ */
+#include <benchmark/benchmark.h>
+
+#include "analysis/intervals.h"
+#include "analysis/liveness.h"
+#include "encore/pipeline.h"
+#include "interp/interpreter.h"
+#include "workloads/workload.h"
+
+using namespace encore;
+
+namespace {
+
+const workloads::Workload &
+workloadByIndex(int index)
+{
+    const auto &all = workloads::allWorkloads();
+    return all[static_cast<std::size_t>(index) % all.size()];
+}
+
+void
+BM_BuildCfgAndDominators(benchmark::State &state)
+{
+    const auto &w = workloadByIndex(static_cast<int>(state.range(0)));
+    auto module = w.build();
+    const ir::Function &f = *module->functionByName(w.entry);
+    for (auto _ : state) {
+        analysis::DiGraph cfg = analysis::buildCfg(f);
+        analysis::DominatorTree dom(cfg, f.entry()->id());
+        benchmark::DoNotOptimize(dom.idom(f.entry()->id()));
+    }
+    state.SetLabel(w.name);
+}
+BENCHMARK(BM_BuildCfgAndDominators)->DenseRange(0, 5, 1);
+
+void
+BM_LoopInfo(benchmark::State &state)
+{
+    const auto &w = workloadByIndex(static_cast<int>(state.range(0)));
+    auto module = w.build();
+    const ir::Function &f = *module->functionByName(w.entry);
+    analysis::DiGraph cfg = analysis::buildCfg(f);
+    analysis::DominatorTree dom(cfg, f.entry()->id());
+    for (auto _ : state) {
+        analysis::LoopInfo loops(cfg, dom);
+        benchmark::DoNotOptimize(loops.numLoops());
+    }
+    state.SetLabel(w.name);
+}
+BENCHMARK(BM_LoopInfo)->DenseRange(0, 5, 1);
+
+void
+BM_IntervalHierarchy(benchmark::State &state)
+{
+    const auto &w = workloadByIndex(static_cast<int>(state.range(0)));
+    auto module = w.build();
+    const ir::Function &f = *module->functionByName(w.entry);
+    analysis::DiGraph cfg = analysis::buildCfg(f);
+    for (auto _ : state) {
+        analysis::IntervalHierarchy hierarchy(cfg, f.entry()->id());
+        benchmark::DoNotOptimize(hierarchy.numLevels());
+    }
+    state.SetLabel(w.name);
+}
+BENCHMARK(BM_IntervalHierarchy)->DenseRange(0, 5, 1);
+
+void
+BM_Liveness(benchmark::State &state)
+{
+    const auto &w = workloadByIndex(static_cast<int>(state.range(0)));
+    auto module = w.build();
+    const ir::Function &f = *module->functionByName(w.entry);
+    for (auto _ : state) {
+        analysis::Liveness liveness(f);
+        benchmark::DoNotOptimize(liveness.liveIn(0));
+    }
+    state.SetLabel(w.name);
+}
+BENCHMARK(BM_Liveness)->DenseRange(0, 5, 1);
+
+void
+BM_FullPipeline(benchmark::State &state)
+{
+    const auto &w = workloadByIndex(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto module = w.build();
+        EncoreConfig config;
+        for (const auto &name : w.opaque)
+            config.opaque_functions.insert(name);
+        EncorePipeline pipeline(*module, config);
+        const EncoreReport report =
+            pipeline.run({RunSpec{w.entry, w.train_args}});
+        benchmark::DoNotOptimize(report.regions.size());
+    }
+    state.SetLabel(w.name);
+}
+BENCHMARK(BM_FullPipeline)->DenseRange(0, 5, 1)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_Interpreter(benchmark::State &state)
+{
+    const auto &w = workloadByIndex(static_cast<int>(state.range(0)));
+    auto module = w.build();
+    interp::Interpreter interp(*module);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        const interp::RunResult result =
+            interp.run(w.entry, w.train_args);
+        instrs = result.dyn_instrs;
+        benchmark::DoNotOptimize(result.return_value);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * instrs));
+    state.SetLabel(w.name);
+}
+BENCHMARK(BM_Interpreter)->DenseRange(0, 5, 1)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

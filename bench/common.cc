@@ -1,0 +1,51 @@
+#include "common.h"
+
+#include <iostream>
+
+namespace encore::bench {
+
+PreparedWorkload
+prepareWorkload(const workloads::Workload &workload, EncoreConfig config)
+{
+    PreparedWorkload prepared;
+    prepared.workload = &workload;
+    prepared.module = workload.build();
+    for (const std::string &name : workload.opaque)
+        config.opaque_functions.insert(name);
+    prepared.pipeline =
+        std::make_unique<EncorePipeline>(*prepared.module, config);
+    prepared.report = prepared.pipeline->run(
+        {RunSpec{workload.entry, workload.train_args}});
+    return prepared;
+}
+
+void
+forEachWorkload(
+    const std::function<void(const workloads::Workload &)> &fn)
+{
+    for (const workloads::Workload &w : workloads::allWorkloads())
+        fn(w);
+}
+
+CommandLine
+standardFlags(const std::string &trials_default)
+{
+    CommandLine cli;
+    cli.addFlag("seed", "12345", "base RNG seed for the experiment");
+    cli.addFlag("trials", trials_default,
+                "fault-injection trials per configuration");
+    return cli;
+}
+
+void
+printHeader(const std::string &figure, const std::string &summary)
+{
+    std::cout << "==================================================="
+                 "=========================\n";
+    std::cout << "Encore reproduction — " << figure << "\n";
+    std::cout << summary << "\n";
+    std::cout << "==================================================="
+                 "=========================\n\n";
+}
+
+} // namespace encore::bench

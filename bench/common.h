@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure benchmark binaries: standard
+ * command-line flags, a helper that runs the full Encore pipeline on a
+ * workload, and suite-aggregation utilities.
+ */
+#ifndef ENCORE_BENCH_COMMON_H
+#define ENCORE_BENCH_COMMON_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "encore/pipeline.h"
+#include "support/cli.h"
+#include "support/table.h"
+#include "workloads/workload.h"
+
+namespace encore::bench {
+
+/// A workload taken through the whole pipeline.
+struct PreparedWorkload
+{
+    const workloads::Workload *workload = nullptr;
+    std::unique_ptr<ir::Module> module; ///< Instrumented in place.
+    EncoreReport report;
+    /// Regions as finalized by the pipeline (valid while pipeline
+    /// lives).
+    std::unique_ptr<EncorePipeline> pipeline;
+};
+
+/// Builds + profiles + analyzes + instruments one workload under the
+/// given configuration (opaque functions are merged in from the
+/// workload's own list).
+PreparedWorkload prepareWorkload(const workloads::Workload &workload,
+                                 EncoreConfig config);
+
+/// Runs `fn` for every workload in suite order.
+void forEachWorkload(
+    const std::function<void(const workloads::Workload &)> &fn);
+
+/// Standard flags most benches share. Returns a CommandLine with
+/// --seed and --trials registered (callers may add more before parse).
+CommandLine standardFlags(const std::string &trials_default);
+
+/// Prints the standard header naming the figure being reproduced.
+void printHeader(const std::string &figure, const std::string &summary);
+
+} // namespace encore::bench
+
+#endif // ENCORE_BENCH_COMMON_H

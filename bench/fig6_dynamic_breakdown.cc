@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 6: breakdown of dynamic execution time.
+ *
+ * For each benchmark, the fraction of baseline dynamic instructions
+ * spent in (a) inherently idempotent protected regions, (b)
+ * non-idempotent regions instrumented with Encore checkpointing, and
+ * (c) unprotected regions (lost recoverability coverage).
+ */
+#include <iostream>
+
+#include "common.h"
+#include "support/strings.h"
+
+using namespace encore;
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli = bench::standardFlags("0");
+    cli.parse(argc, argv);
+
+    bench::printHeader(
+        "Figure 6",
+        "Dynamic execution breakdown at Pmin=0.0 under the ~20% "
+        "overhead budget:\nIdempotent / w/ Encore Checkpointing / w/o "
+        "Encore Checkpointing (lost coverage).");
+
+    Table table({"benchmark", "Idempotent", "w/ Ckpt", "w/o Ckpt"});
+
+    struct Acc
+    {
+        double idem = 0, ckpt = 0, lost = 0;
+        int count = 0;
+    };
+    std::map<std::string, Acc> by_suite;
+    Acc all;
+
+    std::string current_suite;
+    bench::forEachWorkload([&](const workloads::Workload &w) {
+        if (w.suite != current_suite) {
+            if (!current_suite.empty())
+                table.addSeparator();
+            current_suite = w.suite;
+        }
+        EncoreConfig config;
+        auto prepared = bench::prepareWorkload(w, config);
+        const double idem = prepared.report.dynFractionIdempotent();
+        const double ckpt = prepared.report.dynFractionCheckpointed();
+        const double lost = prepared.report.dynFractionUnprotected();
+        table.addRow({w.name, formatPercent(idem), formatPercent(ckpt),
+                      formatPercent(lost)});
+        auto &acc = by_suite[w.suite];
+        acc.idem += idem;
+        acc.ckpt += ckpt;
+        acc.lost += lost;
+        ++acc.count;
+        all.idem += idem;
+        all.ckpt += ckpt;
+        all.lost += lost;
+        ++all.count;
+    });
+
+    table.addSeparator();
+    for (const std::string &suite : workloads::suiteNames()) {
+        const Acc &acc = by_suite[suite];
+        table.addRow({"Mean " + suite,
+                      formatPercent(acc.idem / acc.count),
+                      formatPercent(acc.ckpt / acc.count),
+                      formatPercent(acc.lost / acc.count)});
+    }
+    table.addRow({"Mean ALL", formatPercent(all.idem / all.count),
+                  formatPercent(all.ckpt / all.count),
+                  formatPercent(all.lost / all.count)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape check: SPEC2K-FP and MEDIABENCH spend "
+                 "more dynamic time in\nEncore-recoverable code "
+                 "(Idempotent + w/ Ckpt) than SPEC2K-INT.\n";
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 8: full-system fault coverage.
+ *
+ * Statistical fault injection on the instrumented interpreter for
+ * detection latencies Dmax in {1000, 100, 10} dynamic instructions:
+ * Masked (hardware model, 91%) / Recoverable w/ Idempotence /
+ * Recoverable w/ Encore Checkpointing / Not Recoverable. Coverage is
+ * judged by executing the rollback and comparing final output with the
+ * golden run, not by the analytical model alone.
+ */
+#include <iostream>
+
+#include "common.h"
+#include "fault/injector.h"
+#include "support/strings.h"
+
+using namespace encore;
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli = bench::standardFlags("600");
+    cli.addFlag("dmax", "1000,100,10",
+                "comma-separated detection latencies to evaluate");
+    cli.addFlag("mask", "0.91", "hardware masking rate");
+    cli.parse(argc, argv);
+
+    const std::uint64_t trials =
+        static_cast<std::uint64_t>(cli.getInt("trials"));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(cli.getInt("seed"));
+    const double mask_rate = cli.getDouble("mask");
+
+    std::vector<std::uint64_t> dmaxes;
+    for (const std::string &field : split(cli.getString("dmax"), ','))
+        dmaxes.push_back(
+            static_cast<std::uint64_t>(parseInt(field).value_or(100)));
+
+    bench::printHeader(
+        "Figure 8",
+        "Full-system fault coverage via statistical fault injection "
+        "(" + std::to_string(trials) +
+            " trials per cell,\nmasking rate " +
+            formatPercent(mask_rate) +
+            "). Cells: covered% (masked + recovered + benign).");
+
+    std::vector<std::string> headers{"benchmark"};
+    for (const std::uint64_t dmax : dmaxes)
+        headers.push_back("Dmax=" + std::to_string(dmax));
+    headers.push_back("idem/ckpt @" + std::to_string(dmaxes[1]));
+    Table table(headers);
+
+    std::vector<double> sums(dmaxes.size(), 0.0);
+    int count = 0;
+    std::map<std::string, std::vector<double>> suite_sums;
+    std::map<std::string, int> suite_counts;
+
+    std::string current_suite;
+    bench::forEachWorkload([&](const workloads::Workload &w) {
+        if (w.suite != current_suite) {
+            if (!current_suite.empty())
+                table.addSeparator();
+            current_suite = w.suite;
+        }
+        EncoreConfig config;
+        auto prepared = bench::prepareWorkload(w, config);
+        fault::FaultInjector injector(*prepared.module, prepared.report);
+        if (!injector.prepare(w.entry, w.train_args)) {
+            std::cerr << "golden run failed for " << w.name << "\n";
+            return;
+        }
+
+        std::vector<std::string> row{w.name};
+        std::string split_cell;
+        suite_sums.try_emplace(w.suite,
+                               std::vector<double>(dmaxes.size(), 0.0));
+        for (std::size_t d = 0; d < dmaxes.size(); ++d) {
+            fault::CampaignConfig campaign;
+            campaign.trials = trials;
+            campaign.seed = seed + d * 7919 + count;
+            campaign.masking_rate = mask_rate;
+            campaign.trial.dmax = dmaxes[d];
+            const fault::CampaignResult result =
+                injector.runCampaign(campaign);
+            const double covered = result.coveredFraction();
+            row.push_back(formatPercent(covered));
+            sums[d] += covered;
+            suite_sums[w.suite][d] += covered;
+            if (d == 1) {
+                split_cell =
+                    formatPercent(result.fraction(
+                        fault::FaultOutcome::RecoveredIdempotent)) +
+                    "/" +
+                    formatPercent(result.fraction(
+                        fault::FaultOutcome::RecoveredCheckpoint));
+            }
+        }
+        row.push_back(split_cell);
+        table.addRow(std::move(row));
+        ++count;
+        suite_counts[w.suite] += 1;
+    });
+
+    table.addSeparator();
+    for (const std::string &suite : workloads::suiteNames()) {
+        std::vector<std::string> row{"Mean " + suite};
+        for (std::size_t d = 0; d < dmaxes.size(); ++d)
+            row.push_back(formatPercent(suite_sums[suite][d] /
+                                        suite_counts[suite]));
+        row.push_back("");
+        table.addRow(std::move(row));
+    }
+    {
+        std::vector<std::string> row{"Mean ALL"};
+        for (std::size_t d = 0; d < dmaxes.size(); ++d)
+            row.push_back(formatPercent(sums[d] / count));
+        row.push_back("");
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape check: coverage ordering Dmax 10 > 100 "
+                 "> 1000; mean coverage at\nDmax=100 in the "
+                 "mid-to-high 90s%, vs the 91% masking baseline "
+                 "(paper: 97%).\n";
+    return 0;
+}

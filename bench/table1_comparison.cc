@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 1: comparison with conventional checkpointing schemes.
+ *
+ * The Enterprise and Architectural rows quote the paper's
+ * characterization of prior work; the Encore row is *measured* from
+ * this implementation: mean dynamic region length, mean checkpoint
+ * storage, and mean checkpoint work per region instance across all
+ * workloads.
+ */
+#include <iostream>
+
+#include <vector>
+
+#include "common.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+using namespace encore;
+
+int
+main(int argc, char **argv)
+{
+    CommandLine cli = bench::standardFlags("0");
+    cli.parse(argc, argv);
+
+    bench::printHeader(
+        "Table 1",
+        "Comparison with conventional checkpointing schemes; the "
+        "Encore row is measured\nfrom the instrumented workloads.");
+
+    RunningStats region_len;
+    RunningStats slot_storage;
+    RunningStats log_storage;
+    RunningStats ckpt_work;
+    std::vector<double> lengths;
+
+    bench::forEachWorkload([&](const workloads::Workload &w) {
+        EncoreConfig config;
+        auto prepared = bench::prepareWorkload(w, config);
+        for (const RegionReport &region : prepared.report.regions) {
+            if (!region.selected || region.entries <= 0.0)
+                continue;
+            region_len.add(region.hot_path_length);
+            lengths.push_back(region.hot_path_length);
+            slot_storage.add(region.static_storage_mem_bytes +
+                             region.static_storage_reg_bytes);
+            log_storage.add(region.storage_bytes);
+            ckpt_work.add(region.overhead_instrs / region.entries);
+        }
+    });
+
+    Table table({"Attributes", "Enterprise", "Architectural",
+                 "Encore (measured)"});
+    table.addRow({"Interval Length", "~hours", "100-500K instructions",
+                  formatFixed(percentile(lengths, 50), 0) +
+                      " dyn instrs median (mean " +
+                      formatFixed(region_len.mean(), 0) + ", max " +
+                      formatFixed(region_len.max(), 0) + ")"});
+    table.addRow({"Storage Space", "0.5 - 1 GB", "0.5 - 1 MB",
+                  formatFixed(slot_storage.mean(), 1) +
+                      " B/region slots (undo log mean " +
+                      formatFixed(log_storage.mean(), 0) + " B)"});
+    table.addRow({"Checkpoint Time", "~minutes", "~ms",
+                  formatFixed(ckpt_work.mean(), 1) +
+                      " instrs/region entry"});
+    table.addRow({"Scope", "Full System", "Processor", "Processor"});
+    table.addRow({"Guaranteed Recovery", "Yes", "Yes", "No"});
+    table.addRow({"Extra Hardware", "Sometimes", "Yes", "No"});
+    table.print(std::cout);
+
+    std::cout << "\nPaper shape check: Encore intervals of ~100-1000 "
+                 "instructions with ~10-100 B of\ncheckpoint state — "
+                 "orders of magnitude finer/cheaper than the other "
+                 "rows.\n";
+    return 0;
+}

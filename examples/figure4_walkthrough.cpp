@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A faithful walkthrough of the paper's Figure 4.
+ *
+ * The region has four syntactic WAR pairs — instructions (4,9) on A,
+ * (7,10) on B, (8,12) and (11,12) on C — yet Encore's RS/GA/EA
+ * analysis proves that only the store of B (instruction 10) can
+ * actually violate idempotence at runtime: the other reads are all
+ * guarded by earlier stores on every path. The program prints the
+ * analysis verdict, the reported violations, and the resulting
+ * instrumentation.
+ */
+#include <iostream>
+
+#include "analysis/alias.h"
+#include "encore/idempotence.h"
+#include "encore/pipeline.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+
+using namespace encore;
+
+const char *kFigure4 = R"(
+module "figure4"
+global @A 1
+global @B 1
+global @C 1
+
+func @f(1) {
+  bb bb1:
+    store [@A], 1        # instruction 1
+    br r0, bb2, bb3
+  bb bb2:
+    store [@B], 2        # instruction 2
+    store [@C], 3        # instruction 3
+    jmp bb4
+  bb bb3:
+    r1 = load [@A]       # instruction 4  (# pair with 9 — guarded)
+    store [@C], r1       # instruction 5
+    jmp bb5
+  bb bb4:
+    r2 = load [@B]       # instruction 6  (guarded by 2)
+    jmp bb6
+  bb bb5:
+    r3 = load [@B]       # instruction 7  (* pair with 10 — EXPOSED)
+    jmp bb6
+  bb bb6:
+    r4 = load [@C]       # instruction 8  (@ pair with 12 — guarded)
+    store [@A], 9        # instruction 9
+    store [@B], 10       # instruction 10 (the lone required checkpoint)
+    r5 = load [@C]       # instruction 11 (+ pair with 12 — guarded)
+    br r4, bb7, bb8
+  bb bb7:
+    store [@C], 12       # instruction 12
+    jmp bb8
+  bb bb8:
+    ret r5
+}
+)";
+
+int
+main()
+{
+    auto module = ir::parseModule(kFigure4);
+    const ir::Function &f = *module->functionByName("f");
+
+    // Assemble the analysis exactly as the pipeline would.
+    analysis::StaticAliasAnalysis aa(*module);
+    CallSummaries summaries(*module, aa);
+    IdempotenceAnalysis::Options options; // no pruning: pure Figure 4
+    IdempotenceAnalysis idem(*module, aa, summaries, nullptr, options);
+
+    Region region;
+    region.func = &f;
+    region.header = f.entry()->id();
+    for (const auto &bb : f.blocks())
+        region.blocks.push_back(bb->id());
+
+    const IdempotenceResult result = idem.analyzeRegion(region);
+
+    std::cout << "region classification: "
+              << regionClassName(result.cls) << "\n";
+    std::cout << "violations found: " << result.violations.size() << "\n";
+    std::cout << "stores requiring a checkpoint (the CP set):\n";
+    for (const ir::Instruction *store : result.checkpoint_stores) {
+        std::cout << "  " << ir::printInstruction(*module, f, *store)
+                  << "   <-- instruction 10 of the figure\n";
+    }
+
+    // Now let the full pipeline instrument it and show the result: a
+    // single ckpt.mem ahead of the offending store, a region.enter in
+    // the preheader, and the recovery block.
+    EncoreConfig config;
+    config.prune = false;
+    config.gamma = 0.1; // protect even this tiny region for the demo
+    EncorePipeline pipeline(*module, config);
+    pipeline.run({RunSpec{"f", {1}}, RunSpec{"f", {0}}});
+
+    std::cout << "\n--- instrumented Figure 4 region ---\n"
+              << ir::moduleToString(*module);
+    return 0;
+}

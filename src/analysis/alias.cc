@@ -1,0 +1,251 @@
+#include "analysis/alias.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace encore::analysis {
+
+bool
+AliasAnalysis::mayAlias(const LocEntry &a, const LocEntry &b) const
+{
+    return analysis::mayAlias(a.loc, b.loc);
+}
+
+bool
+AliasAnalysis::mustAlias(const LocEntry &a, const LocEntry &b) const
+{
+    return analysis::mustAlias(a.loc, b.loc);
+}
+
+StaticAliasAnalysis::StaticAliasAnalysis(const ir::Module &module)
+    : module_(module)
+{
+    for (const auto &func : module.functions())
+        analyzeFunction(*func);
+}
+
+void
+StaticAliasAnalysis::analyzeFunction(const ir::Function &func)
+{
+    std::vector<PointsTo> pts(func.numRegs());
+
+    // Parameters: either annotated with the objects they can address,
+    // or (if they are ever used as an address base) unknown. We don't
+    // know here whether a parameter carries a pointer, so un-annotated
+    // parameters conservatively point anywhere — harmless for integer
+    // parameters since their points-to is only consulted at address
+    // bases.
+    for (unsigned p = 0; p < func.numParams(); ++p) {
+        if (const auto *objects = func.paramPointsTo(p)) {
+            for (const ir::ObjectId obj : *objects)
+                pts[p].objects.insert(obj);
+        } else {
+            pts[p].unknown = true;
+        }
+    }
+
+    auto merge_from = [&](PointsTo &dest, const PointsTo &src) {
+        bool changed = false;
+        if (src.unknown && !dest.unknown) {
+            dest.unknown = true;
+            changed = true;
+        }
+        for (const ir::ObjectId obj : src.objects)
+            changed |= dest.objects.insert(obj).second;
+        return changed;
+    };
+
+    auto merge_operand = [&](PointsTo &dest, const ir::Operand &op) {
+        if (op.isReg())
+            return merge_from(dest, pts[op.reg]);
+        return false;
+    };
+
+    // Flow-insensitive fixpoint over all instructions.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &bb : func.blocks()) {
+            for (const auto &inst : bb->instructions()) {
+                if (!inst.hasDest())
+                    continue;
+                PointsTo &dest = pts[inst.dest()];
+                switch (inst.opcode()) {
+                  case ir::Opcode::Lea: {
+                    const ir::AddrExpr &addr = inst.addr();
+                    if (addr.isObjectBase()) {
+                        changed |= dest.objects.insert(addr.object).second;
+                    } else if (addr.isRegBase()) {
+                        changed |= merge_from(dest, pts[addr.base_reg]);
+                    }
+                    break;
+                  }
+                  case ir::Opcode::Mov:
+                  case ir::Opcode::Neg:
+                  case ir::Opcode::Not:
+                    changed |= merge_operand(dest, inst.a());
+                    break;
+                  case ir::Opcode::Add:
+                  case ir::Opcode::Sub:
+                  case ir::Opcode::And:
+                  case ir::Opcode::Or:
+                  case ir::Opcode::Xor:
+                    // Pointer arithmetic: the result may address anything
+                    // either source could.
+                    changed |= merge_operand(dest, inst.a());
+                    changed |= merge_operand(dest, inst.b());
+                    break;
+                  case ir::Opcode::Select:
+                    changed |= merge_operand(dest, inst.b());
+                    changed |= merge_operand(dest, inst.c());
+                    break;
+                  case ir::Opcode::Load:
+                  case ir::Opcode::Call:
+                    // A pointer obtained from memory or from a callee
+                    // escapes the tracking.
+                    if (!dest.unknown) {
+                        dest.unknown = true;
+                        changed = true;
+                    }
+                    break;
+                  default:
+                    // Pure arithmetic (mul, div, compares, FP, shifts)
+                    // is assumed not to manufacture pointers.
+                    break;
+                }
+            }
+        }
+    }
+
+    points_to_[&func] = std::move(pts);
+}
+
+const StaticAliasAnalysis::PointsTo &
+StaticAliasAnalysis::pointsTo(const ir::Function &func, ir::RegId reg) const
+{
+    auto it = points_to_.find(&func);
+    ENCORE_ASSERT(it != points_to_.end(), "function was not analyzed");
+    if (reg >= it->second.size())
+        return empty_;
+    return it->second[reg];
+}
+
+MemLoc
+StaticAliasAnalysis::classify(const ir::Function &func,
+                              const ir::Instruction &inst) const
+{
+    ENCORE_ASSERT(ir::opcodeHasAddress(inst.opcode()),
+                  "classify on a non-memory instruction");
+    const ir::AddrExpr &addr = inst.addr();
+
+    if (addr.isObjectBase()) {
+        if (addr.offset.isImm())
+            return MemLoc::exact(addr.object, addr.offset.imm);
+        return MemLoc::object(addr.object);
+    }
+
+    if (addr.isRegBase()) {
+        const PointsTo &pts = pointsTo(func, addr.base_reg);
+        if (pts.unknown || pts.isEmpty())
+            return MemLoc::anywhere();
+        return MemLoc::objects(
+            std::vector<ir::ObjectId>(pts.objects.begin(),
+                                      pts.objects.end()));
+    }
+
+    return MemLoc::anywhere();
+}
+
+void
+AddrObservation::record(ir::ObjectId object, std::uint32_t offset)
+{
+    objects.insert(object);
+    if (overflow)
+        return;
+    addrs.insert({object, offset});
+    if (addrs.size() > kMaxAddrs) {
+        overflow = true;
+        addrs.clear();
+    }
+}
+
+const AddrObservation *
+DynamicAddressProfile::find(const ir::Instruction *inst) const
+{
+    auto it = observations.find(inst);
+    return it == observations.end() ? nullptr : &it->second;
+}
+
+ProfileGuidedAliasAnalysis::ProfileGuidedAliasAnalysis(
+    const StaticAliasAnalysis &fallback,
+    const DynamicAddressProfile &profile)
+    : fallback_(fallback), profile_(profile)
+{
+}
+
+MemLoc
+ProfileGuidedAliasAnalysis::classify(const ir::Function &func,
+                                     const ir::Instruction &inst) const
+{
+    const AddrObservation *obs = profile_.find(&inst);
+    if (!obs || obs->objects.empty())
+        return fallback_.classify(func, inst);
+
+    if (!obs->overflow && obs->addrs.size() == 1) {
+        const auto &[object, offset] = *obs->addrs.begin();
+        return MemLoc::exact(object, offset);
+    }
+    return MemLoc::objects(std::vector<ir::ObjectId>(obs->objects.begin(),
+                                                     obs->objects.end()));
+}
+
+bool
+ProfileGuidedAliasAnalysis::mayAlias(const LocEntry &a,
+                                     const LocEntry &b) const
+{
+    const AddrObservation *oa = a.origin ? profile_.find(a.origin) : nullptr;
+    const AddrObservation *ob = b.origin ? profile_.find(b.origin) : nullptr;
+
+    // With full (non-overflowed) address sets on both sides, the
+    // optimistic answer is exact intersection of what actually happened.
+    if (oa && ob && !oa->overflow && !ob->overflow && !oa->addrs.empty() &&
+        !ob->addrs.empty()) {
+        const auto &small = oa->addrs.size() <= ob->addrs.size() ? oa->addrs
+                                                                 : ob->addrs;
+        const auto &large = oa->addrs.size() <= ob->addrs.size() ? ob->addrs
+                                                                 : oa->addrs;
+        for (const auto &addr : small) {
+            if (large.count(addr))
+                return true;
+        }
+        return false;
+    }
+
+    // Object-granular refinement when either side overflowed.
+    if (oa && ob && !oa->objects.empty() && !ob->objects.empty()) {
+        for (const ir::ObjectId obj : oa->objects) {
+            if (ob->objects.count(obj))
+                return analysis::mayAlias(a.loc, b.loc);
+        }
+        return false;
+    }
+
+    return analysis::mayAlias(a.loc, b.loc);
+}
+
+bool
+ProfileGuidedAliasAnalysis::mustAlias(const LocEntry &a,
+                                      const LocEntry &b) const
+{
+    const AddrObservation *oa = a.origin ? profile_.find(a.origin) : nullptr;
+    const AddrObservation *ob = b.origin ? profile_.find(b.origin) : nullptr;
+    if (oa && ob && !oa->overflow && !ob->overflow &&
+        oa->addrs.size() == 1 && ob->addrs.size() == 1 &&
+        *oa->addrs.begin() == *ob->addrs.begin()) {
+        return true;
+    }
+    return analysis::mustAlias(a.loc, b.loc);
+}
+
+} // namespace encore::analysis

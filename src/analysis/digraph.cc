@@ -1,0 +1,91 @@
+#include "analysis/digraph.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace encore::analysis {
+
+void
+DiGraph::addEdge(NodeId from, NodeId to)
+{
+    ENCORE_ASSERT(from < numNodes() && to < numNodes(),
+                  "edge endpoint out of range");
+    auto &out = succs_[from];
+    if (std::find(out.begin(), out.end(), to) != out.end())
+        return;
+    out.push_back(to);
+    preds_[to].push_back(from);
+}
+
+std::vector<NodeId>
+DiGraph::postOrder(NodeId entry) const
+{
+    std::vector<NodeId> order;
+    std::vector<std::uint8_t> state(numNodes(), 0); // 0 new, 1 open, 2 done
+    // Iterative DFS with an explicit stack of (node, next-child index).
+    std::vector<std::pair<NodeId, std::size_t>> stack;
+    stack.emplace_back(entry, 0);
+    state[entry] = 1;
+    while (!stack.empty()) {
+        auto &[node, child] = stack.back();
+        if (child < succs_[node].size()) {
+            const NodeId next = succs_[node][child++];
+            if (state[next] == 0) {
+                state[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            state[node] = 2;
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+    return order;
+}
+
+std::vector<NodeId>
+DiGraph::reversePostOrder(NodeId entry) const
+{
+    std::vector<NodeId> order = postOrder(entry);
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+bool
+DiGraph::hasCycle(NodeId entry) const
+{
+    std::vector<std::uint8_t> state(numNodes(), 0);
+    std::vector<std::pair<NodeId, std::size_t>> stack;
+    stack.emplace_back(entry, 0);
+    state[entry] = 1;
+    while (!stack.empty()) {
+        auto &[node, child] = stack.back();
+        if (child < succs_[node].size()) {
+            const NodeId next = succs_[node][child++];
+            if (state[next] == 1)
+                return true; // back edge in the DFS sense
+            if (state[next] == 0) {
+                state[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            state[node] = 2;
+            stack.pop_back();
+        }
+    }
+    return false;
+}
+
+DiGraph
+buildCfg(const ir::Function &func)
+{
+    DiGraph graph(func.numBlocks());
+    for (const auto &bb : func.blocks()) {
+        for (const ir::BasicBlock *succ : bb->successors())
+            graph.addEdge(bb->id(), succ->id());
+    }
+    return graph;
+}
+
+} // namespace encore::analysis

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A small directed-graph value type used by the CFG analyses.
+ *
+ * Interval partitioning (§3.3 of the paper) is applied *recursively*: the
+ * intervals of the CFG form a derived graph whose intervals form another
+ * derived graph, and so on. Expressing the algorithms over a plain
+ * index-based digraph lets the same code run on the block-level CFG and
+ * on every derived level.
+ */
+#ifndef ENCORE_ANALYSIS_DIGRAPH_H
+#define ENCORE_ANALYSIS_DIGRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace encore::analysis {
+
+using NodeId = std::uint32_t;
+
+class DiGraph
+{
+  public:
+    explicit DiGraph(std::size_t num_nodes)
+        : succs_(num_nodes), preds_(num_nodes)
+    {
+    }
+
+    std::size_t numNodes() const { return succs_.size(); }
+
+    /// Adds a directed edge; parallel edges are collapsed.
+    void addEdge(NodeId from, NodeId to);
+
+    const std::vector<NodeId> &succs(NodeId n) const { return succs_[n]; }
+    const std::vector<NodeId> &preds(NodeId n) const { return preds_[n]; }
+
+    /// Nodes in depth-first post-order from `entry`. Unreachable nodes
+    /// are omitted.
+    std::vector<NodeId> postOrder(NodeId entry) const;
+
+    /// Reverse post-order from `entry` (a topological order for DAGs).
+    std::vector<NodeId> reversePostOrder(NodeId entry) const;
+
+    /// True if the subgraph reachable from `entry` contains a cycle.
+    bool hasCycle(NodeId entry) const;
+
+  private:
+    std::vector<std::vector<NodeId>> succs_;
+    std::vector<std::vector<NodeId>> preds_;
+};
+
+/// Builds the block-level CFG of a function (node ids == block ids).
+DiGraph buildCfg(const ir::Function &func);
+
+} // namespace encore::analysis
+
+#endif // ENCORE_ANALYSIS_DIGRAPH_H

@@ -1,0 +1,94 @@
+#include "analysis/dominators.h"
+
+#include "support/diagnostics.h"
+
+namespace encore::analysis {
+
+DominatorTree::DominatorTree(const DiGraph &graph, NodeId entry)
+    : entry_(entry),
+      idom_(graph.numNodes(), kNone),
+      order_index_(graph.numNodes(), kNone),
+      children_(graph.numNodes())
+{
+    const std::vector<NodeId> rpo = graph.reversePostOrder(entry);
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        order_index_[rpo[i]] = static_cast<NodeId>(i);
+
+    idom_[entry] = entry;
+
+    // Intersection walks both fingers up to the common ancestor using
+    // RPO indices (Cooper, Harvey & Kennedy, "A Simple, Fast Dominance
+    // Algorithm").
+    auto intersect = [&](NodeId a, NodeId b) {
+        while (a != b) {
+            while (order_index_[a] > order_index_[b])
+                a = idom_[a];
+            while (order_index_[b] > order_index_[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const NodeId node : rpo) {
+            if (node == entry)
+                continue;
+            NodeId new_idom = kNone;
+            for (const NodeId pred : graph.preds(node)) {
+                if (idom_[pred] == kNone)
+                    continue; // pred not yet processed or unreachable
+                new_idom = new_idom == kNone ? pred
+                                             : intersect(pred, new_idom);
+            }
+            ENCORE_ASSERT(new_idom != kNone,
+                          "reachable node with no processed predecessor");
+            if (idom_[node] != new_idom) {
+                idom_[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    for (const NodeId node : rpo) {
+        if (node != entry)
+            children_[idom_[node]].push_back(node);
+    }
+}
+
+bool
+DominatorTree::isReachable(NodeId node) const
+{
+    return idom_[node] != kNone;
+}
+
+NodeId
+DominatorTree::idom(NodeId node) const
+{
+    ENCORE_ASSERT(isReachable(node), "idom of unreachable node");
+    return idom_[node];
+}
+
+bool
+DominatorTree::dominates(NodeId a, NodeId b) const
+{
+    if (!isReachable(a) || !isReachable(b))
+        return false;
+    NodeId walk = b;
+    while (true) {
+        if (walk == a)
+            return true;
+        if (walk == entry_)
+            return false;
+        walk = idom_[walk];
+    }
+}
+
+const std::vector<NodeId> &
+DominatorTree::children(NodeId node) const
+{
+    return children_[node];
+}
+
+} // namespace encore::analysis

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Dominator tree over a DiGraph (Cooper–Harvey–Kennedy iterative
+ * algorithm). Used to find natural-loop back edges and to validate the
+ * SEME property of candidate regions: the region header must dominate
+ * every block in the region (paper §2.1, §3.3).
+ */
+#ifndef ENCORE_ANALYSIS_DOMINATORS_H
+#define ENCORE_ANALYSIS_DOMINATORS_H
+
+#include <vector>
+
+#include "analysis/digraph.h"
+
+namespace encore::analysis {
+
+class DominatorTree
+{
+  public:
+    /// Builds the dominator tree of the subgraph reachable from `entry`.
+    DominatorTree(const DiGraph &graph, NodeId entry);
+
+    NodeId entry() const { return entry_; }
+
+    /// True if `node` was reachable from the entry.
+    bool isReachable(NodeId node) const;
+
+    /// Immediate dominator; the entry node's idom is itself.
+    NodeId idom(NodeId node) const;
+
+    /// True if `a` dominates `b` (reflexive).
+    bool dominates(NodeId a, NodeId b) const;
+
+    /// Children of `node` in the dominator tree.
+    const std::vector<NodeId> &children(NodeId node) const;
+
+  private:
+    NodeId entry_;
+    std::vector<NodeId> idom_;          // kNone if unreachable
+    std::vector<NodeId> order_index_;   // position in RPO
+    std::vector<std::vector<NodeId>> children_;
+
+    static constexpr NodeId kNone = ~0u;
+};
+
+} // namespace encore::analysis
+
+#endif // ENCORE_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,146 @@
+#include "analysis/intervals.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "support/diagnostics.h"
+
+namespace encore::analysis {
+
+std::vector<std::vector<NodeId>>
+partitionIntervals(const DiGraph &graph, NodeId entry)
+{
+    constexpr NodeId kUnassigned = ~0u;
+    std::vector<NodeId> interval_of(graph.numNodes(), kUnassigned);
+    std::vector<std::vector<NodeId>> intervals;
+
+    // Restrict to reachable nodes.
+    std::vector<bool> reachable(graph.numNodes(), false);
+    for (const NodeId node : graph.reversePostOrder(entry))
+        reachable[node] = true;
+
+    std::deque<NodeId> headers{entry};
+    std::set<NodeId> queued{entry};
+
+    while (!headers.empty()) {
+        const NodeId header = headers.front();
+        headers.pop_front();
+
+        const NodeId interval_id = static_cast<NodeId>(intervals.size());
+        intervals.emplace_back();
+        std::vector<NodeId> &members = intervals.back();
+        members.push_back(header);
+        interval_of[header] = interval_id;
+
+        // Grow: absorb any unassigned node all of whose predecessors are
+        // already inside this interval.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            // Index loop: members grows while we iterate.
+            for (std::size_t m = 0; m < members.size(); ++m) {
+                const NodeId member = members[m];
+                for (const NodeId succ : graph.succs(member)) {
+                    if (interval_of[succ] != kUnassigned || succ == entry)
+                        continue;
+                    bool all_preds_inside = true;
+                    for (const NodeId pred : graph.preds(succ)) {
+                        if (!reachable[pred])
+                            continue;
+                        if (interval_of[pred] != interval_id) {
+                            all_preds_inside = false;
+                            break;
+                        }
+                    }
+                    if (all_preds_inside) {
+                        members.push_back(succ);
+                        interval_of[succ] = interval_id;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Seed new headers: unassigned nodes with an edge from this
+        // interval.
+        for (const NodeId member : members) {
+            for (const NodeId succ : graph.succs(member)) {
+                if (interval_of[succ] == kUnassigned &&
+                    queued.insert(succ).second) {
+                    headers.push_back(succ);
+                }
+            }
+        }
+    }
+
+    return intervals;
+}
+
+IntervalHierarchy::IntervalHierarchy(const DiGraph &base, NodeId entry)
+{
+    // Level 0: intervals of the base graph.
+    {
+        const auto partition = partitionIntervals(base, entry);
+        std::vector<IntervalRegion> level;
+        level.reserve(partition.size());
+        for (const auto &members : partition) {
+            IntervalRegion region;
+            region.header = members.front();
+            region.blocks = members;
+            std::sort(region.blocks.begin(), region.blocks.end());
+            level.push_back(std::move(region));
+        }
+        levels_.push_back(std::move(level));
+    }
+
+    // Higher levels: partition the derived graph of the previous level.
+    while (true) {
+        const std::vector<IntervalRegion> &prev = levels_.back();
+        if (prev.size() <= 1) {
+            reducible_ = true;
+            break;
+        }
+
+        // Build the derived graph: one node per previous interval.
+        // The entry interval is always index 0 (partitioning starts
+        // there).
+        std::vector<NodeId> interval_of_block(base.numNodes(), 0);
+        for (std::size_t i = 0; i < prev.size(); ++i) {
+            for (const NodeId block : prev[i].blocks)
+                interval_of_block[block] = static_cast<NodeId>(i);
+        }
+        DiGraph derived(prev.size());
+        for (std::size_t i = 0; i < prev.size(); ++i) {
+            for (const NodeId block : prev[i].blocks) {
+                for (const NodeId succ : base.succs(block)) {
+                    const NodeId target = interval_of_block[succ];
+                    if (target != static_cast<NodeId>(i))
+                        derived.addEdge(static_cast<NodeId>(i), target);
+                }
+            }
+        }
+
+        const auto partition = partitionIntervals(derived, 0);
+        if (partition.size() == prev.size())
+            break; // no progress: irreducible residue
+
+        std::vector<IntervalRegion> level;
+        level.reserve(partition.size());
+        for (const auto &members : partition) {
+            IntervalRegion region;
+            region.header = prev[members.front()].header;
+            for (const NodeId child : members) {
+                region.children.push_back(child);
+                const auto &blocks = prev[child].blocks;
+                region.blocks.insert(region.blocks.end(), blocks.begin(),
+                                     blocks.end());
+            }
+            std::sort(region.blocks.begin(), region.blocks.end());
+            level.push_back(std::move(region));
+        }
+        levels_.push_back(std::move(level));
+    }
+}
+
+} // namespace encore::analysis

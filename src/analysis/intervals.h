@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cocke–Allen interval partitioning and the derived-graph hierarchy.
+ *
+ * Encore forms its candidate recovery regions from intervals (§3.3): an
+ * interval is a loop plus the acyclic tails dangling from it (or just a
+ * small SEME subgraph when no loop is present). Two properties matter:
+ *
+ *   1. every interval is single-entry — all edges from outside target
+ *      its header — which makes every interval a SEME region whose
+ *      header dominates its members; and
+ *   2. the intervals of a graph form a derived graph that can itself be
+ *      partitioned, yielding progressively larger candidate regions.
+ *
+ * The hierarchy exposes, per level, each interval flattened to its
+ * base-graph (basic-block) members, plus the indices of the previous
+ * level's intervals it absorbed — exactly the merge candidates that the
+ * ΔCoverage/ΔCost > η heuristic (§3.4.2) evaluates.
+ */
+#ifndef ENCORE_ANALYSIS_INTERVALS_H
+#define ENCORE_ANALYSIS_INTERVALS_H
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/digraph.h"
+
+namespace encore::analysis {
+
+struct IntervalRegion
+{
+    /// Header in base-graph (block) ids.
+    NodeId header = 0;
+    /// Base-graph members, sorted ascending; includes the header.
+    std::vector<NodeId> blocks;
+    /// Indices into the previous level's interval list (empty at level 0).
+    std::vector<std::size_t> children;
+
+    bool
+    contains(NodeId node) const
+    {
+        return std::binary_search(blocks.begin(), blocks.end(), node);
+    }
+};
+
+class IntervalHierarchy
+{
+  public:
+    /// Partitions the subgraph reachable from `entry`, then repeatedly
+    /// partitions the derived graphs until no further coarsening occurs.
+    IntervalHierarchy(const DiGraph &base, NodeId entry);
+
+    /// Number of levels; level 0 is the first-order partition.
+    std::size_t numLevels() const { return levels_.size(); }
+
+    const std::vector<IntervalRegion> &level(std::size_t k) const
+    {
+        return levels_.at(k);
+    }
+
+    /// True if the final derived graph collapsed to a single node — the
+    /// classic test for a reducible flow graph.
+    bool isReducible() const { return reducible_; }
+
+  private:
+    std::vector<std::vector<IntervalRegion>> levels_;
+    bool reducible_ = false;
+};
+
+/**
+ * One round of interval partitioning over an arbitrary graph.
+ * Returns interval membership as lists of node ids of `graph`, each with
+ * its header first... (header is members.front()). Only nodes reachable
+ * from `entry` are assigned.
+ */
+std::vector<std::vector<NodeId>> partitionIntervals(const DiGraph &graph,
+                                                    NodeId entry);
+
+} // namespace encore::analysis
+
+#endif // ENCORE_ANALYSIS_INTERVALS_H

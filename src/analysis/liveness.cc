@@ -1,0 +1,104 @@
+#include "analysis/liveness.h"
+
+namespace encore::analysis {
+
+bool
+RegSet::unionWith(const RegSet &other)
+{
+    bool changed = false;
+    for (std::size_t i = 0; i < bits_.size() && i < other.bits_.size();
+         ++i) {
+        if (other.bits_[i] && !bits_[i]) {
+            bits_[i] = true;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+std::vector<ir::RegId>
+RegSet::toVector() const
+{
+    std::vector<ir::RegId> regs;
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+        if (bits_[i])
+            regs.push_back(static_cast<ir::RegId>(i));
+    }
+    return regs;
+}
+
+std::vector<ir::RegId>
+instructionUses(const ir::Instruction &inst)
+{
+    std::vector<ir::RegId> uses;
+    for (const ir::Operand &op : inst.usedOperands()) {
+        if (op.isReg())
+            uses.push_back(op.reg);
+    }
+    if (ir::opcodeHasAddress(inst.opcode())) {
+        const ir::AddrExpr &addr = inst.addr();
+        if (addr.isRegBase())
+            uses.push_back(addr.base_reg);
+        if (addr.offset.isReg())
+            uses.push_back(addr.offset.reg);
+    }
+    for (const ir::Operand &arg : inst.args()) {
+        if (arg.isReg())
+            uses.push_back(arg.reg);
+    }
+    return uses;
+}
+
+ir::RegId
+instructionDef(const ir::Instruction &inst)
+{
+    return inst.hasDest() ? inst.dest() : ir::kInvalidReg;
+}
+
+Liveness::Liveness(const ir::Function &func)
+{
+    const std::size_t num_blocks = func.numBlocks();
+    const std::size_t num_regs = func.numRegs();
+    use_.assign(num_blocks, RegSet(num_regs));
+    def_.assign(num_blocks, RegSet(num_regs));
+    live_in_.assign(num_blocks, RegSet(num_regs));
+    live_out_.assign(num_blocks, RegSet(num_regs));
+
+    for (const auto &bb : func.blocks()) {
+        RegSet &use = use_[bb->id()];
+        RegSet &def = def_[bb->id()];
+        for (const auto &inst : bb->instructions()) {
+            for (const ir::RegId reg : instructionUses(inst)) {
+                if (!def.test(reg))
+                    use.set(reg);
+            }
+            const ir::RegId dest = instructionDef(inst);
+            if (dest != ir::kInvalidReg)
+                def.set(dest);
+        }
+    }
+
+    // Backward fixpoint: liveOut = U succ liveIn; liveIn = use U
+    // (liveOut - def).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = num_blocks; i-- > 0;) {
+            const ir::BasicBlock *bb = func.blockById(
+                static_cast<ir::BlockId>(i));
+            RegSet &out = live_out_[i];
+            for (const ir::BasicBlock *succ : bb->successors())
+                changed |= out.unionWith(live_in_[succ->id()]);
+
+            RegSet in = use_[i];
+            for (std::size_t r = 0; r < out.size(); ++r) {
+                if (out.test(static_cast<ir::RegId>(r)) &&
+                    !def_[i].test(static_cast<ir::RegId>(r)))
+                    in.set(static_cast<ir::RegId>(r));
+            }
+            changed |= live_in_[i].unionWith(in);
+        }
+    }
+}
+
+} // namespace encore::analysis

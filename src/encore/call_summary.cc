@@ -1,0 +1,127 @@
+#include "encore/call_summary.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace encore {
+
+namespace {
+
+/// True when a location can only reference the given function's own
+/// local objects — invisible to callers.
+bool
+purelyLocalTo(const analysis::MemLoc &loc, const ir::Module &module,
+              const ir::Function &func)
+{
+    if (loc.unknown_base)
+        return false;
+    const auto &locals = func.localObjects();
+    for (const ir::ObjectId base : loc.bases) {
+        if (module.object(base).is_global)
+            return false;
+        if (std::find(locals.begin(), locals.end(), base) == locals.end())
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+CallSummaries::CallSummaries(const ir::Module &module,
+                             const analysis::AliasAnalysis &aa,
+                             std::set<std::string> opaque_functions)
+    : module_(module), aa_(aa), opaque_(std::move(opaque_functions))
+{
+    for (const auto &func : module.functions())
+        compute(*func);
+}
+
+const FunctionSummary &
+CallSummaries::summary(const ir::Function &func) const
+{
+    auto it = summaries_.find(&func);
+    ENCORE_ASSERT(it != summaries_.end(), "summary was never computed");
+    return it->second;
+}
+
+const FunctionSummary &
+CallSummaries::compute(const ir::Function &func)
+{
+    auto it = summaries_.find(&func);
+    if (it != summaries_.end())
+        return it->second;
+
+    FunctionSummary result;
+
+    if (isOpaque(func)) {
+        result.analyzable = false;
+        result.reason = "opaque (library) function";
+        return summaries_.emplace(&func, std::move(result)).first->second;
+    }
+    if (in_progress_.count(&func)) {
+        result.analyzable = false;
+        result.reason = "recursive call cycle";
+        return summaries_.emplace(&func, std::move(result)).first->second;
+    }
+    in_progress_.insert(&func);
+
+    auto give_up = [&](const std::string &reason) -> const FunctionSummary & {
+        in_progress_.erase(&func);
+        FunctionSummary bad;
+        bad.analyzable = false;
+        bad.reason = reason;
+        auto [pos, _] = summaries_.insert_or_assign(&func, std::move(bad));
+        return pos->second;
+    };
+
+    for (const auto &bb : func.blocks()) {
+        for (const auto &inst : bb->instructions()) {
+            switch (inst.opcode()) {
+              case ir::Opcode::Store: {
+                const analysis::MemLoc loc = aa_.classify(func, inst);
+                if (purelyLocalTo(loc, module_, func))
+                    break;
+                if (loc.unknown_base) {
+                    return give_up(
+                        "store through an unresolved pointer in @" +
+                        func.name());
+                }
+                result.mod.add(loc, &inst);
+                break;
+              }
+              case ir::Opcode::Load: {
+                const analysis::MemLoc loc = aa_.classify(func, inst);
+                if (purelyLocalTo(loc, module_, func))
+                    break;
+                // Flow-insensitive: treat every non-local load as
+                // potentially exposed (conservative superset of the
+                // true exposed set).
+                result.ref.add(loc, &inst);
+                break;
+              }
+              case ir::Opcode::Call: {
+                const ir::Function *callee = inst.callee();
+                if (!callee)
+                    return give_up("unresolved call in @" + func.name());
+                const FunctionSummary &inner = compute(*callee);
+                if (!inner.analyzable) {
+                    return give_up("calls @" + callee->name() + ": " +
+                                   inner.reason);
+                }
+                result.mod.unionWith(inner.mod);
+                result.ref.unionWith(inner.ref);
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+
+    in_progress_.erase(&func);
+    auto [pos, _] = summaries_.insert_or_assign(&func, std::move(result));
+    return pos->second;
+}
+
+} // namespace encore

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Function mod/ref summaries for calls inside candidate regions.
+ *
+ * The paper leaves regions containing calls without alias information
+ * as "Unknown" (§5.1) — mostly system and library calls. We reproduce
+ * that behaviour for *opaque* functions (the workloads mark their
+ * library-like helpers opaque), and go one step further for internal
+ * functions: a bottom-up mod/ref summary lets a call participate in
+ * the RS/GA/EA equations as if it were a block of stores (its mod set)
+ * and exposed loads (its ref set). Stores and loads to the callee's own
+ * stack locals are invisible to the caller (fresh per activation) and
+ * are excluded.
+ *
+ * The summary becomes unanalyzable — and any region containing such a
+ * call Unknown — when the callee (or anything it transitively calls)
+ * is opaque, recursive, or writes through a pointer the static alias
+ * analysis cannot resolve.
+ */
+#ifndef ENCORE_ENCORE_CALL_SUMMARY_H
+#define ENCORE_ENCORE_CALL_SUMMARY_H
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/alias.h"
+
+namespace encore {
+
+struct FunctionSummary
+{
+    bool analyzable = true;
+    std::string reason;
+    /// Locations the function may write (callee locals excluded).
+    analysis::LocationSet mod;
+    /// Locations the function may read while they still hold their
+    /// pre-call values (exposed loads; conservative superset).
+    analysis::LocationSet ref;
+
+    bool
+    hasSideEffects() const
+    {
+        return !mod.empty();
+    }
+};
+
+class CallSummaries
+{
+  public:
+    /// Functions named in `opaque` (or flagged by the workload via the
+    /// opaque registry) are treated as unanalyzable library calls.
+    CallSummaries(const ir::Module &module,
+                  const analysis::AliasAnalysis &aa,
+                  std::set<std::string> opaque_functions = {});
+
+    const FunctionSummary &summary(const ir::Function &func) const;
+
+    bool
+    isOpaque(const ir::Function &func) const
+    {
+        return opaque_.count(func.name()) > 0;
+    }
+
+  private:
+    const FunctionSummary &compute(const ir::Function &func);
+
+    const ir::Module &module_;
+    const analysis::AliasAnalysis &aa_;
+    std::set<std::string> opaque_;
+    std::map<const ir::Function *, FunctionSummary> summaries_;
+    std::set<const ir::Function *> in_progress_;
+};
+
+} // namespace encore
+
+#endif // ENCORE_ENCORE_CALL_SUMMARY_H

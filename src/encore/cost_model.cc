@@ -1,0 +1,141 @@
+#include "encore/cost_model.h"
+
+#include "support/diagnostics.h"
+
+namespace encore {
+
+std::vector<ir::RegId>
+regionRegisterCheckpoints(const Region &region,
+                          const analysis::Liveness &liveness)
+{
+    ENCORE_ASSERT(region.func, "region without a function");
+    const analysis::RegSet &live_in = liveness.liveIn(region.header);
+
+    analysis::RegSet written(live_in.size());
+    for (const ir::BlockId block : region.blocks) {
+        const analysis::RegSet &defs = liveness.defs(block);
+        for (std::size_t r = 0; r < defs.size(); ++r) {
+            if (defs.test(static_cast<ir::RegId>(r)))
+                written.set(static_cast<ir::RegId>(r));
+        }
+    }
+
+    std::vector<ir::RegId> regs;
+    for (std::size_t r = 0; r < live_in.size(); ++r) {
+        const auto reg = static_cast<ir::RegId>(r);
+        if (live_in.test(reg) && written.test(reg))
+            regs.push_back(reg);
+    }
+    return regs;
+}
+
+double
+regionOutsideEntries(const interp::ProfileData &profile,
+                     const Region &region)
+{
+    const ir::Function &func = *region.func;
+    std::uint64_t entries =
+        profile.externalEntries(func, region.header);
+    const ir::BasicBlock *header = func.blockById(region.header);
+    for (const ir::BasicBlock *pred : header->predecessors()) {
+        if (!region.contains(pred->id()))
+            entries += profile.edgeCount(func, pred->id(), region.header);
+    }
+    return static_cast<double>(entries);
+}
+
+RegionCost
+RegionCostFromProfile(const interp::ProfileData &profile,
+                      const Region &region,
+                      const IdempotenceResult &analysis,
+                      const analysis::Liveness &liveness)
+{
+    RegionCost cost;
+    const ir::Function &func = *region.func;
+
+    cost.entries = regionOutsideEntries(profile, region);
+
+    // Baseline dynamic instructions attributed to the region.
+    double dyn = 0.0;
+    for (const ir::BlockId block : region.blocks) {
+        std::size_t real = 0;
+        for (const auto &inst : func.blockById(block)->instructions()) {
+            if (!inst.isPseudo())
+                ++real;
+        }
+        dyn += static_cast<double>(profile.blockCount(func, block)) *
+               static_cast<double>(real);
+    }
+    cost.dyn_instrs = dyn;
+    cost.hot_path_length = cost.entries > 0.0 ? dyn / cost.entries : 0.0;
+
+    // Instrumentation work. The header executes region.enter plus one
+    // ckpt.reg per checkpointed register on every entry; each CP store
+    // (and each exact call-mod) adds a ckpt.mem weighted by its block's
+    // execution count.
+    const auto reg_ckpts = regionRegisterCheckpoints(region, liveness);
+    cost.static_reg_ckpts = reg_ckpts.size();
+
+    double added = cost.entries * (1.0 + static_cast<double>(
+                                             reg_ckpts.size()));
+    double mem_ckpt_dyn = 0.0;
+    for (const ir::Instruction *store : analysis.checkpoint_stores) {
+        // Locate the store's block to weight it.
+        for (const ir::BlockId block : region.blocks) {
+            for (const auto &inst :
+                 func.blockById(block)->instructions()) {
+                if (&inst == store) {
+                    mem_ckpt_dyn += static_cast<double>(
+                        profile.blockCount(func, block));
+                }
+            }
+        }
+        ++cost.static_mem_ckpts;
+    }
+    for (const auto &call_ckpt : analysis.checkpoint_calls) {
+        for (const ir::BlockId block : region.blocks) {
+            for (const auto &inst :
+                 func.blockById(block)->instructions()) {
+                if (&inst == call_ckpt.call) {
+                    mem_ckpt_dyn +=
+                        static_cast<double>(
+                            profile.blockCount(func, block)) *
+                        static_cast<double>(call_ckpt.mods.size());
+                }
+            }
+        }
+        cost.static_mem_ckpts += call_ckpt.mods.size();
+    }
+    added += mem_ckpt_dyn;
+
+    cost.overhead_instrs = added;
+    cost.ckpt_per_entry =
+        cost.entries > 0.0 ? added / cost.entries
+                           : 1.0 + static_cast<double>(reg_ckpts.size()) +
+                                 static_cast<double>(
+                                     analysis.staticCheckpointCount());
+
+    // Storage model: per entry, every register checkpoint costs 8 B
+    // and every dynamic memory checkpoint 16 B (address + datum).
+    const double mem_per_entry =
+        cost.entries > 0.0 ? mem_ckpt_dyn / cost.entries
+                           : static_cast<double>(cost.static_mem_ckpts);
+    cost.storage_mem_bytes = 16.0 * mem_per_entry;
+    cost.storage_reg_bytes = 8.0 * static_cast<double>(reg_ckpts.size());
+    cost.storage_bytes = cost.storage_mem_bytes + cost.storage_reg_bytes;
+    cost.static_storage_mem_bytes =
+        16.0 * static_cast<double>(cost.static_mem_ckpts);
+    cost.static_storage_reg_bytes =
+        8.0 * static_cast<double>(reg_ckpts.size());
+
+    return cost;
+}
+
+RegionCost
+CostModel::evaluate(const Region &region, const IdempotenceResult &analysis,
+                    const analysis::Liveness &liveness) const
+{
+    return RegionCostFromProfile(profile_, region, analysis, liveness);
+}
+
+} // namespace encore

@@ -1,0 +1,65 @@
+#include "encore/detection_model.h"
+
+#include <algorithm>
+
+namespace encore {
+
+double
+alphaUniform(double n, double dmax)
+{
+    if (n <= 0.0)
+        return 0.0;
+    if (dmax <= 0.0)
+        return 1.0;
+    if (n >= dmax)
+        return 1.0 - dmax / (2.0 * n);
+    return n / (2.0 * dmax);
+}
+
+double
+alphaNumeric(double n, double dmax,
+             const std::function<double(double)> &latency_density,
+             const std::function<double(double)> &site_density, int steps)
+{
+    if (n <= 0.0)
+        return 0.0;
+    if (dmax <= 0.0)
+        return 1.0;
+
+    const double ds = n / steps;
+    const double dl = dmax / steps;
+
+    double site_mass = 0.0;
+    double latency_mass = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        site_mass += site_density((i + 0.5) * ds) * ds;
+        latency_mass += latency_density((i + 0.5) * dl) * dl;
+    }
+    if (site_mass <= 0.0 || latency_mass <= 0.0)
+        return 0.0;
+
+    double total = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        const double s = (i + 0.5) * ds;
+        const double limit = std::min(n - s, dmax);
+        if (limit <= 0.0)
+            continue;
+        double inner = 0.0;
+        for (int j = 0; j < steps; ++j) {
+            const double l = (j + 0.5) * dl;
+            if (l < limit)
+                inner += latency_density(l) * dl;
+        }
+        total += site_density(s) * (inner / latency_mass) * ds;
+    }
+    return total / site_mass;
+}
+
+double
+alphaNumericUniform(double n, double dmax, int steps)
+{
+    auto uniform = [](double) { return 1.0; };
+    return alphaNumeric(n, dmax, uniform, uniform, steps);
+}
+
+} // namespace encore

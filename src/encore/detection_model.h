@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Analytical recoverability model (paper §4.2.1).
+ *
+ * A fault striking at instruction s of a region whose hot path is n
+ * instructions long is recoverable iff it is detected before control
+ * leaves the region: s + l < n, with detection latency l. For uniform
+ * fault sites and uniform latencies in [0, Dmax] the scaling factor
+ * α_ri = Pr(s + l < n) has the closed form of Equation 7:
+ *
+ *        α = 1 − Dmax/(2n)   when n >= Dmax
+ *        α = n/(2 Dmax)      when n <  Dmax
+ *
+ * A generic numeric integrator over arbitrary latency/site densities is
+ * provided both to cross-check the closed form in tests and to support
+ * non-uniform detection models.
+ */
+#ifndef ENCORE_ENCORE_DETECTION_MODEL_H
+#define ENCORE_ENCORE_DETECTION_MODEL_H
+
+#include <functional>
+
+namespace encore {
+
+/// Equation 7 closed form. n <= 0 yields 0; dmax <= 0 yields 1 (instant
+/// detection always recovers).
+double alphaUniform(double n, double dmax);
+
+/**
+ * Numeric evaluation of Equation 6:
+ *   α = ∫₀ⁿ g(s) ∫₀^{min(n-s, Dmax)} f(l) dl ds
+ * where f is the latency density on [0, dmax] and g the fault-site
+ * density on [0, n]. Densities need not be normalized; the result is
+ * normalized by the densities' masses.
+ */
+double alphaNumeric(double n, double dmax,
+                    const std::function<double(double)> &latency_density,
+                    const std::function<double(double)> &site_density,
+                    int steps = 400);
+
+/// alphaNumeric with uniform densities (sanity twin of alphaUniform).
+double alphaNumericUniform(double n, double dmax, int steps = 400);
+
+} // namespace encore
+
+#endif // ENCORE_ENCORE_DETECTION_MODEL_H

@@ -1,0 +1,550 @@
+#include "encore/idempotence.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/diagnostics.h"
+
+namespace encore {
+
+using analysis::DiGraph;
+using analysis::GuardSet;
+using analysis::LocationSet;
+using analysis::Loop;
+using analysis::MemLoc;
+using analysis::NodeId;
+
+/**
+ * Summary of a natural loop, used to treat the whole loop as a single
+ * pseudo-block in enclosing analyses (§3.1.2).
+ */
+struct IdempotenceAnalysis::LoopSummaryData
+{
+    bool unknown = false;
+    std::string reason;
+    /// AS^l: every (live) store the loop may execute. RS^l == AS^l.
+    LocationSet as;
+    /// GA^l: addresses guaranteed overwritten whenever the loop runs.
+    GuardSet ga;
+    /// EA^l: addresses exposed by unguarded loads on paths through the
+    /// loop.
+    LocationSet ea;
+    /// Violating (exposed origin, store origin, store loc) triples
+    /// found inside the loop; rediscovered by enclosing regions through
+    /// the pseudo-block check, kept here for direct loop queries.
+    std::vector<IdempotenceResult::Violation> violations;
+};
+
+/**
+ * Condensed acyclic view of a region or loop body: plain blocks stay
+ * themselves; maximal contained loops collapse into pseudo-nodes
+ * carrying their summaries.
+ */
+struct IdempotenceAnalysis::Subgraph
+{
+    const ir::Function *func = nullptr;
+    bool loop_mode = false;
+    bool unknown = false;
+    std::string reason;
+
+    struct Node
+    {
+        bool is_loop = false;
+        const Loop *loop = nullptr;       // when is_loop
+        ir::BlockId block = 0;            // when !is_loop
+        bool live = true;
+
+        LocationSet as;       ///< Stores (may).
+        GuardSet as_must;     ///< Stores with exact addresses (must).
+        LocationSet ea_local; ///< Locally exposed loads.
+
+        LocationSet rs;
+        GuardSet ga;
+        LocationSet ea;
+    };
+
+    std::vector<Node> nodes;
+    DiGraph graph{0};
+    NodeId entry = 0;
+    /// Nodes that exit the subgraph (outside successor or no
+    /// successors).
+    std::vector<NodeId> exits;
+
+    /// Analysis outputs.
+    std::vector<IdempotenceResult::Violation> violations;
+    /// Offending plain stores.
+    std::set<const ir::Instruction *> offender_stores;
+    /// Offending summarized side effects: (call instruction, location).
+    std::set<std::pair<const ir::Instruction *, std::size_t>>
+        offender_call_keys;
+    std::vector<std::pair<const ir::Instruction *, MemLoc>> offender_calls;
+};
+
+IdempotenceAnalysis::IdempotenceAnalysis(const ir::Module &module,
+                                         const analysis::AliasAnalysis &aa,
+                                         const CallSummaries &summaries,
+                                         const interp::ProfileData *profile,
+                                         Options options)
+    : module_(module),
+      aa_(aa),
+      summaries_(summaries),
+      profile_(profile),
+      options_(options)
+{
+}
+
+IdempotenceAnalysis::~IdempotenceAnalysis() = default;
+
+const IdempotenceAnalysis::FunctionContext &
+IdempotenceAnalysis::context(const ir::Function &func)
+{
+    auto it = contexts_.find(&func);
+    if (it == contexts_.end()) {
+        it = contexts_
+                 .emplace(&func, std::make_unique<FunctionContext>(func))
+                 .first;
+    }
+    return *it->second;
+}
+
+namespace {
+
+/// Rewrites a callee-summary location set so every entry is anchored at
+/// the call site (for checkpoint planning; alias queries then fall back
+/// to location-level reasoning).
+LocationSet
+anchorAtCall(const LocationSet &set, const ir::Instruction *call)
+{
+    LocationSet anchored;
+    for (const analysis::LocEntry &entry : set.entries())
+        anchored.add(entry.loc, call);
+    return anchored;
+}
+
+} // namespace
+
+std::unique_ptr<IdempotenceAnalysis::Subgraph>
+IdempotenceAnalysis::buildSubgraph(const ir::Function &func,
+                                   ir::BlockId header,
+                                   const std::vector<ir::BlockId> &blocks,
+                                   bool loop_mode)
+{
+    auto sub = std::make_unique<Subgraph>();
+    sub->func = &func;
+    sub->loop_mode = loop_mode;
+
+    const FunctionContext &ctx = context(func);
+
+    auto fail = [&](const std::string &reason) {
+        sub->unknown = true;
+        sub->reason = reason;
+        return std::move(sub);
+    };
+
+    auto in_set = [&](ir::BlockId id) {
+        return std::binary_search(blocks.begin(), blocks.end(), id);
+    };
+
+    // --- Select the maximal loops to collapse -----------------------------
+    // A loop is relevant when it is fully inside the block set and is
+    // not the subgraph itself (in loop mode). Loops are scanned from
+    // outermost (largest) to innermost so only maximal ones are kept.
+    std::vector<const Loop *> collapsed;
+    {
+        std::vector<Loop *> by_size_desc = ctx.loops.loopsInnerFirst();
+        std::reverse(by_size_desc.begin(), by_size_desc.end());
+        for (const Loop *loop : by_size_desc) {
+            const bool is_whole = loop_mode && loop->header == header &&
+                                  loop->blocks.size() == blocks.size();
+            if (is_whole)
+                continue;
+            bool inside = true;
+            for (const NodeId b : loop->blocks) {
+                if (!in_set(static_cast<ir::BlockId>(b))) {
+                    inside = false;
+                    break;
+                }
+            }
+            if (!inside)
+                continue;
+            bool in_collapsed = false;
+            for (const Loop *outer : collapsed) {
+                if (outer->contains(loop->header)) {
+                    in_collapsed = true;
+                    break;
+                }
+            }
+            if (!in_collapsed)
+                collapsed.push_back(loop);
+        }
+    }
+    if (loop_mode) {
+        for (const Loop *loop : collapsed) {
+            ENCORE_ASSERT(!loop->contains(header),
+                          "proper subloop contains the loop header");
+        }
+    }
+
+    // --- Create nodes -------------------------------------------------------
+    std::map<ir::BlockId, NodeId> node_of;
+    for (const Loop *loop : collapsed) {
+        Subgraph::Node node;
+        node.is_loop = true;
+        node.loop = loop;
+        const NodeId id = static_cast<NodeId>(sub->nodes.size());
+        for (const NodeId b : loop->blocks)
+            node_of[static_cast<ir::BlockId>(b)] = id;
+        sub->nodes.push_back(std::move(node));
+    }
+    for (const ir::BlockId block : blocks) {
+        if (node_of.count(block))
+            continue;
+        Subgraph::Node node;
+        node.block = block;
+        node_of[block] = static_cast<NodeId>(sub->nodes.size());
+        sub->nodes.push_back(std::move(node));
+    }
+    sub->entry = node_of.at(header);
+
+    // --- Edges (condensed, intra-region, back edges dropped in loop
+    // mode) -------------------------------------------------------------------
+    sub->graph = DiGraph(sub->nodes.size());
+    for (const ir::BlockId block : blocks) {
+        const NodeId cu = node_of.at(block);
+        const ir::BasicBlock *bb = func.blockById(block);
+        for (const ir::BasicBlock *succ : bb->successors()) {
+            if (!in_set(succ->id()))
+                continue;
+            if (loop_mode && succ->id() == header)
+                continue; // back edge of the loop under analysis
+            const NodeId cv = node_of.at(succ->id());
+            if (cu == cv)
+                continue;
+            // Entering a collapsed loop anywhere but its header is a
+            // side entry — not canonicalizable.
+            const Subgraph::Node &target = sub->nodes[cv];
+            if (target.is_loop &&
+                succ->id() !=
+                    static_cast<ir::BlockId>(target.loop->header)) {
+                return fail("side entry into a loop");
+            }
+            sub->graph.addEdge(cu, cv);
+        }
+    }
+
+    if (sub->graph.hasCycle(sub->entry))
+        return fail("irreducible cycle (cannot canonicalize)");
+
+    // --- Liveness (Pmin pruning, §3.4.1) -----------------------------------
+    const bool prune = options_.pmin >= 0.0 && profile_ &&
+                       !profile_->empty();
+    for (NodeId n = 0; n < sub->nodes.size(); ++n) {
+        Subgraph::Node &node = sub->nodes[n];
+        if (!prune || n == sub->entry)
+            continue;
+        const ir::BlockId probe =
+            node.is_loop ? static_cast<ir::BlockId>(node.loop->header)
+                         : node.block;
+        const double prob = profile_->blockProbability(func, probe);
+        if (prob == 0.0 || prob < options_.pmin)
+            node.live = false;
+    }
+
+    // --- Per-node access summaries ------------------------------------------
+    for (Subgraph::Node &node : sub->nodes) {
+        if (node.is_loop) {
+            const LoopSummaryData &summary =
+                loopSummary(func, node.loop);
+            if (summary.unknown)
+                return fail(summary.reason);
+            node.as = summary.as;
+            node.as_must = summary.ga;
+            node.ea_local = summary.ea;
+            continue;
+        }
+
+        GuardSet local_guard;
+        const ir::BasicBlock *bb = func.blockById(node.block);
+        for (const auto &inst : bb->instructions()) {
+            switch (inst.opcode()) {
+              case ir::Opcode::Load: {
+                const MemLoc loc = aa_.classify(func, inst);
+                if (!local_guard.covers(loc))
+                    node.ea_local.add(loc, &inst);
+                break;
+              }
+              case ir::Opcode::Store: {
+                const MemLoc loc = aa_.classify(func, inst);
+                node.as.add(loc, &inst);
+                node.as_must.insert(loc);
+                // Subsequent loads of this exact word within the block
+                // are locally guarded (Equation 3's EA_local).
+                local_guard.insert(loc);
+                break;
+              }
+              case ir::Opcode::Call: {
+                const ir::Function *callee = inst.callee();
+                ENCORE_ASSERT(callee, "unresolved call during analysis");
+                const FunctionSummary &summary =
+                    summaries_.summary(*callee);
+                if (!summary.analyzable)
+                    return fail("call to @" + callee->name() + ": " +
+                                summary.reason);
+                if (!options_.use_call_summaries &&
+                    summary.hasSideEffects()) {
+                    return fail("call to @" + callee->name() +
+                                " with side effects (summaries disabled)");
+                }
+                for (const analysis::LocEntry &ref :
+                     summary.ref.entries()) {
+                    if (!local_guard.covers(ref.loc))
+                        node.ea_local.add(ref.loc, &inst);
+                }
+                node.as.unionWith(anchorAtCall(summary.mod, &inst));
+                // Flow-insensitive summaries cannot promise a write on
+                // every path, so calls contribute nothing to as_must.
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+
+    // --- Exits -------------------------------------------------------------------
+    {
+        std::set<NodeId> exit_set;
+        for (const ir::BlockId block : blocks) {
+            const ir::BasicBlock *bb = func.blockById(block);
+            const auto succs = bb->successors();
+            bool exits_here = succs.empty();
+            for (const ir::BasicBlock *succ : succs) {
+                if (!in_set(succ->id()))
+                    exits_here = true;
+            }
+            if (exits_here)
+                exit_set.insert(node_of.at(block));
+        }
+        if (loop_mode) {
+            // With back edges dropped, latches become sinks of the DAG
+            // and terminate iteration paths.
+            for (const NodeId latch_block :
+                 ctx.loops.loopWithHeader(header)
+                     ? ctx.loops.loopWithHeader(header)->latches
+                     : std::vector<NodeId>{}) {
+                exit_set.insert(
+                    node_of.at(static_cast<ir::BlockId>(latch_block)));
+            }
+        }
+        sub->exits.assign(exit_set.begin(), exit_set.end());
+    }
+
+    return sub;
+}
+
+void
+IdempotenceAnalysis::analyzeSubgraph(Subgraph &sub) const
+{
+    if (sub.unknown)
+        return;
+
+    const std::vector<NodeId> rpo = sub.graph.reversePostOrder(sub.entry);
+
+    // --- Forward pass: reachable stores (Equation 1) -------------------------
+    if (sub.loop_mode) {
+        // RS^l = AS^l for every node: all cross-iteration WARs count.
+        LocationSet as_all;
+        for (const Subgraph::Node &node : sub.nodes) {
+            if (node.live)
+                as_all.unionWith(node.as);
+        }
+        for (Subgraph::Node &node : sub.nodes)
+            node.rs = as_all;
+    } else {
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            Subgraph::Node &node = sub.nodes[*it];
+            node.rs = node.as;
+            for (const NodeId succ : sub.graph.succs(*it)) {
+                const Subgraph::Node &child = sub.nodes[succ];
+                if (!child.live)
+                    continue; // pruned from C' (§3.4.1)
+                node.rs.unionWith(child.rs);
+                node.rs.unionWith(child.as);
+            }
+        }
+    }
+
+    // --- Reverse pass: guarded & exposed addresses (Equations 2, 3) -----------
+    for (const NodeId id : rpo) {
+        Subgraph::Node &node = sub.nodes[id];
+
+        bool first_pred = true;
+        for (const NodeId pred_id : sub.graph.preds(id)) {
+            const Subgraph::Node &pred = sub.nodes[pred_id];
+            if (!pred.live)
+                continue;
+            GuardSet incoming = pred.ga;
+            incoming.unionWith(pred.as_must);
+            if (first_pred) {
+                node.ga = incoming;
+                first_pred = false;
+            } else {
+                node.ga.intersectWith(incoming);
+            }
+            node.ea.unionWith(pred.ea);
+        }
+        // Entry (or all predecessors pruned): nothing is guarded.
+        if (first_pred)
+            node.ga = GuardSet();
+
+        for (const analysis::LocEntry &entry : node.ea_local.entries()) {
+            if (!node.ga.covers(entry.loc))
+                node.ea.add(entry);
+        }
+    }
+
+    // --- Violation check (Equation 4) ----------------------------------------------
+    for (const NodeId id : rpo) {
+        Subgraph::Node &node = sub.nodes[id];
+        if (!node.live)
+            continue;
+        for (const analysis::LocEntry &exposed : node.ea.entries()) {
+            for (const analysis::LocEntry &store : node.rs.entries()) {
+                if (!aa_.mayAlias(exposed, store))
+                    continue;
+                sub.violations.push_back(
+                    IdempotenceResult::Violation{exposed.origin,
+                                                 store.origin});
+                if (store.origin &&
+                    store.origin->opcode() == ir::Opcode::Store) {
+                    sub.offender_stores.insert(store.origin);
+                } else if (store.origin &&
+                           store.origin->opcode() == ir::Opcode::Call) {
+                    // Deduplicate (call, loc) pairs.
+                    bool seen = false;
+                    for (const auto &[call, loc] : sub.offender_calls) {
+                        if (call == store.origin && loc == store.loc) {
+                            seen = true;
+                            break;
+                        }
+                    }
+                    if (!seen) {
+                        sub.offender_calls.emplace_back(store.origin,
+                                                        store.loc);
+                    }
+                }
+            }
+        }
+    }
+}
+
+const IdempotenceAnalysis::LoopSummaryData &
+IdempotenceAnalysis::loopSummary(const ir::Function &func, const Loop *loop)
+{
+    auto it = loop_summaries_.find(loop);
+    if (it != loop_summaries_.end())
+        return *it->second;
+
+    auto data = std::make_unique<LoopSummaryData>();
+
+    std::vector<ir::BlockId> blocks;
+    blocks.reserve(loop->blocks.size());
+    for (const NodeId b : loop->blocks)
+        blocks.push_back(static_cast<ir::BlockId>(b));
+    std::sort(blocks.begin(), blocks.end());
+
+    auto sub = buildSubgraph(func, static_cast<ir::BlockId>(loop->header),
+                             blocks, /*loop_mode=*/true);
+    analyzeSubgraph(*sub);
+
+    if (sub->unknown) {
+        data->unknown = true;
+        data->reason = sub->reason;
+    } else {
+        // AS^l over live nodes (== RS^l).
+        for (const Subgraph::Node &node : sub->nodes) {
+            if (node.live)
+                data->as.unionWith(node.as);
+        }
+        // GA^l = ∩ over live exits of (GA ∪ must-stores); EA^l = ∪ EA.
+        bool first = true;
+        for (const NodeId exit : sub->exits) {
+            const Subgraph::Node &node = sub->nodes[exit];
+            if (!node.live)
+                continue;
+            GuardSet guards = node.ga;
+            guards.unionWith(node.as_must);
+            if (first) {
+                data->ga = guards;
+                first = false;
+            } else {
+                data->ga.intersectWith(guards);
+            }
+            data->ea.unionWith(node.ea);
+        }
+        data->violations = sub->violations;
+    }
+
+    auto [pos, _] = loop_summaries_.emplace(loop, std::move(data));
+    return *pos->second;
+}
+
+IdempotenceResult
+IdempotenceAnalysis::analyzeRegion(const Region &region)
+{
+    IdempotenceResult result;
+    ENCORE_ASSERT(region.func, "region without a function");
+    const ir::Function &func = *region.func;
+    const FunctionContext &ctx = context(func);
+
+    // Loop mode applies when the region is exactly a natural loop.
+    bool loop_mode = false;
+    if (const Loop *loop = ctx.loops.loopWithHeader(region.header)) {
+        if (loop->blocks.size() == region.blocks.size()) {
+            bool same = true;
+            for (const NodeId b : loop->blocks) {
+                if (!region.contains(static_cast<ir::BlockId>(b))) {
+                    same = false;
+                    break;
+                }
+            }
+            loop_mode = same;
+        }
+    }
+
+    auto sub = buildSubgraph(func, region.header, region.blocks, loop_mode);
+    analyzeSubgraph(*sub);
+
+    if (sub->unknown) {
+        result.cls = RegionClass::Unknown;
+        result.unknown_reason = sub->reason;
+        return result;
+    }
+
+    result.violations = sub->violations;
+    if (sub->offender_stores.empty() && sub->offender_calls.empty()) {
+        result.cls = RegionClass::Idempotent;
+        return result;
+    }
+
+    result.cls = RegionClass::NonIdempotent;
+    result.checkpoint_stores.assign(sub->offender_stores.begin(),
+                                    sub->offender_stores.end());
+
+    // Group offending call side effects per call site; every location
+    // must be exact to be checkpointable before the call.
+    std::map<const ir::Instruction *, std::vector<MemLoc>> per_call;
+    for (const auto &[call, loc] : sub->offender_calls) {
+        if (!loc.isExact())
+            result.checkpointable = false;
+        per_call[call].push_back(loc);
+    }
+    for (auto &[call, mods] : per_call) {
+        result.checkpoint_calls.push_back(
+            IdempotenceResult::CallCheckpoint{call, std::move(mods)});
+    }
+
+    return result;
+}
+
+} // namespace encore

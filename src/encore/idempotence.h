@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The Encore idempotence analysis (paper §3.1).
+ *
+ * For a SEME region the analysis computes, per node of a condensed
+ * acyclic view of the region:
+ *
+ *   RS  — reachable stores (Equation 1, forward post-order),
+ *   GA  — guarded addresses (Equation 2, reverse traversal, must-set),
+ *   EA  — exposed addresses (Equation 3, reverse traversal),
+ *
+ * and flags a violation wherever EA ∩ RS ≠ ∅ under may-alias
+ * (Equation 4). The stores named by the violating RS entries form the
+ * CP checkpoint set of §3.2.
+ *
+ * Cycles are handled hierarchically (§3.1.2): every natural loop is
+ * summarized bottom-up — RS^l = AS^l (all stores, capturing
+ * cross-iteration WARs), GA^l = the must-written set at its exits,
+ * EA^l = the union of exposed addresses at its exits — and the loop
+ * then participates in enclosing analyses as a single pseudo-block.
+ * Cycles that are not natural loops cannot be canonicalized and leave
+ * the region Unknown, as do calls the CallSummaries cannot analyze.
+ *
+ * Profile-driven pruning (§3.4.1): with pmin >= 0, blocks whose
+ * execution probability is zero (pmin == 0, the paper's "never executed
+ * while profiling" point) or below pmin are excluded from the child
+ * sets of every equation — trading a statistical sliver of soundness
+ * for substantially more idempotence, exactly the Figure 5 experiment.
+ */
+#ifndef ENCORE_ENCORE_IDEMPOTENCE_H
+#define ENCORE_ENCORE_IDEMPOTENCE_H
+
+#include <map>
+#include <memory>
+
+#include "analysis/alias.h"
+#include "analysis/intervals.h"
+#include "analysis/loop_info.h"
+#include "encore/call_summary.h"
+#include "encore/region.h"
+#include "interp/profile.h"
+
+namespace encore {
+
+class IdempotenceAnalysis
+{
+  public:
+    struct Options
+    {
+        /// Execution-probability threshold for pruning; negative means
+        /// the paper's ∅ column (no pruning). 0.0 prunes only blocks
+        /// never executed during profiling.
+        double pmin = -1.0;
+        /// When false, any call with side effects makes the region
+        /// Unknown (the paper's behaviour); when true, analyzable
+        /// callees participate through their mod/ref summaries.
+        bool use_call_summaries = true;
+    };
+
+    /// `profile` may be null, in which case no pruning happens
+    /// regardless of pmin.
+    IdempotenceAnalysis(const ir::Module &module,
+                        const analysis::AliasAnalysis &aa,
+                        const CallSummaries &summaries,
+                        const interp::ProfileData *profile,
+                        Options options);
+
+    ~IdempotenceAnalysis();
+
+    IdempotenceResult analyzeRegion(const Region &region);
+
+    /// Cached per-function CFG structures, exposed for reuse by region
+    /// formation.
+    struct FunctionContext
+    {
+        analysis::DiGraph cfg;
+        analysis::DominatorTree dom;
+        analysis::LoopInfo loops;
+
+        explicit FunctionContext(const ir::Function &func)
+            : cfg(analysis::buildCfg(func)),
+              dom(cfg, func.entry()->id()),
+              loops(cfg, dom)
+        {
+        }
+    };
+
+    const FunctionContext &context(const ir::Function &func);
+
+    const Options &options() const { return options_; }
+
+  private:
+    struct LoopSummaryData;
+    struct Subgraph;
+
+    const LoopSummaryData &loopSummary(const ir::Function &func,
+                                       const analysis::Loop *loop);
+
+    /// Shared worker: runs the RS/GA/EA equations over the subgraph
+    /// (`loop_mode` applies the RS^l = AS^l rule and drops back edges).
+    void analyzeSubgraph(Subgraph &sub) const;
+
+    /// Builds the condensed node view for a block set.
+    std::unique_ptr<Subgraph> buildSubgraph(const ir::Function &func,
+                                            ir::BlockId header,
+                                            const std::vector<ir::BlockId>
+                                                &blocks,
+                                            bool loop_mode);
+
+    const ir::Module &module_;
+    const analysis::AliasAnalysis &aa_;
+    const CallSummaries &summaries_;
+    const interp::ProfileData *profile_;
+    Options options_;
+
+    std::map<const ir::Function *, std::unique_ptr<FunctionContext>>
+        contexts_;
+    std::map<const analysis::Loop *, std::unique_ptr<LoopSummaryData>>
+        loop_summaries_;
+};
+
+} // namespace encore
+
+#endif // ENCORE_ENCORE_IDEMPOTENCE_H

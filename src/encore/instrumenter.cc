@@ -1,0 +1,163 @@
+#include "encore/instrumenter.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace encore {
+
+namespace {
+
+/// Finds the block owning an instruction within a region.
+ir::BasicBlock *
+owningBlock(ir::Function &func, const Region &region,
+            const ir::Instruction *inst)
+{
+    for (const ir::BlockId id : region.blocks) {
+        ir::BasicBlock *bb = func.blockById(id);
+        for (const auto &candidate : bb->instructions()) {
+            if (&candidate == inst)
+                return bb;
+        }
+    }
+    panicf("checkpointed instruction not found in its region (func @",
+           func.name(), ")");
+}
+
+/// Redirects every edge into `header` whose source lies outside the
+/// region to `preheader` instead. Back edges (sources inside the
+/// region) keep targeting the header directly, so the region instance
+/// spans all loop iterations.
+void
+rerouteOutsideEdges(ir::Function &func, const Region &region,
+                    ir::BasicBlock *header, ir::BasicBlock *preheader)
+{
+    for (const auto &bb : func.blocks()) {
+        if (bb.get() == preheader || region.contains(bb->id()))
+            continue;
+        ir::Instruction *term = bb->terminator();
+        if (!term)
+            continue;
+        if (term->succ0() == header)
+            term->setSucc0(preheader);
+        if (term->opcode() == ir::Opcode::Br && term->succ1() == header)
+            term->setSucc1(preheader);
+    }
+    if (func.entry() == header)
+        func.setEntry(preheader);
+}
+
+} // namespace
+
+void
+instrumentFunction(ir::Function &func,
+                   const std::vector<InstrumentedRegion *> &regions,
+                   const analysis::Liveness &liveness)
+{
+    // Clearing enters only matter when a stale recovery target could
+    // exist, i.e. when this function protects at least one region
+    // (recovery state is per activation frame). A fully unprotected
+    // function needs no instrumentation at all.
+    bool any_selected = false;
+    for (const InstrumentedRegion *region : regions)
+        any_selected |= region->selected;
+    if (!any_selected)
+        return;
+
+    for (InstrumentedRegion *region_ptr : regions) {
+        InstrumentedRegion &region = *region_ptr;
+        ENCORE_ASSERT(region.candidate.region.func == &func,
+                      "region belongs to another function");
+        ir::BasicBlock *header =
+            func.blockById(region.candidate.region.header);
+
+        ir::BasicBlock *recovery = nullptr;
+        if (region.selected) {
+            ENCORE_ASSERT(region.id != ir::kInvalidRegion,
+                          "selected region without an id");
+
+            // Recovery block: restore checkpoints, then re-enter the
+            // region. Its jump is rerouted through the preheader below,
+            // so a rollback re-runs region.enter and the register
+            // checkpoints with the freshly restored values.
+            recovery = func.createBlock("__recover." +
+                                        std::to_string(region.id));
+            {
+                ir::Instruction restore(ir::Opcode::Restore);
+                restore.setRegionId(region.id);
+                recovery->append(std::move(restore));
+                ir::Instruction back(ir::Opcode::Jmp);
+                back.setSucc0(header);
+                recovery->append(std::move(back));
+            }
+            region.recovery_block = recovery;
+
+            // Memory checkpoints: before each CP store, reusing the
+            // store's own address expression so the saved word is
+            // exactly the one about to be overwritten.
+            for (const ir::Instruction *store :
+                 region.candidate.analysis.checkpoint_stores) {
+                ir::BasicBlock *bb =
+                    owningBlock(func, region.candidate.region, store);
+                ir::Instruction ckpt(ir::Opcode::CkptMem);
+                ckpt.setAddr(store->addr());
+                bb->insertBefore(const_cast<ir::Instruction *>(store),
+                                 std::move(ckpt));
+            }
+            // Before offending calls: checkpoint each exact summarized
+            // location the callee may clobber.
+            for (const auto &call_ckpt :
+                 region.candidate.analysis.checkpoint_calls) {
+                ir::BasicBlock *bb = owningBlock(
+                    func, region.candidate.region, call_ckpt.call);
+                for (const analysis::MemLoc &loc : call_ckpt.mods) {
+                    ENCORE_ASSERT(
+                        loc.isExact(),
+                        "selected region with non-exact call mods");
+                    ir::Instruction ckpt(ir::Opcode::CkptMem);
+                    ckpt.setAddr(ir::AddrExpr::makeObject(
+                        loc.bases[0], ir::Operand::makeImm(loc.offset)));
+                    bb->insertBefore(
+                        const_cast<ir::Instruction *>(call_ckpt.call),
+                        std::move(ckpt));
+                }
+            }
+        }
+
+        // Preheader: executes once per entry from outside the region.
+        // Selected regions publish their recovery block and checkpoint
+        // the overwritten live-in registers; unselected regions clear
+        // any stale recovery target.
+        ir::BasicBlock *preheader =
+            func.createBlock("__enter." + header->name());
+        {
+            ir::Instruction enter(ir::Opcode::RegionEnter);
+            if (region.selected) {
+                enter.setRegionId(region.id);
+                enter.setSucc0(recovery);
+            } else {
+                enter.setRegionId(ir::kInvalidRegion);
+            }
+            preheader->append(std::move(enter));
+            if (region.selected) {
+                region.reg_ckpts = regionRegisterCheckpoints(
+                    region.candidate.region, liveness);
+                for (const ir::RegId reg : region.reg_ckpts) {
+                    ir::Instruction ckpt(ir::Opcode::CkptReg);
+                    ckpt.setA(ir::Operand::makeReg(reg));
+                    preheader->append(std::move(ckpt));
+                }
+            }
+            ir::Instruction go(ir::Opcode::Jmp);
+            go.setSucc0(header);
+            preheader->append(std::move(go));
+        }
+
+        rerouteOutsideEdges(func, region.candidate.region, header,
+                            preheader);
+    }
+
+    func.recomputeCfg();
+}
+
+} // namespace encore

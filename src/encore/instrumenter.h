@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Code instrumentation for rollback recovery (paper §3.2).
+ *
+ * Protected regions receive:
+ *   - `region.enter <id>` at the top of the header, publishing the
+ *     region's recovery block to the runtime and opening a fresh
+ *     checkpoint buffer (the paper's "store that updates a dedicated
+ *     memory location with the address of the recovery block");
+ *   - one `ckpt.reg` per live-in register overwritten in the region;
+ *   - one `ckpt.mem` immediately before every store in the CP set and
+ *     before every call with offending summarized side effects;
+ *   - an (statically unreachable) recovery block `restore; jmp header`
+ *     that the runtime jumps to when a fault is detected.
+ *
+ * Unprotected region headers receive a clearing `region.enter` so a
+ * stale recovery target can never be used once control leaves a
+ * protected region — the runtime analogue of invalidating the dedicated
+ * memory location.
+ */
+#ifndef ENCORE_ENCORE_INSTRUMENTER_H
+#define ENCORE_ENCORE_INSTRUMENTER_H
+
+#include "encore/region_formation.h"
+
+namespace encore {
+
+/// A finalized region: candidate plus instrumentation artifacts.
+struct InstrumentedRegion
+{
+    ir::RegionId id = ir::kInvalidRegion;
+    CandidateRegion candidate;
+    /// True when the region is instrumented for recovery.
+    bool selected = false;
+    /// Why an unselected region was rejected (diagnostics/report).
+    std::string rejection_reason;
+    std::vector<ir::RegId> reg_ckpts;
+    const ir::BasicBlock *recovery_block = nullptr;
+};
+
+/**
+ * Applies instrumentation for all of a function's regions. `liveness`
+ * must have been computed before any instruction was inserted.
+ */
+void instrumentFunction(ir::Function &func,
+                        const std::vector<InstrumentedRegion *> &regions,
+                        const analysis::Liveness &liveness);
+
+} // namespace encore
+
+#endif // ENCORE_ENCORE_INSTRUMENTER_H

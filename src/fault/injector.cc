@@ -1,0 +1,359 @@
+#include "fault/injector.h"
+
+#include <set>
+
+#include "support/diagnostics.h"
+
+namespace encore::fault {
+
+std::string_view
+outcomeName(FaultOutcome outcome)
+{
+    switch (outcome) {
+      case FaultOutcome::Masked:
+        return "masked";
+      case FaultOutcome::RecoveredIdempotent:
+        return "recovered-idempotent";
+      case FaultOutcome::RecoveredCheckpoint:
+        return "recovered-checkpoint";
+      case FaultOutcome::NotRecoverable:
+        return "not-recoverable";
+      case FaultOutcome::RecoveryFailed:
+        return "recovery-failed";
+      case FaultOutcome::Benign:
+        return "benign";
+      case FaultOutcome::SilentCorruption:
+        return "silent-corruption";
+      default:
+        return "?";
+    }
+}
+
+namespace {
+
+/**
+ * The per-trial hook: injects one bit flip at a chosen value-producing
+ * instruction, then fires detection after the drawn latency.
+ *
+ * The hook also tracks the corruption's dataflow (registers within the
+ * current activation plus memory words written with tainted data).
+ * When a tainted value is about to steer a branch or address a memory
+ * access, detection fires immediately — the paper's §4.3 assumption
+ * that control and address faults exhibit highly visible symptoms and
+ * are "typically detected before they propagate to memory and/or
+ * divert control flow". Runtime errors (wild pointers, division by
+ * zero) are likewise treated as immediate symptoms.
+ */
+class TrialHooks : public interp::ExecHooks, public interp::Observer
+{
+  public:
+    TrialHooks(interp::Interpreter &interp, std::uint64_t target_value_index,
+               int bit, std::uint64_t latency)
+        : interp_(interp),
+          target_value_index_(target_value_index),
+          bit_(bit),
+          latency_(latency)
+    {
+    }
+
+    std::uint64_t
+    filterResult(const ir::Instruction &inst, std::uint64_t dyn_index,
+                 std::uint64_t value) override
+    {
+        const std::uint64_t my_value_index = value_count_++;
+        if (!injected_) {
+            if (my_value_index != target_value_index_) {
+                current_load_tainted_ = false;
+                return value;
+            }
+            injected_ = true;
+            fault_dyn_ = dyn_index;
+            fault_token_ = interp_.currentRegionToken();
+            fault_region_ = interp_.currentRegionId();
+            detect_at_ = dyn_index + latency_;
+            if (inst.hasDest())
+                taintReg(inst.dest());
+            current_load_tainted_ = false;
+            return value ^ (1ULL << bit_);
+        }
+
+        // Taint propagation: the destination is corrupt when any
+        // register source is, or (for loads) when the loaded word was
+        // written with tainted data.
+        if (inst.hasDest()) {
+            bool src_tainted = current_load_tainted_;
+            for (const ir::Operand &op : inst.usedOperands()) {
+                if (op.isReg() && regTainted(op.reg))
+                    src_tainted = true;
+            }
+            if (src_tainted)
+                taintReg(inst.dest());
+            else
+                untaintReg(inst.dest());
+        }
+        current_load_tainted_ = false;
+        return value;
+    }
+
+    bool
+    shouldTriggerDetection(const ir::Instruction &next,
+                           std::uint64_t dyn_index) override
+    {
+        if (!injected_ || detected_)
+            return false;
+        if (dyn_index < detect_at_ && !isSymptomatic(next))
+            return false;
+        noteDetectionPoint();
+        return true;
+    }
+
+    void
+    onMemoryAccess(const ir::Function &func, const ir::Instruction &inst,
+                   ir::ObjectId object, std::uint32_t offset, bool is_store,
+                   std::uint64_t dyn_index) override
+    {
+        (void)func;
+        (void)dyn_index;
+        if (!injected_)
+            return;
+        if (is_store) {
+            const bool tainted =
+                inst.a().isReg() && regTainted(inst.a().reg);
+            if (tainted)
+                tainted_words_.insert({object, offset});
+            else
+                tainted_words_.erase({object, offset});
+        } else {
+            current_load_tainted_ =
+                tainted_words_.count({object, offset}) > 0;
+        }
+    }
+
+    bool
+    onRuntimeError(const std::string &message,
+                   std::uint64_t dyn_index) override
+    {
+        (void)message;
+        (void)dyn_index;
+        if (!injected_)
+            return false; // a real program bug: surface it
+        if (error_recoveries_ >= kMaxErrorRecoveries)
+            return false; // crash-looping: give up on the trial
+        ++error_recoveries_;
+        if (!detected_)
+            noteDetectionPoint();
+        return true; // treat as an immediately detected symptom
+    }
+
+    void
+    onDetectionHandled(interp::DetectionResponse response,
+                       std::uint64_t region_token) override
+    {
+        (void)region_token;
+        if (response == interp::DetectionResponse::RolledBack) {
+            rolled_back_ = true;
+            // A rollback restores the checkpointed state; the corrupted
+            // values are either restored or recomputed, so the taint is
+            // dissolved.
+            tainted_regs_.clear();
+            tainted_words_.clear();
+            current_load_tainted_ = false;
+        }
+    }
+
+    bool injected() const { return injected_; }
+    bool detected() const { return detected_; }
+    bool rolledBack() const { return rolled_back_; }
+    /// True when detection fired in the same region instance the fault
+    /// struck — the paper's recoverability criterion.
+    bool
+    sameInstance() const
+    {
+        return detected_ && fault_token_ != 0 &&
+               detection_token_ == fault_token_;
+    }
+    ir::RegionId faultRegion() const { return fault_region_; }
+
+  private:
+    void
+    noteDetectionPoint()
+    {
+        detected_ = true;
+        detection_token_ = interp_.currentRegionToken();
+    }
+
+    void
+    taintReg(ir::RegId reg)
+    {
+        tainted_regs_.insert({interp_.frameDepth(), reg});
+    }
+
+    void
+    untaintReg(ir::RegId reg)
+    {
+        tainted_regs_.erase({interp_.frameDepth(), reg});
+    }
+
+    bool
+    regTainted(ir::RegId reg) const
+    {
+        return tainted_regs_.count({interp_.frameDepth(), reg}) > 0;
+    }
+
+    /// True when the upcoming instruction would consume a corrupted
+    /// value as a branch condition or an address component — the
+    /// highly visible symptoms low-cost detectors catch quickly.
+    bool
+    isSymptomatic(const ir::Instruction &next) const
+    {
+        if (tainted_regs_.empty())
+            return false;
+        if (next.opcode() == ir::Opcode::Br && next.a().isReg() &&
+            regTainted(next.a().reg))
+            return true;
+        if (ir::opcodeHasAddress(next.opcode())) {
+            const ir::AddrExpr &addr = next.addr();
+            if (addr.isRegBase() && regTainted(addr.base_reg))
+                return true;
+            if (addr.offset.isReg() && regTainted(addr.offset.reg))
+                return true;
+        }
+        return false;
+    }
+
+    static constexpr int kMaxErrorRecoveries = 3;
+
+    interp::Interpreter &interp_;
+    std::uint64_t target_value_index_;
+    int bit_;
+    std::uint64_t latency_;
+
+    std::uint64_t value_count_ = 0;
+    bool injected_ = false;
+    bool detected_ = false;
+    bool rolled_back_ = false;
+    int error_recoveries_ = 0;
+    std::uint64_t fault_dyn_ = 0;
+    std::uint64_t fault_token_ = 0;
+    ir::RegionId fault_region_ = ir::kInvalidRegion;
+    std::uint64_t detect_at_ = 0;
+    std::uint64_t detection_token_ = 0;
+    std::set<std::pair<std::size_t, ir::RegId>> tainted_regs_;
+    std::set<std::pair<ir::ObjectId, std::uint32_t>> tainted_words_;
+    bool current_load_tainted_ = false;
+};
+
+} // namespace
+
+FaultInjector::FaultInjector(const ir::Module &module,
+                             const EncoreReport &report)
+    : module_(module)
+{
+    for (const RegionReport &region : report.regions) {
+        if (region.id != ir::kInvalidRegion)
+            region_class_[region.id] = region.cls;
+    }
+}
+
+bool
+FaultInjector::prepare(const std::string &entry,
+                       const std::vector<std::uint64_t> &args)
+{
+    entry_ = entry;
+    args_ = args;
+    interp::Interpreter interp(module_);
+    golden_ = interp.run(entry, args);
+    prepared_ = golden_.ok();
+    return prepared_;
+}
+
+FaultOutcome
+FaultInjector::runTrial(Rng &rng, const TrialConfig &config)
+{
+    ENCORE_ASSERT(prepared_, "runTrial before a successful prepare()");
+    ENCORE_ASSERT(golden_.value_instrs > 0,
+                  "golden run executed no value-producing instructions");
+
+    const std::uint64_t target = rng.below(golden_.value_instrs);
+    const int bit = static_cast<int>(rng.below(64));
+    const std::uint64_t latency =
+        config.dmax == 0 ? 0 : rng.below(config.dmax + 1);
+
+    interp::Interpreter interp(module_);
+    TrialHooks hooks(interp, target, bit, latency);
+    interp.setHooks(&hooks);
+    interp.addObserver(&hooks); // memory-taint tracking
+    interp.setMaxInstructions(static_cast<std::uint64_t>(
+        static_cast<double>(golden_.dyn_instrs) *
+            config.run_budget_factor +
+        10'000.0));
+
+    const interp::RunResult result = interp.run(entry_, args_);
+
+    if (!hooks.injected()) {
+        // The run ended before reaching the target instruction — can
+        // happen when an unrelated code path executes fewer value
+        // instructions than the golden run. Treat as benign/silent by
+        // output.
+        return result.ok() && result.sameOutput(golden_)
+                   ? FaultOutcome::Benign
+                   : FaultOutcome::SilentCorruption;
+    }
+
+    switch (result.status) {
+      case interp::RunResult::Status::DetectedUnrecoverable:
+        return FaultOutcome::NotRecoverable;
+      case interp::RunResult::Status::Error:
+      case interp::RunResult::Status::InstructionLimit:
+        return FaultOutcome::NotRecoverable;
+      case interp::RunResult::Status::Ok:
+        break;
+    }
+
+    if (!hooks.detected()) {
+        // Program finished before the detection latency elapsed.
+        return result.sameOutput(golden_) ? FaultOutcome::Benign
+                                          : FaultOutcome::SilentCorruption;
+    }
+
+    if (!hooks.sameInstance()) {
+        // Detected after control left the faulty region instance (or
+        // the fault struck unprotected code): the paper's
+        // Not Recoverable case, regardless of how the lucky rollback
+        // turned out.
+        return FaultOutcome::NotRecoverable;
+    }
+
+    if (!result.sameOutput(golden_))
+        return FaultOutcome::RecoveryFailed;
+
+    auto it = region_class_.find(hooks.faultRegion());
+    const RegionClass cls = it == region_class_.end()
+                                ? RegionClass::NonIdempotent
+                                : it->second;
+    return cls == RegionClass::Idempotent
+               ? FaultOutcome::RecoveredIdempotent
+               : FaultOutcome::RecoveredCheckpoint;
+}
+
+CampaignResult
+FaultInjector::runCampaign(const CampaignConfig &config)
+{
+    CampaignResult result;
+    Rng rng(config.seed);
+    MaskingModel masking(config.masking_rate);
+
+    for (std::uint64_t t = 0; t < config.trials; ++t) {
+        FaultOutcome outcome;
+        if (config.model_masking && masking.isMasked(rng)) {
+            outcome = FaultOutcome::Masked;
+        } else {
+            outcome = runTrial(rng, config.trial);
+        }
+        ++result.counts[static_cast<int>(outcome)];
+        ++result.trials;
+    }
+    return result;
+}
+
+} // namespace encore::fault

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Statistical fault injection on the instrumented interpreter.
+ *
+ * Each trial flips one random bit in the destination value of one
+ * uniformly chosen value-producing dynamic instruction, then fires a
+ * detection event after a uniformly distributed latency in
+ * [0, Dmax] dynamic instructions — the paper's fault and detection
+ * model (§4.2.1). Runtime symptoms (wild pointers, division by zero)
+ * fire detection immediately, reflecting the fast symptom-based
+ * detection of ReStore/Shoestring that the paper assumes for address
+ * and control faults (§4.3).
+ *
+ * Outcomes are judged by *execution*, not by the analytical model: a
+ * trial only counts as recovered when the rollback actually ran and
+ * the program finished with output identical to the golden run. A
+ * detection landing in a different region instance than the fault is
+ * Not Recoverable, matching the paper's criterion (s + l < n).
+ */
+#ifndef ENCORE_FAULT_INJECTOR_H
+#define ENCORE_FAULT_INJECTOR_H
+
+#include <map>
+
+#include "encore/pipeline.h"
+#include "fault/masking.h"
+#include "interp/interpreter.h"
+
+namespace encore::fault {
+
+enum class FaultOutcome
+{
+    Masked,              ///< Hardware-masked (modelled) fault.
+    RecoveredIdempotent, ///< Rolled back in an idempotent region.
+    RecoveredCheckpoint, ///< Rolled back in a checkpointed region.
+    NotRecoverable,      ///< Detected too late / outside protection.
+    RecoveryFailed,      ///< Rollback ran but the output was wrong —
+                         ///< the statistical (Pmin) risk materialized.
+    Benign,              ///< Never detected, output still correct.
+    SilentCorruption,    ///< Never detected, output wrong (program
+                         ///< ended before the latency elapsed).
+    NumOutcomes,
+};
+
+std::string_view outcomeName(FaultOutcome outcome);
+
+struct TrialConfig
+{
+    /// Maximum detection latency Dmax, in dynamic instructions.
+    std::uint64_t dmax = 100;
+    /// Execution budget multiplier over the golden run length (runaway
+    /// corrupted executions are cut off and counted unrecoverable).
+    double run_budget_factor = 4.0;
+};
+
+struct CampaignConfig
+{
+    std::uint64_t trials = 1000;
+    std::uint64_t seed = 12345;
+    TrialConfig trial;
+    double masking_rate = MaskingModel::kArm926Rate;
+    /// When true, masked trials are drawn but not executed (they
+    /// contribute to the Masked bucket only), matching the paper's
+    /// presentation of coverage over *all* injected faults.
+    bool model_masking = true;
+};
+
+struct CampaignResult
+{
+    std::uint64_t counts[static_cast<int>(FaultOutcome::NumOutcomes)] = {};
+    std::uint64_t trials = 0;
+
+    std::uint64_t
+    count(FaultOutcome outcome) const
+    {
+        return counts[static_cast<int>(outcome)];
+    }
+
+    double
+    fraction(FaultOutcome outcome) const
+    {
+        return trials ? static_cast<double>(count(outcome)) /
+                            static_cast<double>(trials)
+                      : 0.0;
+    }
+
+    /// Paper's headline metric: masked + recovered (benign completions
+    /// count as tolerated as well).
+    double
+    coveredFraction() const
+    {
+        return fraction(FaultOutcome::Masked) +
+               fraction(FaultOutcome::RecoveredIdempotent) +
+               fraction(FaultOutcome::RecoveredCheckpoint) +
+               fraction(FaultOutcome::Benign);
+    }
+};
+
+/**
+ * Runs fault-injection campaigns against one instrumented module.
+ */
+class FaultInjector
+{
+  public:
+    /// `report` supplies region-id → class attribution; the module must
+    /// already be instrumented by the pipeline.
+    FaultInjector(const ir::Module &module, const EncoreReport &report);
+
+    /// Executes the golden (fault-free) run; must be called before
+    /// trials. Returns false when the program itself fails.
+    bool prepare(const std::string &entry,
+                 const std::vector<std::uint64_t> &args);
+
+    /// Runs one trial.
+    FaultOutcome runTrial(Rng &rng, const TrialConfig &config);
+
+    /// Runs a whole campaign (including modelled masking).
+    CampaignResult runCampaign(const CampaignConfig &config);
+
+    const interp::RunResult &golden() const { return golden_; }
+
+  private:
+    const ir::Module &module_;
+    std::map<ir::RegionId, RegionClass> region_class_;
+    std::string entry_;
+    std::vector<std::uint64_t> args_;
+    interp::RunResult golden_;
+    bool prepared_ = false;
+};
+
+} // namespace encore::fault
+
+#endif // ENCORE_FAULT_INJECTOR_H

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The IR interpreter plus the Encore recovery runtime.
+ *
+ * Besides executing programs (for profiling and for ground-truth
+ * outputs), the interpreter implements the runtime half of §3.2 of the
+ * paper: `region.enter` publishes the recovery block and opens a fresh
+ * checkpoint buffer for the region instance, `ckpt.mem`/`ckpt.reg`
+ * append undo records, and a detection event either redirects control
+ * to the recovery block (whose `restore` unwinds the buffer before
+ * jumping back to the region header) or — when no region is active —
+ * abandons the run as unrecoverable. Checkpoint state is per activation
+ * frame, mirroring the paper's reserved stack area.
+ */
+#ifndef ENCORE_INTERP_INTERPRETER_H
+#define ENCORE_INTERP_INTERPRETER_H
+
+#include <string>
+#include <vector>
+
+#include "interp/memory.h"
+#include "interp/observer.h"
+
+namespace encore::interp {
+
+struct RunResult
+{
+    enum class Status
+    {
+        Ok,                     ///< Ran to completion.
+        Error,                  ///< Runtime error (wild access, div 0...).
+        DetectedUnrecoverable,  ///< Detection fired outside any region.
+        InstructionLimit,       ///< Exceeded the execution budget.
+    };
+
+    Status status = Status::Ok;
+    std::uint64_t return_value = 0;
+    /// Total dynamic instructions executed, including instrumentation.
+    std::uint64_t dyn_instrs = 0;
+    /// Dynamic executions of Encore pseudo-ops (the runtime overhead).
+    std::uint64_t overhead_instrs = 0;
+    /// Dynamic value-producing instructions (candidates for a fault).
+    std::uint64_t value_instrs = 0;
+    std::uint64_t rollbacks = 0;
+    std::string error;
+    /// Final contents of every global object, for output comparison.
+    std::vector<std::vector<std::uint64_t>> globals;
+
+    bool ok() const { return status == Status::Ok; }
+
+    /// Output equality: return value and global memory both match.
+    bool sameOutput(const RunResult &other) const;
+};
+
+class Interpreter
+{
+  public:
+    explicit Interpreter(const ir::Module &module);
+
+    /// Registers a passive observer (not owned).
+    void addObserver(Observer *observer);
+
+    /// Installs active hooks (not owned); pass nullptr to remove.
+    void setHooks(ExecHooks *hooks) { hooks_ = hooks; }
+
+    /// Execution budget; runs exceeding it end with InstructionLimit.
+    void setMaxInstructions(std::uint64_t limit) { max_instrs_ = limit; }
+
+    /// Runs `func_name` with the given arguments on fresh memory.
+    RunResult run(const std::string &func_name,
+                  const std::vector<std::uint64_t> &args);
+
+    // --- Recovery-runtime introspection (used by the fault injector) ----
+    /// Token of the region instance active in the current frame; 0 when
+    /// no region is active. Tokens are unique per dynamic region entry.
+    std::uint64_t currentRegionToken() const;
+    /// Region id active in the current frame, or ir::kInvalidRegion.
+    ir::RegionId currentRegionId() const;
+    /// Depth of the activation stack (1 while the entry function runs).
+    std::size_t frameDepth() const { return frames_.size(); }
+
+  private:
+    struct Undo
+    {
+        enum class Kind : std::uint8_t { Mem, Reg };
+        Kind kind;
+        ir::ObjectId object;
+        std::uint32_t offset;
+        ir::RegId reg;
+        std::uint64_t value;
+    };
+
+    struct RecoveryState
+    {
+        bool active = false;
+        ir::RegionId region = ir::kInvalidRegion;
+        std::uint64_t token = 0;
+        const ir::BasicBlock *recovery_block = nullptr;
+        std::vector<Undo> log;
+    };
+
+    struct Frame
+    {
+        const ir::Function *func = nullptr;
+        std::vector<std::uint64_t> regs;
+        const ir::BasicBlock *block = nullptr;
+        std::list<ir::Instruction>::const_iterator ip;
+        ir::RegId caller_dest = ir::kInvalidReg;
+        RecoveryState recovery;
+    };
+
+    // Internal error signal carrying the message.
+    struct ExecError
+    {
+        std::string message;
+    };
+
+    std::uint64_t evalOperand(const Frame &frame,
+                              const ir::Operand &op) const;
+    void evalAddr(const Frame &frame, const ir::AddrExpr &addr,
+                  ir::ObjectId &object, std::uint32_t &offset) const;
+    std::uint64_t execValueOp(Frame &frame, const ir::Instruction &inst);
+
+    void enterBlock(Frame &frame, const ir::BasicBlock *block,
+                    const ir::BasicBlock *from);
+    /// Handles a detection event; returns true if rolled back (continue
+    /// executing) or false if the run must be abandoned.
+    bool handleDetection(Frame &frame);
+
+    const ir::Module &module_;
+    Memory memory_;
+    std::vector<Observer *> observers_;
+    ExecHooks *hooks_ = nullptr;
+    std::uint64_t max_instrs_ = 200'000'000;
+
+    // Per-run state.
+    std::vector<Frame> frames_;
+    std::uint64_t dyn_count_ = 0;
+    std::uint64_t value_count_ = 0;
+    std::uint64_t overhead_count_ = 0;
+    std::uint64_t rollback_count_ = 0;
+    std::uint64_t next_token_ = 0;
+};
+
+} // namespace encore::interp
+
+#endif // ENCORE_INTERP_INTERPRETER_H

@@ -1,0 +1,102 @@
+#include "interp/memory.h"
+
+#include "support/diagnostics.h"
+
+namespace encore::interp {
+
+Memory::Memory(const ir::Module &module)
+    : module_(module),
+      storage_(module.objects().size()),
+      allocated_(module.objects().size(), false)
+{
+    reset();
+}
+
+void
+Memory::reset()
+{
+    frames_.clear();
+    for (const ir::MemObject &obj : module_.objects()) {
+        if (obj.is_global) {
+            storage_[obj.id].assign(obj.size, 0);
+            allocated_[obj.id] = true;
+        } else {
+            storage_[obj.id].clear();
+            allocated_[obj.id] = false;
+        }
+    }
+}
+
+void
+Memory::pushFrame(const ir::Function &func)
+{
+    FrameRecord record;
+    record.func = &func;
+    for (const ir::ObjectId id : func.localObjects()) {
+        record.saved.emplace_back(id, std::move(storage_[id]));
+        storage_[id].assign(module_.object(id).size, 0);
+        allocated_[id] = true;
+    }
+    frames_.push_back(std::move(record));
+}
+
+void
+Memory::popFrame()
+{
+    ENCORE_ASSERT(!frames_.empty(), "popFrame with no active frame");
+    FrameRecord &record = frames_.back();
+    for (auto it = record.saved.rbegin(); it != record.saved.rend(); ++it) {
+        storage_[it->first] = std::move(it->second);
+        allocated_[it->first] = !storage_[it->first].empty();
+    }
+    frames_.pop_back();
+}
+
+bool
+Memory::read(ir::ObjectId object, std::uint32_t offset,
+             std::uint64_t &value) const
+{
+    if (object >= storage_.size() || !allocated_[object] ||
+        offset >= storage_[object].size())
+        return false;
+    value = storage_[object][offset];
+    return true;
+}
+
+bool
+Memory::write(ir::ObjectId object, std::uint32_t offset,
+              std::uint64_t value)
+{
+    if (object >= storage_.size() || !allocated_[object] ||
+        offset >= storage_[object].size())
+        return false;
+    storage_[object][offset] = value;
+    return true;
+}
+
+std::uint32_t
+Memory::objectSize(ir::ObjectId object) const
+{
+    return object < storage_.size()
+               ? static_cast<std::uint32_t>(storage_[object].size())
+               : 0;
+}
+
+bool
+Memory::isAllocated(ir::ObjectId object) const
+{
+    return object < allocated_.size() && allocated_[object];
+}
+
+std::vector<std::vector<std::uint64_t>>
+Memory::snapshotGlobals() const
+{
+    std::vector<std::vector<std::uint64_t>> snapshot;
+    for (const ir::MemObject &obj : module_.objects()) {
+        if (obj.is_global)
+            snapshot.push_back(storage_[obj.id]);
+    }
+    return snapshot;
+}
+
+} // namespace encore::interp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Interpreter memory: one 64-bit word array per MemObject.
+ *
+ * Globals persist for the whole execution. Function-local objects are
+ * (re)allocated zero-initialized per activation with stack discipline —
+ * pushFrame saves the previous storage (supporting recursion) and
+ * popFrame restores it. This matters for the idempotence analysis's
+ * treatment of calls: a callee's stores to its own locals are invisible
+ * to the caller and are excluded from call mod/ref summaries.
+ */
+#ifndef ENCORE_INTERP_MEMORY_H
+#define ENCORE_INTERP_MEMORY_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace encore::interp {
+
+class Memory
+{
+  public:
+    explicit Memory(const ir::Module &module);
+
+    /// Zeroes every global object.
+    void reset();
+
+    /// Allocates fresh zeroed storage for the function's locals.
+    void pushFrame(const ir::Function &func);
+
+    /// Releases the top frame's locals, restoring shadowed storage.
+    void popFrame();
+
+    /// Word read/write. Returns false (and leaves `value`/memory
+    /// untouched) on out-of-bounds or unallocated access.
+    bool read(ir::ObjectId object, std::uint32_t offset,
+              std::uint64_t &value) const;
+    bool write(ir::ObjectId object, std::uint32_t offset,
+               std::uint64_t value);
+
+    std::uint32_t objectSize(ir::ObjectId object) const;
+    bool isAllocated(ir::ObjectId object) const;
+
+    /// Snapshot of all global objects' contents, for golden-output
+    /// comparison in the fault-injection campaigns.
+    std::vector<std::vector<std::uint64_t>> snapshotGlobals() const;
+
+  private:
+    struct FrameRecord
+    {
+        const ir::Function *func;
+        // Shadowed storage for each local (empty vector if the local
+        // was previously unallocated).
+        std::vector<std::pair<ir::ObjectId, std::vector<std::uint64_t>>>
+            saved;
+    };
+
+    const ir::Module &module_;
+    std::vector<std::vector<std::uint64_t>> storage_; // indexed by id
+    std::vector<bool> allocated_;
+    std::vector<FrameRecord> frames_;
+};
+
+} // namespace encore::interp
+
+#endif // ENCORE_INTERP_MEMORY_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Passive observation and active hook interfaces for the interpreter.
+ *
+ * Observers watch execution without changing it (profilers, trace
+ * collectors). ExecHooks can mutate results and trigger detections —
+ * that is how the fault injector corrupts an instruction's output and
+ * later fires the (latency-delayed) detection event that exercises the
+ * Encore recovery runtime.
+ */
+#ifndef ENCORE_INTERP_OBSERVER_H
+#define ENCORE_INTERP_OBSERVER_H
+
+#include <cstdint>
+
+#include "ir/module.h"
+
+namespace encore::interp {
+
+class Observer
+{
+  public:
+    virtual ~Observer() = default;
+
+    /// Control entered `block`. `from` is the predecessor block when
+    /// the transfer was an intra-function branch, and nullptr for
+    /// external entries (function entry on call, rollback redirects).
+    virtual void
+    onBlockEnter(const ir::Function &func, const ir::BasicBlock &block,
+                 const ir::BasicBlock *from)
+    {
+        (void)func;
+        (void)block;
+        (void)from;
+    }
+
+    /// An instruction finished executing. `dyn_index` counts every
+    /// dynamic instruction from the start of the run.
+    virtual void
+    onInstruction(const ir::Function &func, const ir::Instruction &inst,
+                  std::uint64_t dyn_index)
+    {
+        (void)func;
+        (void)inst;
+        (void)dyn_index;
+    }
+
+    /// A load or store touched memory (after address evaluation).
+    virtual void
+    onMemoryAccess(const ir::Function &func, const ir::Instruction &inst,
+                   ir::ObjectId object, std::uint32_t offset, bool is_store,
+                   std::uint64_t dyn_index)
+    {
+        (void)func;
+        (void)inst;
+        (void)object;
+        (void)offset;
+        (void)is_store;
+        (void)dyn_index;
+    }
+};
+
+/// What the recovery runtime did in response to a detection event.
+enum class DetectionResponse
+{
+    RolledBack,    ///< Active region: state restored, control at header.
+    Unrecoverable, ///< No active region: execution is abandoned.
+};
+
+class ExecHooks
+{
+  public:
+    virtual ~ExecHooks() = default;
+
+    /// Called after an instruction computes its destination value and
+    /// before write-back; the return value is written instead. This is
+    /// the fault-injection point.
+    virtual std::uint64_t
+    filterResult(const ir::Instruction &inst, std::uint64_t dyn_index,
+                 std::uint64_t value)
+    {
+        (void)inst;
+        (void)dyn_index;
+        return value;
+    }
+
+    /// Polled before each instruction executes (`next` is the
+    /// instruction about to run). Returning true fires the detection
+    /// path of the recovery runtime (rollback if a region is active,
+    /// abandonment otherwise). Seeing the upcoming instruction lets a
+    /// fault model trigger symptom-based detection when a corrupted
+    /// value is about to steer control flow or address memory.
+    virtual bool
+    shouldTriggerDetection(const ir::Instruction &next,
+                           std::uint64_t dyn_index)
+    {
+        (void)next;
+        (void)dyn_index;
+        return false;
+    }
+
+    /// Reports what the detection did. `region_token` is the region
+    /// instance that was active (0 if none).
+    virtual void
+    onDetectionHandled(DetectionResponse response,
+                       std::uint64_t region_token)
+    {
+        (void)response;
+        (void)region_token;
+    }
+
+    /// A runtime error (wild address, division by zero) occurred.
+    /// Returning true asks the runtime to treat it as an immediately
+    /// detected symptom (rollback if possible); false propagates the
+    /// error. The golden runs return false so real bugs surface.
+    virtual bool
+    onRuntimeError(const std::string &message, std::uint64_t dyn_index)
+    {
+        (void)message;
+        (void)dyn_index;
+        return false;
+    }
+};
+
+} // namespace encore::interp
+
+#endif // ENCORE_INTERP_OBSERVER_H

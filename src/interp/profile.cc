@@ -1,0 +1,132 @@
+#include "interp/profile.h"
+
+#include <set>
+#include <unordered_map>
+
+namespace encore::interp {
+
+std::uint64_t
+ProfileData::edgeCount(const ir::Function &func, ir::BlockId from,
+                       ir::BlockId to) const
+{
+    auto it = edge_counts_.find(&func);
+    if (it == edge_counts_.end())
+        return 0;
+    auto edge = it->second.find({from, to});
+    return edge == it->second.end() ? 0 : edge->second;
+}
+
+std::uint64_t
+ProfileData::externalEntries(const ir::Function &func,
+                             ir::BlockId block) const
+{
+    auto it = external_entries_.find(&func);
+    if (it == external_entries_.end())
+        return 0;
+    auto entry = it->second.find(block);
+    return entry == it->second.end() ? 0 : entry->second;
+}
+
+std::uint64_t
+ProfileData::blockCount(const ir::Function &func, ir::BlockId block) const
+{
+    auto it = block_counts_.find(&func);
+    if (it == block_counts_.end() || block >= it->second.size())
+        return 0;
+    return it->second[block];
+}
+
+std::uint64_t
+ProfileData::functionEntries(const ir::Function &func) const
+{
+    return blockCount(func, func.entry()->id());
+}
+
+double
+ProfileData::blockProbability(const ir::Function &func,
+                              ir::BlockId block) const
+{
+    const std::uint64_t entries = functionEntries(func);
+    if (entries == 0)
+        return 0.0;
+    return static_cast<double>(blockCount(func, block)) /
+           static_cast<double>(entries);
+}
+
+std::uint64_t
+ProfileData::totalDynInstrs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[func, counts] : block_counts_)
+        total += functionDynInstrs(*func);
+    return total;
+}
+
+std::uint64_t
+ProfileData::functionDynInstrs(const ir::Function &func) const
+{
+    auto it = block_counts_.find(&func);
+    if (it == block_counts_.end())
+        return 0;
+    std::uint64_t total = 0;
+    for (const auto &bb : func.blocks()) {
+        std::size_t real_instrs = 0;
+        for (const auto &inst : bb->instructions()) {
+            if (!inst.isPseudo())
+                ++real_instrs;
+        }
+        if (bb->id() < it->second.size())
+            total += it->second[bb->id()] * real_instrs;
+    }
+    return total;
+}
+
+WindowIdempotence
+analyzeWindows(const TraceCollector &trace, std::uint64_t window,
+               std::uint64_t tolerance)
+{
+    WindowIdempotence result;
+    if (window == 0 || trace.dynLength() == 0)
+        return result;
+
+    const auto &accesses = trace.accesses();
+    const std::uint64_t length = trace.dynLength();
+    std::size_t cursor = 0;
+
+    for (std::uint64_t start = 0; start + window <= length;
+         start += window) {
+        const std::uint64_t end = start + window;
+
+        // First access in each window wins: a location whose first
+        // touch is a load exposes the pre-window value; a later store
+        // to it is a WAR that breaks re-executability.
+        std::unordered_map<std::uint64_t, bool> first_is_load;
+        std::set<std::uint64_t> violating_stores;
+
+        while (cursor < accesses.size() &&
+               accesses[cursor].dyn_index < start)
+            ++cursor;
+        std::size_t scan = cursor;
+        while (scan < accesses.size() && accesses[scan].dyn_index < end) {
+            const TraceAccess &access = accesses[scan];
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(access.object) << 32) |
+                access.offset;
+            auto [it, inserted] =
+                first_is_load.try_emplace(key, !access.is_store);
+            if (!inserted && access.is_store && it->second)
+                violating_stores.insert(key);
+            ++scan;
+        }
+
+        ++result.windows;
+        if (violating_stores.empty())
+            ++result.idempotent;
+        if (violating_stores.size() <= tolerance)
+            ++result.nearly_idempotent;
+    }
+
+    return result;
+}
+
+} // namespace encore::interp

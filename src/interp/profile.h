@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Profiling observers and the profile data consumed by Encore.
+ *
+ *  - Profiler / ProfileData: basic-block execution counts. These feed
+ *    the Pmin pruning heuristic (§3.4.1, Figure 5), the hot-path length
+ *    that serves as the coverage surrogate in region selection
+ *    (§3.4.2), and the dynamic-instruction accounting behind Figures 6
+ *    and 7a.
+ *  - AddressProfiler: per-static-instruction concrete address sets for
+ *    the optimistic alias analysis (Figure 7a's lower bound).
+ *  - TraceCollector: the dynamic memory-access trace used to measure
+ *    the inherent idempotence of execution windows (Figure 1).
+ */
+#ifndef ENCORE_INTERP_PROFILE_H
+#define ENCORE_INTERP_PROFILE_H
+
+#include <map>
+#include <vector>
+
+#include "analysis/alias.h"
+#include "interp/observer.h"
+
+namespace encore::interp {
+
+class ProfileData
+{
+  public:
+    void
+    countBlock(const ir::Function &func, const ir::BasicBlock &block,
+               const ir::BasicBlock *from)
+    {
+        auto &counts = block_counts_[&func];
+        if (counts.size() < func.numBlocks())
+            counts.resize(func.numBlocks(), 0);
+        ++counts[block.id()];
+        if (from)
+            ++edge_counts_[&func][{from->id(), block.id()}];
+        else
+            ++external_entries_[&func][block.id()];
+    }
+
+    /// Taken count of the CFG edge from -> to.
+    std::uint64_t edgeCount(const ir::Function &func, ir::BlockId from,
+                            ir::BlockId to) const;
+
+    /// Entries into `block` that did not come from an intra-function
+    /// branch (function entry on call, rollback redirects).
+    std::uint64_t externalEntries(const ir::Function &func,
+                                  ir::BlockId block) const;
+
+    /// Executions of a block across the profiled runs.
+    std::uint64_t blockCount(const ir::Function &func,
+                             ir::BlockId block) const;
+
+    /// Invocations of the function (entry-block executions).
+    std::uint64_t functionEntries(const ir::Function &func) const;
+
+    /// Execution probability used by the Pmin heuristic: block count
+    /// normalized by function invocations. May exceed 1 inside loops.
+    double blockProbability(const ir::Function &func,
+                            ir::BlockId block) const;
+
+    /// Total dynamic (non-pseudo) instructions across profiled runs,
+    /// estimated from block counts and static block sizes.
+    std::uint64_t totalDynInstrs() const;
+
+    /// Dynamic instructions attributable to one function.
+    std::uint64_t functionDynInstrs(const ir::Function &func) const;
+
+    bool
+    empty() const
+    {
+        return block_counts_.empty();
+    }
+
+  private:
+    std::map<const ir::Function *, std::vector<std::uint64_t>>
+        block_counts_;
+    std::map<const ir::Function *,
+             std::map<std::pair<ir::BlockId, ir::BlockId>, std::uint64_t>>
+        edge_counts_;
+    std::map<const ir::Function *, std::map<ir::BlockId, std::uint64_t>>
+        external_entries_;
+};
+
+/// Observer filling a ProfileData.
+class Profiler : public Observer
+{
+  public:
+    explicit Profiler(ProfileData &data) : data_(data) {}
+
+    void
+    onBlockEnter(const ir::Function &func, const ir::BasicBlock &block,
+                 const ir::BasicBlock *from) override
+    {
+        data_.countBlock(func, block, from);
+    }
+
+  private:
+    ProfileData &data_;
+};
+
+/// Observer filling a DynamicAddressProfile for the optimistic alias
+/// analysis.
+class AddressProfiler : public Observer
+{
+  public:
+    explicit AddressProfiler(analysis::DynamicAddressProfile &profile)
+        : profile_(profile)
+    {
+    }
+
+    void
+    onMemoryAccess(const ir::Function &func, const ir::Instruction &inst,
+                   ir::ObjectId object, std::uint32_t offset, bool is_store,
+                   std::uint64_t dyn_index) override
+    {
+        (void)func;
+        (void)is_store;
+        (void)dyn_index;
+        profile_.observations[&inst].record(object, offset);
+    }
+
+  private:
+    analysis::DynamicAddressProfile &profile_;
+};
+
+/// One dynamic memory access.
+struct TraceAccess
+{
+    std::uint64_t dyn_index;
+    ir::ObjectId object;
+    std::uint32_t offset;
+    bool is_store;
+};
+
+/**
+ * Records the dynamic memory-access stream (up to a cap) together with
+ * the total dynamic instruction count, for window-idempotence analysis.
+ */
+class TraceCollector : public Observer
+{
+  public:
+    explicit TraceCollector(std::size_t max_accesses = 4'000'000)
+        : max_accesses_(max_accesses)
+    {
+    }
+
+    void
+    onMemoryAccess(const ir::Function &func, const ir::Instruction &inst,
+                   ir::ObjectId object, std::uint32_t offset, bool is_store,
+                   std::uint64_t dyn_index) override
+    {
+        (void)func;
+        (void)inst;
+        if (accesses_.size() < max_accesses_) {
+            accesses_.push_back(
+                TraceAccess{dyn_index, object, offset, is_store});
+        } else {
+            truncated_ = true;
+        }
+    }
+
+    void
+    onInstruction(const ir::Function &func, const ir::Instruction &inst,
+                  std::uint64_t dyn_index) override
+    {
+        (void)func;
+        (void)inst;
+        last_dyn_index_ = dyn_index;
+    }
+
+    const std::vector<TraceAccess> &accesses() const { return accesses_; }
+    std::uint64_t dynLength() const { return last_dyn_index_ + 1; }
+    bool truncated() const { return truncated_; }
+
+  private:
+    std::size_t max_accesses_;
+    std::vector<TraceAccess> accesses_;
+    std::uint64_t last_dyn_index_ = 0;
+    bool truncated_ = false;
+};
+
+/**
+ * Measures, over a stream of dynamic windows of `window` instructions,
+ * the fraction that are inherently idempotent — no location is read
+ * (while still holding its pre-window value) and later overwritten
+ * within the window. Reproduces the metric of Figure 1.
+ */
+struct WindowIdempotence
+{
+    std::uint64_t windows = 0;
+    std::uint64_t idempotent = 0;
+    /// Windows whose WAR violations involve at most `tolerance`
+    /// distinct store sites — the "nearly idempotent" population that
+    /// the paper's Idempotence Target curve aims to recover.
+    std::uint64_t nearly_idempotent = 0;
+
+    double
+    idempotentFraction() const
+    {
+        return windows ? static_cast<double>(idempotent) /
+                             static_cast<double>(windows)
+                       : 0.0;
+    }
+
+    double
+    nearlyIdempotentFraction() const
+    {
+        return windows ? static_cast<double>(nearly_idempotent) /
+                             static_cast<double>(windows)
+                       : 0.0;
+    }
+};
+
+/// Computes window idempotence over a collected trace. Windows are laid
+/// back-to-back (non-overlapping) over the dynamic instruction stream.
+/// `tolerance` is the max number of violating stores for the "nearly
+/// idempotent" classification.
+WindowIdempotence analyzeWindows(const TraceCollector &trace,
+                                 std::uint64_t window,
+                                 std::uint64_t tolerance);
+
+} // namespace encore::interp
+
+#endif // ENCORE_INTERP_PROFILE_H

@@ -1,0 +1,72 @@
+#include "ir/basic_block.h"
+
+#include "support/diagnostics.h"
+
+namespace encore::ir {
+
+Instruction *
+BasicBlock::append(Instruction inst)
+{
+    instructions_.push_back(std::move(inst));
+    return &instructions_.back();
+}
+
+Instruction *
+BasicBlock::insertBefore(Instruction *before, Instruction inst)
+{
+    for (auto it = instructions_.begin(); it != instructions_.end(); ++it) {
+        if (&*it == before) {
+            auto inserted = instructions_.insert(it, std::move(inst));
+            return &*inserted;
+        }
+    }
+    panicf("insertBefore: anchor instruction not found in block '", name_,
+           "'");
+}
+
+Instruction *
+BasicBlock::insertFront(Instruction inst)
+{
+    instructions_.push_front(std::move(inst));
+    return &instructions_.front();
+}
+
+Instruction *
+BasicBlock::terminator()
+{
+    if (instructions_.empty())
+        return nullptr;
+    Instruction &last = instructions_.back();
+    return last.isTerminator() ? &last : nullptr;
+}
+
+const Instruction *
+BasicBlock::terminator() const
+{
+    return const_cast<BasicBlock *>(this)->terminator();
+}
+
+std::vector<BasicBlock *>
+BasicBlock::successors() const
+{
+    std::vector<BasicBlock *> succs;
+    const Instruction *term = terminator();
+    if (!term)
+        return succs;
+    switch (term->opcode()) {
+      case Opcode::Br:
+        succs.push_back(term->succ0());
+        succs.push_back(term->succ1());
+        break;
+      case Opcode::Jmp:
+        succs.push_back(term->succ0());
+        break;
+      case Opcode::Ret:
+        break;
+      default:
+        break;
+    }
+    return succs;
+}
+
+} // namespace encore::ir

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Basic block: a named, ordered list of instructions ending in a
+ * terminator, plus the CFG edges derived from that terminator.
+ */
+#ifndef ENCORE_IR_BASIC_BLOCK_H
+#define ENCORE_IR_BASIC_BLOCK_H
+
+#include <list>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace encore::ir {
+
+class Function;
+
+/// Index of a block within its function; dense, usable as a bitvector
+/// index by the analyses.
+using BlockId = std::uint32_t;
+
+class BasicBlock
+{
+  public:
+    BasicBlock(Function *parent, BlockId id, std::string name)
+        : parent_(parent), id_(id), name_(std::move(name))
+    {
+    }
+
+    Function *parent() const { return parent_; }
+    BlockId id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    // --- Instruction list ---------------------------------------------
+    std::list<Instruction> &instructions() { return instructions_; }
+    const std::list<Instruction> &instructions() const
+    {
+        return instructions_;
+    }
+
+    bool empty() const { return instructions_.empty(); }
+    std::size_t size() const { return instructions_.size(); }
+
+    /// Appends an instruction and returns a stable pointer to it.
+    Instruction *append(Instruction inst);
+
+    /// Inserts before `before` (which must be in this block) and returns
+    /// a stable pointer to the inserted copy.
+    Instruction *insertBefore(Instruction *before, Instruction inst);
+
+    /// Inserts at the top of the block (before the first instruction).
+    Instruction *insertFront(Instruction inst);
+
+    /// The terminator, or nullptr if the block is not yet terminated.
+    Instruction *terminator();
+    const Instruction *terminator() const;
+
+    // --- CFG edges ------------------------------------------------------
+    /// Successors in terminator order (taken edge first for Br).
+    std::vector<BasicBlock *> successors() const;
+
+    /// Predecessors; maintained by Function::recomputeCfg().
+    const std::vector<BasicBlock *> &predecessors() const { return preds_; }
+
+    /// @internal Used by Function::recomputeCfg().
+    void clearPreds() { preds_.clear(); }
+    void addPred(BasicBlock *bb) { preds_.push_back(bb); }
+
+  private:
+    Function *parent_;
+    BlockId id_;
+    std::string name_;
+    std::list<Instruction> instructions_;
+    std::vector<BasicBlock *> preds_;
+};
+
+} // namespace encore::ir
+
+#endif // ENCORE_IR_BASIC_BLOCK_H

@@ -1,0 +1,203 @@
+#include "ir/builder.h"
+
+#include "support/diagnostics.h"
+
+namespace encore::ir {
+
+Function *
+IRBuilder::beginFunction(const std::string &name, unsigned num_params,
+                         const std::string &entry_name)
+{
+    func_ = module_->createFunction(name, num_params);
+    for (unsigned i = 0; i < num_params; ++i)
+        func_->noteReg(i);
+    bb_ = func_->createBlock(entry_name);
+    return func_;
+}
+
+BasicBlock *
+IRBuilder::newBlock(const std::string &name)
+{
+    ENCORE_ASSERT(func_, "newBlock outside a function");
+    return func_->createBlock(name);
+}
+
+void
+IRBuilder::setInsertPoint(BasicBlock *bb)
+{
+    ENCORE_ASSERT(bb && bb->parent() == func_,
+                  "insertion point must be in the current function");
+    bb_ = bb;
+}
+
+void
+IRBuilder::endFunction()
+{
+    ENCORE_ASSERT(func_, "endFunction outside a function");
+    func_->recomputeCfg();
+    func_ = nullptr;
+    bb_ = nullptr;
+}
+
+ObjectId
+IRBuilder::global(const std::string &name, std::uint32_t size_words)
+{
+    return module_->addGlobal(name, size_words);
+}
+
+ObjectId
+IRBuilder::local(const std::string &name, std::uint32_t size_words)
+{
+    ENCORE_ASSERT(func_, "local object outside a function");
+    return module_->addLocal(func_, name, size_words);
+}
+
+void
+IRBuilder::noteOperand(const Operand &op)
+{
+    if (op.isReg())
+        func_->noteReg(op.reg);
+}
+
+void
+IRBuilder::noteAddr(const AddrExpr &addr)
+{
+    if (addr.isRegBase())
+        func_->noteReg(addr.base_reg);
+    noteOperand(addr.offset);
+}
+
+Instruction *
+IRBuilder::push(Instruction inst)
+{
+    ENCORE_ASSERT(bb_, "no insertion point");
+    ENCORE_ASSERT(bb_->terminator() == nullptr,
+                  "appending past a terminator in block '" + bb_->name() +
+                      "'");
+    return bb_->append(std::move(inst));
+}
+
+RegId
+IRBuilder::emit(Opcode op, Operand a, Operand b, Operand c)
+{
+    const RegId dest = func_->allocReg();
+    emitTo(dest, op, a, b, c);
+    return dest;
+}
+
+void
+IRBuilder::emitTo(RegId dest, Opcode op, Operand a, Operand b, Operand c)
+{
+    ENCORE_ASSERT(opcodeHasDest(op), "emitTo on an opcode with no dest");
+    Instruction inst(op);
+    inst.setDest(dest);
+    inst.setA(a);
+    inst.setB(b);
+    inst.setC(c);
+    func_->noteReg(dest);
+    noteOperand(a);
+    noteOperand(b);
+    noteOperand(c);
+    push(std::move(inst));
+}
+
+RegId
+IRBuilder::load(AddrExpr addr)
+{
+    const RegId dest = func_->allocReg();
+    loadTo(dest, addr);
+    return dest;
+}
+
+void
+IRBuilder::loadTo(RegId dest, AddrExpr addr)
+{
+    Instruction inst(Opcode::Load);
+    inst.setDest(dest);
+    inst.setAddr(addr);
+    func_->noteReg(dest);
+    noteAddr(addr);
+    push(std::move(inst));
+}
+
+void
+IRBuilder::store(AddrExpr addr, Operand value)
+{
+    Instruction inst(Opcode::Store);
+    inst.setAddr(addr);
+    inst.setA(value);
+    noteAddr(addr);
+    noteOperand(value);
+    push(std::move(inst));
+}
+
+RegId
+IRBuilder::lea(AddrExpr addr)
+{
+    Instruction inst(Opcode::Lea);
+    const RegId dest = func_->allocReg();
+    inst.setDest(dest);
+    inst.setAddr(addr);
+    func_->noteReg(dest);
+    noteAddr(addr);
+    push(std::move(inst));
+    return dest;
+}
+
+RegId
+IRBuilder::call(const std::string &callee, std::vector<Operand> args)
+{
+    Instruction inst(Opcode::Call);
+    const RegId dest = func_->allocReg();
+    inst.setDest(dest);
+    inst.setCalleeName(callee);
+    for (const Operand &arg : args)
+        noteOperand(arg);
+    inst.setArgs(std::move(args));
+    func_->noteReg(dest);
+    push(std::move(inst));
+    return dest;
+}
+
+void
+IRBuilder::callVoid(const std::string &callee, std::vector<Operand> args)
+{
+    Instruction inst(Opcode::Call);
+    inst.setCalleeName(callee);
+    for (const Operand &arg : args)
+        noteOperand(arg);
+    inst.setArgs(std::move(args));
+    push(std::move(inst));
+}
+
+void
+IRBuilder::br(Operand cond, BasicBlock *if_true, BasicBlock *if_false)
+{
+    ENCORE_ASSERT(if_true && if_false, "br needs two targets");
+    Instruction inst(Opcode::Br);
+    inst.setA(cond);
+    inst.setSucc0(if_true);
+    inst.setSucc1(if_false);
+    noteOperand(cond);
+    push(std::move(inst));
+}
+
+void
+IRBuilder::jmp(BasicBlock *target)
+{
+    ENCORE_ASSERT(target, "jmp needs a target");
+    Instruction inst(Opcode::Jmp);
+    inst.setSucc0(target);
+    push(std::move(inst));
+}
+
+void
+IRBuilder::ret(Operand value)
+{
+    Instruction inst(Opcode::Ret);
+    inst.setA(value);
+    noteOperand(value);
+    push(std::move(inst));
+}
+
+} // namespace encore::ir

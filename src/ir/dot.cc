@@ -1,0 +1,82 @@
+#include "ir/dot.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace encore::ir {
+
+namespace {
+
+/// Escapes a string for a double-quoted DOT attribute.
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeDot(std::ostream &os, const Function &func,
+         const std::map<BlockId, DotBlockStyle> &styles)
+{
+    os << "digraph \"" << escape(func.name()) << "\" {\n";
+    os << "  node [shape=box, fontname=\"monospace\"];\n";
+    os << "  label=\"@" << escape(func.name()) << "\";\n";
+
+    for (const auto &bb : func.blocks()) {
+        os << "  bb" << bb->id() << " [label=\"" << escape(bb->name())
+           << "\\n" << bb->size() << " instrs";
+        auto style = styles.find(bb->id());
+        if (style != styles.end() && !style->second.note.empty())
+            os << "\\n" << escape(style->second.note);
+        os << "\"";
+        if (style != styles.end() && !style->second.fill.empty()) {
+            os << ", style=filled, fillcolor=\""
+               << escape(style->second.fill) << "\"";
+        }
+        if (bb.get() == func.entry())
+            os << ", peripheries=2";
+        os << "];\n";
+    }
+
+    for (const auto &bb : func.blocks()) {
+        const Instruction *term = bb->terminator();
+        if (!term)
+            continue;
+        switch (term->opcode()) {
+          case Opcode::Br:
+            os << "  bb" << bb->id() << " -> bb" << term->succ0()->id()
+               << " [label=\"T\"];\n";
+            os << "  bb" << bb->id() << " -> bb" << term->succ1()->id()
+               << " [label=\"F\"];\n";
+            break;
+          case Opcode::Jmp:
+            os << "  bb" << bb->id() << " -> bb" << term->succ0()->id()
+               << ";\n";
+            break;
+          default:
+            break;
+        }
+    }
+
+    os << "}\n";
+}
+
+std::string
+functionToDot(const Function &func,
+              const std::map<BlockId, DotBlockStyle> &styles)
+{
+    std::ostringstream os;
+    writeDot(os, func, styles);
+    return os.str();
+}
+
+} // namespace encore::ir

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Graphviz (DOT) export of function CFGs, optionally overlaying
+ * Encore's region decisions — the quickest way to *see* the SEME
+ * partitioning, the preheaders, and the recovery blocks.
+ */
+#ifndef ENCORE_IR_DOT_H
+#define ENCORE_IR_DOT_H
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "ir/function.h"
+
+namespace encore::ir {
+
+/// Visual annotation for one block in the DOT output.
+struct DotBlockStyle
+{
+    /// Fill color (Graphviz color name or #rrggbb); empty = default.
+    std::string fill;
+    /// Extra label line under the block name (e.g. "region 3, ckpt").
+    std::string note;
+};
+
+/**
+ * Writes `func` as a digraph. Nodes are basic blocks labelled with
+ * their name, instruction count, and (optionally) per-block styles;
+ * edges follow the terminators, with branch edges labelled T/F.
+ */
+void writeDot(std::ostream &os, const Function &func,
+              const std::map<BlockId, DotBlockStyle> &styles = {});
+
+/// Convenience: DOT text as a string.
+std::string functionToDot(
+    const Function &func,
+    const std::map<BlockId, DotBlockStyle> &styles = {});
+
+} // namespace encore::ir
+
+#endif // ENCORE_IR_DOT_H

@@ -1,0 +1,102 @@
+#include "ir/function.h"
+
+#include "support/diagnostics.h"
+
+namespace encore::ir {
+
+BasicBlock *
+Function::createBlock(const std::string &name)
+{
+    ENCORE_ASSERT(block_names_.find(name) == block_names_.end(),
+                  "duplicate block name '" + name + "' in function '" +
+                      name_ + "'");
+    const BlockId id = static_cast<BlockId>(blocks_.size());
+    blocks_.push_back(std::make_unique<BasicBlock>(this, id, name));
+    BasicBlock *bb = blocks_.back().get();
+    block_names_[name] = bb;
+    return bb;
+}
+
+BasicBlock *
+Function::entry() const
+{
+    ENCORE_ASSERT(entry_index_ < blocks_.size(),
+                  "function '" + name_ + "' has no entry block");
+    return blocks_[entry_index_].get();
+}
+
+void
+Function::setEntry(BasicBlock *bb)
+{
+    ENCORE_ASSERT(bb && bb->parent() == this,
+                  "entry block must belong to this function");
+    entry_index_ = bb->id();
+}
+
+BasicBlock *
+Function::blockById(BlockId id) const
+{
+    ENCORE_ASSERT(id < blocks_.size(), "block id out of range");
+    return blocks_[id].get();
+}
+
+BasicBlock *
+Function::blockByName(const std::string &name) const
+{
+    auto it = block_names_.find(name);
+    return it == block_names_.end() ? nullptr : it->second;
+}
+
+void
+Function::recomputeCfg()
+{
+    for (auto &bb : blocks_)
+        bb->clearPreds();
+    for (auto &bb : blocks_) {
+        for (BasicBlock *succ : bb->successors()) {
+            ENCORE_ASSERT(succ != nullptr,
+                          "terminator with unresolved successor in '" +
+                              bb->name() + "'");
+            succ->addPred(bb.get());
+        }
+    }
+}
+
+void
+Function::noteReg(RegId reg)
+{
+    if (reg != kInvalidReg && reg + 1 > num_regs_)
+        num_regs_ = reg + 1;
+}
+
+RegId
+Function::allocReg()
+{
+    return num_regs_++;
+}
+
+void
+Function::setParamPointsTo(RegId param, std::vector<ObjectId> objects)
+{
+    ENCORE_ASSERT(param < num_params_,
+                  "points-to annotation on a non-parameter register");
+    param_points_to_[param] = std::move(objects);
+}
+
+const std::vector<ObjectId> *
+Function::paramPointsTo(RegId param) const
+{
+    auto it = param_points_to_.find(param);
+    return it == param_points_to_.end() ? nullptr : &it->second;
+}
+
+std::size_t
+Function::instructionCount() const
+{
+    std::size_t count = 0;
+    for (const auto &bb : blocks_)
+        count += bb->size();
+    return count;
+}
+
+} // namespace encore::ir

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Function: a CFG of basic blocks plus its local memory objects and
+ * parameter metadata.
+ */
+#ifndef ENCORE_IR_FUNCTION_H
+#define ENCORE_IR_FUNCTION_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+
+namespace encore::ir {
+
+class Module;
+
+class Function
+{
+  public:
+    Function(Module *parent, std::string name, unsigned num_params)
+        : parent_(parent), name_(std::move(name)), num_params_(num_params)
+    {
+    }
+
+    Module *parent() const { return parent_; }
+    const std::string &name() const { return name_; }
+
+    /// Arguments arrive in registers r0..r{numParams()-1}.
+    unsigned numParams() const { return num_params_; }
+
+    // --- Blocks -----------------------------------------------------------
+    /// Creates a block; the first block created is the entry block
+    /// (until setEntry() overrides it).
+    BasicBlock *createBlock(const std::string &name);
+
+    BasicBlock *entry() const;
+
+    /// Redirects the function entry to another block (used by the
+    /// instrumenter when the original entry becomes a region header
+    /// that needs a dedicated region-enter preheader). Block ids are
+    /// unaffected.
+    void setEntry(BasicBlock *bb);
+    const std::vector<std::unique_ptr<BasicBlock>> &blocks() const
+    {
+        return blocks_;
+    }
+    std::size_t numBlocks() const { return blocks_.size(); }
+    BasicBlock *blockById(BlockId id) const;
+    BasicBlock *blockByName(const std::string &name) const;
+
+    /// Recomputes predecessor lists from the terminators. Must be called
+    /// after any CFG mutation (the builder and instrumenter do so).
+    void recomputeCfg();
+
+    // --- Registers ---------------------------------------------------------
+    /// One past the highest register mentioned anywhere in the function;
+    /// maintained by noteReg() from the builder/parser and used to size
+    /// liveness bitvectors and interpreter register files.
+    RegId numRegs() const { return num_regs_; }
+    void noteReg(RegId reg);
+
+    /// Allocates a fresh register (used by instrumentation when it needs
+    /// a scratch register).
+    RegId allocReg();
+
+    // --- Local memory objects ----------------------------------------------
+    /// Objects (stack arrays) owned by this function; ids index the
+    /// module-wide object table.
+    const std::vector<ObjectId> &localObjects() const { return locals_; }
+    void noteLocalObject(ObjectId id) { locals_.push_back(id); }
+
+    // --- Parameter points-to annotations -------------------------------------
+    /// Declares that parameter register `param` may hold a pointer into
+    /// any of `objects`. Un-annotated pointer parameters are treated as
+    /// possibly aliasing all of memory by the static alias analysis —
+    /// the same conservatism real compilers face at function boundaries.
+    void setParamPointsTo(RegId param, std::vector<ObjectId> objects);
+    const std::vector<ObjectId> *paramPointsTo(RegId param) const;
+
+    /// Total static instruction count across all blocks.
+    std::size_t instructionCount() const;
+
+  private:
+    Module *parent_;
+    std::string name_;
+    unsigned num_params_;
+    std::size_t entry_index_ = 0;
+    RegId num_regs_ = 0;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+    std::map<std::string, BasicBlock *> block_names_;
+    std::vector<ObjectId> locals_;
+    std::map<RegId, std::vector<ObjectId>> param_points_to_;
+};
+
+} // namespace encore::ir
+
+#endif // ENCORE_IR_FUNCTION_H

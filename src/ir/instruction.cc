@@ -1,0 +1,20 @@
+#include "ir/instruction.h"
+
+namespace encore::ir {
+
+std::vector<Operand>
+Instruction::usedOperands() const
+{
+    std::vector<Operand> used;
+    const int n = opcodeNumOperands(opcode_);
+    for (int i = 0; i < n; ++i) {
+        if (!ops_[i].isNone())
+            used.push_back(ops_[i]);
+    }
+    // Ret's operand is optional: a void return leaves it None and the
+    // loop above already skips it. Address expressions contribute their
+    // register uses separately (see Liveness), as do call arguments.
+    return used;
+}
+
+} // namespace encore::ir

@@ -1,0 +1,86 @@
+#include "ir/module.h"
+
+#include "support/diagnostics.h"
+
+namespace encore::ir {
+
+Function *
+Module::createFunction(const std::string &name, unsigned num_params)
+{
+    ENCORE_ASSERT(function_names_.find(name) == function_names_.end(),
+                  "duplicate function name '" + name + "'");
+    functions_.push_back(std::make_unique<Function>(this, name, num_params));
+    Function *f = functions_.back().get();
+    function_names_[name] = f;
+    return f;
+}
+
+Function *
+Module::functionByName(const std::string &name) const
+{
+    auto it = function_names_.find(name);
+    return it == function_names_.end() ? nullptr : it->second;
+}
+
+void
+Module::resolveCalls()
+{
+    for (auto &f : functions_) {
+        for (auto &bb : f->blocks()) {
+            for (auto &inst : bb->instructions()) {
+                if (inst.opcode() != Opcode::Call)
+                    continue;
+                Function *callee = functionByName(inst.calleeName());
+                if (!callee) {
+                    fatalf("call to unknown function '", inst.calleeName(),
+                           "' in '", f->name(), "'");
+                }
+                inst.setCallee(callee);
+            }
+        }
+    }
+}
+
+ObjectId
+Module::addGlobal(const std::string &name, std::uint32_t size_words)
+{
+    ENCORE_ASSERT(object_names_.find(name) == object_names_.end(),
+                  "duplicate object name '" + name + "'");
+    ENCORE_ASSERT(size_words > 0, "object must have positive size");
+    const ObjectId id = static_cast<ObjectId>(objects_.size());
+    objects_.push_back(MemObject{id, name, size_words, true});
+    object_names_[name] = id;
+    return id;
+}
+
+ObjectId
+Module::addLocal(Function *owner, const std::string &name,
+                 std::uint32_t size_words)
+{
+    ENCORE_ASSERT(owner != nullptr, "local object needs an owner");
+    const std::string qualified = owner->name() + "." + name;
+    ENCORE_ASSERT(object_names_.find(qualified) == object_names_.end(),
+                  "duplicate object name '" + qualified + "'");
+    ENCORE_ASSERT(size_words > 0, "object must have positive size");
+    const ObjectId id = static_cast<ObjectId>(objects_.size());
+    objects_.push_back(MemObject{id, qualified, size_words, false});
+    object_names_[qualified] = id;
+    owner->noteLocalObject(id);
+    return id;
+}
+
+const MemObject &
+Module::object(ObjectId id) const
+{
+    ENCORE_ASSERT(id < objects_.size(), "object id out of range");
+    return objects_[id];
+}
+
+ObjectId
+Module::objectByName(const std::string &name) const
+{
+    auto it = object_names_.find(name);
+    return it == object_names_.end() ? kInvalidObject : it->second;
+}
+
+} // namespace encore::ir

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Module: the unit of compilation — functions plus the module-wide
+ * memory-object table (globals and function-local arrays share one id
+ * space so alias queries and the interpreter's memory can be keyed by
+ * a single ObjectId).
+ */
+#ifndef ENCORE_IR_MODULE_H
+#define ENCORE_IR_MODULE_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace encore::ir {
+
+class Module
+{
+  public:
+    explicit Module(std::string name = "module") : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    // --- Functions ---------------------------------------------------------
+    Function *createFunction(const std::string &name, unsigned num_params);
+    Function *functionByName(const std::string &name) const;
+    const std::vector<std::unique_ptr<Function>> &functions() const
+    {
+        return functions_;
+    }
+
+    /// Resolves Call instructions' callee names to Function pointers.
+    /// Fatal if a callee does not exist in the module.
+    void resolveCalls();
+
+    // --- Memory objects -----------------------------------------------------
+    /// Creates a global object visible to every function.
+    ObjectId addGlobal(const std::string &name, std::uint32_t size_words);
+
+    /// Creates a function-local (stack) object.
+    ObjectId addLocal(Function *owner, const std::string &name,
+                      std::uint32_t size_words);
+
+    const MemObject &object(ObjectId id) const;
+    const std::vector<MemObject> &objects() const { return objects_; }
+    ObjectId objectByName(const std::string &name) const;
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Function>> functions_;
+    std::map<std::string, Function *> function_names_;
+    std::vector<MemObject> objects_;
+    std::map<std::string, ObjectId> object_names_;
+};
+
+} // namespace encore::ir
+
+#endif // ENCORE_IR_MODULE_H

@@ -1,0 +1,29 @@
+#include "ir/operand.h"
+
+#include <cstring>
+
+namespace encore::ir {
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+std::uint64_t
+doubleToBits(double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+Operand
+Operand::makeFpImm(double value)
+{
+    return makeImm(static_cast<std::int64_t>(doubleToBits(value)));
+}
+
+} // namespace encore::ir

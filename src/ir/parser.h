@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Parser for the textual Encore IR format emitted by the printer.
+ *
+ * The grammar (one construct per line, `#` comments allowed):
+ *
+ *   module "name"
+ *   global @name <words>
+ *   func @name(<nparams>) {
+ *     local %name <words>
+ *     points rK -> @obj, %obj, ...
+ *     bb label:
+ *       rD = <op> a[, b[, c]]
+ *       rD = load [base + off]
+ *       rD = lea [base + off]
+ *       store [base + off], a
+ *       [rD =] call @f(a, b, ...)
+ *       br cond, label_true, label_false
+ *       jmp label
+ *       ret [a]
+ *       region.enter N | ckpt.mem [..] | ckpt.reg r | restore N
+ *   }
+ *
+ * where operands are `rN` (register), decimal/hex integers, or `f:X`
+ * floating immediates, and address bases are `@global`, `%local`, or a
+ * pointer register `rN`.
+ *
+ * Errors are reported as ParseError exceptions with line numbers.
+ */
+#ifndef ENCORE_IR_PARSER_H
+#define ENCORE_IR_PARSER_H
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "ir/module.h"
+
+namespace encore::ir {
+
+/// Thrown on malformed input; message includes the 1-based line number.
+class ParseError : public std::runtime_error
+{
+  public:
+    explicit ParseError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+/// Parses a complete module from text. Call edges are resolved before
+/// returning; a call to a function not defined in the text is an error.
+std::unique_ptr<Module> parseModule(const std::string &text);
+
+} // namespace encore::ir
+
+#endif // ENCORE_IR_PARSER_H

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Textual printer for the Encore IR. The output is accepted verbatim by
+ * the Parser, giving a round-trippable on-disk format used by tests and
+ * by anyone who wants to inspect instrumented code.
+ */
+#ifndef ENCORE_IR_PRINTER_H
+#define ENCORE_IR_PRINTER_H
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/module.h"
+
+namespace encore::ir {
+
+/// Renders one instruction (no trailing newline).
+std::string printInstruction(const Module &module, const Function &func,
+                             const Instruction &inst);
+
+/// Renders a whole function.
+void printFunction(std::ostream &os, const Module &module,
+                   const Function &func);
+
+/// Renders a whole module.
+void printModule(std::ostream &os, const Module &module);
+
+/// Convenience: module to string.
+std::string moduleToString(const Module &module);
+
+} // namespace encore::ir
+
+#endif // ENCORE_IR_PRINTER_H

@@ -1,0 +1,181 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace encore::ir {
+
+namespace {
+
+class Verifier
+{
+  public:
+    explicit Verifier(const Module &module) : module_(module) {}
+
+    std::vector<std::string>
+    run()
+    {
+        for (const auto &func : module_.functions())
+            checkFunction(*func);
+        return std::move(problems_);
+    }
+
+  private:
+    template <typename... Parts>
+    void
+    problem(const Function &func, const BasicBlock *bb,
+            const Parts &...parts)
+    {
+        std::ostringstream os;
+        os << "in @" << func.name();
+        if (bb)
+            os << " bb " << bb->name();
+        os << ": ";
+        (os << ... << parts);
+        problems_.push_back(os.str());
+    }
+
+    void
+    checkOperand(const Function &func, const BasicBlock &bb,
+                 const Operand &op)
+    {
+        if (op.isReg() && op.reg >= func.numRegs())
+            problem(func, &bb, "register r", op.reg,
+                    " exceeds the function's register count");
+    }
+
+    void
+    checkAddr(const Function &func, const BasicBlock &bb,
+              const AddrExpr &addr)
+    {
+        switch (addr.base_kind) {
+          case AddrExpr::BaseKind::None:
+            problem(func, &bb, "memory access with no address base");
+            return;
+          case AddrExpr::BaseKind::Object:
+            if (addr.object >= module_.objects().size()) {
+                problem(func, &bb, "address references unknown object id ",
+                        addr.object);
+                return;
+            }
+            if (addr.offset.isImm()) {
+                const MemObject &obj = module_.object(addr.object);
+                if (addr.offset.imm < 0 ||
+                    addr.offset.imm >= static_cast<std::int64_t>(obj.size)) {
+                    problem(func, &bb, "constant offset ", addr.offset.imm,
+                            " out of bounds for object '", obj.name,
+                            "' of size ", obj.size);
+                }
+            }
+            break;
+          case AddrExpr::BaseKind::Reg:
+            if (addr.base_reg >= func.numRegs())
+                problem(func, &bb, "address base register r", addr.base_reg,
+                        " exceeds the function's register count");
+            break;
+        }
+        checkOperand(func, bb, addr.offset);
+    }
+
+    void
+    checkFunction(const Function &func)
+    {
+        if (func.numBlocks() == 0) {
+            problem(func, nullptr, "function has no blocks");
+            return;
+        }
+
+        for (const auto &bb : func.blocks()) {
+            if (bb->empty()) {
+                problem(func, bb.get(), "empty basic block");
+                continue;
+            }
+
+            std::size_t index = 0;
+            const std::size_t last = bb->size() - 1;
+            for (const auto &inst : bb->instructions()) {
+                const bool is_last = index == last;
+                if (inst.isTerminator() && !is_last)
+                    problem(func, bb.get(),
+                            "terminator before the end of the block");
+                if (is_last && !inst.isTerminator())
+                    problem(func, bb.get(), "block lacks a terminator");
+
+                if (inst.hasDest() && inst.dest() >= func.numRegs())
+                    problem(func, bb.get(), "destination register r",
+                            inst.dest(),
+                            " exceeds the function's register count");
+
+                if (opcodeHasDest(inst.opcode()) && !inst.hasDest())
+                    problem(func, bb.get(), "'",
+                            opcodeName(inst.opcode()),
+                            "' requires a destination register");
+
+                if (opcodeHasAddress(inst.opcode()))
+                    checkAddr(func, *bb, inst.addr());
+
+                for (const Operand &op : inst.usedOperands())
+                    checkOperand(func, *bb, op);
+
+                switch (inst.opcode()) {
+                  case Opcode::Br:
+                    if (!inst.succ0() || !inst.succ1())
+                        problem(func, bb.get(), "br with missing target");
+                    else if (inst.succ0()->parent() != &func ||
+                             inst.succ1()->parent() != &func)
+                        problem(func, bb.get(),
+                                "br target in another function");
+                    break;
+                  case Opcode::Jmp:
+                    if (!inst.succ0())
+                        problem(func, bb.get(), "jmp with missing target");
+                    else if (inst.succ0()->parent() != &func)
+                        problem(func, bb.get(),
+                                "jmp target in another function");
+                    break;
+                  case Opcode::Call: {
+                    for (const Operand &arg : inst.args())
+                        checkOperand(func, *bb, arg);
+                    const Function *callee = inst.callee();
+                    if (!callee) {
+                        problem(func, bb.get(), "unresolved call to '@",
+                                inst.calleeName(), "'");
+                    } else if (inst.args().size() != callee->numParams()) {
+                        problem(func, bb.get(), "call to '@",
+                                inst.calleeName(), "' passes ",
+                                inst.args().size(), " args but callee takes ",
+                                callee->numParams());
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+                ++index;
+            }
+        }
+    }
+
+    const Module &module_;
+    std::vector<std::string> problems_;
+};
+
+} // namespace
+
+std::vector<std::string>
+verifyModule(const Module &module)
+{
+    return Verifier(module).run();
+}
+
+void
+verifyOrDie(const Module &module)
+{
+    const auto problems = verifyModule(module);
+    if (!problems.empty())
+        panicf("module '", module.name(), "' failed verification: ",
+               problems.front(), " (and ", problems.size() - 1, " more)");
+}
+
+} // namespace encore::ir

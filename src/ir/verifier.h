@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Structural well-formedness checks for modules. Run by tests and by the
+ * Encore pipeline before analysis: the dataflow equations assume every
+ * block has exactly one terminator, every edge targets a block of the
+ * same function, register indices are within the declared range, and
+ * object references are valid.
+ */
+#ifndef ENCORE_IR_VERIFIER_H
+#define ENCORE_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace encore::ir {
+
+/// Returns a list of human-readable problems; empty means well-formed.
+std::vector<std::string> verifyModule(const Module &module);
+
+/// Convenience: panics with the first problem if the module is
+/// malformed. Used at pipeline entry.
+void verifyOrDie(const Module &module);
+
+} // namespace encore::ir
+
+#endif // ENCORE_IR_VERIFIER_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the bench and example binaries.
+ *
+ * Flags take the form `--name=value` or `--name value`; bare `--name`
+ * sets a boolean. Unknown flags are fatal so typos in sweep scripts do
+ * not silently run the default configuration.
+ */
+#ifndef ENCORE_SUPPORT_CLI_H
+#define ENCORE_SUPPORT_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace encore {
+
+class CommandLine
+{
+  public:
+    /// Declares a flag with a default value and a help string.
+    void addFlag(const std::string &name, const std::string &default_value,
+                 const std::string &help);
+
+    /// Parses argv; prints help and exits on --help; fatal on unknowns.
+    void parse(int argc, char **argv);
+
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /// Renders a usage message listing all flags.
+    std::string helpText(const std::string &program) const;
+
+  private:
+    struct Flag
+    {
+        std::string value;
+        std::string default_value;
+        std::string help;
+    };
+
+    const Flag &find(const std::string &name) const;
+
+    std::map<std::string, Flag> flags_;
+};
+
+} // namespace encore
+
+#endif // ENCORE_SUPPORT_CLI_H

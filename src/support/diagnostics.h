@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error-reporting helpers shared by every Encore library.
+ *
+ * Two failure channels are provided, following the usual simulator
+ * convention:
+ *  - panic():  an internal invariant was violated (a bug in this library);
+ *              aborts so a debugger/core dump catches it.
+ *  - fatal():  the caller supplied an impossible request (bad input file,
+ *              malformed IR, out-of-range configuration); exits cleanly.
+ */
+#ifndef ENCORE_SUPPORT_DIAGNOSTICS_H
+#define ENCORE_SUPPORT_DIAGNOSTICS_H
+
+#include <sstream>
+#include <string>
+
+namespace encore {
+
+/// Aborts with a message; use for internal invariant violations.
+[[noreturn]] void panic(const std::string &message);
+
+/// Exits with status 1; use for user-visible configuration errors.
+[[noreturn]] void fatal(const std::string &message);
+
+/// Prints a non-fatal warning to stderr.
+void warn(const std::string &message);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename First, typename... Rest>
+void
+formatInto(std::ostringstream &os, const First &first, const Rest &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/// Builds a message from a list of streamable parts and panics.
+template <typename... Parts>
+[[noreturn]] void
+panicf(const Parts &...parts)
+{
+    std::ostringstream os;
+    detail::formatInto(os, parts...);
+    panic(os.str());
+}
+
+/// Builds a message from a list of streamable parts and exits fatally.
+template <typename... Parts>
+[[noreturn]] void
+fatalf(const Parts &...parts)
+{
+    std::ostringstream os;
+    detail::formatInto(os, parts...);
+    fatal(os.str());
+}
+
+} // namespace encore
+
+/// Checks an internal invariant; compiled in all build types because the
+/// analyses here are cheap relative to interpretation.
+#define ENCORE_ASSERT(cond, msg)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::encore::panicf("assertion failed: ", #cond, " — ", msg,       \
+                             " (", __FILE__, ":", __LINE__, ")");           \
+        }                                                                   \
+    } while (0)
+
+#endif // ENCORE_SUPPORT_DIAGNOSTICS_H

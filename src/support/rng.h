@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic random number generation for all experiments.
+ *
+ * Every stochastic component in this repository (fault-site selection,
+ * detection-latency draws, masking, workload input generation) draws from
+ * an explicitly seeded Xoshiro256** generator so that test and benchmark
+ * output is reproducible run-to-run, as required for a statistical
+ * fault-injection methodology (paper §4).
+ */
+#ifndef ENCORE_SUPPORT_RNG_H
+#define ENCORE_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace encore {
+
+/**
+ * Xoshiro256** pseudo-random generator (Blackman & Vigna).
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be used
+ * with <random> distributions where convenient.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four state words from a single seed via SplitMix64.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /// Next raw 64-bit draw.
+    std::uint64_t operator()();
+
+    /// Uniform integer in [0, bound) using Lemire rejection; bound > 0.
+    std::uint64_t below(std::uint64_t bound);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Bernoulli draw with the given success probability.
+    bool chance(double probability);
+
+    /// Forks an independent stream (e.g., one per benchmark) so that
+    /// adding trials to one campaign does not perturb another.
+    Rng fork();
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace encore
+
+#endif // ENCORE_SUPPORT_RNG_H

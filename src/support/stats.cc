@@ -1,0 +1,112 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.h"
+
+namespace encore {
+
+void
+RunningStats::add(double sample)
+{
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
+    sum_ += sample;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    if (p <= 0.0)
+        return samples.front();
+    if (p >= 100.0)
+        return samples.back();
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples.size())
+        return samples.back();
+    return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+Proportion
+wilsonInterval(std::uint64_t successes, std::uint64_t trials, double z)
+{
+    if (trials == 0)
+        return {0.0, 0.0, 1.0};
+    const double n = static_cast<double>(trials);
+    const double phat = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = phat + z2 / (2.0 * n);
+    const double spread =
+        z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+    return {phat, std::max(0.0, (center - spread) / denom),
+            std::min(1.0, (center + spread) / denom)};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    ENCORE_ASSERT(hi > lo, "histogram range must be non-empty");
+    ENCORE_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double sample)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    double idx = (sample - lo_) / width;
+    std::size_t bin;
+    if (idx < 0.0) {
+        bin = 0;
+    } else if (idx >= static_cast<double>(counts_.size())) {
+        bin = counts_.size() - 1;
+    } else {
+        bin = static_cast<std::size_t>(idx);
+    }
+    ++counts_[bin];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return binLow(i + 1);
+}
+
+} // namespace encore

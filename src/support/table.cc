@@ -1,0 +1,85 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace encore {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    ENCORE_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    ENCORE_ASSERT(cells.size() == headers_.size(),
+                  "row width must match header width");
+    rows_.push_back({std::move(cells), false});
+}
+
+void
+Table::addSeparator()
+{
+    rows_.push_back({{}, true});
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto printLine = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << "  ";
+            if (c == 0) {
+                os << cells[c]
+                   << std::string(widths[c] - cells[c].size(), ' ');
+            } else {
+                os << std::string(widths[c] - cells[c].size(), ' ')
+                   << cells[c];
+            }
+        }
+        os << '\n';
+    };
+
+    auto printRule = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            if (c)
+                os << "  ";
+            os << std::string(widths[c], '-');
+        }
+        os << '\n';
+    };
+
+    printLine(headers_);
+    printRule();
+    for (const auto &row : rows_) {
+        if (row.separator)
+            printRule();
+        else
+            printLine(row.cells);
+    }
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace encore

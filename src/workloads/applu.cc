@@ -1,0 +1,141 @@
+/**
+ * @file
+ * 173.applu — SSOR-style solver sweeps (SPEC2K-FP stand-in).
+ *
+ * The forward/backward sweeps read one half of the solution vector and
+ * write the other half of the *same* object through register offsets.
+ * Static alias analysis cannot separate the halves (same base, unknown
+ * offsets), so the writes look like WARs and get checkpointed; the
+ * profile-guided optimistic analysis observes disjoint address sets and
+ * drops them — one of the drivers of Figure 7a's static-vs-optimistic
+ * gap.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildApplu()
+{
+    auto module = std::make_unique<ir::Module>("173.applu");
+    B b(module.get());
+
+    const auto coef = b.global("coef", 32);
+    const auto sol = b.global("sol", 64); // halves [0,32) and [32,64)
+    const auto resid = b.global("resid", 8);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *init = b.newBlock("init");
+    auto *sweeps = b.newBlock("sweeps");
+    auto *fwd = b.newBlock("fwd");
+    auto *bwd_init = b.newBlock("bwd_init");
+    auto *bwd = b.newBlock("bwd");
+    auto *relax_init = b.newBlock("relax_init");
+    auto *relax = b.newBlock("relax");
+    auto *sweep_next = b.newBlock("sweep_next");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto s = b.mov(B::imm(0));
+    const auto sum = b.mov(B::fpImm(0.0));
+    const auto omega = b.mov(B::fpImm(0.8));
+    b.jmp(init);
+
+    b.setInsertPoint(init);
+    const auto fi = b.i2f(B::reg(i));
+    const auto c = b.fmul(B::reg(fi), B::fpImm(0.03125));
+    b.store(AddrExpr::makeObject(coef, B::reg(i)), B::reg(c));
+    b.store(AddrExpr::makeObject(sol, B::reg(i)), B::reg(c));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto ic = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(ic), init, sweeps);
+
+    b.setInsertPoint(sweeps);
+    b.movTo(i, B::imm(0));
+    b.jmp(fwd);
+
+    // Forward sweep: sol[32+i] = omega * sol[i] + coef[i].
+    b.setInsertPoint(fwd);
+    const auto lo = b.load(AddrExpr::makeObject(sol, B::reg(i)));
+    const auto cf = b.load(AddrExpr::makeObject(coef, B::reg(i)));
+    const auto relaxed = b.fmul(B::reg(lo), B::reg(omega));
+    const auto upd = b.fadd(B::reg(relaxed), B::reg(cf));
+    const auto hi_idx = b.add(B::reg(i), B::imm(32));
+    b.store(AddrExpr::makeObject(sol, B::reg(hi_idx)), B::reg(upd));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(fc), fwd, bwd_init);
+
+    b.setInsertPoint(bwd_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(bwd);
+
+    // Backward sweep: sol[i] = omega * sol[32+i] + coef[i].
+    b.setInsertPoint(bwd);
+    const auto hi_idx2 = b.add(B::reg(i), B::imm(32));
+    const auto hiv = b.load(AddrExpr::makeObject(sol, B::reg(hi_idx2)));
+    const auto cf2 = b.load(AddrExpr::makeObject(coef, B::reg(i)));
+    const auto relaxed2 = b.fmul(B::reg(hiv), B::reg(omega));
+    const auto upd2 = b.fadd(B::reg(relaxed2), B::reg(cf2));
+    b.store(AddrExpr::makeObject(sol, B::reg(i)), B::reg(upd2));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto bc = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(bc), bwd, relax_init);
+
+    // Small in-place residual relaxation: genuine WARs, cheap to
+    // checkpoint (8 words).
+    b.setInsertPoint(relax_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(relax);
+
+    b.setInsertPoint(relax);
+    const auto rv = b.load(AddrExpr::makeObject(resid, B::reg(i)));
+    const auto sv = b.load(AddrExpr::makeObject(sol, B::reg(i)));
+    const auto mixed = b.fadd(B::reg(rv), B::reg(sv));
+    const auto damped = b.fmul(B::reg(mixed), B::fpImm(0.5));
+    b.store(AddrExpr::makeObject(resid, B::reg(i)), B::reg(damped));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::imm(8));
+    b.br(B::reg(rc), relax, sweep_next);
+
+    b.setInsertPoint(sweep_next);
+    b.addTo(s, B::reg(s), B::imm(1));
+    const auto rounds = b.shr(B::reg(n), B::imm(4));
+    const auto sc = b.cmpLt(B::reg(s), B::reg(rounds));
+    b.br(B::reg(sc), sweeps, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto out_v = b.load(AddrExpr::makeObject(sol, B::reg(i)));
+    b.emitTo(sum, Opcode::FAdd, B::reg(sum), B::reg(out_v));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto uc = b.cmpLt(B::reg(i), B::imm(64));
+    b.br(B::reg(uc), reduce, done);
+
+    b.setInsertPoint(done);
+    const auto scaled = b.fmul(B::reg(sum), B::fpImm(4096.0));
+    const auto out = b.f2i(B::reg(scaled));
+    b.store(AddrExpr::makeObject(result), B::reg(out));
+    b.ret(B::reg(out));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

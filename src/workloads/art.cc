@@ -1,0 +1,117 @@
+/**
+ * @file
+ * 179.art — adaptive-resonance neural network (SPEC2K-FP stand-in).
+ *
+ * The recognition pass is a pure read-compute-write layer evaluation
+ * (idempotent); the learning pass nudges a strided subset of the
+ * weights in place — a small, cheap-to-checkpoint WAR set.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildArt()
+{
+    auto module = std::make_unique<ir::Module>("179.art");
+    B b(module.get());
+
+    const auto input = b.global("input", 32);
+    const auto weights = b.global("weights", 32);
+    const auto act = b.global("act", 32);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *init = b.newBlock("init");
+    auto *epochs = b.newBlock("epochs");
+    auto *forward = b.newBlock("forward");
+    auto *learn_init = b.newBlock("learn_init");
+    auto *learn = b.newBlock("learn");
+    auto *epoch_next = b.newBlock("epoch_next");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto e = b.mov(B::imm(0));
+    const auto sum = b.mov(B::fpImm(0.0));
+    b.jmp(init);
+
+    b.setInsertPoint(init);
+    const auto fi = b.i2f(B::reg(i));
+    const auto inv = b.fmul(B::reg(fi), B::fpImm(0.03125));
+    b.store(AddrExpr::makeObject(input, B::reg(i)), B::reg(inv));
+    const auto w0 = b.fadd(B::reg(inv), B::fpImm(0.5));
+    b.store(AddrExpr::makeObject(weights, B::reg(i)), B::reg(w0));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto ic = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(ic), init, epochs);
+
+    b.setInsertPoint(epochs);
+    b.movTo(i, B::imm(0));
+    b.jmp(forward);
+
+    // forward: act[i] = input[i] * weights[i] (idempotent).
+    b.setInsertPoint(forward);
+    const auto x = b.load(AddrExpr::makeObject(input, B::reg(i)));
+    const auto w = b.load(AddrExpr::makeObject(weights, B::reg(i)));
+    const auto a = b.fmul(B::reg(x), B::reg(w));
+    b.store(AddrExpr::makeObject(act, B::reg(i)), B::reg(a));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(fc), forward, learn_init);
+
+    // learn: every 4th weight is nudged toward the activation.
+    b.setInsertPoint(learn_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(learn);
+
+    b.setInsertPoint(learn);
+    const auto wv = b.load(AddrExpr::makeObject(weights, B::reg(i)));
+    const auto av = b.load(AddrExpr::makeObject(act, B::reg(i)));
+    const auto err = b.fsub(B::reg(av), B::reg(wv));
+    const auto step = b.fmul(B::reg(err), B::fpImm(0.01));
+    const auto w2 = b.fadd(B::reg(wv), B::reg(step));
+    b.store(AddrExpr::makeObject(weights, B::reg(i)), B::reg(w2));
+    b.addTo(i, B::reg(i), B::imm(4));
+    const auto lc = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(lc), learn, epoch_next);
+
+    b.setInsertPoint(epoch_next);
+    b.addTo(e, B::reg(e), B::imm(1));
+    const auto rounds = b.shr(B::reg(n), B::imm(3));
+    const auto ec = b.cmpLt(B::reg(e), B::reg(rounds));
+    b.br(B::reg(ec), epochs, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto av2 = b.load(AddrExpr::makeObject(act, B::reg(i)));
+    b.emitTo(sum, Opcode::FAdd, B::reg(sum), B::reg(av2));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    const auto scaled = b.fmul(B::reg(sum), B::fpImm(65536.0));
+    const auto out = b.f2i(B::reg(scaled));
+    b.store(AddrExpr::makeObject(result), B::reg(out));
+    b.ret(B::reg(out));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Internal: one builder function per synthetic benchmark. Each returns
+ * a fresh module whose @main(1) takes a scale argument. See workload.h
+ * for the design rationale.
+ */
+#ifndef ENCORE_WORKLOADS_BUILDERS_H
+#define ENCORE_WORKLOADS_BUILDERS_H
+
+#include <memory>
+
+#include "ir/module.h"
+
+namespace encore::workloads {
+
+// SPEC2K-INT
+std::unique_ptr<ir::Module> buildGzip();
+std::unique_ptr<ir::Module> buildVpr();
+std::unique_ptr<ir::Module> buildMcf();
+std::unique_ptr<ir::Module> buildParser();
+std::unique_ptr<ir::Module> buildBzip2();
+std::unique_ptr<ir::Module> buildTwolf();
+
+// SPEC2K-FP
+std::unique_ptr<ir::Module> buildMgrid();
+std::unique_ptr<ir::Module> buildApplu();
+std::unique_ptr<ir::Module> buildMesa();
+std::unique_ptr<ir::Module> buildArt();
+std::unique_ptr<ir::Module> buildEquake();
+
+// MEDIABENCH
+std::unique_ptr<ir::Module> buildCjpeg();
+std::unique_ptr<ir::Module> buildDjpeg();
+std::unique_ptr<ir::Module> buildEpic();
+std::unique_ptr<ir::Module> buildUnepic();
+std::unique_ptr<ir::Module> buildG721Decode();
+std::unique_ptr<ir::Module> buildG721Encode();
+std::unique_ptr<ir::Module> buildMpeg2Dec();
+std::unique_ptr<ir::Module> buildMpeg2Enc();
+std::unique_ptr<ir::Module> buildPegwitDec();
+std::unique_ptr<ir::Module> buildPegwitEnc();
+std::unique_ptr<ir::Module> buildRawCAudio();
+std::unique_ptr<ir::Module> buildRawDAudio();
+
+} // namespace encore::workloads
+
+#endif // ENCORE_WORKLOADS_BUILDERS_H

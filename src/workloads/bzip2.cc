@@ -1,0 +1,213 @@
+/**
+ * @file
+ * 256.bzip2 — block-sorting compression front end (SPEC2K-INT
+ * stand-in).
+ *
+ * Counting sort over symbol frequencies (histogram WARs), a
+ * cursor-based permutation scatter, and a small move-to-front table
+ * updated in place — the dense WAR mix typical of bzip2's block
+ * sorter, with an idempotent fill and checksum around it.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildBzip2()
+{
+    auto module = std::make_unique<ir::Module>("256.bzip2");
+    B b(module.get());
+
+    const auto block = b.global("block", 256);
+    const auto freq = b.global("freq", 16);
+    const auto cursor = b.global("cursor", 16);
+    const auto sorted = b.global("sorted", 256);
+    const auto mtf = b.global("mtf", 16);
+    const auto errlog = b.global("errlog", 1);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *fill = b.newBlock("fill");
+    auto *count_init = b.newBlock("count_init");
+    auto *count_loop = b.newBlock("count_loop");
+    auto *prefix_init = b.newBlock("prefix_init");
+    auto *prefix_loop = b.newBlock("prefix_loop");
+    auto *scatter_init = b.newBlock("scatter_init");
+    auto *scatter_loop = b.newBlock("scatter_loop");
+    auto *mtf_fill = b.newBlock("mtf_fill");
+    auto *mtf_scan = b.newBlock("mtf_scan");
+    auto *mtf_find = b.newBlock("mtf_find");
+    auto *mtf_step = b.newBlock("mtf_step");
+    auto *mtf_swap = b.newBlock("mtf_swap");
+    auto *mtf_next = b.newBlock("mtf_next");
+    auto *sum_init = b.newBlock("sum_init");
+    auto *sum_loop = b.newBlock("sum_loop");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto j = b.mov(B::imm(0));
+    const auto seed = b.mov(B::imm(0x9E3779B97F4A7C15LL));
+    const auto acc = b.mov(B::imm(0));
+    b.jmp(fill);
+
+    // fill: pseudo-random symbols (writes only: idempotent).
+    b.setInsertPoint(fill);
+    const auto s1 = b.mul(B::reg(seed), B::imm(6364136223846793005LL));
+    b.emitTo(seed, Opcode::Add, B::reg(s1), B::imm(1442695040888963407LL));
+    const auto sym0 = b.shr(B::reg(seed), B::imm(40));
+    const auto sym = b.band(B::reg(sym0), B::imm(15));
+    b.store(AddrExpr::makeObject(block, B::reg(i)), B::reg(sym));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(fc), fill, count_init);
+
+    // count: histogram — load/increment/store WAR per symbol.
+    b.setInsertPoint(count_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(count_loop);
+
+    b.setInsertPoint(count_loop);
+    const auto cs = b.load(AddrExpr::makeObject(block, B::reg(i)));
+    const auto f = b.load(AddrExpr::makeObject(freq, B::reg(cs)));
+    const auto f2 = b.add(B::reg(f), B::imm(1));
+    b.store(AddrExpr::makeObject(freq, B::reg(cs)), B::reg(f2));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto cc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(cc), count_loop, prefix_init);
+
+    // prefix: cursor[k] = cursor[k-1] + freq[k-1].
+    b.setInsertPoint(prefix_init);
+    b.store(AddrExpr::makeObject(cursor, B::imm(0)), B::imm(0));
+    b.movTo(j, B::imm(1));
+    b.jmp(prefix_loop);
+
+    b.setInsertPoint(prefix_loop);
+    const auto jm1 = b.sub(B::reg(j), B::imm(1));
+    const auto cprev = b.load(AddrExpr::makeObject(cursor, B::reg(jm1)));
+    const auto fprev = b.load(AddrExpr::makeObject(freq, B::reg(jm1)));
+    const auto csum = b.add(B::reg(cprev), B::reg(fprev));
+    b.store(AddrExpr::makeObject(cursor, B::reg(j)), B::reg(csum));
+    b.addTo(j, B::reg(j), B::imm(1));
+    const auto pc = b.cmpLt(B::reg(j), B::imm(16));
+    b.br(B::reg(pc), prefix_loop, scatter_init);
+
+    // scatter: sorted[cursor[sym]++] = sym — double WAR per element.
+    b.setInsertPoint(scatter_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(scatter_loop);
+
+    b.setInsertPoint(scatter_loop);
+    const auto ss = b.load(AddrExpr::makeObject(block, B::reg(i)));
+    const auto pos = b.load(AddrExpr::makeObject(cursor, B::reg(ss)));
+    // Cursor-overflow guard: dynamically dead (cursors stay below the
+    // block size), but statically a WAR on the error counter.
+    auto *cursor_err = b.newBlock("cursor_err");
+    auto *scatter_do = b.newBlock("scatter_do");
+    const auto overflow = b.cmpGt(B::reg(pos), B::imm(100000));
+    b.br(B::reg(overflow), cursor_err, scatter_do);
+
+    b.setInsertPoint(cursor_err);
+    const auto ec = b.load(AddrExpr::makeObject(errlog));
+    const auto ec2 = b.add(B::reg(ec), B::imm(1));
+    b.store(AddrExpr::makeObject(errlog), B::reg(ec2));
+    b.jmp(scatter_do);
+
+    b.setInsertPoint(scatter_do);
+    const auto pmask = b.band(B::reg(pos), B::imm(255));
+    b.store(AddrExpr::makeObject(sorted, B::reg(pmask)), B::reg(ss));
+    const auto pos2 = b.add(B::reg(pos), B::imm(1));
+    b.store(AddrExpr::makeObject(cursor, B::reg(ss)), B::reg(pos2));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto sc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(sc), scatter_loop, mtf_fill);
+
+    // mtf table init: identity permutation.
+    auto *mtf_fill_loop = b.newBlock("mtf_fill_loop");
+    b.setInsertPoint(mtf_fill);
+    b.movTo(j, B::imm(0));
+    b.jmp(mtf_fill_loop);
+
+    b.setInsertPoint(mtf_fill_loop);
+    b.store(AddrExpr::makeObject(mtf, B::reg(j)), B::reg(j));
+    b.addTo(j, B::reg(j), B::imm(1));
+    const auto mfc = b.cmpLt(B::reg(j), B::imm(16));
+    b.br(B::reg(mfc), mtf_fill_loop, mtf_scan);
+
+    // mtf transform over the first min(n, 64) sorted symbols.
+    b.setInsertPoint(mtf_scan);
+    b.movTo(i, B::imm(0));
+    b.jmp(mtf_step);
+
+    b.setInsertPoint(mtf_step);
+    const auto small = b.cmpLt(B::reg(n), B::imm(64));
+    const auto lim = b.select(B::reg(small), B::reg(n), B::imm(64));
+    const auto mmore = b.cmpLt(B::reg(i), B::reg(lim));
+    b.br(B::reg(mmore), mtf_find, sum_init);
+
+    // Find the symbol's rank in the mtf table (always terminates: the
+    // table stays a permutation of 0..15).
+    auto *mtf_find_loop = b.newBlock("mtf_find_loop");
+    auto *mtf_adv = b.newBlock("mtf_adv");
+    const auto s_cur = b.function()->allocReg();
+    b.setInsertPoint(mtf_find);
+    b.movTo(s_cur,
+            B::reg(b.load(AddrExpr::makeObject(sorted, B::reg(i)))));
+    b.movTo(j, B::imm(0));
+    b.jmp(mtf_find_loop);
+
+    b.setInsertPoint(mtf_find_loop);
+    const auto mj = b.load(AddrExpr::makeObject(mtf, B::reg(j)));
+    const auto hit = b.cmpEq(B::reg(mj), B::reg(s_cur));
+    b.br(B::reg(hit), mtf_swap, mtf_adv);
+
+    b.setInsertPoint(mtf_adv);
+    const auto jn = b.add(B::reg(j), B::imm(1));
+    const auto jw = b.band(B::reg(jn), B::imm(15));
+    b.movTo(j, B::reg(jw));
+    b.jmp(mtf_find_loop);
+
+    // Move to front: swap ranks 0 and j — in-place WARs on mtf.
+    b.setInsertPoint(mtf_swap);
+    const auto m0 = b.load(AddrExpr::makeObject(mtf, B::imm(0)));
+    const auto mj2 = b.load(AddrExpr::makeObject(mtf, B::reg(j)));
+    b.store(AddrExpr::makeObject(mtf, B::imm(0)), B::reg(mj2));
+    b.store(AddrExpr::makeObject(mtf, B::reg(j)), B::reg(m0));
+    b.emitTo(acc, Opcode::Add, B::reg(acc), B::reg(j));
+    b.jmp(mtf_next);
+
+    b.setInsertPoint(mtf_next);
+    b.addTo(i, B::reg(i), B::imm(1));
+    b.jmp(mtf_step);
+
+    // Checksum the sorted block.
+    b.setInsertPoint(sum_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(sum_loop);
+
+    b.setInsertPoint(sum_loop);
+    const auto sv = b.load(AddrExpr::makeObject(sorted, B::reg(i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(sv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto uc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(uc), sum_loop, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

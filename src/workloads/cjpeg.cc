@@ -1,0 +1,157 @@
+/**
+ * @file
+ * cjpeg — JPEG compression kernel (Mediabench stand-in).
+ *
+ * Block transform and quantization read the raster and write separate
+ * coefficient arrays (idempotent); the entropy-coding stage keeps its
+ * output cursor in memory, giving one small WAR per emitted symbol —
+ * the cheap-to-checkpoint pattern that puts media codes in the
+ * "Recoverable w/ Encore Checkpointing" slice of Figure 6.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildCjpeg()
+{
+    auto module = std::make_unique<ir::Module>("cjpeg");
+    B b(module.get());
+
+    const auto raster = b.global("raster", 256);
+    const auto coef = b.global("coef", 256);
+    const auto quant = b.global("quant", 8);
+    const auto bits = b.global("bits", 256);
+    const auto outpos = b.global("outpos", 1);
+    const auto errlog = b.global("errlog", 1);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *qinit = b.newBlock("qinit");
+    auto *fill = b.newBlock("fill");
+    auto *dct = b.newBlock("dct");
+    auto *emit = b.newBlock("emit");
+    auto *skip_emit = b.newBlock("skip_emit");
+    auto *next = b.newBlock("next");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto acc = b.mov(B::imm(0));
+    b.jmp(qinit);
+
+    b.setInsertPoint(qinit);
+    const auto q = b.add(B::reg(i), B::imm(1));
+    b.store(AddrExpr::makeObject(quant, B::reg(i)), B::reg(q));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto qc = b.cmpLt(B::reg(i), B::imm(8));
+    b.br(B::reg(qc), qinit, fill);
+
+    b.setInsertPoint(fill);
+    b.movTo(i, B::imm(0));
+    auto *fill_loop = b.newBlock("fill_loop");
+    b.jmp(fill_loop);
+
+    b.setInsertPoint(fill_loop);
+    const auto px0 = b.mul(B::reg(i), B::imm(73));
+    const auto px = b.band(B::reg(px0), B::imm(255));
+    b.store(AddrExpr::makeObject(raster, B::reg(i)), B::reg(px));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(fc), fill_loop, dct);
+
+    // dct+quantize: pure transform into the coefficient array.
+    b.setInsertPoint(dct);
+    b.movTo(i, B::imm(0));
+    auto *dct_loop = b.newBlock("dct_loop");
+    b.jmp(dct_loop);
+
+    b.setInsertPoint(dct_loop);
+    // Pixel-range guard: raster values are 8-bit by construction, so
+    // this error path is dynamically dead.
+    auto *px_err = b.newBlock("px_err");
+    auto *dct_body = b.newBlock("dct_body");
+    const auto probe = b.load(AddrExpr::makeObject(raster, B::reg(i)));
+    const auto out_of_range = b.cmpGt(B::reg(probe), B::imm(100000));
+    b.br(B::reg(out_of_range), px_err, dct_body);
+
+    b.setInsertPoint(px_err);
+    const auto j_ec = b.load(AddrExpr::makeObject(errlog));
+    const auto j_ec2 = b.add(B::reg(j_ec), B::imm(1));
+    b.store(AddrExpr::makeObject(errlog), B::reg(j_ec2));
+    b.jmp(dct_body);
+
+    b.setInsertPoint(dct_body);
+    const auto p0 = b.load(AddrExpr::makeObject(raster, B::reg(i)));
+    const auto prev_idx0 = b.add(B::reg(i), B::imm(255));
+    const auto prev_idx = b.band(B::reg(prev_idx0), B::imm(255));
+    const auto p1 = b.load(AddrExpr::makeObject(raster, B::reg(prev_idx)));
+    const auto diff = b.sub(B::reg(p0), B::reg(p1));
+    const auto lane = b.band(B::reg(i), B::imm(7));
+    const auto qv = b.load(AddrExpr::makeObject(quant, B::reg(lane)));
+    const auto scaled = b.div(B::reg(diff), B::reg(qv));
+    b.store(AddrExpr::makeObject(coef, B::reg(i)), B::reg(scaled));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto dcnd = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(dcnd), dct_loop, emit);
+
+    // entropy coding: nonzero coefficients append to bits[] through an
+    // in-memory cursor (WAR on outpos).
+    b.setInsertPoint(emit);
+    b.movTo(i, B::imm(0));
+    auto *emit_loop = b.newBlock("emit_loop");
+    b.jmp(emit_loop);
+
+    b.setInsertPoint(emit_loop);
+    const auto cv = b.load(AddrExpr::makeObject(coef, B::reg(i)));
+    const auto zero = b.cmpEq(B::reg(cv), B::imm(0));
+    b.br(B::reg(zero), skip_emit, next);
+
+    b.setInsertPoint(next);
+    const auto pos = b.load(AddrExpr::makeObject(outpos));
+    const auto pmask = b.band(B::reg(pos), B::imm(255));
+    const auto mag0 = b.mul(B::reg(cv), B::reg(cv));
+    const auto mag = b.band(B::reg(mag0), B::imm(1023));
+    b.store(AddrExpr::makeObject(bits, B::reg(pmask)), B::reg(mag));
+    const auto pos2 = b.add(B::reg(pos), B::imm(1));
+    b.store(AddrExpr::makeObject(outpos), B::reg(pos2));
+    b.emitTo(acc, Opcode::Add, B::reg(acc), B::reg(mag));
+    b.jmp(skip_emit);
+
+    b.setInsertPoint(skip_emit);
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto ec = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(ec), emit_loop, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto bv = b.load(AddrExpr::makeObject(bits, B::reg(i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(bv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::imm(256));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

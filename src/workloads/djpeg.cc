@@ -1,0 +1,130 @@
+/**
+ * @file
+ * djpeg — JPEG decompression kernel (Mediabench stand-in).
+ *
+ * Dequantization and the inverse transform stream coefficients into a
+ * separate raster with a final clamp — almost entirely idempotent,
+ * like the decoder half of most media pipelines in Figure 6.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildDjpeg()
+{
+    auto module = std::make_unique<ir::Module>("djpeg");
+    B b(module.get());
+
+    const auto coef = b.global("coef", 256);
+    const auto quant = b.global("quant", 8);
+    const auto raster = b.global("raster", 256);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *qinit = b.newBlock("qinit");
+    auto *fill = b.newBlock("fill");
+    auto *idct = b.newBlock("idct");
+    auto *clamp_low = b.newBlock("clamp_low");
+    auto *clamp_done = b.newBlock("clamp_done");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto acc = b.mov(B::imm(0));
+    // Decoder pointers: coefficient source and raster sink arrive as
+    // indistinguishable pointers (alias-analysis pressure).
+    const auto pcoef = b.lea(AddrExpr::makeObject(coef));
+    const auto praster = b.lea(AddrExpr::makeObject(raster));
+    const auto one = b.mov(B::imm(1));
+    const auto src = b.select(B::reg(one), B::reg(pcoef), B::reg(praster));
+    const auto dst = b.select(B::reg(one), B::reg(praster), B::reg(pcoef));
+    b.jmp(qinit);
+
+    b.setInsertPoint(qinit);
+    const auto q = b.add(B::reg(i), B::imm(2));
+    b.store(AddrExpr::makeObject(quant, B::reg(i)), B::reg(q));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto qc = b.cmpLt(B::reg(i), B::imm(8));
+    b.br(B::reg(qc), qinit, fill);
+
+    b.setInsertPoint(fill);
+    b.movTo(i, B::imm(0));
+    auto *fill_loop = b.newBlock("fill_loop");
+    b.jmp(fill_loop);
+
+    b.setInsertPoint(fill_loop);
+    const auto c0 = b.mul(B::reg(i), B::imm(37));
+    const auto c1 = b.band(B::reg(c0), B::imm(127));
+    const auto c2 = b.sub(B::reg(c1), B::imm(64));
+    b.store(AddrExpr::makeObject(coef, B::reg(i)), B::reg(c2));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(fc), fill_loop, idct);
+
+    // idct: raster[i] = clamp(coef[i] * quant[lane] + neighbor smear).
+    b.setInsertPoint(idct);
+    b.movTo(i, B::imm(0));
+    auto *idct_loop = b.newBlock("idct_loop");
+    b.jmp(idct_loop);
+
+    b.setInsertPoint(idct_loop);
+    const auto cv = b.load(AddrExpr::makeReg(src, B::reg(i)));
+    const auto lane = b.band(B::reg(i), B::imm(7));
+    const auto qv = b.load(AddrExpr::makeObject(quant, B::reg(lane)));
+    const auto deq = b.mul(B::reg(cv), B::reg(qv));
+    const auto nb_idx0 = b.add(B::reg(i), B::imm(1));
+    const auto nb_idx = b.band(B::reg(nb_idx0), B::imm(255));
+    const auto nb = b.load(AddrExpr::makeReg(src, B::reg(nb_idx)));
+    const auto smear = b.add(B::reg(deq), B::reg(nb));
+    const auto biased = b.add(B::reg(smear), B::imm(128));
+    const auto too_low = b.cmpLt(B::reg(biased), B::imm(0));
+    b.br(B::reg(too_low), clamp_low, clamp_done);
+
+    auto *idct_next = b.newBlock("idct_next");
+    b.setInsertPoint(clamp_low);
+    b.store(AddrExpr::makeReg(dst, B::reg(i)), B::imm(0));
+    b.jmp(idct_next);
+
+    b.setInsertPoint(clamp_done);
+    const auto capped = b.band(B::reg(biased), B::imm(255));
+    b.store(AddrExpr::makeReg(dst, B::reg(i)), B::reg(capped));
+    b.jmp(idct_next);
+
+    b.setInsertPoint(idct_next);
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto inext = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(inext), idct_loop, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto rv = b.load(AddrExpr::makeObject(raster, B::reg(i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(rv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::imm(256));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

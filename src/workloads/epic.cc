@@ -1,0 +1,147 @@
+/**
+ * @file
+ * epic — wavelet pyramid image coder (Mediabench stand-in).
+ *
+ * Builds a two-level wavelet pyramid: each level reads one buffer and
+ * writes coarse/detail halves of another. The quantization pass writes
+ * the detail half of the same object it reads through register
+ * offsets — disambiguatable only by the optimistic alias analysis,
+ * contributing to Figure 7a's gap.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildEpic()
+{
+    auto module = std::make_unique<ir::Module>("epic");
+    B b(module.get());
+
+    const auto image = b.global("image", 64);
+    const auto level1 = b.global("level1", 64); // [0,32) coarse, [32,64) detail
+    const auto level2 = b.global("level2", 32); // [0,16) coarse, [16,32) detail
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *fill = b.newBlock("fill");
+    auto *rounds = b.newBlock("rounds");
+    auto *wave1 = b.newBlock("wave1");
+    auto *wave2_init = b.newBlock("wave2_init");
+    auto *wave2 = b.newBlock("wave2");
+    auto *quant_init = b.newBlock("quant_init");
+    auto *quant = b.newBlock("quant");
+    auto *round_next = b.newBlock("round_next");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto r = b.mov(B::imm(0));
+    const auto acc = b.mov(B::imm(0));
+    b.jmp(fill);
+
+    b.setInsertPoint(fill);
+    const auto px0 = b.mul(B::reg(i), B::imm(29));
+    const auto px = b.band(B::reg(px0), B::imm(255));
+    b.store(AddrExpr::makeObject(image, B::reg(i)), B::reg(px));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::imm(64));
+    b.br(B::reg(fc), fill, rounds);
+
+    b.setInsertPoint(rounds);
+    b.movTo(i, B::imm(0));
+    b.jmp(wave1);
+
+    // Level 1: pairwise averages/differences image -> level1 halves.
+    b.setInsertPoint(wave1);
+    const auto two_i = b.shl(B::reg(i), B::imm(1));
+    const auto two_i1 = b.add(B::reg(two_i), B::imm(1));
+    const auto a = b.load(AddrExpr::makeObject(image, B::reg(two_i)));
+    const auto c = b.load(AddrExpr::makeObject(image, B::reg(two_i1)));
+    const auto avg0 = b.add(B::reg(a), B::reg(c));
+    const auto avg = b.shr(B::reg(avg0), B::imm(1));
+    const auto diff = b.sub(B::reg(a), B::reg(c));
+    b.store(AddrExpr::makeObject(level1, B::reg(i)), B::reg(avg));
+    const auto det_idx = b.add(B::reg(i), B::imm(32));
+    b.store(AddrExpr::makeObject(level1, B::reg(det_idx)), B::reg(diff));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto w1c = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(w1c), wave1, wave2_init);
+
+    b.setInsertPoint(wave2_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(wave2);
+
+    // Level 2: same transform over the coarse half of level1.
+    b.setInsertPoint(wave2);
+    const auto t2 = b.shl(B::reg(i), B::imm(1));
+    const auto t21 = b.add(B::reg(t2), B::imm(1));
+    const auto a2 = b.load(AddrExpr::makeObject(level1, B::reg(t2)));
+    const auto c2 = b.load(AddrExpr::makeObject(level1, B::reg(t21)));
+    const auto avg2_0 = b.add(B::reg(a2), B::reg(c2));
+    const auto avg2 = b.shr(B::reg(avg2_0), B::imm(1));
+    const auto diff2 = b.sub(B::reg(a2), B::reg(c2));
+    b.store(AddrExpr::makeObject(level2, B::reg(i)), B::reg(avg2));
+    const auto det2 = b.add(B::reg(i), B::imm(16));
+    b.store(AddrExpr::makeObject(level2, B::reg(det2)), B::reg(diff2));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto w2c = b.cmpLt(B::reg(i), B::imm(16));
+    b.br(B::reg(w2c), wave2, quant_init);
+
+    // Quantize detail coefficients of level1 in their own half: reads
+    // [32+i], writes [32+i] — a WAR the static analysis must assume
+    // can hit the coarse reads too (register offsets).
+    b.setInsertPoint(quant_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(quant);
+
+    b.setInsertPoint(quant);
+    const auto qidx = b.add(B::reg(i), B::imm(32));
+    const auto dv = b.load(AddrExpr::makeObject(level1, B::reg(qidx)));
+    const auto qv = b.div(B::reg(dv), B::imm(4));
+    b.store(AddrExpr::makeObject(level1, B::reg(qidx)), B::reg(qv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto qc = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(qc), quant, round_next);
+
+    b.setInsertPoint(round_next);
+    b.addTo(r, B::reg(r), B::imm(1));
+    const auto total = b.shr(B::reg(n), B::imm(3));
+    const auto more = b.cmpLt(B::reg(r), B::reg(total));
+    b.br(B::reg(more), rounds, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto l1 = b.load(AddrExpr::makeObject(level1, B::reg(i)));
+    const auto half_i = b.shr(B::reg(i), B::imm(1));
+    const auto l2 = b.load(AddrExpr::makeObject(level2, B::reg(half_i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    const auto mix = b.add(B::reg(acc3), B::reg(l1));
+    b.emitTo(acc, Opcode::Add, B::reg(mix), B::reg(l2));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::imm(64));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

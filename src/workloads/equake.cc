@@ -1,0 +1,181 @@
+/**
+ * @file
+ * 183.equake — sparse matrix-vector product with explicit time
+ * integration (SPEC2K-FP stand-in).
+ *
+ * The dominant sparse matvec reads the matrix and the displacement
+ * vector and writes a separate result vector (idempotent). The short
+ * time-integration epilogue rotates the displacement history in place
+ * (WARs on both history arrays); its undo log grows with the vector
+ * length, so whether it is protected depends on the storage budget —
+ * a small recoverability gap, as equake shows in Figure 6.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildEquake()
+{
+    auto module = std::make_unique<ir::Module>("183.equake");
+    B b(module.get());
+
+    const auto acol = b.global("acol", 128);
+    const auto aval = b.global("aval", 128);
+    const auto disp = b.global("disp", 32);
+    const auto disp_old = b.global("disp_old", 32);
+    const auto force = b.global("force", 32);
+    const auto errlog = b.global("errlog", 1);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *init = b.newBlock("init");
+    auto *disp_init = b.newBlock("disp_init");
+    auto *steps = b.newBlock("steps");
+    auto *matvec = b.newBlock("matvec");
+    auto *integrate_init = b.newBlock("integrate_init");
+    auto *integrate = b.newBlock("integrate");
+    auto *step_next = b.newBlock("step_next");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto s = b.mov(B::imm(0));
+    const auto sum = b.mov(B::fpImm(0.0));
+    b.jmp(init);
+
+    // Sparse matrix: 4 entries per row over 32 rows.
+    b.setInsertPoint(init);
+    const auto col0 = b.mul(B::reg(i), B::imm(13));
+    const auto col = b.band(B::reg(col0), B::imm(31));
+    b.store(AddrExpr::makeObject(acol, B::reg(i)), B::reg(col));
+    const auto fi = b.i2f(B::reg(i));
+    const auto v = b.fmul(B::reg(fi), B::fpImm(0.0078125));
+    b.store(AddrExpr::makeObject(aval, B::reg(i)), B::reg(v));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto ic = b.cmpLt(B::reg(i), B::imm(128));
+    b.br(B::reg(ic), init, disp_init);
+
+    b.setInsertPoint(disp_init);
+    b.movTo(i, B::imm(0));
+    auto *disp_loop = b.newBlock("disp_loop");
+    b.jmp(disp_loop);
+
+    b.setInsertPoint(disp_loop);
+    const auto fj = b.i2f(B::reg(i));
+    const auto d0 = b.fmul(B::reg(fj), B::fpImm(0.03125));
+    b.store(AddrExpr::makeObject(disp, B::reg(i)), B::reg(d0));
+    b.store(AddrExpr::makeObject(disp_old, B::reg(i)), B::reg(d0));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto dc = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(dc), disp_loop, steps);
+
+    // Time steps: n/8 iterations of matvec + integration.
+    b.setInsertPoint(steps);
+    b.movTo(i, B::imm(0));
+    b.jmp(matvec);
+
+    // matvec: force[r] = sum of 4 entries * disp[col] (idempotent,
+    // apart from a dynamically-dead column-index guard).
+    b.setInsertPoint(matvec);
+    auto *col_err = b.newBlock("col_err");
+    auto *matvec_body = b.newBlock("matvec_body");
+    const auto probe = b.load(AddrExpr::makeObject(acol, B::reg(i)));
+    const auto bad_col = b.cmpGt(B::reg(probe), B::imm(1000));
+    b.br(B::reg(bad_col), col_err, matvec_body);
+
+    b.setInsertPoint(col_err);
+    const auto ec = b.load(AddrExpr::makeObject(errlog));
+    const auto ec2 = b.add(B::reg(ec), B::imm(1));
+    b.store(AddrExpr::makeObject(errlog), B::reg(ec2));
+    b.jmp(matvec_body);
+
+    b.setInsertPoint(matvec_body);
+    const auto row4 = b.shl(B::reg(i), B::imm(2));
+    const auto acc0 = b.mov(B::fpImm(0.0));
+    const auto k1 = b.add(B::reg(row4), B::imm(1));
+    const auto k2 = b.add(B::reg(row4), B::imm(2));
+    const auto k3 = b.add(B::reg(row4), B::imm(3));
+    const auto c0 = b.load(AddrExpr::makeObject(acol, B::reg(row4)));
+    const auto v0 = b.load(AddrExpr::makeObject(aval, B::reg(row4)));
+    const auto x0 = b.load(AddrExpr::makeObject(disp, B::reg(c0)));
+    const auto p0 = b.fmul(B::reg(v0), B::reg(x0));
+    b.emitTo(acc0, Opcode::FAdd, B::reg(acc0), B::reg(p0));
+    const auto c1 = b.load(AddrExpr::makeObject(acol, B::reg(k1)));
+    const auto v1 = b.load(AddrExpr::makeObject(aval, B::reg(k1)));
+    const auto x1 = b.load(AddrExpr::makeObject(disp, B::reg(c1)));
+    const auto p1 = b.fmul(B::reg(v1), B::reg(x1));
+    b.emitTo(acc0, Opcode::FAdd, B::reg(acc0), B::reg(p1));
+    const auto c2 = b.load(AddrExpr::makeObject(acol, B::reg(k2)));
+    const auto v2 = b.load(AddrExpr::makeObject(aval, B::reg(k2)));
+    const auto x2 = b.load(AddrExpr::makeObject(disp, B::reg(c2)));
+    const auto p2 = b.fmul(B::reg(v2), B::reg(x2));
+    b.emitTo(acc0, Opcode::FAdd, B::reg(acc0), B::reg(p2));
+    const auto c3 = b.load(AddrExpr::makeObject(acol, B::reg(k3)));
+    const auto v3 = b.load(AddrExpr::makeObject(aval, B::reg(k3)));
+    const auto x3 = b.load(AddrExpr::makeObject(disp, B::reg(c3)));
+    const auto p3 = b.fmul(B::reg(v3), B::reg(x3));
+    b.emitTo(acc0, Opcode::FAdd, B::reg(acc0), B::reg(p3));
+    b.store(AddrExpr::makeObject(force, B::reg(i)), B::reg(acc0));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto mc = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(mc), matvec, integrate_init);
+
+    // integrate: rotate the displacement history in place.
+    b.setInsertPoint(integrate_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(integrate);
+
+    b.setInsertPoint(integrate);
+    const auto dv = b.load(AddrExpr::makeObject(disp, B::reg(i)));
+    const auto ov = b.load(AddrExpr::makeObject(disp_old, B::reg(i)));
+    const auto fv = b.load(AddrExpr::makeObject(force, B::reg(i)));
+    const auto twice = b.fadd(B::reg(dv), B::reg(dv));
+    const auto hist = b.fsub(B::reg(twice), B::reg(ov));
+    const auto kick = b.fmul(B::reg(fv), B::fpImm(0.001));
+    const auto newv = b.fadd(B::reg(hist), B::reg(kick));
+    b.store(AddrExpr::makeObject(disp_old, B::reg(i)), B::reg(dv));
+    b.store(AddrExpr::makeObject(disp, B::reg(i)), B::reg(newv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto gc = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(gc), integrate, step_next);
+
+    b.setInsertPoint(step_next);
+    b.addTo(s, B::reg(s), B::imm(1));
+    const auto rounds = b.shr(B::reg(n), B::imm(3));
+    const auto sc = b.cmpLt(B::reg(s), B::reg(rounds));
+    b.br(B::reg(sc), steps, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto rdv = b.load(AddrExpr::makeObject(disp, B::reg(i)));
+    b.emitTo(sum, Opcode::FAdd, B::reg(sum), B::reg(rdv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    const auto clamped = b.fmul(B::reg(sum), B::fpImm(16.0));
+    const auto out = b.f2i(B::reg(clamped));
+    b.store(AddrExpr::makeObject(result), B::reg(out));
+    b.ret(B::reg(out));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * g721encode / g721decode — ADPCM speech codec (Mediabench stand-ins).
+ *
+ * The per-sample loops carry their predictor state (previous value and
+ * step index) in registers, exactly like the real codec keeps them in
+ * locals: the only instrumentation the hot loop needs is the
+ * register checkpoint at region entry, so both directions land in the
+ * "Recoverable w/ Idempotence" slice with near-perfect coverage
+ * (Figure 8's rawcaudio/g721 columns).
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+
+/// Emits the shared step-size table (read-only after setup).
+ir::ObjectId
+emitStepTable(B &b)
+{
+    return b.global("steps", 16);
+}
+
+/// Emits a function filling the step table with a quasi-exponential
+/// ramp; runs once at startup.
+void
+emitInitSteps(B &b, ir::ObjectId steps)
+{
+    b.beginFunction("init_steps", 0);
+    auto *loop = b.newBlock("loop");
+    auto *done = b.newBlock("done");
+    const auto k = b.mov(B::imm(0));
+    const auto v = b.mov(B::imm(7));
+    b.jmp(loop);
+
+    b.setInsertPoint(loop);
+    b.store(AddrExpr::makeObject(steps, B::reg(k)), B::reg(v));
+    const auto grown = b.mul(B::reg(v), B::imm(5));
+    const auto next = b.div(B::reg(grown), B::imm(4));
+    b.movTo(v, B::reg(next));
+    b.addTo(k, B::reg(k), B::imm(1));
+    const auto kc = b.cmpLt(B::reg(k), B::imm(16));
+    b.br(B::reg(kc), loop, done);
+
+    b.setInsertPoint(done);
+    b.ret(B::imm(0));
+    b.endFunction();
+}
+
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildG721Encode()
+{
+    auto module = std::make_unique<ir::Module>("g721encode");
+    B b(module.get());
+
+    const auto steps = emitStepTable(b);
+    const auto pcm = b.global("pcm", 512);
+    const auto codes = b.global("codes", 512);
+    const auto errlog = b.global("errlog", 1);
+    const auto result = b.global("result", 1);
+    emitInitSteps(b, steps);
+
+    b.beginFunction("main", 1);
+    auto *fill = b.newBlock("fill");
+    auto *encode = b.newBlock("encode");
+    auto *neg = b.newBlock("neg");
+    auto *pos = b.newBlock("pos");
+    auto *quantized = b.newBlock("quantized");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    b.callVoid("init_steps", {});
+    const auto i = b.mov(B::imm(0));
+    const auto valpred = b.mov(B::imm(0));
+    const auto index = b.mov(B::imm(4));
+    const auto acc = b.mov(B::imm(0));
+    const auto mag = b.mov(B::imm(0));
+    const auto sign = b.mov(B::imm(0));
+    b.jmp(fill);
+
+    // Synthesize a PCM waveform (writes only).
+    b.setInsertPoint(fill);
+    const auto w0 = b.mul(B::reg(i), B::imm(17));
+    const auto w1 = b.band(B::reg(w0), B::imm(255));
+    const auto w2 = b.sub(B::reg(w1), B::imm(128));
+    const auto w3 = b.mul(B::reg(w2), B::imm(3));
+    b.store(AddrExpr::makeObject(pcm, B::reg(i)), B::reg(w3));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(fc), fill, encode);
+
+    // encode: quantize the prediction error against the step table.
+    b.setInsertPoint(encode);
+    b.movTo(i, B::imm(0));
+    auto *enc_loop = b.newBlock("enc_loop");
+    b.jmp(enc_loop);
+
+    b.setInsertPoint(enc_loop);
+    const auto sample = b.load(AddrExpr::makeObject(pcm, B::reg(i)));
+    const auto diff = b.sub(B::reg(sample), B::reg(valpred));
+    const auto is_neg = b.cmpLt(B::reg(diff), B::imm(0));
+    b.br(B::reg(is_neg), neg, pos);
+
+    b.setInsertPoint(neg);
+    b.movTo(sign, B::imm(8));
+    b.movTo(mag, B::reg(b.neg(B::reg(diff))));
+    b.jmp(quantized);
+
+    b.setInsertPoint(pos);
+    b.movTo(sign, B::imm(0));
+    b.movTo(mag, B::reg(diff));
+    b.jmp(quantized);
+
+    b.setInsertPoint(quantized);
+    const auto step = b.load(AddrExpr::makeObject(steps, B::reg(index)));
+    const auto q0 = b.div(B::reg(mag), B::reg(step));
+    const auto q1 = b.cmpGt(B::reg(q0), B::imm(7));
+    const auto level = b.select(B::reg(q1), B::imm(7), B::reg(q0));
+    // Step-table corruption guard: dynamically dead, WAR on the error
+    // counter — visible only without Pmin pruning.
+    auto *step_err = b.newBlock("step_err");
+    auto *emit_code = b.newBlock("emit_code");
+    const auto bad_step = b.cmpLe(B::reg(step), B::imm(0));
+    b.br(B::reg(bad_step), step_err, emit_code);
+
+    b.setInsertPoint(step_err);
+    const auto g_ec = b.load(AddrExpr::makeObject(errlog));
+    const auto g_ec2 = b.add(B::reg(g_ec), B::imm(1));
+    b.store(AddrExpr::makeObject(errlog), B::reg(g_ec2));
+    b.jmp(emit_code);
+
+    b.setInsertPoint(emit_code);
+    const auto code = b.bor(B::reg(sign), B::reg(level));
+    b.store(AddrExpr::makeObject(codes, B::reg(i)), B::reg(code));
+
+    // Reconstruct the prediction (register state updates only).
+    const auto delta = b.mul(B::reg(level), B::reg(step));
+    const auto half = b.div(B::reg(step), B::imm(2));
+    const auto change = b.add(B::reg(delta), B::reg(half));
+    const auto signed_change =
+        b.select(B::reg(sign), B::reg(b.neg(B::reg(change))),
+                 B::reg(change));
+    b.emitTo(valpred, Opcode::Add, B::reg(valpred), B::reg(signed_change));
+
+    // Step-index adaptation, clamped to [0, 15].
+    const auto fast = b.cmpGt(B::reg(level), B::imm(4));
+    const auto adj = b.select(B::reg(fast), B::imm(2), B::imm(-1));
+    const auto raw = b.add(B::reg(index), B::reg(adj));
+    const auto lo = b.cmpLt(B::reg(raw), B::imm(0));
+    const auto floored = b.select(B::reg(lo), B::imm(0), B::reg(raw));
+    const auto hi = b.cmpGt(B::reg(floored), B::imm(15));
+    b.emitTo(index, Opcode::Select, B::reg(hi), B::imm(15),
+             B::reg(floored));
+
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto ec = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(ec), enc_loop, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto cv = b.load(AddrExpr::makeObject(codes, B::reg(i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(cv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+std::unique_ptr<ir::Module>
+buildG721Decode()
+{
+    auto module = std::make_unique<ir::Module>("g721decode");
+    B b(module.get());
+
+    const auto steps = emitStepTable(b);
+    const auto codes = b.global("codes", 512);
+    const auto pcm = b.global("pcm", 512);
+    const auto result = b.global("result", 1);
+    emitInitSteps(b, steps);
+
+    b.beginFunction("main", 1);
+    auto *fill = b.newBlock("fill");
+    auto *decode = b.newBlock("decode");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    b.callVoid("init_steps", {});
+    const auto i = b.mov(B::imm(0));
+    const auto valpred = b.mov(B::imm(0));
+    const auto index = b.mov(B::imm(4));
+    const auto acc = b.mov(B::imm(0));
+    // Stream pointers the decoder cannot statically tell apart.
+    const auto pcodes = b.lea(AddrExpr::makeObject(codes));
+    const auto ppcm = b.lea(AddrExpr::makeObject(pcm));
+    const auto one = b.mov(B::imm(1));
+    const auto out_ptr =
+        b.select(B::reg(one), B::reg(ppcm), B::reg(pcodes));
+    b.jmp(fill);
+
+    b.setInsertPoint(fill);
+    const auto c0 = b.mul(B::reg(i), B::imm(7));
+    const auto code_v = b.band(B::reg(c0), B::imm(15));
+    b.store(AddrExpr::makeObject(codes, B::reg(i)), B::reg(code_v));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(fc), fill, decode);
+
+    b.setInsertPoint(decode);
+    b.movTo(i, B::imm(0));
+    auto *dec_loop = b.newBlock("dec_loop");
+    b.jmp(dec_loop);
+
+    b.setInsertPoint(dec_loop);
+    const auto code = b.load(AddrExpr::makeObject(codes, B::reg(i)));
+    const auto level = b.band(B::reg(code), B::imm(7));
+    const auto sign = b.band(B::reg(code), B::imm(8));
+    const auto step = b.load(AddrExpr::makeObject(steps, B::reg(index)));
+    const auto delta = b.mul(B::reg(level), B::reg(step));
+    const auto half = b.div(B::reg(step), B::imm(2));
+    const auto change = b.add(B::reg(delta), B::reg(half));
+    const auto signed_change =
+        b.select(B::reg(sign), B::reg(b.neg(B::reg(change))),
+                 B::reg(change));
+    b.emitTo(valpred, Opcode::Add, B::reg(valpred), B::reg(signed_change));
+    b.store(AddrExpr::makeReg(out_ptr, B::reg(i)), B::reg(valpred));
+
+    const auto fast = b.cmpGt(B::reg(level), B::imm(4));
+    const auto adj = b.select(B::reg(fast), B::imm(2), B::imm(-1));
+    const auto raw = b.add(B::reg(index), B::reg(adj));
+    const auto lo = b.cmpLt(B::reg(raw), B::imm(0));
+    const auto floored = b.select(B::reg(lo), B::imm(0), B::reg(raw));
+    const auto hi = b.cmpGt(B::reg(floored), B::imm(15));
+    b.emitTo(index, Opcode::Select, B::reg(hi), B::imm(15),
+             B::reg(floored));
+
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto dc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(dc), dec_loop, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto pv = b.load(AddrExpr::makeObject(pcm, B::reg(i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(pv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

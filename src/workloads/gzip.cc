@@ -1,0 +1,214 @@
+/**
+ * @file
+ * 164.gzip — LZ77-style compression kernel (SPEC2K-INT stand-in).
+ *
+ * Idempotence character: the deflate loop maintains hash-chain heads in
+ * place (`head[h]` is read to find the previous candidate and then
+ * overwritten with the current position — a classic WAR that Encore
+ * must checkpoint), while the literal/match emission writes to disjoint
+ * output arrays (idempotent). Periodic calls to an opaque flush routine
+ * leave their region Unknown, reproducing gzip's "library call" slice
+ * of Figure 5.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildGzip()
+{
+    auto module = std::make_unique<ir::Module>("164.gzip");
+    B b(module.get());
+
+    const auto input = b.global("input", 512);
+    const auto head = b.global("head", 64);
+    const auto lit_out = b.global("lit_out", 512);
+    const auto match_out = b.global("match_out", 512);
+    const auto iobuf = b.global("iobuf", 16);
+    const auto errlog = b.global("errlog", 1);
+    const auto result = b.global("result", 1);
+
+    // --- fill_input(n): deterministic pseudo-random bytes -----------------
+    {
+        b.beginFunction("fill_input", 1);
+        auto *loop = b.newBlock("loop");
+        auto *done = b.newBlock("done");
+        const auto i = b.mov(B::imm(0));
+        const auto seed = b.mov(B::imm(88172645463325252LL));
+        b.jmp(loop);
+
+        b.setInsertPoint(loop);
+        const auto s1 = b.mul(B::reg(seed), B::imm(6364136223846793005LL));
+        b.emitTo(seed, Opcode::Add, B::reg(s1),
+                 B::imm(1442695040888963407LL));
+        const auto sh = b.shr(B::reg(seed), B::imm(33));
+        const auto byte = b.band(B::reg(sh), B::imm(31));
+        b.store(AddrExpr::makeObject(input, B::reg(i)), B::reg(byte));
+        b.addTo(i, B::reg(i), B::imm(1));
+        const auto c = b.cmpLt(B::reg(i), B::reg(0));
+        b.br(B::reg(c), loop, done);
+
+        b.setInsertPoint(done);
+        b.ret(B::imm(0));
+        b.endFunction();
+    }
+
+    // --- flush_block(pos): opaque "library" output routine ------------------
+    {
+        b.beginFunction("flush_block", 1);
+        const auto slot = b.band(B::reg(0), B::imm(15));
+        b.store(AddrExpr::makeObject(iobuf, B::reg(slot)), B::reg(0));
+        b.ret(B::imm(0));
+        b.endFunction();
+    }
+
+    // --- main(n) --------------------------------------------------------------
+    b.beginFunction("main", 1);
+    auto *deflate = b.newBlock("deflate");
+    auto *try_match = b.newBlock("try_match");
+    auto *match_init = b.newBlock("match_init");
+    auto *match_step = b.newBlock("match_step");
+    auto *match_cmp = b.newBlock("match_cmp");
+    auto *match_emit = b.newBlock("match_emit");
+    auto *literal = b.newBlock("literal");
+    auto *maybe_flush = b.newBlock("maybe_flush");
+    auto *do_flush = b.newBlock("do_flush");
+    auto *next = b.newBlock("next");
+    auto *sum_init = b.newBlock("sum_init");
+    auto *sum_loop = b.newBlock("sum_loop");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0; // r0
+    b.callVoid("fill_input", {B::reg(n)});
+    // Output streams handled through pointers the compiler cannot
+    // statically separate from each other.
+    const auto plit = b.lea(AddrExpr::makeObject(lit_out));
+    const auto pmatch = b.lea(AddrExpr::makeObject(match_out));
+    const auto one = b.mov(B::imm(1));
+    const auto lit_ptr =
+        b.select(B::reg(one), B::reg(plit), B::reg(pmatch));
+    const auto match_ptr =
+        b.select(B::reg(one), B::reg(pmatch), B::reg(plit));
+    const auto i = b.mov(B::imm(2));
+    const auto j = b.mov(B::imm(0));
+    const auto prev = b.mov(B::imm(0));
+    const auto cur = b.mov(B::imm(0));
+    b.jmp(deflate);
+
+    // deflate: hash the trailing 3 bytes, probe and update the chain.
+    b.setInsertPoint(deflate);
+    const auto i2 = b.sub(B::reg(i), B::imm(2));
+    const auto i1 = b.sub(B::reg(i), B::imm(1));
+    const auto b0 = b.load(AddrExpr::makeObject(input, B::reg(i2)));
+    const auto b1 = b.load(AddrExpr::makeObject(input, B::reg(i1)));
+    b.movTo(cur, B::reg(b.load(AddrExpr::makeObject(input, B::reg(i)))));
+    const auto h0 = b.mul(B::reg(b0), B::imm(33));
+    const auto h1 = b.add(B::reg(h0), B::reg(b1));
+    const auto h2 = b.mul(B::reg(h1), B::imm(33));
+    const auto h3 = b.add(B::reg(h2), B::reg(cur));
+    const auto h = b.band(B::reg(h3), B::imm(63));
+    // WAR: read the chain head, then overwrite it with our position.
+    b.movTo(prev, B::reg(b.load(AddrExpr::makeObject(head, B::reg(h)))));
+    b.store(AddrExpr::makeObject(head, B::reg(h)), B::reg(i));
+    const auto has_prev = b.cmpGt(B::reg(prev), B::imm(0));
+    b.br(B::reg(has_prev), try_match, literal);
+
+    // try_match: the candidate must start with the same byte.
+    b.setInsertPoint(try_match);
+    const auto cand = b.load(AddrExpr::makeObject(input, B::reg(prev)));
+    const auto same = b.cmpEq(B::reg(cand), B::reg(cur));
+    b.br(B::reg(same), match_init, literal);
+
+    b.setInsertPoint(match_init);
+    b.movTo(j, B::imm(1));
+    b.jmp(match_step);
+
+    // match_step: stop at length 4 or end of input.
+    b.setInsertPoint(match_step);
+    const auto at_limit = b.cmpGe(B::reg(j), B::imm(4));
+    const auto ipj = b.add(B::reg(i), B::reg(j));
+    const auto past_end = b.cmpGe(B::reg(ipj), B::reg(n));
+    const auto stop = b.bor(B::reg(at_limit), B::reg(past_end));
+    b.br(B::reg(stop), match_emit, match_cmp);
+
+    b.setInsertPoint(match_cmp);
+    const auto ppj = b.add(B::reg(prev), B::reg(j));
+    const auto a_byte = b.load(AddrExpr::makeObject(input, B::reg(ppj)));
+    const auto ipj2 = b.add(B::reg(i), B::reg(j));
+    const auto b_byte = b.load(AddrExpr::makeObject(input, B::reg(ipj2)));
+    const auto eq = b.cmpEq(B::reg(a_byte), B::reg(b_byte));
+    b.addTo(j, B::reg(j), B::imm(1));
+    b.br(B::reg(eq), match_step, match_emit);
+
+    // Overflow guard: can never fire (j <= 4), but the error counter
+    // bump is a WAR that only Pmin pruning can dismiss — the paper's
+    // "dynamically dead" code.
+    auto *match_err = b.newBlock("match_err");
+    auto *match_store = b.newBlock("match_store");
+    b.setInsertPoint(match_emit);
+    const auto insane = b.cmpGt(B::reg(j), B::imm(64));
+    b.br(B::reg(insane), match_err, match_store);
+
+    b.setInsertPoint(match_err);
+    const auto ec = b.load(AddrExpr::makeObject(errlog));
+    const auto ec2 = b.add(B::reg(ec), B::imm(1));
+    b.store(AddrExpr::makeObject(errlog), B::reg(ec2));
+    b.jmp(match_store);
+
+    b.setInsertPoint(match_store);
+    b.store(AddrExpr::makeReg(match_ptr, B::reg(i)), B::reg(j));
+    b.jmp(maybe_flush);
+
+    b.setInsertPoint(literal);
+    b.store(AddrExpr::makeReg(lit_ptr, B::reg(i)), B::reg(cur));
+    b.jmp(maybe_flush);
+
+    // Every 64 positions, call the opaque output routine.
+    b.setInsertPoint(maybe_flush);
+    const auto low = b.band(B::reg(i), B::imm(63));
+    const auto is_flush = b.cmpEq(B::reg(low), B::imm(0));
+    b.br(B::reg(is_flush), do_flush, next);
+
+    b.setInsertPoint(do_flush);
+    b.callVoid("flush_block", {B::reg(i)});
+    b.jmp(next);
+
+    b.setInsertPoint(next);
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto more = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(more), deflate, sum_init);
+
+    // Checksum both output streams.
+    b.setInsertPoint(sum_init);
+    const auto k = b.mov(B::imm(0));
+    const auto acc = b.mov(B::imm(0));
+    b.jmp(sum_loop);
+
+    b.setInsertPoint(sum_loop);
+    const auto lv = b.load(AddrExpr::makeObject(lit_out, B::reg(k)));
+    const auto mv = b.load(AddrExpr::makeObject(match_out, B::reg(k)));
+    const auto three = b.mul(B::reg(acc), B::imm(3));
+    const auto plus = b.add(B::reg(three), B::reg(lv));
+    b.emitTo(acc, Opcode::Add, B::reg(plus), B::reg(mv));
+    b.addTo(k, B::reg(k), B::imm(1));
+    const auto klt = b.cmpLt(B::reg(k), B::reg(n));
+    b.br(B::reg(klt), sum_loop, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result, B::imm(0)), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * 181.mcf — network-simplex-style pointer chasing (SPEC2K-INT
+ * stand-in).
+ *
+ * The hot loop walks an arc list and updates node potentials in place
+ * on every step — a WAR per iteration at a statically unresolvable
+ * offset. Instrumenting the loop would accumulate an undo record per
+ * iteration, blowing the per-region checkpoint storage budget, so the
+ * region stays unprotected: mcf is the paper's poster child for lost
+ * recoverability coverage (Figures 6 and 8).
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildMcf()
+{
+    auto module = std::make_unique<ir::Module>("181.mcf");
+    B b(module.get());
+
+    const auto next_arc = b.global("next_arc", 128);
+    const auto arc_cost = b.global("arc_cost", 128);
+    const auto potential = b.global("potential", 128);
+    const auto flow = b.global("flow", 128);
+    const auto result = b.global("result", 1);
+
+    // --- build_network(): fixed pseudo-random topology ----------------------
+    {
+        b.beginFunction("build_network", 0);
+        auto *loop = b.newBlock("loop");
+        auto *done = b.newBlock("done");
+        const auto k = b.mov(B::imm(0));
+        b.jmp(loop);
+
+        b.setInsertPoint(loop);
+        const auto k61 = b.mul(B::reg(k), B::imm(61));
+        const auto succ = b.add(B::reg(k61), B::imm(17));
+        const auto wrapped = b.band(B::reg(succ), B::imm(127));
+        b.store(AddrExpr::makeObject(next_arc, B::reg(k)),
+                B::reg(wrapped));
+        const auto k13 = b.mul(B::reg(k), B::imm(13));
+        const auto cost = b.band(B::reg(k13), B::imm(63));
+        b.store(AddrExpr::makeObject(arc_cost, B::reg(k)), B::reg(cost));
+        b.store(AddrExpr::makeObject(potential, B::reg(k)), B::reg(cost));
+        b.addTo(k, B::reg(k), B::imm(1));
+        const auto kc = b.cmpLt(B::reg(k), B::imm(128));
+        b.br(B::reg(kc), loop, done);
+
+        b.setInsertPoint(done);
+        b.ret(B::imm(0));
+        b.endFunction();
+    }
+
+    // --- main(n): price-and-update walk --------------------------------------
+    b.beginFunction("main", 1);
+    auto *walk = b.newBlock("walk");
+    auto *augment = b.newBlock("augment");
+    auto *skip = b.newBlock("skip");
+    auto *advance = b.newBlock("advance");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    b.callVoid("build_network", {});
+    const auto steps = b.mul(B::reg(n), B::imm(4));
+    const auto t = b.mov(B::imm(0));
+    const auto cur = b.mov(B::imm(1));
+    const auto acc = b.mov(B::imm(0));
+    b.jmp(walk);
+
+    // walk: follow the arc, reprice the target node in place.
+    b.setInsertPoint(walk);
+    const auto nxt = b.load(AddrExpr::makeObject(next_arc, B::reg(cur)));
+    const auto cost = b.load(AddrExpr::makeObject(arc_cost, B::reg(nxt)));
+    const auto pot = b.load(AddrExpr::makeObject(potential, B::reg(nxt)));
+    const auto damp = b.shr(B::reg(pot), B::imm(2));
+    const auto raise = b.add(B::reg(pot), B::reg(cost));
+    const auto newpot = b.sub(B::reg(raise), B::reg(damp));
+    // WAR: read potential[nxt], then overwrite it, every iteration.
+    b.store(AddrExpr::makeObject(potential, B::reg(nxt)), B::reg(newpot));
+    const auto negative = b.cmpLt(B::reg(newpot), B::imm(32));
+    b.br(B::reg(negative), augment, skip);
+
+    // augment: push flow along the arc (second in-place update).
+    b.setInsertPoint(augment);
+    const auto f = b.load(AddrExpr::makeObject(flow, B::reg(nxt)));
+    const auto f2 = b.add(B::reg(f), B::imm(1));
+    b.store(AddrExpr::makeObject(flow, B::reg(nxt)), B::reg(f2));
+    b.emitTo(acc, Opcode::Add, B::reg(acc), B::reg(cost));
+    b.jmp(advance);
+
+    b.setInsertPoint(skip);
+    b.emitTo(acc, Opcode::Add, B::reg(acc), B::imm(1));
+    b.jmp(advance);
+
+    b.setInsertPoint(advance);
+    const auto mix = b.band(B::reg(pot), B::imm(3));
+    const auto hop = b.add(B::reg(nxt), B::reg(mix));
+    const auto wrapped = b.band(B::reg(hop), B::imm(127));
+    b.movTo(cur, B::reg(wrapped));
+    b.addTo(t, B::reg(t), B::imm(1));
+    const auto more = b.cmpLt(B::reg(t), B::reg(steps));
+    b.br(B::reg(more), walk, done);
+
+    b.setInsertPoint(done);
+    const auto p0 = b.load(AddrExpr::makeObject(potential, B::imm(7)));
+    const auto out = b.bxor(B::reg(acc), B::reg(p0));
+    b.store(AddrExpr::makeObject(result), B::reg(out));
+    b.ret(B::reg(out));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

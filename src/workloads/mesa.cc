@@ -1,0 +1,143 @@
+/**
+ * @file
+ * 177.mesa — rasterization with z-test and blending (SPEC2K-FP
+ * stand-in).
+ *
+ * Every pixel performs read-modify-write updates on both the depth
+ * buffer and the frame buffer. Checkpointing them would log an undo
+ * record per pixel — far beyond the per-region storage budget — so the
+ * rasterizer loop stays unprotected. The paper singles out mesa as a
+ * benchmark that could not approach the 20% overhead target without
+ * losing recoverability coverage.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildMesa()
+{
+    auto module = std::make_unique<ir::Module>("177.mesa");
+    B b(module.get());
+
+    const auto fb = b.global("fb", 64);
+    const auto zb = b.global("zb", 64);
+    const auto texture = b.global("texture", 32);
+    const auto errlog = b.global("errlog", 1);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *tex_init = b.newBlock("tex_init");
+    auto *clear = b.newBlock("clear");
+    auto *raster = b.newBlock("raster");
+    auto *zpass = b.newBlock("zpass");
+    auto *next = b.newBlock("next");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto k = b.mov(B::imm(0));
+    const auto t = b.mov(B::imm(0));
+    const auto acc = b.mov(B::imm(0));
+    b.jmp(tex_init);
+
+    b.setInsertPoint(tex_init);
+    const auto tex = b.mul(B::reg(k), B::imm(5));
+    const auto texv = b.band(B::reg(tex), B::imm(255));
+    b.store(AddrExpr::makeObject(texture, B::reg(k)), B::reg(texv));
+    b.addTo(k, B::reg(k), B::imm(1));
+    const auto tc = b.cmpLt(B::reg(k), B::imm(32));
+    b.br(B::reg(tc), tex_init, clear);
+
+    b.setInsertPoint(clear);
+    b.movTo(k, B::imm(0));
+    auto *clear_loop = b.newBlock("clear_loop");
+    b.jmp(clear_loop);
+
+    b.setInsertPoint(clear_loop);
+    b.store(AddrExpr::makeObject(fb, B::reg(k)), B::imm(0));
+    b.store(AddrExpr::makeObject(zb, B::reg(k)), B::imm(255));
+    b.addTo(k, B::reg(k), B::imm(1));
+    const auto cc = b.cmpLt(B::reg(k), B::imm(64));
+    b.br(B::reg(cc), clear_loop, raster);
+
+    // raster: one fragment per step; z-test then alpha blend.
+    b.setInsertPoint(raster);
+    const auto h = b.mul(B::reg(t), B::imm(2654435761LL));
+    const auto hp = b.shr(B::reg(h), B::imm(16));
+    const auto pix = b.band(B::reg(hp), B::imm(63));
+    const auto hz = b.shr(B::reg(h), B::imm(26));
+    const auto z = b.band(B::reg(hz), B::imm(255));
+    const auto zcur = b.load(AddrExpr::makeObject(zb, B::reg(pix)));
+    // Degenerate-fragment guard: depth values are masked to 8 bits, so
+    // this never fires — dynamically dead error handling.
+    auto *frag_err = b.newBlock("frag_err");
+    auto *ztest = b.newBlock("ztest");
+    const auto degenerate = b.cmpGt(B::reg(z), B::imm(4096));
+    b.br(B::reg(degenerate), frag_err, ztest);
+
+    b.setInsertPoint(frag_err);
+    const auto ec = b.load(AddrExpr::makeObject(errlog));
+    const auto ec2 = b.add(B::reg(ec), B::imm(1));
+    b.store(AddrExpr::makeObject(errlog), B::reg(ec2));
+    b.jmp(ztest);
+
+    // Every fragment alpha-blends into the frame buffer: a WAR per
+    // fragment whose undo log outgrows the checkpoint storage budget —
+    // mesa is the paper's example of a benchmark that cannot approach
+    // the overhead target without giving up recoverability coverage.
+    b.setInsertPoint(ztest);
+    const auto ti = b.band(B::reg(t), B::imm(31));
+    const auto color = b.load(AddrExpr::makeObject(texture, B::reg(ti)));
+    const auto old = b.load(AddrExpr::makeObject(fb, B::reg(pix)));
+    const auto blend0 = b.mul(B::reg(old), B::imm(3));
+    const auto blend1 = b.add(B::reg(blend0), B::reg(color));
+    const auto blended = b.shr(B::reg(blend1), B::imm(2));
+    b.store(AddrExpr::makeObject(fb, B::reg(pix)), B::reg(blended));
+    b.emitTo(acc, Opcode::Add, B::reg(acc), B::imm(1));
+    const auto closer = b.cmpLt(B::reg(z), B::reg(zcur));
+    b.br(B::reg(closer), zpass, next);
+
+    b.setInsertPoint(zpass);
+    // WAR on the depth buffer for fragments that win the z-test.
+    b.store(AddrExpr::makeObject(zb, B::reg(pix)), B::reg(z));
+    b.jmp(next);
+
+    b.setInsertPoint(next);
+    b.addTo(t, B::reg(t), B::imm(1));
+    const auto more = b.cmpLt(B::reg(t), B::reg(n));
+    b.br(B::reg(more), raster, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(k, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto fv = b.load(AddrExpr::makeObject(fb, B::reg(k)));
+    const auto zv = b.load(AddrExpr::makeObject(zb, B::reg(k)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    const auto acc4 = b.add(B::reg(acc3), B::reg(fv));
+    b.emitTo(acc, Opcode::Add, B::reg(acc4), B::reg(zv));
+    b.addTo(k, B::reg(k), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(k), B::imm(64));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * 172.mgrid — multigrid smoother (SPEC2K-FP stand-in).
+ *
+ * Alternating three-point stencil passes between two distinct grids:
+ * every hot loop reads one array and writes the other, so the whole
+ * kernel is naturally idempotent — mgrid is one of the paper's
+ * "instrumented everything without spending the budget" benchmarks.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildMgrid()
+{
+    auto module = std::make_unique<ir::Module>("172.mgrid");
+    B b(module.get());
+
+    const auto va = b.global("va", 66);
+    const auto vb = b.global("vb", 66);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *init = b.newBlock("init");
+    auto *passes = b.newBlock("passes");
+    auto *smooth_ab = b.newBlock("smooth_ab");
+    auto *smooth_ba_init = b.newBlock("smooth_ba_init");
+    auto *smooth_ba = b.newBlock("smooth_ba");
+    auto *pass_next = b.newBlock("pass_next");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto p = b.mov(B::imm(0));
+    const auto quarter = b.mov(B::fpImm(0.25));
+    const auto half = b.mov(B::fpImm(0.5));
+    const auto sum = b.mov(B::fpImm(0.0));
+    // Grid pointers: like real multigrid code, the smoother receives
+    // src/dst pointers it cannot statically tell apart — the paper's
+    // alias-analysis checkpointing pressure (Figure 7a).
+    const auto pva = b.lea(AddrExpr::makeObject(va));
+    const auto pvb = b.lea(AddrExpr::makeObject(vb));
+    const auto one = b.mov(B::imm(1));
+    const auto src_ab = b.select(B::reg(one), B::reg(pva), B::reg(pvb));
+    const auto dst_ab = b.select(B::reg(one), B::reg(pvb), B::reg(pva));
+    const auto src_ba = b.select(B::reg(one), B::reg(pvb), B::reg(pva));
+    const auto dst_ba = b.select(B::reg(one), B::reg(pva), B::reg(pvb));
+    b.jmp(init);
+
+    // init: va[i] = i / 66.0-ish seed values.
+    b.setInsertPoint(init);
+    const auto fi = b.i2f(B::reg(i));
+    const auto scaled = b.fmul(B::reg(fi), B::reg(quarter));
+    b.store(AddrExpr::makeObject(va, B::reg(i)), B::reg(scaled));
+    b.store(AddrExpr::makeObject(vb, B::reg(i)), B::imm(0));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto ic = b.cmpLt(B::reg(i), B::imm(66));
+    b.br(B::reg(ic), init, passes);
+
+    // passes: n/16 smoothing rounds.
+    b.setInsertPoint(passes);
+    b.movTo(i, B::imm(1));
+    b.jmp(smooth_ab);
+
+    // vb[i] = 0.25*(va[i-1] + 2*va[i] + va[i+1])
+    b.setInsertPoint(smooth_ab);
+    const auto im1 = b.sub(B::reg(i), B::imm(1));
+    const auto ip1 = b.add(B::reg(i), B::imm(1));
+    const auto a0 = b.load(AddrExpr::makeReg(src_ab, B::reg(im1)));
+    const auto a1 = b.load(AddrExpr::makeReg(src_ab, B::reg(i)));
+    const auto a2 = b.load(AddrExpr::makeReg(src_ab, B::reg(ip1)));
+    const auto twice = b.fmul(B::reg(a1), B::reg(half));
+    const auto e0 = b.fadd(B::reg(a0), B::reg(twice));
+    const auto e1 = b.fadd(B::reg(e0), B::reg(a2));
+    const auto e2 = b.fmul(B::reg(e1), B::reg(quarter));
+    b.store(AddrExpr::makeReg(dst_ab, B::reg(i)), B::reg(e2));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto sc = b.cmpLt(B::reg(i), B::imm(65));
+    b.br(B::reg(sc), smooth_ab, smooth_ba_init);
+
+    b.setInsertPoint(smooth_ba_init);
+    b.movTo(i, B::imm(1));
+    b.jmp(smooth_ba);
+
+    // va[i] = 0.25*(vb[i-1] + 2*vb[i] + vb[i+1])
+    b.setInsertPoint(smooth_ba);
+    const auto jm1 = b.sub(B::reg(i), B::imm(1));
+    const auto jp1 = b.add(B::reg(i), B::imm(1));
+    const auto b0 = b.load(AddrExpr::makeReg(src_ba, B::reg(jm1)));
+    const auto b1 = b.load(AddrExpr::makeReg(src_ba, B::reg(i)));
+    const auto b2 = b.load(AddrExpr::makeReg(src_ba, B::reg(jp1)));
+    const auto twiceb = b.fmul(B::reg(b1), B::reg(half));
+    const auto f0 = b.fadd(B::reg(b0), B::reg(twiceb));
+    const auto f1 = b.fadd(B::reg(f0), B::reg(b2));
+    const auto f2 = b.fmul(B::reg(f1), B::reg(quarter));
+    b.store(AddrExpr::makeReg(dst_ba, B::reg(i)), B::reg(f2));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto bc = b.cmpLt(B::reg(i), B::imm(65));
+    b.br(B::reg(bc), smooth_ba, pass_next);
+
+    b.setInsertPoint(pass_next);
+    b.addTo(p, B::reg(p), B::imm(1));
+    const auto rounds = b.shr(B::reg(n), B::imm(4));
+    const auto pc = b.cmpLt(B::reg(p), B::reg(rounds));
+    b.br(B::reg(pc), passes, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto v = b.load(AddrExpr::makeObject(va, B::reg(i)));
+    b.emitTo(sum, Opcode::FAdd, B::reg(sum), B::reg(v));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::imm(66));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    const auto scaled_sum = b.fmul(B::reg(sum), B::fpImm(1024.0));
+    const auto out = b.f2i(B::reg(scaled_sum));
+    b.store(AddrExpr::makeObject(result), B::reg(out));
+    b.ret(B::reg(out));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

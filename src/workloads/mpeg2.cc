@@ -1,0 +1,286 @@
+/**
+ * @file
+ * mpeg2dec / mpeg2enc — MPEG-2 video kernels (Mediabench stand-ins).
+ *
+ * Decoder: motion compensation reads the reference frame and the
+ * residual, writes the current frame with saturation (idempotent).
+ * Encoder: block-matching motion search is a read-only SAD scan; the
+ * reconstruction writes a separate frame; a small rate-control word is
+ * updated in place (one cheap WAR per macroblock).
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildMpeg2Dec()
+{
+    auto module = std::make_unique<ir::Module>("mpeg2dec");
+    B b(module.get());
+
+    const auto ref = b.global("ref", 256);
+    const auto residual = b.global("residual", 256);
+    const auto frame = b.global("frame", 256);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *fill = b.newBlock("fill");
+    auto *mc = b.newBlock("mc");
+    auto *mc_loop = b.newBlock("mc_loop");
+    auto *sat_hi = b.newBlock("sat_hi");
+    auto *sat_ok = b.newBlock("sat_ok");
+    auto *mc_next = b.newBlock("mc_next");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto acc = b.mov(B::imm(0));
+    b.jmp(fill);
+
+    b.setInsertPoint(fill);
+    const auto r0 = b.mul(B::reg(i), B::imm(19));
+    const auto rv = b.band(B::reg(r0), B::imm(255));
+    b.store(AddrExpr::makeObject(ref, B::reg(i)), B::reg(rv));
+    const auto d0 = b.mul(B::reg(i), B::imm(7));
+    const auto d1 = b.band(B::reg(d0), B::imm(63));
+    const auto dv = b.sub(B::reg(d1), B::imm(32));
+    b.store(AddrExpr::makeObject(residual, B::reg(i)), B::reg(dv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::imm(256));
+    b.br(B::reg(fc), fill, mc);
+
+    // Motion compensation over n macroblock rows.
+    b.setInsertPoint(mc);
+    const auto row = b.mov(B::imm(0));
+    b.movTo(i, B::imm(0));
+    b.jmp(mc_loop);
+
+    b.setInsertPoint(mc_loop);
+    // Motion vector derived from the row index.
+    const auto mv0 = b.mul(B::reg(row), B::imm(3));
+    const auto mv = b.band(B::reg(mv0), B::imm(15));
+    const auto src0 = b.add(B::reg(i), B::reg(mv));
+    const auto src = b.band(B::reg(src0), B::imm(255));
+    const auto pred = b.load(AddrExpr::makeObject(ref, B::reg(src)));
+    const auto res = b.load(AddrExpr::makeObject(residual, B::reg(i)));
+    const auto raw = b.add(B::reg(pred), B::reg(res));
+    const auto over = b.cmpGt(B::reg(raw), B::imm(255));
+    b.br(B::reg(over), sat_hi, sat_ok);
+
+    b.setInsertPoint(sat_hi);
+    b.store(AddrExpr::makeObject(frame, B::reg(i)), B::imm(255));
+    b.jmp(mc_next);
+
+    b.setInsertPoint(sat_ok);
+    const auto under = b.cmpLt(B::reg(raw), B::imm(0));
+    const auto clamped = b.select(B::reg(under), B::imm(0), B::reg(raw));
+    b.store(AddrExpr::makeObject(frame, B::reg(i)), B::reg(clamped));
+    b.jmp(mc_next);
+
+    b.setInsertPoint(mc_next);
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto wrap = b.cmpGe(B::reg(i), B::imm(256));
+    const auto next_i = b.select(B::reg(wrap), B::imm(0), B::reg(i));
+    b.movTo(i, B::reg(next_i));
+    const auto bump = b.select(B::reg(wrap), B::imm(1), B::imm(0));
+    b.emitTo(row, Opcode::Add, B::reg(row), B::reg(bump));
+    const auto more = b.cmpLt(B::reg(row), B::reg(n));
+    b.br(B::reg(more), mc_loop, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto fv = b.load(AddrExpr::makeObject(frame, B::reg(i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(fv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::imm(256));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+std::unique_ptr<ir::Module>
+buildMpeg2Enc()
+{
+    auto module = std::make_unique<ir::Module>("mpeg2enc");
+    B b(module.get());
+
+    const auto cur = b.global("cur", 256);
+    const auto ref = b.global("ref", 256);
+    const auto mv_out = b.global("mv_out", 64);
+    const auto recon = b.global("recon", 256);
+    const auto rate = b.global("rate", 1);
+    const auto errlog = b.global("errlog", 1);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *fill = b.newBlock("fill");
+    auto *blocks = b.newBlock("blocks");
+    auto *search = b.newBlock("search");
+    auto *sad = b.newBlock("sad");
+    auto *sad_abs = b.newBlock("sad_abs");
+    auto *sad_acc = b.newBlock("sad_acc");
+    auto *sad_done = b.newBlock("sad_done");
+    auto *better = b.newBlock("better");
+    auto *cand_next = b.newBlock("cand_next");
+    auto *recon_blk = b.newBlock("recon_blk");
+    auto *blk_next = b.newBlock("blk_next");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto blk = b.mov(B::imm(0));
+    const auto cand = b.mov(B::imm(0));
+    const auto best = b.mov(B::imm(0));
+    const auto best_mv = b.mov(B::imm(0));
+    const auto dist = b.mov(B::imm(0));
+    const auto k = b.mov(B::imm(0));
+    const auto acc = b.mov(B::imm(0));
+    b.jmp(fill);
+
+    b.setInsertPoint(fill);
+    const auto c0 = b.mul(B::reg(i), B::imm(23));
+    const auto cv = b.band(B::reg(c0), B::imm(255));
+    b.store(AddrExpr::makeObject(cur, B::reg(i)), B::reg(cv));
+    const auto r0 = b.mul(B::reg(i), B::imm(21));
+    const auto rv = b.band(B::reg(r0), B::imm(255));
+    b.store(AddrExpr::makeObject(ref, B::reg(i)), B::reg(rv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::imm(256));
+    b.br(B::reg(fc), fill, blocks);
+
+    // Per macroblock (n of them, wrapping over 32 block slots).
+    b.setInsertPoint(blocks);
+    b.movTo(cand, B::imm(0));
+    b.movTo(best, B::imm(1048576));
+    b.movTo(best_mv, B::imm(0));
+    b.jmp(search);
+
+    // Try 4 candidate motion vectors.
+    b.setInsertPoint(search);
+    b.movTo(dist, B::imm(0));
+    b.movTo(k, B::imm(0));
+    b.jmp(sad);
+
+    // 8-pixel SAD for this candidate.
+    b.setInsertPoint(sad);
+    const auto base0 = b.band(B::reg(blk), B::imm(31));
+    const auto base = b.shl(B::reg(base0), B::imm(3));
+    const auto cidx0 = b.add(B::reg(base), B::reg(k));
+    const auto cidx = b.band(B::reg(cidx0), B::imm(255));
+    const auto cpx = b.load(AddrExpr::makeObject(cur, B::reg(cidx)));
+    const auto shift = b.mul(B::reg(cand), B::imm(5));
+    const auto ridx0 = b.add(B::reg(cidx0), B::reg(shift));
+    const auto ridx = b.band(B::reg(ridx0), B::imm(255));
+    const auto rpx = b.load(AddrExpr::makeObject(ref, B::reg(ridx)));
+    const auto d = b.sub(B::reg(cpx), B::reg(rpx));
+    const auto dneg = b.cmpLt(B::reg(d), B::imm(0));
+    b.br(B::reg(dneg), sad_abs, sad_acc);
+
+    b.setInsertPoint(sad_abs);
+    const auto nd = b.neg(B::reg(d));
+    b.emitTo(dist, Opcode::Add, B::reg(dist), B::reg(nd));
+    b.jmp(sad_done);
+
+    b.setInsertPoint(sad_acc);
+    b.emitTo(dist, Opcode::Add, B::reg(dist), B::reg(d));
+    b.jmp(sad_done);
+
+    b.setInsertPoint(sad_done);
+    b.addTo(k, B::reg(k), B::imm(1));
+    const auto kc = b.cmpLt(B::reg(k), B::imm(8));
+    b.br(B::reg(kc), sad, better);
+
+    b.setInsertPoint(better);
+    // SAD sanity guard: 8 pixels of 8 bits can never exceed 2048 —
+    // dynamically dead error handling around the search kernel.
+    auto *sad_err = b.newBlock("sad_err");
+    auto *better_cmp = b.newBlock("better_cmp");
+    const auto impossible = b.cmpGt(B::reg(dist), B::imm(2048));
+    b.br(B::reg(impossible), sad_err, better_cmp);
+
+    b.setInsertPoint(sad_err);
+    const auto ec = b.load(AddrExpr::makeObject(errlog));
+    const auto ec2 = b.add(B::reg(ec), B::imm(1));
+    b.store(AddrExpr::makeObject(errlog), B::reg(ec2));
+    b.jmp(better_cmp);
+
+    b.setInsertPoint(better_cmp);
+    const auto improves = b.cmpLt(B::reg(dist), B::reg(best));
+    const auto nb = b.select(B::reg(improves), B::reg(dist), B::reg(best));
+    b.movTo(best, B::reg(nb));
+    const auto nm = b.select(B::reg(improves), B::reg(cand),
+                             B::reg(best_mv));
+    b.movTo(best_mv, B::reg(nm));
+    b.jmp(cand_next);
+
+    b.setInsertPoint(cand_next);
+    b.addTo(cand, B::reg(cand), B::imm(1));
+    const auto cc = b.cmpLt(B::reg(cand), B::imm(4));
+    b.br(B::reg(cc), search, recon_blk);
+
+    // Write the motion vector and reconstruct; bump the in-memory rate
+    // controller (the encoder's one WAR).
+    b.setInsertPoint(recon_blk);
+    const auto slot = b.band(B::reg(blk), B::imm(31));
+    b.store(AddrExpr::makeObject(mv_out, B::reg(slot)), B::reg(best_mv));
+    const auto rbase = b.shl(B::reg(slot), B::imm(3));
+    const auto rmask = b.band(B::reg(rbase), B::imm(255));
+    const auto px = b.load(AddrExpr::makeObject(ref, B::reg(rmask)));
+    b.store(AddrExpr::makeObject(recon, B::reg(rmask)), B::reg(px));
+    const auto rc0 = b.load(AddrExpr::makeObject(rate));
+    const auto rc1 = b.add(B::reg(rc0), B::reg(best));
+    b.store(AddrExpr::makeObject(rate), B::reg(rc1));
+    b.emitTo(acc, Opcode::Add, B::reg(acc), B::reg(best));
+    b.jmp(blk_next);
+
+    b.setInsertPoint(blk_next);
+    b.addTo(blk, B::reg(blk), B::imm(1));
+    const auto more = b.cmpLt(B::reg(blk), B::reg(n));
+    b.br(B::reg(more), blocks, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto mv = b.load(AddrExpr::makeObject(mv_out, B::reg(i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(mv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto uc = b.cmpLt(B::reg(i), B::imm(64));
+    b.br(B::reg(uc), reduce, done);
+
+    b.setInsertPoint(done);
+    const auto ratev = b.load(AddrExpr::makeObject(rate));
+    const auto out = b.bxor(B::reg(acc), B::reg(ratev));
+    b.store(AddrExpr::makeObject(result), B::reg(out));
+    b.ret(B::reg(out));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * 197.parser — dictionary/link-grammar-style parser (SPEC2K-INT
+ * stand-in).
+ *
+ * Mixes a recursive descent routine (recursion defeats the call
+ * summaries, so its callers' regions are Unknown), an explicit parse
+ * stack kept in memory (push/pop WARs on the stack pointer word), and
+ * read-only dictionary probing.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildParser()
+{
+    auto module = std::make_unique<ir::Module>("197.parser");
+    B b(module.get());
+
+    const auto dict = b.global("dict", 128);
+    const auto stack = b.global("stack", 64);
+    const auto sp = b.global("sp", 1);
+    const auto counts = b.global("counts", 16);
+    const auto result = b.global("result", 1);
+
+    // --- init_dict() -----------------------------------------------------------
+    {
+        b.beginFunction("init_dict", 0);
+        auto *loop = b.newBlock("loop");
+        auto *done = b.newBlock("done");
+        const auto k = b.mov(B::imm(0));
+        b.jmp(loop);
+        b.setInsertPoint(loop);
+        const auto h = b.mul(B::reg(k), B::imm(2654435761LL));
+        const auto v = b.shr(B::reg(h), B::imm(24));
+        const auto w = b.band(B::reg(v), B::imm(255));
+        b.store(AddrExpr::makeObject(dict, B::reg(k)), B::reg(w));
+        b.addTo(k, B::reg(k), B::imm(1));
+        const auto kc = b.cmpLt(B::reg(k), B::imm(128));
+        b.br(B::reg(kc), loop, done);
+        b.setInsertPoint(done);
+        b.ret(B::imm(0));
+        b.endFunction();
+    }
+
+    // --- descend(depth): recursive structure matcher ------------------------
+    // Recursive: the mod/ref summary machinery flags it, so regions
+    // containing this call become Unknown — the paper's unanalyzable
+    // slice for control-heavy INT codes.
+    {
+        b.beginFunction("descend", 1);
+        auto *base = b.newBlock("base");
+        auto *rec = b.newBlock("rec");
+        const auto stop = b.cmpLe(B::reg(0), B::imm(0));
+        b.br(B::reg(stop), base, rec);
+
+        b.setInsertPoint(base);
+        b.ret(B::imm(1));
+
+        b.setInsertPoint(rec);
+        const auto slot = b.band(B::reg(0), B::imm(15));
+        const auto c = b.load(AddrExpr::makeObject(counts, B::reg(slot)));
+        const auto c2 = b.add(B::reg(c), B::imm(1));
+        b.store(AddrExpr::makeObject(counts, B::reg(slot)), B::reg(c2));
+        const auto d2 = b.sub(B::reg(0), B::imm(1));
+        const auto sub = b.call("descend", {B::reg(d2)});
+        const auto total = b.add(B::reg(sub), B::imm(1));
+        b.ret(B::reg(total));
+        b.endFunction();
+    }
+
+    // --- probe(word): read-only dictionary lookup -----------------------------
+    {
+        b.beginFunction("probe", 1);
+        auto *scan = b.newBlock("scan");
+        auto *hit = b.newBlock("hit");
+        auto *miss = b.newBlock("miss");
+        auto *out = b.newBlock("out");
+        const auto h = b.mul(B::reg(0), B::imm(31));
+        const auto idx = b.band(B::reg(h), B::imm(127));
+        const auto tries = b.mov(B::imm(0));
+        const auto pos = b.mov(B::reg(idx));
+        b.jmp(scan);
+
+        b.setInsertPoint(scan);
+        const auto entry = b.load(AddrExpr::makeObject(dict, B::reg(pos)));
+        const auto match = b.cmpEq(B::reg(entry), B::reg(0));
+        b.br(B::reg(match), hit, miss);
+
+        b.setInsertPoint(miss);
+        const auto p2 = b.add(B::reg(pos), B::imm(1));
+        const auto pw = b.band(B::reg(p2), B::imm(127));
+        b.movTo(pos, B::reg(pw));
+        b.addTo(tries, B::reg(tries), B::imm(1));
+        const auto give_up = b.cmpGe(B::reg(tries), B::imm(8));
+        b.br(B::reg(give_up), out, scan);
+
+        b.setInsertPoint(hit);
+        b.ret(B::reg(tries));
+
+        b.setInsertPoint(out);
+        b.ret(B::imm(255));
+        b.endFunction();
+    }
+
+    // --- main(n) ------------------------------------------------------------------
+    b.beginFunction("main", 1);
+    auto *sentence = b.newBlock("sentence");
+    auto *push = b.newBlock("push");
+    auto *pop = b.newBlock("pop");
+    auto *next = b.newBlock("next");
+    auto *deep = b.newBlock("deep");
+    auto *after_deep = b.newBlock("after_deep");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    b.callVoid("init_dict", {});
+    const auto i = b.mov(B::imm(0));
+    const auto acc = b.mov(B::imm(0));
+    b.jmp(sentence);
+
+    b.setInsertPoint(sentence);
+    const auto word = b.mul(B::reg(i), B::imm(97));
+    const auto wlow = b.band(B::reg(word), B::imm(255));
+    const auto score = b.call("probe", {B::reg(wlow)});
+    b.emitTo(acc, Opcode::Add, B::reg(acc), B::reg(score));
+    const auto parity = b.band(B::reg(i), B::imm(1));
+    b.br(B::reg(parity), push, pop);
+
+    // push: stack[sp] = word; sp++ — WAR on the stack pointer word.
+    b.setInsertPoint(push);
+    const auto spv = b.load(AddrExpr::makeObject(sp));
+    const auto sp_mask = b.band(B::reg(spv), B::imm(63));
+    b.store(AddrExpr::makeObject(stack, B::reg(sp_mask)), B::reg(wlow));
+    const auto spv2 = b.add(B::reg(spv), B::imm(1));
+    b.store(AddrExpr::makeObject(sp), B::reg(spv2));
+    b.jmp(next);
+
+    // pop: sp--; read back — WAR again.
+    b.setInsertPoint(pop);
+    const auto spv3 = b.load(AddrExpr::makeObject(sp));
+    const auto nonzero = b.cmpGt(B::reg(spv3), B::imm(0));
+    const auto dec = b.sub(B::reg(spv3), B::reg(nonzero));
+    b.store(AddrExpr::makeObject(sp), B::reg(dec));
+    const auto dmask = b.band(B::reg(dec), B::imm(63));
+    const auto top = b.load(AddrExpr::makeObject(stack, B::reg(dmask)));
+    b.emitTo(acc, Opcode::Add, B::reg(acc), B::reg(top));
+    b.jmp(next);
+
+    // Every 32 words, run the recursive matcher.
+    b.setInsertPoint(next);
+    const auto low = b.band(B::reg(i), B::imm(31));
+    const auto is_deep = b.cmpEq(B::reg(low), B::imm(0));
+    b.br(B::reg(is_deep), deep, after_deep);
+
+    b.setInsertPoint(deep);
+    const auto depth = b.band(B::reg(i), B::imm(7));
+    const auto matched = b.call("descend", {B::reg(depth)});
+    b.emitTo(acc, Opcode::Add, B::reg(acc), B::reg(matched));
+    b.jmp(after_deep);
+
+    b.setInsertPoint(after_deep);
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto more = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(more), sentence, done);
+
+    b.setInsertPoint(done);
+    const auto c3 = b.load(AddrExpr::makeObject(counts, B::imm(3)));
+    const auto out = b.bxor(B::reg(acc), B::reg(c3));
+    b.store(AddrExpr::makeObject(result), B::reg(out));
+    b.ret(B::reg(out));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * pegwitenc / pegwitdec — elliptic-curve-flavoured block cipher
+ * (Mediabench stand-ins).
+ *
+ * A sponge-like permutation state lives in memory and is mutated in
+ * place for every processed block — per-round WARs whose undo log
+ * scales with the input length, pushing the cipher loop past the
+ * storage budget. The I/O staging loops around it remain idempotent,
+ * giving pegwit its partially-protected profile.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+
+/// Emits the shared sponge step: absorbs one word into state[slot].
+void
+emitAbsorb(B &b, ir::ObjectId state)
+{
+    b.beginFunction("absorb", 2); // (slot, word)
+    const auto old = b.load(AddrExpr::makeObject(state, B::reg(0)));
+    const auto mixed = b.bxor(B::reg(old), B::reg(1));
+    const auto rot0 = b.shl(B::reg(mixed), B::imm(13));
+    const auto rot1 = b.shr(B::reg(mixed), B::imm(51));
+    const auto rotated = b.bor(B::reg(rot0), B::reg(rot1));
+    const auto scrambled =
+        b.mul(B::reg(rotated), B::imm(0x9E3779B97F4A7C15LL));
+    b.store(AddrExpr::makeObject(state, B::reg(0)), B::reg(scrambled));
+    b.ret(B::reg(scrambled));
+    b.endFunction();
+}
+
+std::unique_ptr<ir::Module>
+buildPegwit(const char *name, bool decrypt)
+{
+    auto module = std::make_unique<ir::Module>(name);
+    B b(module.get());
+
+    const auto state = b.global("state", 8);
+    const auto text_in = b.global("text_in", 256);
+    const auto text_out = b.global("text_out", 256);
+    const auto result = b.global("result", 1);
+    emitAbsorb(b, state);
+
+    b.beginFunction("main", 1);
+    auto *key_init = b.newBlock("key_init");
+    auto *fill = b.newBlock("fill");
+    auto *crypt = b.newBlock("crypt");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto acc = b.mov(B::imm(0));
+    b.jmp(key_init);
+
+    b.setInsertPoint(key_init);
+    const auto seed0 = b.mul(B::reg(i), B::imm(0xA24BAED4963EE407LL));
+    const auto seed1 = b.add(B::reg(seed0), B::imm(97));
+    b.store(AddrExpr::makeObject(state, B::reg(i)), B::reg(seed1));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto kc = b.cmpLt(B::reg(i), B::imm(8));
+    b.br(B::reg(kc), key_init, fill);
+
+    b.setInsertPoint(fill);
+    b.movTo(i, B::imm(0));
+    auto *fill_loop = b.newBlock("fill_loop");
+    b.jmp(fill_loop);
+
+    b.setInsertPoint(fill_loop);
+    const auto w0 = b.mul(B::reg(i), B::imm(0x100000001B3LL));
+    const auto w1 = b.bxor(B::reg(w0), B::imm(0xCBF29CE484222325LL));
+    b.store(AddrExpr::makeObject(text_in, B::reg(i)), B::reg(w1));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(fc), fill_loop, crypt);
+
+    // crypt: every word is absorbed into the rotating sponge state and
+    // the keystream is xored with the text.
+    b.setInsertPoint(crypt);
+    b.movTo(i, B::imm(0));
+    auto *crypt_loop = b.newBlock("crypt_loop");
+    b.jmp(crypt_loop);
+
+    b.setInsertPoint(crypt_loop);
+    const auto word = b.load(AddrExpr::makeObject(text_in, B::reg(i)));
+    const auto slot = b.band(B::reg(i), B::imm(7));
+    const auto ks = decrypt
+                        ? b.call("absorb", {B::reg(slot), B::reg(i)})
+                        : b.call("absorb", {B::reg(slot), B::reg(word)});
+    const auto cipher = b.bxor(B::reg(word), B::reg(ks));
+    b.store(AddrExpr::makeObject(text_out, B::reg(i)), B::reg(cipher));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto cc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(cc), crypt_loop, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto ov = b.load(AddrExpr::makeObject(text_out, B::reg(i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(ov));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    const auto s3 = b.load(AddrExpr::makeObject(state, B::imm(3)));
+    const auto out = b.bxor(B::reg(acc), B::reg(s3));
+    b.store(AddrExpr::makeObject(result), B::reg(out));
+    b.ret(B::reg(out));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildPegwitEnc()
+{
+    return buildPegwit("pegwitenc", false);
+}
+
+std::unique_ptr<ir::Module>
+buildPegwitDec()
+{
+    return buildPegwit("pegwitdec", true);
+}
+
+} // namespace encore::workloads

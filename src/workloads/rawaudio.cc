@@ -1,0 +1,235 @@
+/**
+ * @file
+ * rawcaudio / rawdaudio — IMA ADPCM raw audio codec (Mediabench
+ * stand-ins).
+ *
+ * Nearly all execution time sits in one tight per-sample loop whose
+ * codec state lives in registers; the output stream is append-only.
+ * These are the paper's best-case columns in Figure 8 — virtually
+ * every unmasked fault lands in an idempotent region.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildRawCAudio()
+{
+    auto module = std::make_unique<ir::Module>("rawcaudio");
+    B b(module.get());
+
+    const auto pcm = b.global("pcm", 1024);
+    const auto adpcm = b.global("adpcm", 1024);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *fill = b.newBlock("fill");
+    auto *compress = b.newBlock("compress");
+    auto *comp_loop = b.newBlock("comp_loop");
+    auto *neg = b.newBlock("neg");
+    auto *pos = b.newBlock("pos");
+    auto *emit = b.newBlock("emit");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto pred = b.mov(B::imm(0));
+    const auto step = b.mov(B::imm(7));
+    const auto acc = b.mov(B::imm(0));
+    const auto mag = b.mov(B::imm(0));
+    const auto sign = b.mov(B::imm(0));
+    b.jmp(fill);
+
+    b.setInsertPoint(fill);
+    const auto t0 = b.mul(B::reg(i), B::imm(13));
+    const auto t1 = b.band(B::reg(t0), B::imm(511));
+    const auto t2 = b.sub(B::reg(t1), B::imm(256));
+    b.store(AddrExpr::makeObject(pcm, B::reg(i)), B::reg(t2));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(fc), fill, compress);
+
+    b.setInsertPoint(compress);
+    b.movTo(i, B::imm(0));
+    b.jmp(comp_loop);
+
+    b.setInsertPoint(comp_loop);
+    const auto s = b.load(AddrExpr::makeObject(pcm, B::reg(i)));
+    const auto diff = b.sub(B::reg(s), B::reg(pred));
+    const auto isneg = b.cmpLt(B::reg(diff), B::imm(0));
+    b.br(B::reg(isneg), neg, pos);
+
+    b.setInsertPoint(neg);
+    b.movTo(sign, B::imm(4));
+    b.movTo(mag, B::reg(b.neg(B::reg(diff))));
+    b.jmp(emit);
+
+    b.setInsertPoint(pos);
+    b.movTo(sign, B::imm(0));
+    b.movTo(mag, B::reg(diff));
+    b.jmp(emit);
+
+    b.setInsertPoint(emit);
+    const auto q0 = b.div(B::reg(mag), B::reg(step));
+    const auto big = b.cmpGt(B::reg(q0), B::imm(3));
+    const auto level = b.select(B::reg(big), B::imm(3), B::reg(q0));
+    const auto code = b.bor(B::reg(sign), B::reg(level));
+    b.store(AddrExpr::makeObject(adpcm, B::reg(i)), B::reg(code));
+    const auto delta = b.mul(B::reg(level), B::reg(step));
+    const auto signed_delta = b.select(
+        B::reg(sign), B::reg(b.neg(B::reg(delta))), B::reg(delta));
+    b.emitTo(pred, Opcode::Add, B::reg(pred), B::reg(signed_delta));
+    const auto faster = b.cmpGt(B::reg(level), B::imm(1));
+    const auto grow = b.mul(B::reg(step), B::imm(3));
+    const auto grown = b.div(B::reg(grow), B::imm(2));
+    const auto shrink0 = b.mul(B::reg(step), B::imm(7));
+    const auto shrunk = b.div(B::reg(shrink0), B::imm(8));
+    const auto adapted =
+        b.select(B::reg(faster), B::reg(grown), B::reg(shrunk));
+    const auto too_small = b.cmpLt(B::reg(adapted), B::imm(4));
+    const auto floored = b.select(B::reg(too_small), B::imm(4),
+                                  B::reg(adapted));
+    const auto too_big = b.cmpGt(B::reg(floored), B::imm(32767));
+    b.emitTo(step, Opcode::Select, B::reg(too_big), B::imm(32767),
+             B::reg(floored));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto cc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(cc), comp_loop, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto av = b.load(AddrExpr::makeObject(adpcm, B::reg(i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(av));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+std::unique_ptr<ir::Module>
+buildRawDAudio()
+{
+    auto module = std::make_unique<ir::Module>("rawdaudio");
+    B b(module.get());
+
+    const auto adpcm = b.global("adpcm", 1024);
+    const auto pcm = b.global("pcm", 1024);
+    const auto errlog = b.global("errlog", 1);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *fill = b.newBlock("fill");
+    auto *expand = b.newBlock("expand");
+    auto *exp_loop = b.newBlock("exp_loop");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto pred = b.mov(B::imm(0));
+    const auto step = b.mov(B::imm(7));
+    const auto acc = b.mov(B::imm(0));
+    // Output pointer indistinguishable from the input stream.
+    const auto padpcm = b.lea(AddrExpr::makeObject(adpcm));
+    const auto ppcm = b.lea(AddrExpr::makeObject(pcm));
+    const auto one = b.mov(B::imm(1));
+    const auto out_ptr =
+        b.select(B::reg(one), B::reg(ppcm), B::reg(padpcm));
+    b.jmp(fill);
+
+    b.setInsertPoint(fill);
+    const auto c0 = b.mul(B::reg(i), B::imm(5));
+    const auto code_v = b.band(B::reg(c0), B::imm(7));
+    b.store(AddrExpr::makeObject(adpcm, B::reg(i)), B::reg(code_v));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(fc), fill, expand);
+
+    b.setInsertPoint(expand);
+    b.movTo(i, B::imm(0));
+    b.jmp(exp_loop);
+
+    b.setInsertPoint(exp_loop);
+    const auto code = b.load(AddrExpr::makeObject(adpcm, B::reg(i)));
+    // Bitstream-corruption guard: codes are 3 bits wide by
+    // construction, so this never fires.
+    auto *code_err = b.newBlock("code_err");
+    auto *exp_body = b.newBlock("exp_body");
+    const auto bad_code = b.cmpGt(B::reg(code), B::imm(1000));
+    b.br(B::reg(bad_code), code_err, exp_body);
+
+    b.setInsertPoint(code_err);
+    const auto r_ec = b.load(AddrExpr::makeObject(errlog));
+    const auto r_ec2 = b.add(B::reg(r_ec), B::imm(1));
+    b.store(AddrExpr::makeObject(errlog), B::reg(r_ec2));
+    b.jmp(exp_body);
+
+    b.setInsertPoint(exp_body);
+    const auto level = b.band(B::reg(code), B::imm(3));
+    const auto sign = b.band(B::reg(code), B::imm(4));
+    const auto delta = b.mul(B::reg(level), B::reg(step));
+    const auto signed_delta = b.select(
+        B::reg(sign), B::reg(b.neg(B::reg(delta))), B::reg(delta));
+    b.emitTo(pred, Opcode::Add, B::reg(pred), B::reg(signed_delta));
+    b.store(AddrExpr::makeReg(out_ptr, B::reg(i)), B::reg(pred));
+    const auto faster = b.cmpGt(B::reg(level), B::imm(1));
+    const auto grow = b.mul(B::reg(step), B::imm(3));
+    const auto grown = b.div(B::reg(grow), B::imm(2));
+    const auto shrink0 = b.mul(B::reg(step), B::imm(7));
+    const auto shrunk = b.div(B::reg(shrink0), B::imm(8));
+    const auto adapted =
+        b.select(B::reg(faster), B::reg(grown), B::reg(shrunk));
+    const auto too_small = b.cmpLt(B::reg(adapted), B::imm(4));
+    const auto floored = b.select(B::reg(too_small), B::imm(4),
+                                  B::reg(adapted));
+    const auto too_big = b.cmpGt(B::reg(floored), B::imm(32767));
+    b.emitTo(step, Opcode::Select, B::reg(too_big), B::imm(32767),
+             B::reg(floored));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto ec = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(ec), exp_loop, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto pv = b.load(AddrExpr::makeObject(pcm, B::reg(i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(pv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::reg(n));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

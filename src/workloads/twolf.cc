@@ -1,0 +1,148 @@
+/**
+ * @file
+ * 300.twolf — standard-cell placement/routing kernel (SPEC2K-INT
+ * stand-in).
+ *
+ * Control-heavy annealing over a grid: neighborhood cost scans are
+ * read-only, accepted moves mutate the grid and the incremental
+ * wirelength in place, and an opaque trace routine is called on a slow
+ * path (twolf's Unknown slice in Figure 5).
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildTwolf()
+{
+    auto module = std::make_unique<ir::Module>("300.twolf");
+    B b(module.get());
+
+    const auto grid = b.global("grid", 64);
+    const auto wire = b.global("wire", 1);
+    const auto tracebuf = b.global("tracebuf", 8);
+    const auto result = b.global("result", 1);
+
+    // --- trace_move(x): opaque diagnostics sink ------------------------------
+    {
+        b.beginFunction("trace_move", 1);
+        const auto slot = b.band(B::reg(0), B::imm(7));
+        b.store(AddrExpr::makeObject(tracebuf, B::reg(slot)), B::reg(0));
+        b.ret(B::imm(0));
+        b.endFunction();
+    }
+
+    // --- neighborhood_cost(p): read-only 4-neighbor scan ----------------------
+    {
+        b.beginFunction("neighborhood_cost", 1);
+        const auto left = b.sub(B::reg(0), B::imm(1));
+        const auto lmask = b.band(B::reg(left), B::imm(63));
+        const auto right = b.add(B::reg(0), B::imm(1));
+        const auto rmask = b.band(B::reg(right), B::imm(63));
+        const auto up = b.sub(B::reg(0), B::imm(8));
+        const auto umask = b.band(B::reg(up), B::imm(63));
+        const auto down = b.add(B::reg(0), B::imm(8));
+        const auto dmask = b.band(B::reg(down), B::imm(63));
+        const auto lv = b.load(AddrExpr::makeObject(grid, B::reg(lmask)));
+        const auto rv = b.load(AddrExpr::makeObject(grid, B::reg(rmask)));
+        const auto uv = b.load(AddrExpr::makeObject(grid, B::reg(umask)));
+        const auto dv = b.load(AddrExpr::makeObject(grid, B::reg(dmask)));
+        const auto h = b.add(B::reg(lv), B::reg(rv));
+        const auto v = b.add(B::reg(uv), B::reg(dv));
+        const auto cost = b.add(B::reg(h), B::reg(v));
+        b.ret(B::reg(cost));
+        b.endFunction();
+    }
+
+    // --- main(n) ------------------------------------------------------------------
+    b.beginFunction("main", 1);
+    auto *seed_grid = b.newBlock("seed_grid");
+    auto *anneal = b.newBlock("anneal");
+    auto *apply = b.newBlock("apply");
+    auto *trace = b.newBlock("trace");
+    auto *next = b.newBlock("next");
+    auto *readback = b.newBlock("readback");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto k = b.mov(B::imm(0));
+    const auto seed = b.mov(B::imm(0x853C49E6748FEA9BLL));
+    const auto acc = b.mov(B::imm(0));
+    const auto t = b.mov(B::imm(0));
+    b.jmp(seed_grid);
+
+    b.setInsertPoint(seed_grid);
+    const auto g0 = b.mul(B::reg(k), B::imm(11));
+    const auto g1 = b.band(B::reg(g0), B::imm(31));
+    b.store(AddrExpr::makeObject(grid, B::reg(k)), B::reg(g1));
+    b.addTo(k, B::reg(k), B::imm(1));
+    const auto kc = b.cmpLt(B::reg(k), B::imm(64));
+    b.br(B::reg(kc), seed_grid, anneal);
+
+    b.setInsertPoint(anneal);
+    const auto s1 = b.mul(B::reg(seed), B::imm(6364136223846793005LL));
+    b.emitTo(seed, Opcode::Add, B::reg(s1), B::imm(1442695040888963407LL));
+    const auto sa = b.shr(B::reg(seed), B::imm(10));
+    const auto pa = b.band(B::reg(sa), B::imm(63));
+    const auto sb = b.shr(B::reg(seed), B::imm(22));
+    const auto pb = b.band(B::reg(sb), B::imm(63));
+    const auto ca = b.call("neighborhood_cost", {B::reg(pa)});
+    const auto cb = b.call("neighborhood_cost", {B::reg(pb)});
+    const auto gain = b.sub(B::reg(ca), B::reg(cb));
+    const auto improves = b.cmpGt(B::reg(gain), B::imm(2));
+    b.br(B::reg(improves), apply, next);
+
+    // apply: swap the two cells, bump the wirelength — in-place WARs.
+    b.setInsertPoint(apply);
+    const auto va = b.load(AddrExpr::makeObject(grid, B::reg(pa)));
+    const auto vb = b.load(AddrExpr::makeObject(grid, B::reg(pb)));
+    b.store(AddrExpr::makeObject(grid, B::reg(pa)), B::reg(vb));
+    b.store(AddrExpr::makeObject(grid, B::reg(pb)), B::reg(va));
+    const auto w = b.load(AddrExpr::makeObject(wire));
+    const auto w2 = b.add(B::reg(w), B::reg(gain));
+    b.store(AddrExpr::makeObject(wire), B::reg(w2));
+    const auto big = b.cmpGt(B::reg(gain), B::imm(24));
+    b.br(B::reg(big), trace, next);
+
+    b.setInsertPoint(trace);
+    b.callVoid("trace_move", {B::reg(gain)});
+    b.jmp(next);
+
+    b.setInsertPoint(next);
+    b.addTo(t, B::reg(t), B::imm(1));
+    const auto more = b.cmpLt(B::reg(t), B::reg(n));
+    b.br(B::reg(more), anneal, readback);
+
+    b.setInsertPoint(readback);
+    b.movTo(k, B::imm(0));
+    auto *rb_loop = b.newBlock("rb_loop");
+    b.jmp(rb_loop);
+
+    b.setInsertPoint(rb_loop);
+    const auto gv = b.load(AddrExpr::makeObject(grid, B::reg(k)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(gv));
+    b.addTo(k, B::reg(k), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(k), B::imm(64));
+    b.br(B::reg(rc), rb_loop, done);
+
+    b.setInsertPoint(done);
+    const auto wv = b.load(AddrExpr::makeObject(wire));
+    const auto out = b.bxor(B::reg(acc), B::reg(wv));
+    b.store(AddrExpr::makeObject(result), B::reg(out));
+    b.ret(B::reg(out));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * unepic — wavelet pyramid reconstruction (Mediabench stand-in).
+ *
+ * The inverse of epic: reconstructs each level from coarse + detail
+ * halves into a fresh buffer. Pure gather/compute/scatter with no
+ * in-place updates — the most idempotent workload in the suite.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildUnepic()
+{
+    auto module = std::make_unique<ir::Module>("unepic");
+    B b(module.get());
+
+    const auto level2 = b.global("level2", 32);
+    const auto level1 = b.global("level1", 64);
+    const auto image = b.global("image", 64);
+    const auto errlog = b.global("errlog", 1);
+    const auto result = b.global("result", 1);
+
+    b.beginFunction("main", 1);
+    auto *fill = b.newBlock("fill");
+    auto *rounds = b.newBlock("rounds");
+    auto *inv2 = b.newBlock("inv2");
+    auto *inv1_init = b.newBlock("inv1_init");
+    auto *inv1 = b.newBlock("inv1");
+    auto *round_next = b.newBlock("round_next");
+    auto *reduce_init = b.newBlock("reduce_init");
+    auto *reduce = b.newBlock("reduce");
+    auto *done = b.newBlock("done");
+
+    const ir::RegId n = 0;
+    const auto i = b.mov(B::imm(0));
+    const auto r = b.mov(B::imm(0));
+    const auto acc = b.mov(B::imm(0));
+    b.jmp(fill);
+
+    b.setInsertPoint(fill);
+    const auto s0 = b.mul(B::reg(i), B::imm(41));
+    const auto s1 = b.band(B::reg(s0), B::imm(127));
+    const auto s2 = b.sub(B::reg(s1), B::imm(64));
+    b.store(AddrExpr::makeObject(level2, B::reg(i)), B::reg(s2));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto fc = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(fc), fill, rounds);
+
+    b.setInsertPoint(rounds);
+    b.movTo(i, B::imm(0));
+    b.jmp(inv2);
+
+    // Level 2 -> level 1 coarse half: a = avg + diff/2, c = avg - diff/2.
+    b.setInsertPoint(inv2);
+    const auto avg = b.load(AddrExpr::makeObject(level2, B::reg(i)));
+    const auto didx = b.add(B::reg(i), B::imm(16));
+    const auto diff = b.load(AddrExpr::makeObject(level2, B::reg(didx)));
+    const auto halfd = b.div(B::reg(diff), B::imm(2));
+    const auto a = b.add(B::reg(avg), B::reg(halfd));
+    const auto c = b.sub(B::reg(avg), B::reg(halfd));
+    const auto two_i = b.shl(B::reg(i), B::imm(1));
+    const auto two_i1 = b.add(B::reg(two_i), B::imm(1));
+    b.store(AddrExpr::makeObject(level1, B::reg(two_i)), B::reg(a));
+    b.store(AddrExpr::makeObject(level1, B::reg(two_i1)), B::reg(c));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto i2c = b.cmpLt(B::reg(i), B::imm(16));
+    b.br(B::reg(i2c), inv2, inv1_init);
+
+    b.setInsertPoint(inv1_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(inv1);
+
+    // Level 1 -> image (with a dynamically-dead corruption guard).
+    b.setInsertPoint(inv1);
+    auto *coef_err = b.newBlock("coef_err");
+    auto *inv1_body = b.newBlock("inv1_body");
+    const auto probe = b.load(AddrExpr::makeObject(level1, B::reg(i)));
+    const auto corrupt = b.cmpGt(B::reg(probe), B::imm(1000000));
+    b.br(B::reg(corrupt), coef_err, inv1_body);
+
+    b.setInsertPoint(coef_err);
+    const auto u_ec = b.load(AddrExpr::makeObject(errlog));
+    const auto u_ec2 = b.add(B::reg(u_ec), B::imm(1));
+    b.store(AddrExpr::makeObject(errlog), B::reg(u_ec2));
+    b.jmp(inv1_body);
+
+    b.setInsertPoint(inv1_body);
+    const auto avg1 = b.load(AddrExpr::makeObject(level1, B::reg(i)));
+    const auto d1idx = b.add(B::reg(i), B::imm(32));
+    const auto diff1 = b.load(AddrExpr::makeObject(level1, B::reg(d1idx)));
+    const auto halfd1 = b.div(B::reg(diff1), B::imm(2));
+    const auto a1 = b.add(B::reg(avg1), B::reg(halfd1));
+    const auto c1 = b.sub(B::reg(avg1), B::reg(halfd1));
+    const auto o0 = b.shl(B::reg(i), B::imm(1));
+    const auto o1 = b.add(B::reg(o0), B::imm(1));
+    b.store(AddrExpr::makeObject(image, B::reg(o0)), B::reg(a1));
+    b.store(AddrExpr::makeObject(image, B::reg(o1)), B::reg(c1));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto i1c = b.cmpLt(B::reg(i), B::imm(32));
+    b.br(B::reg(i1c), inv1, round_next);
+
+    b.setInsertPoint(round_next);
+    b.addTo(r, B::reg(r), B::imm(1));
+    const auto total = b.shr(B::reg(n), B::imm(3));
+    const auto more = b.cmpLt(B::reg(r), B::reg(total));
+    b.br(B::reg(more), rounds, reduce_init);
+
+    b.setInsertPoint(reduce_init);
+    b.movTo(i, B::imm(0));
+    b.jmp(reduce);
+
+    b.setInsertPoint(reduce);
+    const auto iv = b.load(AddrExpr::makeObject(image, B::reg(i)));
+    const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+    b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(iv));
+    b.addTo(i, B::reg(i), B::imm(1));
+    const auto rc = b.cmpLt(B::reg(i), B::imm(64));
+    b.br(B::reg(rc), reduce, done);
+
+    b.setInsertPoint(done);
+    b.store(AddrExpr::makeObject(result), B::reg(acc));
+    b.ret(B::reg(acc));
+    b.endFunction();
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * 175.vpr — simulated-annealing placement kernel (SPEC2K-INT stand-in).
+ *
+ * Reproduces the paper's Figure 2c observation about `try_swap`, vpr's
+ * hottest function: a first-invocation initialization path allocates
+ * and fills tables (stores that break idempotence), but it executes
+ * exactly once, so with Pmin pruning at 0.1 the region's hot path is
+ * statistically idempotent apart from the accepted-swap updates. The
+ * accepted-swap path itself performs classic read-modify-write WARs on
+ * the placement and the running cost.
+ */
+#include "workloads/builders.h"
+
+#include "ir/builder.h"
+
+namespace encore::workloads {
+
+namespace {
+using B = ir::IRBuilder;
+using ir::AddrExpr;
+using ir::Opcode;
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildVpr()
+{
+    auto module = std::make_unique<ir::Module>("175.vpr");
+    B b(module.get());
+
+    const auto init_done = b.global("init_done", 1);
+    const auto cost_table = b.global("cost_table", 64);
+    const auto placement = b.global("placement", 64);
+    const auto total_cost = b.global("total_cost", 1);
+    const auto result = b.global("result", 1);
+
+    // --- try_swap(p1, p2, rnd) ---------------------------------------------
+    {
+        b.beginFunction("try_swap", 3);
+        auto *cold_init = b.newBlock("cold_init");
+        auto *cold_loop = b.newBlock("cold_loop");
+        auto *hot = b.newBlock("hot");
+        auto *eval = b.newBlock("eval");
+        auto *do_swap = b.newBlock("do_swap");
+        auto *reject = b.newBlock("reject");
+
+        const ir::RegId p1 = 0, p2 = 1, rnd = 2;
+        const auto flag = b.load(AddrExpr::makeObject(init_done));
+        b.br(B::reg(flag), hot, cold_init);
+
+        // First call only: build the cost model tables (Figure 2c's
+        // shaded allocation blocks).
+        b.setInsertPoint(cold_init);
+        b.store(AddrExpr::makeObject(init_done), B::imm(1));
+        const auto k = b.mov(B::imm(0));
+        b.jmp(cold_loop);
+
+        b.setInsertPoint(cold_loop);
+        const auto k7 = b.mul(B::reg(k), B::imm(7));
+        const auto k73 = b.add(B::reg(k7), B::imm(3));
+        const auto cost = b.band(B::reg(k73), B::imm(31));
+        b.store(AddrExpr::makeObject(cost_table, B::reg(k)), B::reg(cost));
+        b.store(AddrExpr::makeObject(placement, B::reg(k)), B::reg(k));
+        b.addTo(k, B::reg(k), B::imm(1));
+        const auto kc = b.cmpLt(B::reg(k), B::imm(64));
+        b.br(B::reg(kc), cold_loop, hot);
+
+        // Hot path: evaluate the swap of cells p1 and p2.
+        b.setInsertPoint(hot);
+        const auto a = b.load(AddrExpr::makeObject(placement, B::reg(p1)));
+        const auto c = b.load(AddrExpr::makeObject(placement, B::reg(p2)));
+        const auto ca = b.load(AddrExpr::makeObject(cost_table, B::reg(a)));
+        const auto cc = b.load(AddrExpr::makeObject(cost_table, B::reg(c)));
+        b.jmp(eval);
+
+        b.setInsertPoint(eval);
+        const auto diff = b.sub(B::reg(cc), B::reg(ca));
+        const auto noise = b.band(B::reg(rnd), B::imm(7));
+        const auto delta = b.add(B::reg(diff), B::reg(noise));
+        const auto shifted = b.sub(B::reg(delta), B::imm(4));
+        const auto downhill = b.cmpLt(B::reg(shifted), B::imm(0));
+        const auto lucky_bits = b.band(B::reg(rnd), B::imm(31));
+        const auto lucky = b.cmpEq(B::reg(lucky_bits), B::imm(0));
+        const auto accept = b.bor(B::reg(downhill), B::reg(lucky));
+        b.br(B::reg(accept), do_swap, reject);
+
+        // Accepted: swap the two cells and update the running cost —
+        // the WARs Encore must checkpoint on the hot path.
+        b.setInsertPoint(do_swap);
+        b.store(AddrExpr::makeObject(placement, B::reg(p1)), B::reg(c));
+        b.store(AddrExpr::makeObject(placement, B::reg(p2)), B::reg(a));
+        const auto tc = b.load(AddrExpr::makeObject(total_cost));
+        const auto tc2 = b.add(B::reg(tc), B::reg(shifted));
+        b.store(AddrExpr::makeObject(total_cost), B::reg(tc2));
+        b.ret(B::reg(shifted));
+
+        b.setInsertPoint(reject);
+        b.ret(B::imm(0));
+        b.endFunction();
+    }
+
+    // --- main(n): the annealing schedule ---------------------------------------
+    {
+        b.beginFunction("main", 1);
+        auto *anneal = b.newBlock("anneal");
+        auto *collect = b.newBlock("collect");
+        auto *sum_loop = b.newBlock("sum_loop");
+        auto *done = b.newBlock("done");
+
+        const ir::RegId n = 0;
+        const auto t = b.mov(B::imm(0));
+        const auto seed = b.mov(B::imm(0x2545F4914F6CDD1DLL));
+        const auto acc = b.mov(B::imm(0));
+        b.jmp(anneal);
+
+        b.setInsertPoint(anneal);
+        const auto s1 = b.mul(B::reg(seed), B::imm(6364136223846793005LL));
+        b.emitTo(seed, Opcode::Add, B::reg(s1),
+                 B::imm(1442695040888963407LL));
+        const auto sh1 = b.shr(B::reg(seed), B::imm(8));
+        const auto p1 = b.band(B::reg(sh1), B::imm(63));
+        const auto sh2 = b.shr(B::reg(seed), B::imm(20));
+        const auto p2 = b.band(B::reg(sh2), B::imm(63));
+        const auto sh3 = b.shr(B::reg(seed), B::imm(32));
+        const auto rnd = b.band(B::reg(sh3), B::imm(255));
+        const auto delta =
+            b.call("try_swap", {B::reg(p1), B::reg(p2), B::reg(rnd)});
+        b.emitTo(acc, Opcode::Add, B::reg(acc), B::reg(delta));
+        b.addTo(t, B::reg(t), B::imm(1));
+        const auto more = b.cmpLt(B::reg(t), B::reg(n));
+        b.br(B::reg(more), anneal, collect);
+
+        b.setInsertPoint(collect);
+        const auto k = b.mov(B::imm(0));
+        b.jmp(sum_loop);
+
+        b.setInsertPoint(sum_loop);
+        const auto pv = b.load(AddrExpr::makeObject(placement, B::reg(k)));
+        const auto acc3 = b.mul(B::reg(acc), B::imm(3));
+        b.emitTo(acc, Opcode::Add, B::reg(acc3), B::reg(pv));
+        b.addTo(k, B::reg(k), B::imm(1));
+        const auto kc = b.cmpLt(B::reg(k), B::imm(64));
+        b.br(B::reg(kc), sum_loop, done);
+
+        b.setInsertPoint(done);
+        const auto tcv = b.load(AddrExpr::makeObject(total_cost));
+        const auto out = b.bxor(B::reg(acc), B::reg(tcv));
+        b.store(AddrExpr::makeObject(result), B::reg(out));
+        b.ret(B::reg(out));
+        b.endFunction();
+    }
+
+    module->resolveCalls();
+    return module;
+}
+
+} // namespace encore::workloads

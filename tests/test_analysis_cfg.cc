@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for the CFG analyses: digraph traversals, dominator tree,
+ * natural loops, interval partitioning, and liveness.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/dominators.h"
+#include "analysis/intervals.h"
+#include "analysis/liveness.h"
+#include "analysis/loop_info.h"
+#include "ir/builder.h"
+#include "ir/parser.h"
+
+namespace encore::analysis {
+namespace {
+
+/// 0 -> 1 -> 3, 0 -> 2 -> 3 (diamond).
+DiGraph
+diamond()
+{
+    DiGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 3);
+    g.addEdge(2, 3);
+    return g;
+}
+
+/// 0 -> 1 -> 2 -> 1 (loop), 2 -> 3.
+DiGraph
+simpleLoop()
+{
+    DiGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 1);
+    g.addEdge(2, 3);
+    return g;
+}
+
+TEST(DiGraphTest, PostOrderVisitsChildrenFirst)
+{
+    const DiGraph g = diamond();
+    const auto po = g.postOrder(0);
+    ASSERT_EQ(po.size(), 4u);
+    EXPECT_EQ(po.back(), 0u); // entry last in post-order
+    // 3 must come before 1 and 2.
+    auto pos = [&](NodeId n) {
+        return std::find(po.begin(), po.end(), n) - po.begin();
+    };
+    EXPECT_LT(pos(3), pos(1));
+    EXPECT_LT(pos(3), pos(2));
+}
+
+TEST(DiGraphTest, RpoStartsAtEntry)
+{
+    const DiGraph g = diamond();
+    const auto rpo = g.reversePostOrder(0);
+    EXPECT_EQ(rpo.front(), 0u);
+    EXPECT_EQ(rpo.back(), 3u);
+}
+
+TEST(DiGraphTest, UnreachableNodesOmitted)
+{
+    DiGraph g(3);
+    g.addEdge(0, 1);
+    // node 2 unreachable
+    EXPECT_EQ(g.postOrder(0).size(), 2u);
+}
+
+TEST(DiGraphTest, CycleDetection)
+{
+    EXPECT_FALSE(diamond().hasCycle(0));
+    EXPECT_TRUE(simpleLoop().hasCycle(0));
+}
+
+TEST(DiGraphTest, ParallelEdgesCollapse)
+{
+    DiGraph g(2);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    EXPECT_EQ(g.succs(0).size(), 1u);
+    EXPECT_EQ(g.preds(1).size(), 1u);
+}
+
+TEST(Dominators, Diamond)
+{
+    const DiGraph g = diamond();
+    const DominatorTree dom(g, 0);
+    EXPECT_EQ(dom.idom(1), 0u);
+    EXPECT_EQ(dom.idom(2), 0u);
+    EXPECT_EQ(dom.idom(3), 0u); // join dominated by fork, not branches
+    EXPECT_TRUE(dom.dominates(0, 3));
+    EXPECT_FALSE(dom.dominates(1, 3));
+    EXPECT_TRUE(dom.dominates(2, 2));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody)
+{
+    const DiGraph g = simpleLoop();
+    const DominatorTree dom(g, 0);
+    EXPECT_TRUE(dom.dominates(1, 2));
+    EXPECT_TRUE(dom.dominates(1, 3));
+    EXPECT_EQ(dom.idom(2), 1u);
+}
+
+TEST(Dominators, UnreachableNodes)
+{
+    DiGraph g(3);
+    g.addEdge(0, 1);
+    const DominatorTree dom(g, 0);
+    EXPECT_TRUE(dom.isReachable(1));
+    EXPECT_FALSE(dom.isReachable(2));
+    EXPECT_FALSE(dom.dominates(0, 2));
+}
+
+TEST(LoopInfoTest, FindsNaturalLoop)
+{
+    const DiGraph g = simpleLoop();
+    const DominatorTree dom(g, 0);
+    const LoopInfo loops(g, dom);
+    ASSERT_EQ(loops.numLoops(), 1u);
+    const Loop *loop = loops.loopWithHeader(1);
+    ASSERT_NE(loop, nullptr);
+    EXPECT_EQ(loop->blocks, (std::vector<NodeId>{1, 2}));
+    EXPECT_EQ(loop->latches, (std::vector<NodeId>{2}));
+    EXPECT_EQ(loops.loopFor(2), loop);
+    EXPECT_EQ(loops.loopFor(3), nullptr);
+    EXPECT_FALSE(loops.hasIrreducibleEdges());
+
+    const auto exits = loop->exitingBlocks(g);
+    EXPECT_EQ(exits, (std::vector<NodeId>{2}));
+}
+
+TEST(LoopInfoTest, NestedLoops)
+{
+    // 0 -> 1 -> 2 -> 3 -> 2 (inner), 3 -> 1 (outer), 3 -> 4.
+    DiGraph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 2);
+    g.addEdge(3, 1);
+    g.addEdge(3, 4);
+    const DominatorTree dom(g, 0);
+    const LoopInfo loops(g, dom);
+    ASSERT_EQ(loops.numLoops(), 2u);
+
+    const Loop *inner = loops.loopWithHeader(2);
+    const Loop *outer = loops.loopWithHeader(1);
+    ASSERT_NE(inner, nullptr);
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(inner->parent, outer);
+    EXPECT_EQ(inner->depth, 2u);
+    EXPECT_EQ(outer->depth, 1u);
+    ASSERT_EQ(outer->subloops.size(), 1u);
+    EXPECT_EQ(outer->subloops[0], inner);
+    EXPECT_EQ(loops.loopFor(2), inner);
+    EXPECT_EQ(loops.loopFor(1), outer);
+    EXPECT_EQ(loops.loopsInnerFirst().front(), inner);
+}
+
+TEST(LoopInfoTest, IrreducibleDetected)
+{
+    // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1: a cycle with two entries.
+    DiGraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 2);
+    g.addEdge(2, 1);
+    const DominatorTree dom(g, 0);
+    const LoopInfo loops(g, dom);
+    EXPECT_TRUE(loops.hasIrreducibleEdges());
+    EXPECT_EQ(loops.numLoops(), 0u); // no back edge dominates its source
+}
+
+TEST(Intervals, AcyclicSingleInterval)
+{
+    // A diamond collapses into one interval headed at the entry.
+    const auto partition = partitionIntervals(diamond(), 0);
+    ASSERT_EQ(partition.size(), 1u);
+    EXPECT_EQ(partition[0].front(), 0u);
+    EXPECT_EQ(partition[0].size(), 4u);
+}
+
+TEST(Intervals, LoopSplitsIntervals)
+{
+    // The loop header starts a new interval: {0}, {1, 2, 3}.
+    const auto partition = partitionIntervals(simpleLoop(), 0);
+    ASSERT_EQ(partition.size(), 2u);
+    EXPECT_EQ(partition[0].front(), 0u);
+    EXPECT_EQ(partition[1].front(), 1u);
+    EXPECT_EQ(partition[1].size(), 3u);
+}
+
+TEST(Intervals, HierarchyCollapsesReducibleGraph)
+{
+    const IntervalHierarchy hierarchy(simpleLoop(), 0);
+    EXPECT_TRUE(hierarchy.isReducible());
+    ASSERT_GE(hierarchy.numLevels(), 2u);
+    // The top level is a single interval covering everything.
+    const auto &top = hierarchy.level(hierarchy.numLevels() - 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].blocks.size(), 4u);
+    EXPECT_EQ(top[0].header, 0u);
+    // Children indices reference the previous level.
+    EXPECT_FALSE(top[0].children.empty());
+}
+
+TEST(Intervals, HierarchyLevelsPartitionBlocks)
+{
+    // Two sequential loops.
+    DiGraph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 1);
+    g.addEdge(2, 3);
+    g.addEdge(3, 4);
+    g.addEdge(4, 3);
+    g.addEdge(4, 5);
+    const IntervalHierarchy hierarchy(g, 0);
+    for (std::size_t level = 0; level < hierarchy.numLevels(); ++level) {
+        std::vector<bool> seen(6, false);
+        for (const IntervalRegion &interval : hierarchy.level(level)) {
+            for (const NodeId b : interval.blocks) {
+                EXPECT_FALSE(seen[b]) << "block in two intervals";
+                seen[b] = true;
+            }
+        }
+        for (bool s : seen)
+            EXPECT_TRUE(s);
+    }
+}
+
+TEST(Intervals, IrreducibleNotFullyCollapsed)
+{
+    DiGraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 2);
+    g.addEdge(2, 1);
+    const IntervalHierarchy hierarchy(g, 0);
+    EXPECT_FALSE(hierarchy.isReducible());
+}
+
+TEST(LivenessTest, StraightLine)
+{
+    const char *text = R"(
+module "m"
+global @G 8
+func @f(1) {
+  bb entry:
+    r1 = add r0, 1
+    r2 = mul r1, r1
+    ret r2
+}
+)";
+    auto module = ir::parseModule(text);
+    const ir::Function &f = *module->functionByName("f");
+    const Liveness live(f);
+    EXPECT_TRUE(live.liveIn(0).test(0));  // parameter used
+    EXPECT_FALSE(live.liveIn(0).test(1)); // defined before use
+    EXPECT_TRUE(live.defs(0).test(2));
+}
+
+TEST(LivenessTest, LoopCarriedRegisterIsLiveIn)
+{
+    const char *text = R"(
+module "m"
+global @A 64
+func @f(1) {
+  bb entry:
+    r1 = mov 0
+    r2 = mov 0
+    jmp loop
+  bb loop:
+    r3 = load [@A + r1]
+    r2 = add r2, r3
+    r1 = add r1, 1
+    r4 = cmplt r1, r0
+    br r4, loop, done
+  bb done:
+    ret r2
+}
+)";
+    auto module = ir::parseModule(text);
+    const ir::Function &f = *module->functionByName("f");
+    const Liveness live(f);
+    const ir::BlockId loop = f.blockByName("loop")->id();
+    // Counter and accumulator are live into the loop and overwritten
+    // there — exactly the registers Encore must checkpoint.
+    EXPECT_TRUE(live.liveIn(loop).test(1));
+    EXPECT_TRUE(live.liveIn(loop).test(2));
+    EXPECT_TRUE(live.defs(loop).test(1));
+    EXPECT_TRUE(live.defs(loop).test(2));
+    // r3 is defined before every use within the loop.
+    EXPECT_FALSE(live.liveIn(loop).test(3));
+    // Live out of the loop: the accumulator flows to done.
+    EXPECT_TRUE(live.liveOut(loop).test(2));
+}
+
+TEST(LivenessTest, AddressRegistersAreUses)
+{
+    const char *text = R"(
+module "m"
+global @A 64
+func @f(2) {
+  bb entry:
+    store [r0 + r1], 5
+    ret
+}
+)";
+    auto module = ir::parseModule(text);
+    const Liveness live(*module->functionByName("f"));
+    EXPECT_TRUE(live.liveIn(0).test(0));
+    EXPECT_TRUE(live.liveIn(0).test(1));
+}
+
+} // namespace
+} // namespace encore::analysis

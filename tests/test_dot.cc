@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the Graphviz CFG exporter.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/dot.h"
+#include "ir/parser.h"
+
+namespace encore::ir {
+namespace {
+
+// The parser does not accept quoted labels; use plain names.
+const char *kPlain = R"(
+module "m"
+global @X 4
+func @f(1) {
+  bb entry:
+    r1 = mov 0
+    br r0, thenbb, other
+  bb thenbb:
+    store [@X], r1
+    jmp join
+  bb other:
+    jmp join
+  bb join:
+    ret r1
+}
+)";
+
+TEST(Dot, EmitsNodesAndEdges)
+{
+    auto module = parseModule(kPlain);
+    const Function &f = *module->functionByName("f");
+    const std::string dot = functionToDot(f);
+
+    EXPECT_NE(dot.find("digraph \"f\""), std::string::npos);
+    // One node per block.
+    for (const auto &bb : f.blocks())
+        EXPECT_NE(dot.find(bb->name()), std::string::npos);
+    // Branch edges labelled, jumps plain.
+    EXPECT_NE(dot.find("[label=\"T\"]"), std::string::npos);
+    EXPECT_NE(dot.find("[label=\"F\"]"), std::string::npos);
+    // Entry marked with double periphery.
+    EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+    // Well-formed closure.
+    EXPECT_EQ(dot.back(), '\n');
+    EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST(Dot, StylesApplied)
+{
+    auto module = parseModule(kPlain);
+    const Function &f = *module->functionByName("f");
+    std::map<BlockId, DotBlockStyle> styles;
+    styles[f.blockByName("thenbb")->id()] =
+        DotBlockStyle{"#d9ead3", "idempotent, protected"};
+    const std::string dot = functionToDot(f, styles);
+    EXPECT_NE(dot.find("fillcolor=\"#d9ead3\""), std::string::npos);
+    EXPECT_NE(dot.find("idempotent, protected"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotes)
+{
+    Module module("has\"quote");
+    auto *f = module.createFunction("g", 0);
+    auto *bb = f->createBlock("entry");
+    Instruction ret(Opcode::Ret);
+    bb->append(std::move(ret));
+    const std::string dot = functionToDot(*f);
+    EXPECT_EQ(dot.find("digraph \"g\""), 0u);
+}
+
+} // namespace
+} // namespace encore::ir

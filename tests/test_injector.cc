@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Fault-injector tests: masking model, outcome bookkeeping, latency
+ * extremes, symptom-triggered detection, and failure handling.
+ */
+#include <gtest/gtest.h>
+
+#include "encore/pipeline.h"
+#include "fault/injector.h"
+#include "ir/parser.h"
+
+namespace encore::fault {
+namespace {
+
+const char *kProgram = R"(
+module "m"
+global @data 64
+global @out 64
+func @main(1) {
+  bb entry:
+    r1 = mov 0
+    jmp work
+  bb work:
+    r2 = mul r1, 31
+    r3 = and r2, 63
+    r4 = load [@data + r3]
+    r5 = add r4, r1
+    r8 = and r1, 63
+    store [@out + r8], r5
+    r1 = add r1, 1
+    r6 = cmplt r1, r0
+    br r6, work, done
+  bb done:
+    r7 = load [@out + 3]
+    ret r7
+}
+)";
+
+struct Harness
+{
+    std::unique_ptr<ir::Module> module;
+    EncoreReport report;
+    std::unique_ptr<FaultInjector> injector;
+};
+
+Harness
+prepare(std::uint64_t arg = 50)
+{
+    Harness setup;
+    setup.module = ir::parseModule(kProgram);
+    EncoreConfig config;
+    config.gamma = 1.0;
+    EncorePipeline pipeline(*setup.module, config);
+    setup.report = pipeline.run({RunSpec{"main", {arg}}});
+    setup.injector =
+        std::make_unique<FaultInjector>(*setup.module, setup.report);
+    EXPECT_TRUE(setup.injector->prepare("main", {arg}));
+    return setup;
+}
+
+TEST(MaskingModelTest, RateIsHonoured)
+{
+    Rng rng(4);
+    MaskingModel always(1.0);
+    MaskingModel never(0.0);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(always.isMasked(rng));
+        EXPECT_FALSE(never.isMasked(rng));
+    }
+    MaskingModel arm;
+    EXPECT_DOUBLE_EQ(arm.rate(), 0.91);
+}
+
+TEST(OutcomeNames, AllDistinct)
+{
+    std::set<std::string_view> names;
+    for (int i = 0; i < static_cast<int>(FaultOutcome::NumOutcomes); ++i)
+        names.insert(outcomeName(static_cast<FaultOutcome>(i)));
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(FaultOutcome::NumOutcomes));
+}
+
+TEST(Injector, FullMaskingShortCircuits)
+{
+    Harness setup = prepare();
+    CampaignConfig config;
+    config.trials = 30;
+    config.masking_rate = 1.0;
+    const CampaignResult result = setup.injector->runCampaign(config);
+    EXPECT_EQ(result.count(FaultOutcome::Masked), 30u);
+    EXPECT_DOUBLE_EQ(result.coveredFraction(), 1.0);
+}
+
+TEST(Injector, NoMaskingInjectsEveryTrial)
+{
+    Harness setup = prepare();
+    CampaignConfig config;
+    config.trials = 60;
+    config.model_masking = false;
+    const CampaignResult result = setup.injector->runCampaign(config);
+    EXPECT_EQ(result.count(FaultOutcome::Masked), 0u);
+    EXPECT_EQ(result.trials, 60u);
+    std::uint64_t total = 0;
+    for (int i = 0; i < static_cast<int>(FaultOutcome::NumOutcomes); ++i)
+        total += result.counts[i];
+    EXPECT_EQ(total, 60u);
+}
+
+TEST(Injector, ZeroLatencyRecoversProtectedFaults)
+{
+    // With Dmax = 0 detection fires on the very next instruction; any
+    // fault striking inside a protected region must recover.
+    Harness setup = prepare();
+    CampaignConfig config;
+    config.trials = 120;
+    config.model_masking = false;
+    config.trial.dmax = 0;
+    const CampaignResult result = setup.injector->runCampaign(config);
+    EXPECT_EQ(result.count(FaultOutcome::RecoveryFailed), 0u);
+    EXPECT_EQ(result.count(FaultOutcome::SilentCorruption), 0u);
+    EXPECT_GT(result.count(FaultOutcome::RecoveredIdempotent) +
+                  result.count(FaultOutcome::RecoveredCheckpoint),
+              0u);
+}
+
+TEST(Injector, LongLatencyLosesMoreFaults)
+{
+    Harness setup = prepare(120);
+    CampaignConfig config;
+    config.trials = 250;
+    config.model_masking = false;
+
+    config.trial.dmax = 5;
+    const auto fast = setup.injector->runCampaign(config);
+    config.trial.dmax = 5000;
+    const auto slow = setup.injector->runCampaign(config);
+
+    EXPECT_GE(slow.count(FaultOutcome::NotRecoverable),
+              fast.count(FaultOutcome::NotRecoverable));
+}
+
+TEST(Injector, GoldenRunFailurePropagates)
+{
+    auto module = ir::parseModule(R"(
+module "m"
+global @A 4
+func @main(1) {
+  bb entry:
+    r1 = div 8, r0
+    ret r1
+}
+)");
+    EncoreConfig config;
+    EncorePipeline pipeline(*module, config);
+    const EncoreReport report = pipeline.run({RunSpec{"main", {2}}});
+    FaultInjector injector(*module, report);
+    // Running with a divisor of zero fails the golden run.
+    EXPECT_FALSE(injector.prepare("main", {0}));
+    EXPECT_TRUE(injector.prepare("main", {2}));
+}
+
+TEST(Injector, CoverageArithmetic)
+{
+    CampaignResult result;
+    result.trials = 10;
+    result.counts[static_cast<int>(FaultOutcome::Masked)] = 5;
+    result.counts[static_cast<int>(FaultOutcome::RecoveredIdempotent)] = 2;
+    result.counts[static_cast<int>(FaultOutcome::RecoveredCheckpoint)] = 1;
+    result.counts[static_cast<int>(FaultOutcome::Benign)] = 1;
+    result.counts[static_cast<int>(FaultOutcome::NotRecoverable)] = 1;
+    EXPECT_DOUBLE_EQ(result.coveredFraction(), 0.9);
+    EXPECT_DOUBLE_EQ(result.fraction(FaultOutcome::Masked), 0.5);
+}
+
+TEST(Injector, EmptyCampaign)
+{
+    CampaignResult result;
+    EXPECT_DOUBLE_EQ(result.coveredFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(result.fraction(FaultOutcome::Masked), 0.0);
+}
+
+TEST(Injector, SymptomaticFaultsDetectedBeforeWildAccess)
+{
+    // A program whose index register feeds an address computation: a
+    // corrupted index must trigger symptom detection (or a runtime
+    // error treated as one) rather than silently writing out of range.
+    // The observable contract: no trial ends in RecoveryFailed, and
+    // outcomes are deterministic per seed.
+    Harness setup = prepare(80);
+    CampaignConfig config;
+    config.trials = 300;
+    config.model_masking = false;
+    config.trial.dmax = 500;
+    const auto a = setup.injector->runCampaign(config);
+    const auto b = setup.injector->runCampaign(config);
+    EXPECT_EQ(a.count(FaultOutcome::RecoveryFailed), 0u);
+    for (int i = 0; i < static_cast<int>(FaultOutcome::NumOutcomes); ++i)
+        EXPECT_EQ(a.counts[i], b.counts[i]);
+}
+
+} // namespace
+} // namespace encore::fault

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Structural tests for the instrumentation pass (§3.2): preheader
+ * placement, back-edge bypass, entry rewiring, checkpoint insertion
+ * points, recovery-block contents, and clearing enters for unprotected
+ * regions.
+ */
+#include <gtest/gtest.h>
+
+#include "encore/pipeline.h"
+#include "interp/interpreter.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+
+namespace encore {
+namespace {
+
+const char *kLoopProgram = R"(
+module "m"
+global @A 64
+global @H 16
+func @main(1) {
+  bb entry:
+    r1 = mov 0
+    r2 = mov 0
+    jmp loop
+  bb loop:
+    r3 = load [@A + r1]
+    r4 = and r3, 15
+    r5 = load [@H + r4]
+    r6 = add r5, 1
+    store [@H + r4], r6
+    r2 = add r2, r3
+    r1 = add r1, 1
+    r7 = cmplt r1, r0
+    br r7, loop, done
+  bb done:
+    store [@A], r2
+    ret r2
+}
+)";
+
+struct Instrumented
+{
+    std::unique_ptr<ir::Module> module;
+    EncoreReport report;
+};
+
+Instrumented
+instrument(const char *text, EncoreConfig config,
+           const std::vector<RunSpec> &runs)
+{
+    Instrumented result;
+    result.module = ir::parseModule(text);
+    EncorePipeline pipeline(*result.module, config);
+    result.report = pipeline.run(runs);
+    return result;
+}
+
+int
+countOpcode(const ir::Function &func, ir::Opcode op)
+{
+    int count = 0;
+    for (const auto &bb : func.blocks()) {
+        for (const auto &inst : bb->instructions()) {
+            if (inst.opcode() == op)
+                ++count;
+        }
+    }
+    return count;
+}
+
+TEST(Instrumenter, PreheaderReceivesEnterAndRegCkpts)
+{
+    EncoreConfig config;
+    config.gamma = 1.0;          // protect everything plausible
+    config.merge_regions = false; // keep the loop as its own region
+    auto [module, report] =
+        instrument(kLoopProgram, config, {RunSpec{"main", {40}}});
+    const ir::Function &f = *module->functionByName("main");
+
+    // The loop header itself must carry no pseudo-ops...
+    const ir::BasicBlock *loop = f.blockByName("loop");
+    for (const auto &inst : loop->instructions()) {
+        EXPECT_NE(inst.opcode(), ir::Opcode::RegionEnter);
+        EXPECT_NE(inst.opcode(), ir::Opcode::CkptReg);
+    }
+    // ...its preheader does: enter first, then the loop-carried
+    // registers (r1, r2), then the jump.
+    const ir::BasicBlock *pre = f.blockByName("__enter.loop");
+    ASSERT_NE(pre, nullptr);
+    auto it = pre->instructions().begin();
+    EXPECT_EQ(it->opcode(), ir::Opcode::RegionEnter);
+    ASSERT_NE(it->succ0(), nullptr); // recovery target is linked
+    ++it;
+    int reg_ckpts = 0;
+    while (it->opcode() == ir::Opcode::CkptReg) {
+        ++reg_ckpts;
+        ++it;
+    }
+    EXPECT_EQ(reg_ckpts, 2);
+    EXPECT_EQ(it->opcode(), ir::Opcode::Jmp);
+    EXPECT_EQ(it->succ0(), loop);
+}
+
+TEST(Instrumenter, BackEdgeBypassesPreheader)
+{
+    EncoreConfig config;
+    config.gamma = 1.0;
+    config.merge_regions = false;
+    auto [module, report] =
+        instrument(kLoopProgram, config, {RunSpec{"main", {40}}});
+    const ir::Function &f = *module->functionByName("main");
+    const ir::BasicBlock *loop = f.blockByName("loop");
+
+    // The loop's own branch must still target the header directly (the
+    // region instance spans all iterations)...
+    const ir::Instruction *term = loop->terminator();
+    ASSERT_NE(term, nullptr);
+    EXPECT_EQ(term->succ0(), loop);
+    // ...while the entry edge was rerouted through the preheader.
+    const ir::BasicBlock *entry_bb = f.blockByName("entry");
+    EXPECT_EQ(entry_bb->terminator()->succ0()->name(), "__enter.loop");
+}
+
+TEST(Instrumenter, CkptMemDirectlyPrecedesOffendingStore)
+{
+    EncoreConfig config;
+    config.gamma = 1.0;
+    auto [module, report] =
+        instrument(kLoopProgram, config, {RunSpec{"main", {40}}});
+    const ir::Function &f = *module->functionByName("main");
+    const ir::BasicBlock *loop = f.blockByName("loop");
+
+    bool found = false;
+    const ir::Instruction *prev = nullptr;
+    for (const auto &inst : loop->instructions()) {
+        if (inst.opcode() == ir::Opcode::Store) {
+            ASSERT_NE(prev, nullptr);
+            ASSERT_EQ(prev->opcode(), ir::Opcode::CkptMem);
+            // Same address expression as the store it protects.
+            EXPECT_TRUE(prev->addr().isObjectBase());
+            EXPECT_EQ(prev->addr().object, inst.addr().object);
+            EXPECT_TRUE(prev->addr().offset == inst.addr().offset);
+            found = true;
+        }
+        prev = &inst;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Instrumenter, RecoveryBlockRestoresThenReenters)
+{
+    EncoreConfig config;
+    config.gamma = 1.0;
+    auto [module, report] =
+        instrument(kLoopProgram, config, {RunSpec{"main", {40}}});
+    const ir::Function &f = *module->functionByName("main");
+
+    int recovery_blocks = 0;
+    for (const auto &bb : f.blocks()) {
+        if (bb->name().rfind("__recover.", 0) != 0)
+            continue;
+        ++recovery_blocks;
+        ASSERT_EQ(bb->size(), 2u);
+        auto it = bb->instructions().begin();
+        EXPECT_EQ(it->opcode(), ir::Opcode::Restore);
+        ++it;
+        EXPECT_EQ(it->opcode(), ir::Opcode::Jmp);
+        // The jump goes through the preheader so region.enter and the
+        // register checkpoints re-run with restored state.
+        EXPECT_EQ(it->succ0()->name().rfind("__enter.", 0), 0u);
+    }
+    EXPECT_GT(recovery_blocks, 0);
+}
+
+TEST(Instrumenter, FunctionEntryHeaderIsRewired)
+{
+    // A function whose entry block is itself a region header must get a
+    // fresh entry preheader.
+    EncoreConfig config;
+    config.gamma = 0.1; // make even this tiny region worth protecting
+    auto [module, report] = instrument(R"(
+module "m"
+global @A 8
+func @main(1) {
+  bb entry:
+    store [@A], r0
+    r1 = load [@A]
+    ret r1
+}
+)",
+                                       config, {RunSpec{"main", {5}}});
+    const ir::Function &f = *module->functionByName("main");
+    EXPECT_EQ(f.entry()->name().rfind("__enter.", 0), 0u);
+    // Execution still starts with the pseudo-op and behaves the same.
+    interp::Interpreter interp(*module);
+    const auto result = interp.run("main", {5});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.return_value, 5u);
+}
+
+TEST(Instrumenter, FullyUnprotectedFunctionStaysPristine)
+{
+    // When gamma rejects every region, no stale recovery target can
+    // ever exist, so the function must carry no instrumentation at all.
+    EncoreConfig config;
+    config.gamma = 1e12; // reject everything
+    auto [module, report] =
+        instrument(kLoopProgram, config, {RunSpec{"main", {40}}});
+    const ir::Function &f = *module->functionByName("main");
+
+    EXPECT_EQ(countOpcode(f, ir::Opcode::RegionEnter), 0);
+    EXPECT_EQ(countOpcode(f, ir::Opcode::CkptMem), 0);
+    EXPECT_EQ(countOpcode(f, ir::Opcode::CkptReg), 0);
+    for (const RegionReport &region : report.regions) {
+        EXPECT_FALSE(region.selected);
+        EXPECT_EQ(region.overhead_instrs, 0.0);
+    }
+}
+
+TEST(Instrumenter, MixedFunctionsClearStaleRecovery)
+{
+    // A function with one protected region and one rejected region must
+    // clear the recovery target when control enters the rejected one.
+    EncoreConfig config;
+    config.merge_regions = false;
+    config.gamma = 50.0; // hot loop passes, the tiny tail does not
+    auto [module, report] =
+        instrument(kLoopProgram, config, {RunSpec{"main", {40}}});
+    const ir::Function &f = *module->functionByName("main");
+
+    bool any_selected = false;
+    bool any_rejected = false;
+    for (const RegionReport &region : report.regions) {
+        any_selected |= region.selected;
+        any_rejected |= !region.selected;
+    }
+    ASSERT_TRUE(any_selected);
+    ASSERT_TRUE(any_rejected);
+
+    int clearing = 0;
+    for (const auto &bb : f.blocks()) {
+        for (const auto &inst : bb->instructions()) {
+            if (inst.opcode() == ir::Opcode::RegionEnter &&
+                inst.regionId() == ir::kInvalidRegion) {
+                EXPECT_EQ(inst.succ0(), nullptr);
+                ++clearing;
+            }
+        }
+    }
+    EXPECT_GT(clearing, 0);
+}
+
+TEST(Instrumenter, RegionLengthCapLimitsMerging)
+{
+    EncoreConfig small;
+    small.max_region_length = 50.0;
+    auto a = instrument(kLoopProgram, small, {RunSpec{"main", {40}}});
+
+    EncoreConfig big;
+    big.max_region_length = 1e9;
+    auto b = instrument(kLoopProgram, big, {RunSpec{"main", {40}}});
+
+    EXPECT_GE(a.report.regions.size(), b.report.regions.size());
+}
+
+} // namespace
+} // namespace encore
