@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_heuristics.cc" "bench/CMakeFiles/ablation_heuristics.dir/ablation_heuristics.cc.o" "gcc" "bench/CMakeFiles/ablation_heuristics.dir/ablation_heuristics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/encore_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/encore/CMakeFiles/encore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/encore_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/encore_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/encore_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/encore_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/encore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_trace_idempotence.dir/fig1_trace_idempotence.cc.o"
+  "CMakeFiles/fig1_trace_idempotence.dir/fig1_trace_idempotence.cc.o.d"
+  "fig1_trace_idempotence"
+  "fig1_trace_idempotence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_trace_idempotence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_region_idempotence.dir/fig5_region_idempotence.cc.o"
+  "CMakeFiles/fig5_region_idempotence.dir/fig5_region_idempotence.cc.o.d"
+  "fig5_region_idempotence"
+  "fig5_region_idempotence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_region_idempotence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_runtime_overhead.dir/fig7a_runtime_overhead.cc.o"
+  "CMakeFiles/fig7a_runtime_overhead.dir/fig7a_runtime_overhead.cc.o.d"
+  "fig7a_runtime_overhead"
+  "fig7a_runtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_storage_overhead.dir/fig7b_storage_overhead.cc.o"
+  "CMakeFiles/fig7b_storage_overhead.dir/fig7b_storage_overhead.cc.o.d"
+  "fig7b_storage_overhead"
+  "fig7b_storage_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_storage_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fault_coverage.dir/fig8_fault_coverage.cc.o"
+  "CMakeFiles/fig8_fault_coverage.dir/fig8_fault_coverage.cc.o.d"
+  "fig8_fault_coverage"
+  "fig8_fault_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fault_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

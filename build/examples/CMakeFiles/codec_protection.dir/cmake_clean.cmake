@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_protection.dir/codec_protection.cpp.o"
+  "CMakeFiles/codec_protection.dir/codec_protection.cpp.o.d"
+  "codec_protection"
+  "codec_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_walkthrough.dir/figure4_walkthrough.cpp.o"
+  "CMakeFiles/figure4_walkthrough.dir/figure4_walkthrough.cpp.o.d"
+  "figure4_walkthrough"
+  "figure4_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

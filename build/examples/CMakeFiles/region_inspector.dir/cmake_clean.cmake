@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_inspector.dir/region_inspector.cpp.o"
+  "CMakeFiles/region_inspector.dir/region_inspector.cpp.o.d"
+  "region_inspector"
+  "region_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

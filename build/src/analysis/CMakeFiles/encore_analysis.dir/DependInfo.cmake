@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/alias.cc" "src/analysis/CMakeFiles/encore_analysis.dir/alias.cc.o" "gcc" "src/analysis/CMakeFiles/encore_analysis.dir/alias.cc.o.d"
+  "/root/repo/src/analysis/digraph.cc" "src/analysis/CMakeFiles/encore_analysis.dir/digraph.cc.o" "gcc" "src/analysis/CMakeFiles/encore_analysis.dir/digraph.cc.o.d"
+  "/root/repo/src/analysis/dominators.cc" "src/analysis/CMakeFiles/encore_analysis.dir/dominators.cc.o" "gcc" "src/analysis/CMakeFiles/encore_analysis.dir/dominators.cc.o.d"
+  "/root/repo/src/analysis/intervals.cc" "src/analysis/CMakeFiles/encore_analysis.dir/intervals.cc.o" "gcc" "src/analysis/CMakeFiles/encore_analysis.dir/intervals.cc.o.d"
+  "/root/repo/src/analysis/liveness.cc" "src/analysis/CMakeFiles/encore_analysis.dir/liveness.cc.o" "gcc" "src/analysis/CMakeFiles/encore_analysis.dir/liveness.cc.o.d"
+  "/root/repo/src/analysis/loop_info.cc" "src/analysis/CMakeFiles/encore_analysis.dir/loop_info.cc.o" "gcc" "src/analysis/CMakeFiles/encore_analysis.dir/loop_info.cc.o.d"
+  "/root/repo/src/analysis/memloc.cc" "src/analysis/CMakeFiles/encore_analysis.dir/memloc.cc.o" "gcc" "src/analysis/CMakeFiles/encore_analysis.dir/memloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/encore_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/encore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encore_analysis.dir/alias.cc.o"
+  "CMakeFiles/encore_analysis.dir/alias.cc.o.d"
+  "CMakeFiles/encore_analysis.dir/digraph.cc.o"
+  "CMakeFiles/encore_analysis.dir/digraph.cc.o.d"
+  "CMakeFiles/encore_analysis.dir/dominators.cc.o"
+  "CMakeFiles/encore_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/encore_analysis.dir/intervals.cc.o"
+  "CMakeFiles/encore_analysis.dir/intervals.cc.o.d"
+  "CMakeFiles/encore_analysis.dir/liveness.cc.o"
+  "CMakeFiles/encore_analysis.dir/liveness.cc.o.d"
+  "CMakeFiles/encore_analysis.dir/loop_info.cc.o"
+  "CMakeFiles/encore_analysis.dir/loop_info.cc.o.d"
+  "CMakeFiles/encore_analysis.dir/memloc.cc.o"
+  "CMakeFiles/encore_analysis.dir/memloc.cc.o.d"
+  "libencore_analysis.a"
+  "libencore_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encore_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encore/call_summary.cc" "src/encore/CMakeFiles/encore_core.dir/call_summary.cc.o" "gcc" "src/encore/CMakeFiles/encore_core.dir/call_summary.cc.o.d"
+  "/root/repo/src/encore/cost_model.cc" "src/encore/CMakeFiles/encore_core.dir/cost_model.cc.o" "gcc" "src/encore/CMakeFiles/encore_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/encore/detection_model.cc" "src/encore/CMakeFiles/encore_core.dir/detection_model.cc.o" "gcc" "src/encore/CMakeFiles/encore_core.dir/detection_model.cc.o.d"
+  "/root/repo/src/encore/idempotence.cc" "src/encore/CMakeFiles/encore_core.dir/idempotence.cc.o" "gcc" "src/encore/CMakeFiles/encore_core.dir/idempotence.cc.o.d"
+  "/root/repo/src/encore/instrumenter.cc" "src/encore/CMakeFiles/encore_core.dir/instrumenter.cc.o" "gcc" "src/encore/CMakeFiles/encore_core.dir/instrumenter.cc.o.d"
+  "/root/repo/src/encore/pipeline.cc" "src/encore/CMakeFiles/encore_core.dir/pipeline.cc.o" "gcc" "src/encore/CMakeFiles/encore_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/encore/region.cc" "src/encore/CMakeFiles/encore_core.dir/region.cc.o" "gcc" "src/encore/CMakeFiles/encore_core.dir/region.cc.o.d"
+  "/root/repo/src/encore/region_formation.cc" "src/encore/CMakeFiles/encore_core.dir/region_formation.cc.o" "gcc" "src/encore/CMakeFiles/encore_core.dir/region_formation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/encore_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/encore_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/encore_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/encore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

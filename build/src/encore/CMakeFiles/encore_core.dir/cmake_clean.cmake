@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encore_core.dir/call_summary.cc.o"
+  "CMakeFiles/encore_core.dir/call_summary.cc.o.d"
+  "CMakeFiles/encore_core.dir/cost_model.cc.o"
+  "CMakeFiles/encore_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/encore_core.dir/detection_model.cc.o"
+  "CMakeFiles/encore_core.dir/detection_model.cc.o.d"
+  "CMakeFiles/encore_core.dir/idempotence.cc.o"
+  "CMakeFiles/encore_core.dir/idempotence.cc.o.d"
+  "CMakeFiles/encore_core.dir/instrumenter.cc.o"
+  "CMakeFiles/encore_core.dir/instrumenter.cc.o.d"
+  "CMakeFiles/encore_core.dir/pipeline.cc.o"
+  "CMakeFiles/encore_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/encore_core.dir/region.cc.o"
+  "CMakeFiles/encore_core.dir/region.cc.o.d"
+  "CMakeFiles/encore_core.dir/region_formation.cc.o"
+  "CMakeFiles/encore_core.dir/region_formation.cc.o.d"
+  "libencore_core.a"
+  "libencore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libencore_core.a"
+)

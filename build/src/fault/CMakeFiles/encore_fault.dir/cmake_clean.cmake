@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encore_fault.dir/injector.cc.o"
+  "CMakeFiles/encore_fault.dir/injector.cc.o.d"
+  "libencore_fault.a"
+  "libencore_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encore_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/interpreter.cc" "src/interp/CMakeFiles/encore_interp.dir/interpreter.cc.o" "gcc" "src/interp/CMakeFiles/encore_interp.dir/interpreter.cc.o.d"
+  "/root/repo/src/interp/memory.cc" "src/interp/CMakeFiles/encore_interp.dir/memory.cc.o" "gcc" "src/interp/CMakeFiles/encore_interp.dir/memory.cc.o.d"
+  "/root/repo/src/interp/profile.cc" "src/interp/CMakeFiles/encore_interp.dir/profile.cc.o" "gcc" "src/interp/CMakeFiles/encore_interp.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/encore_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/encore_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/encore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

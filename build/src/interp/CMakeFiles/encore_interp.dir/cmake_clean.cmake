@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encore_interp.dir/interpreter.cc.o"
+  "CMakeFiles/encore_interp.dir/interpreter.cc.o.d"
+  "CMakeFiles/encore_interp.dir/memory.cc.o"
+  "CMakeFiles/encore_interp.dir/memory.cc.o.d"
+  "CMakeFiles/encore_interp.dir/profile.cc.o"
+  "CMakeFiles/encore_interp.dir/profile.cc.o.d"
+  "libencore_interp.a"
+  "libencore_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encore_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

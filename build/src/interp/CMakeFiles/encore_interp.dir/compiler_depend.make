@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for encore_interp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for encore_interp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encore_ir.dir/basic_block.cc.o"
+  "CMakeFiles/encore_ir.dir/basic_block.cc.o.d"
+  "CMakeFiles/encore_ir.dir/builder.cc.o"
+  "CMakeFiles/encore_ir.dir/builder.cc.o.d"
+  "CMakeFiles/encore_ir.dir/dot.cc.o"
+  "CMakeFiles/encore_ir.dir/dot.cc.o.d"
+  "CMakeFiles/encore_ir.dir/function.cc.o"
+  "CMakeFiles/encore_ir.dir/function.cc.o.d"
+  "CMakeFiles/encore_ir.dir/instruction.cc.o"
+  "CMakeFiles/encore_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/encore_ir.dir/module.cc.o"
+  "CMakeFiles/encore_ir.dir/module.cc.o.d"
+  "CMakeFiles/encore_ir.dir/opcode.cc.o"
+  "CMakeFiles/encore_ir.dir/opcode.cc.o.d"
+  "CMakeFiles/encore_ir.dir/operand.cc.o"
+  "CMakeFiles/encore_ir.dir/operand.cc.o.d"
+  "CMakeFiles/encore_ir.dir/parser.cc.o"
+  "CMakeFiles/encore_ir.dir/parser.cc.o.d"
+  "CMakeFiles/encore_ir.dir/printer.cc.o"
+  "CMakeFiles/encore_ir.dir/printer.cc.o.d"
+  "CMakeFiles/encore_ir.dir/verifier.cc.o"
+  "CMakeFiles/encore_ir.dir/verifier.cc.o.d"
+  "libencore_ir.a"
+  "libencore_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encore_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encore_support.dir/cli.cc.o"
+  "CMakeFiles/encore_support.dir/cli.cc.o.d"
+  "CMakeFiles/encore_support.dir/diagnostics.cc.o"
+  "CMakeFiles/encore_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/encore_support.dir/rng.cc.o"
+  "CMakeFiles/encore_support.dir/rng.cc.o.d"
+  "CMakeFiles/encore_support.dir/stats.cc.o"
+  "CMakeFiles/encore_support.dir/stats.cc.o.d"
+  "CMakeFiles/encore_support.dir/strings.cc.o"
+  "CMakeFiles/encore_support.dir/strings.cc.o.d"
+  "CMakeFiles/encore_support.dir/table.cc.o"
+  "CMakeFiles/encore_support.dir/table.cc.o.d"
+  "libencore_support.a"
+  "libencore_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encore_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/applu.cc" "src/workloads/CMakeFiles/encore_workloads.dir/applu.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/applu.cc.o.d"
+  "/root/repo/src/workloads/art.cc" "src/workloads/CMakeFiles/encore_workloads.dir/art.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/art.cc.o.d"
+  "/root/repo/src/workloads/bzip2.cc" "src/workloads/CMakeFiles/encore_workloads.dir/bzip2.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/bzip2.cc.o.d"
+  "/root/repo/src/workloads/cjpeg.cc" "src/workloads/CMakeFiles/encore_workloads.dir/cjpeg.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/cjpeg.cc.o.d"
+  "/root/repo/src/workloads/djpeg.cc" "src/workloads/CMakeFiles/encore_workloads.dir/djpeg.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/djpeg.cc.o.d"
+  "/root/repo/src/workloads/epic.cc" "src/workloads/CMakeFiles/encore_workloads.dir/epic.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/epic.cc.o.d"
+  "/root/repo/src/workloads/equake.cc" "src/workloads/CMakeFiles/encore_workloads.dir/equake.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/equake.cc.o.d"
+  "/root/repo/src/workloads/g721.cc" "src/workloads/CMakeFiles/encore_workloads.dir/g721.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/g721.cc.o.d"
+  "/root/repo/src/workloads/gzip.cc" "src/workloads/CMakeFiles/encore_workloads.dir/gzip.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/gzip.cc.o.d"
+  "/root/repo/src/workloads/mcf.cc" "src/workloads/CMakeFiles/encore_workloads.dir/mcf.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/mcf.cc.o.d"
+  "/root/repo/src/workloads/mesa.cc" "src/workloads/CMakeFiles/encore_workloads.dir/mesa.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/mesa.cc.o.d"
+  "/root/repo/src/workloads/mgrid.cc" "src/workloads/CMakeFiles/encore_workloads.dir/mgrid.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/mgrid.cc.o.d"
+  "/root/repo/src/workloads/mpeg2.cc" "src/workloads/CMakeFiles/encore_workloads.dir/mpeg2.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/mpeg2.cc.o.d"
+  "/root/repo/src/workloads/parser.cc" "src/workloads/CMakeFiles/encore_workloads.dir/parser.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/parser.cc.o.d"
+  "/root/repo/src/workloads/pegwit.cc" "src/workloads/CMakeFiles/encore_workloads.dir/pegwit.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/pegwit.cc.o.d"
+  "/root/repo/src/workloads/rawaudio.cc" "src/workloads/CMakeFiles/encore_workloads.dir/rawaudio.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/rawaudio.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/encore_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/twolf.cc" "src/workloads/CMakeFiles/encore_workloads.dir/twolf.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/twolf.cc.o.d"
+  "/root/repo/src/workloads/unepic.cc" "src/workloads/CMakeFiles/encore_workloads.dir/unepic.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/unepic.cc.o.d"
+  "/root/repo/src/workloads/vpr.cc" "src/workloads/CMakeFiles/encore_workloads.dir/vpr.cc.o" "gcc" "src/workloads/CMakeFiles/encore_workloads.dir/vpr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/encore_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/encore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

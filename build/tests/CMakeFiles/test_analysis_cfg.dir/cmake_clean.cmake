@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_cfg.dir/test_analysis_cfg.cc.o"
+  "CMakeFiles/test_analysis_cfg.dir/test_analysis_cfg.cc.o.d"
+  "test_analysis_cfg"
+  "test_analysis_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

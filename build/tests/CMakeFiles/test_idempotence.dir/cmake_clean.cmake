@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idempotence.dir/test_idempotence.cc.o"
+  "CMakeFiles/test_idempotence.dir/test_idempotence.cc.o.d"
+  "test_idempotence"
+  "test_idempotence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idempotence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

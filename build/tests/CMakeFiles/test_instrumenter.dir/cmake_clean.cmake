@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instrumenter.dir/test_instrumenter.cc.o"
+  "CMakeFiles/test_instrumenter.dir/test_instrumenter.cc.o.d"
+  "test_instrumenter"
+  "test_instrumenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instrumenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

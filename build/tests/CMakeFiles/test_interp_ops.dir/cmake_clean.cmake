@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_ops.dir/test_interp_ops.cc.o"
+  "CMakeFiles/test_interp_ops.dir/test_interp_ops.cc.o.d"
+  "test_interp_ops"
+  "test_interp_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

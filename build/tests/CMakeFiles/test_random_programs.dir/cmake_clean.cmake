@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_programs.dir/test_random_programs.cc.o"
+  "CMakeFiles/test_random_programs.dir/test_random_programs.cc.o.d"
+  "test_random_programs"
+  "test_random_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
