@@ -31,20 +31,31 @@ struct AblationRow
 };
 
 AblationRow
-evaluate(const EncoreConfig &config)
+evaluate(const EncoreConfig &config, std::size_t jobs)
 {
     AblationRow row;
-    bench::forEachWorkload([&](const workloads::Workload &w) {
-        auto prepared = bench::prepareWorkload(w, config);
-        row.overhead += prepared.report.projectedOverheadFraction();
-        row.protected_dyn += prepared.report.dynFractionIdempotent() +
-                             prepared.report.dynFractionCheckpointed();
-        row.regions += static_cast<double>(
-            prepared.report.regions.size());
-        for (const RegionReport &region : prepared.report.regions)
-            row.selected += region.selected ? 1.0 : 0.0;
-        ++row.count;
-    });
+    bench::mapWorkloads(
+        jobs,
+        [&config](const workloads::Workload &w) {
+            auto prepared = bench::prepareWorkload(w, config);
+            AblationRow one;
+            one.overhead = prepared.report.projectedOverheadFraction();
+            one.protected_dyn =
+                prepared.report.dynFractionIdempotent() +
+                prepared.report.dynFractionCheckpointed();
+            one.regions = static_cast<double>(
+                prepared.report.regions.size());
+            for (const RegionReport &region : prepared.report.regions)
+                one.selected += region.selected ? 1.0 : 0.0;
+            return one;
+        },
+        [&row](const workloads::Workload &, const AblationRow &one) {
+            row.overhead += one.overhead;
+            row.protected_dyn += one.protected_dyn;
+            row.regions += one.regions;
+            row.selected += one.selected;
+            ++row.count;
+        });
     return row;
 }
 
@@ -64,6 +75,7 @@ main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
     cli.parse(argc, argv);
+    const std::size_t jobs = bench::jobsFlag(cli);
 
     bench::printHeader(
         "Ablations",
@@ -77,7 +89,7 @@ main(int argc, char **argv)
     {
         EncoreConfig base;
         addRow(table, "baseline (Pmin=0, gamma=50, merge on)",
-               evaluate(base));
+               evaluate(base, jobs));
     }
     table.addSeparator();
 
@@ -88,7 +100,7 @@ main(int argc, char **argv)
         addRow(table,
                pmin < 0 ? "Pmin=none"
                         : "Pmin=" + formatFixed(pmin, 2),
-               evaluate(config));
+               evaluate(config, jobs));
     }
     table.addSeparator();
 
@@ -96,7 +108,7 @@ main(int argc, char **argv)
         EncoreConfig config;
         config.gamma = gamma;
         addRow(table, "gamma=" + formatFixed(gamma, 0),
-               evaluate(config));
+               evaluate(config, jobs));
     }
     table.addSeparator();
 
@@ -104,12 +116,12 @@ main(int argc, char **argv)
         EncoreConfig config;
         config.merge_regions = false;
         addRow(table, "merging off (level-0 intervals only)",
-               evaluate(config));
+               evaluate(config, jobs));
     }
     for (const double eta : {10.0, 100.0, 1000.0}) {
         EncoreConfig config;
         config.eta = eta;
-        addRow(table, "eta=" + formatFixed(eta, 0), evaluate(config));
+        addRow(table, "eta=" + formatFixed(eta, 0), evaluate(config, jobs));
     }
     table.addSeparator();
 
@@ -117,7 +129,7 @@ main(int argc, char **argv)
         EncoreConfig config;
         config.max_storage_bytes = bytes;
         addRow(table, "storage<=" + formatFixed(bytes, 0) + "B",
-               evaluate(config));
+               evaluate(config, jobs));
     }
     table.addSeparator();
 
@@ -125,17 +137,17 @@ main(int argc, char **argv)
         EncoreConfig config;
         config.use_call_summaries = false;
         addRow(table, "call summaries off (paper Unknown rule)",
-               evaluate(config));
+               evaluate(config, jobs));
     }
     {
         EncoreConfig config;
         config.auto_tune = false;
-        addRow(table, "budget auto-tune off", evaluate(config));
+        addRow(table, "budget auto-tune off", evaluate(config, jobs));
     }
     {
         EncoreConfig config;
         config.alias_mode = EncoreConfig::AliasMode::Optimistic;
-        addRow(table, "optimistic alias analysis", evaluate(config));
+        addRow(table, "optimistic alias analysis", evaluate(config, jobs));
     }
 
     table.print(std::cout);

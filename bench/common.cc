@@ -19,6 +19,20 @@ prepareWorkload(const workloads::Workload &workload, EncoreConfig config)
     return prepared;
 }
 
+std::vector<PreparedWorkload>
+prepareSuite(const EncoreConfig &config, std::size_t jobs)
+{
+    const std::vector<workloads::Workload> &suite =
+        workloads::allWorkloads();
+    std::vector<PreparedWorkload> prepared(suite.size());
+    ThreadPool pool(jobs);
+    pool.parallelFor(suite.size(),
+                     [&](std::uint64_t i, std::size_t) {
+                         prepared[i] = prepareWorkload(suite[i], config);
+                     });
+    return prepared;
+}
+
 void
 forEachWorkload(
     const std::function<void(const workloads::Workload &)> &fn)
@@ -34,7 +48,17 @@ standardFlags(const std::string &trials_default)
     cli.addFlag("seed", "12345", "base RNG seed for the experiment");
     cli.addFlag("trials", trials_default,
                 "fault-injection trials per configuration");
+    cli.addFlag("jobs", "0",
+                "worker threads for workload prep and campaigns "
+                "(0 = all hardware threads)");
     return cli;
+}
+
+std::size_t
+jobsFlag(const CommandLine &cli)
+{
+    const std::int64_t raw = cli.getInt("jobs");
+    return resolveJobs(raw <= 0 ? 0 : static_cast<std::size_t>(raw));
 }
 
 void

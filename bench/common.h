@@ -9,12 +9,15 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "encore/pipeline.h"
 #include "support/cli.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 #include "workloads/workload.h"
 
 namespace encore::bench {
@@ -36,13 +39,44 @@ struct PreparedWorkload
 PreparedWorkload prepareWorkload(const workloads::Workload &workload,
                                  EncoreConfig config);
 
+/// Prepares every workload under `config` with `jobs`-way parallelism
+/// (0 = hardware concurrency); results come back in suite order.
+std::vector<PreparedWorkload> prepareSuite(const EncoreConfig &config,
+                                           std::size_t jobs);
+
 /// Runs `fn` for every workload in suite order.
 void forEachWorkload(
     const std::function<void(const workloads::Workload &)> &fn);
 
+/// Parallel counterpart of forEachWorkload for the benches: runs the
+/// expensive `produce` for every workload on `jobs` threads, then runs
+/// `consume(workload, result)` sequentially in suite order, so table
+/// rows and aggregates stay deterministic while the pipeline work
+/// (build + profile + analyze + instrument) is spread across cores.
+template <typename Produce, typename Consume>
+void
+mapWorkloads(std::size_t jobs, Produce produce, Consume consume)
+{
+    using T = std::invoke_result_t<Produce, const workloads::Workload &>;
+    const std::vector<workloads::Workload> &suite =
+        workloads::allWorkloads();
+    std::vector<std::optional<T>> results(suite.size());
+    ThreadPool pool(jobs);
+    pool.parallelFor(suite.size(),
+                     [&](std::uint64_t i, std::size_t) {
+                         results[i].emplace(produce(suite[i]));
+                     });
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        consume(suite[i], *results[i]);
+}
+
 /// Standard flags most benches share. Returns a CommandLine with
-/// --seed and --trials registered (callers may add more before parse).
+/// --seed, --trials, and --jobs registered (callers may add more
+/// before parse).
 CommandLine standardFlags(const std::string &trials_default);
+
+/// Resolved --jobs value: 0 (the default) means hardware concurrency.
+std::size_t jobsFlag(const CommandLine &cli);
 
 /// Prints the standard header naming the figure being reproduced.
 void printHeader(const std::string &figure, const std::string &summary);

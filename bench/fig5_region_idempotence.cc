@@ -6,6 +6,7 @@
  * classified Idempotent / Non-idempotent / Unknown under
  * Pmin ∈ {∅, 0.0, 0.1, 0.25}. ∅ means no profile pruning.
  */
+#include <array>
 #include <iostream>
 
 #include "common.h"
@@ -45,6 +46,7 @@ main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
     cli.parse(argc, argv);
+    const std::size_t jobs = bench::jobsFlag(cli);
 
     bench::printHeader(
         "Figure 5",
@@ -76,35 +78,47 @@ main(int argc, char **argv)
     SuiteTotals grand;
 
     std::string current_suite;
-    bench::forEachWorkload([&](const workloads::Workload &w) {
-        if (w.suite != current_suite) {
-            if (!current_suite.empty())
-                table.addSeparator();
-            current_suite = w.suite;
-        }
-
-        std::vector<std::string> row{w.name};
-        for (std::size_t s = 0; s < settings.size(); ++s) {
-            EncoreConfig config;
-            config.prune = settings[s].prune;
-            config.pmin = settings[s].pmin;
-            auto prepared = bench::prepareWorkload(w, config);
-            const Breakdown b = classify(prepared.report);
-            const double total =
-                std::max<std::size_t>(1, b.total());
-            row.push_back(
-                formatFixed(100.0 * b.idem / total, 0) + "/" +
-                formatFixed(100.0 * b.non / total, 0) + "/" +
-                formatFixed(100.0 * b.unknown / total, 0));
-            suite_totals[w.suite].per_setting[s].idem += b.idem;
-            suite_totals[w.suite].per_setting[s].non += b.non;
-            suite_totals[w.suite].per_setting[s].unknown += b.unknown;
-            grand.per_setting[s].idem += b.idem;
-            grand.per_setting[s].non += b.non;
-            grand.per_setting[s].unknown += b.unknown;
-        }
-        table.addRow(std::move(row));
-    });
+    bench::mapWorkloads(
+        jobs,
+        // Parallel: all four pipeline configurations per workload.
+        [&](const workloads::Workload &w) {
+            std::array<Breakdown, 4> breakdowns;
+            for (std::size_t s = 0; s < settings.size(); ++s) {
+                EncoreConfig config;
+                config.prune = settings[s].prune;
+                config.pmin = settings[s].pmin;
+                auto prepared = bench::prepareWorkload(w, config);
+                breakdowns[s] = classify(prepared.report);
+            }
+            return breakdowns;
+        },
+        // Sequential, suite order: rows and aggregates.
+        [&](const workloads::Workload &w,
+            const std::array<Breakdown, 4> &breakdowns) {
+            if (w.suite != current_suite) {
+                if (!current_suite.empty())
+                    table.addSeparator();
+                current_suite = w.suite;
+            }
+            std::vector<std::string> row{w.name};
+            for (std::size_t s = 0; s < settings.size(); ++s) {
+                const Breakdown &b = breakdowns[s];
+                const double total =
+                    std::max<std::size_t>(1, b.total());
+                row.push_back(
+                    formatFixed(100.0 * b.idem / total, 0) + "/" +
+                    formatFixed(100.0 * b.non / total, 0) + "/" +
+                    formatFixed(100.0 * b.unknown / total, 0));
+                suite_totals[w.suite].per_setting[s].idem += b.idem;
+                suite_totals[w.suite].per_setting[s].non += b.non;
+                suite_totals[w.suite].per_setting[s].unknown +=
+                    b.unknown;
+                grand.per_setting[s].idem += b.idem;
+                grand.per_setting[s].non += b.non;
+                grand.per_setting[s].unknown += b.unknown;
+            }
+            table.addRow(std::move(row));
+        });
 
     auto totals_row = [&](const std::string &label,
                           const SuiteTotals &totals) {

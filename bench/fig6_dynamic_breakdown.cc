@@ -19,6 +19,7 @@ main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
     cli.parse(argc, argv);
+    const std::size_t jobs = bench::jobsFlag(cli);
 
     bench::printHeader(
         "Figure 6",
@@ -36,30 +37,38 @@ main(int argc, char **argv)
     std::map<std::string, Acc> by_suite;
     Acc all;
 
+    struct Fractions
+    {
+        double idem, ckpt, lost;
+    };
     std::string current_suite;
-    bench::forEachWorkload([&](const workloads::Workload &w) {
-        if (w.suite != current_suite) {
-            if (!current_suite.empty())
-                table.addSeparator();
-            current_suite = w.suite;
-        }
-        EncoreConfig config;
-        auto prepared = bench::prepareWorkload(w, config);
-        const double idem = prepared.report.dynFractionIdempotent();
-        const double ckpt = prepared.report.dynFractionCheckpointed();
-        const double lost = prepared.report.dynFractionUnprotected();
-        table.addRow({w.name, formatPercent(idem), formatPercent(ckpt),
-                      formatPercent(lost)});
-        auto &acc = by_suite[w.suite];
-        acc.idem += idem;
-        acc.ckpt += ckpt;
-        acc.lost += lost;
-        ++acc.count;
-        all.idem += idem;
-        all.ckpt += ckpt;
-        all.lost += lost;
-        ++all.count;
-    });
+    bench::mapWorkloads(
+        jobs,
+        [](const workloads::Workload &w) {
+            EncoreConfig config;
+            auto prepared = bench::prepareWorkload(w, config);
+            return Fractions{prepared.report.dynFractionIdempotent(),
+                             prepared.report.dynFractionCheckpointed(),
+                             prepared.report.dynFractionUnprotected()};
+        },
+        [&](const workloads::Workload &w, const Fractions &f) {
+            if (w.suite != current_suite) {
+                if (!current_suite.empty())
+                    table.addSeparator();
+                current_suite = w.suite;
+            }
+            table.addRow({w.name, formatPercent(f.idem),
+                          formatPercent(f.ckpt), formatPercent(f.lost)});
+            auto &acc = by_suite[w.suite];
+            acc.idem += f.idem;
+            acc.ckpt += f.ckpt;
+            acc.lost += f.lost;
+            ++acc.count;
+            all.idem += f.idem;
+            all.ckpt += f.ckpt;
+            all.lost += f.lost;
+            ++all.count;
+        });
 
     table.addSeparator();
     for (const std::string &suite : workloads::suiteNames()) {

@@ -40,6 +40,7 @@ main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
     cli.parse(argc, argv);
+    const std::size_t jobs = bench::jobsFlag(cli);
 
     bench::printHeader(
         "Figure 7a",
@@ -55,32 +56,38 @@ main(int argc, char **argv)
     std::map<std::string, double> suite_opt;
 
     std::string current_suite;
-    bench::forEachWorkload([&](const workloads::Workload &w) {
-        if (w.suite != current_suite) {
-            if (!current_suite.empty())
-                table.addSeparator();
-            current_suite = w.suite;
-        }
+    bench::mapWorkloads(
+        jobs,
+        // Parallel: instrument + execute under both alias modes.
+        [](const workloads::Workload &w) {
+            EncoreConfig static_cfg;
+            static_cfg.alias_mode = EncoreConfig::AliasMode::Static;
+            auto static_run = bench::prepareWorkload(w, static_cfg);
 
-        EncoreConfig static_cfg;
-        static_cfg.alias_mode = EncoreConfig::AliasMode::Static;
-        auto static_run = bench::prepareWorkload(w, static_cfg);
-        const double static_oh = measureOverhead(static_run);
+            EncoreConfig opt_cfg;
+            opt_cfg.alias_mode = EncoreConfig::AliasMode::Optimistic;
+            auto opt_run = bench::prepareWorkload(w, opt_cfg);
 
-        EncoreConfig opt_cfg;
-        opt_cfg.alias_mode = EncoreConfig::AliasMode::Optimistic;
-        auto opt_run = bench::prepareWorkload(w, opt_cfg);
-        const double opt_oh = measureOverhead(opt_run);
-
-        table.addRow({w.name, formatPercent(static_oh),
-                      formatPercent(opt_oh)});
-        sum_static += static_oh;
-        sum_opt += opt_oh;
-        ++count;
-        suite_static[w.suite].first += static_oh;
-        suite_static[w.suite].second += 1;
-        suite_opt[w.suite] += opt_oh;
-    });
+            return std::pair<double, double>{measureOverhead(static_run),
+                                             measureOverhead(opt_run)};
+        },
+        [&](const workloads::Workload &w,
+            const std::pair<double, double> &overheads) {
+            const auto [static_oh, opt_oh] = overheads;
+            if (w.suite != current_suite) {
+                if (!current_suite.empty())
+                    table.addSeparator();
+                current_suite = w.suite;
+            }
+            table.addRow({w.name, formatPercent(static_oh),
+                          formatPercent(opt_oh)});
+            sum_static += static_oh;
+            sum_opt += opt_oh;
+            ++count;
+            suite_static[w.suite].first += static_oh;
+            suite_static[w.suite].second += 1;
+            suite_opt[w.suite] += opt_oh;
+        });
 
     table.addSeparator();
     for (const std::string &suite : workloads::suiteNames()) {

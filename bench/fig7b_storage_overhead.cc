@@ -21,6 +21,7 @@ main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
     cli.parse(argc, argv);
+    const std::size_t jobs = bench::jobsFlag(cli);
 
     bench::printHeader(
         "Figure 7b",
@@ -36,27 +37,35 @@ main(int argc, char **argv)
     std::map<std::string, int> suite_counts;
 
     std::string current_suite;
-    bench::forEachWorkload([&](const workloads::Workload &w) {
-        if (w.suite != current_suite) {
-            if (!current_suite.empty())
-                table.addSeparator();
-            current_suite = w.suite;
-        }
-        EncoreConfig config;
-        auto prepared = bench::prepareWorkload(w, config);
-        const double mem = prepared.report.avgStorageMemBytes();
-        const double reg = prepared.report.avgStorageRegBytes();
-        table.addRow({w.name, formatFixed(mem, 1), formatFixed(reg, 1),
-                      formatFixed(mem + reg, 1)});
-        sum_mem += mem;
-        sum_reg += reg;
-        sum_total += mem + reg;
-        ++count;
-        suite_sums[w.suite][0] += mem;
-        suite_sums[w.suite][1] += reg;
-        suite_sums[w.suite][2] += mem + reg;
-        suite_counts[w.suite] += 1;
-    });
+    bench::mapWorkloads(
+        jobs,
+        [](const workloads::Workload &w) {
+            EncoreConfig config;
+            auto prepared = bench::prepareWorkload(w, config);
+            return std::pair<double, double>{
+                prepared.report.avgStorageMemBytes(),
+                prepared.report.avgStorageRegBytes()};
+        },
+        [&](const workloads::Workload &w,
+            const std::pair<double, double> &storage) {
+            const auto [mem, reg] = storage;
+            if (w.suite != current_suite) {
+                if (!current_suite.empty())
+                    table.addSeparator();
+                current_suite = w.suite;
+            }
+            table.addRow({w.name, formatFixed(mem, 1),
+                          formatFixed(reg, 1),
+                          formatFixed(mem + reg, 1)});
+            sum_mem += mem;
+            sum_reg += reg;
+            sum_total += mem + reg;
+            ++count;
+            suite_sums[w.suite][0] += mem;
+            suite_sums[w.suite][1] += reg;
+            suite_sums[w.suite][2] += mem + reg;
+            suite_counts[w.suite] += 1;
+        });
 
     table.addSeparator();
     for (const std::string &suite : workloads::suiteNames()) {

@@ -8,7 +8,15 @@
  * Recoverable w/ Encore Checkpointing / Not Recoverable. Coverage is
  * judged by executing the rollback and comparing final output with the
  * golden run, not by the analytical model alone.
+ *
+ * Workload preparation and campaign trials both run on --jobs threads
+ * (counter-based per-trial seeding keeps every number bit-identical to
+ * --jobs 1). Campaign throughput is additionally written to a
+ * machine-readable BENCH_injection.json so the performance trajectory
+ * can be tracked across revisions.
  */
+#include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "common.h"
@@ -17,6 +25,25 @@
 
 using namespace encore;
 
+namespace {
+
+struct WorkloadPerf
+{
+    std::string name;
+    std::uint64_t trials = 0;
+    double wall_seconds = 0.0;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -24,6 +51,9 @@ main(int argc, char **argv)
     cli.addFlag("dmax", "1000,100,10",
                 "comma-separated detection latencies to evaluate");
     cli.addFlag("mask", "0.91", "hardware masking rate");
+    cli.addFlag("json", "BENCH_injection.json",
+                "path for machine-readable campaign throughput "
+                "(empty = disabled)");
     cli.parse(argc, argv);
 
     const std::uint64_t trials =
@@ -31,6 +61,8 @@ main(int argc, char **argv)
     const std::uint64_t seed =
         static_cast<std::uint64_t>(cli.getInt("seed"));
     const double mask_rate = cli.getDouble("mask");
+    const std::size_t jobs = bench::jobsFlag(cli);
+    const std::string json_path = cli.getString("json");
 
     std::vector<std::uint64_t> dmaxes;
     for (const std::string &field : split(cli.getString("dmax"), ','))
@@ -42,8 +74,8 @@ main(int argc, char **argv)
         "Full-system fault coverage via statistical fault injection "
         "(" + std::to_string(trials) +
             " trials per cell,\nmasking rate " +
-            formatPercent(mask_rate) +
-            "). Cells: covered% (masked + recovered + benign).");
+            formatPercent(mask_rate) + ", " + std::to_string(jobs) +
+            " jobs). Cells: covered% (masked + recovered + benign).");
 
     std::vector<std::string> headers{"benchmark"};
     for (const std::uint64_t dmax : dmaxes)
@@ -55,30 +87,45 @@ main(int argc, char **argv)
     int count = 0;
     std::map<std::string, std::vector<double>> suite_sums;
     std::map<std::string, int> suite_counts;
+    std::vector<WorkloadPerf> perf;
+    double campaign_seconds = 0.0;
 
+    // Phase 1 — pipeline every workload (build + profile + analyze +
+    // instrument) across the pool; order of results is suite order.
+    EncoreConfig config;
+    const auto prep_start = std::chrono::steady_clock::now();
+    std::vector<bench::PreparedWorkload> suite =
+        bench::prepareSuite(config, jobs);
+    const double prep_seconds = secondsSince(prep_start);
+
+    // Phase 2 — per workload, golden run + campaigns; the trials of
+    // each campaign run across the same number of jobs.
     std::string current_suite;
-    bench::forEachWorkload([&](const workloads::Workload &w) {
+    for (bench::PreparedWorkload &prepared : suite) {
+        const workloads::Workload &w = *prepared.workload;
         if (w.suite != current_suite) {
             if (!current_suite.empty())
                 table.addSeparator();
             current_suite = w.suite;
         }
-        EncoreConfig config;
-        auto prepared = bench::prepareWorkload(w, config);
         fault::FaultInjector injector(*prepared.module, prepared.report);
         if (!injector.prepare(w.entry, w.train_args)) {
             std::cerr << "golden run failed for " << w.name << "\n";
-            return;
+            continue;
         }
 
         std::vector<std::string> row{w.name};
         std::string split_cell;
         suite_sums.try_emplace(w.suite,
                                std::vector<double>(dmaxes.size(), 0.0));
+        WorkloadPerf wp;
+        wp.name = w.name;
+        const auto wl_start = std::chrono::steady_clock::now();
         for (std::size_t d = 0; d < dmaxes.size(); ++d) {
             fault::CampaignConfig campaign;
             campaign.trials = trials;
             campaign.seed = seed + d * 7919 + count;
+            campaign.jobs = jobs;
             campaign.masking_rate = mask_rate;
             campaign.trial.dmax = dmaxes[d];
             const fault::CampaignResult result =
@@ -87,6 +134,7 @@ main(int argc, char **argv)
             row.push_back(formatPercent(covered));
             sums[d] += covered;
             suite_sums[w.suite][d] += covered;
+            wp.trials += result.trials;
             if (d == 1) {
                 split_cell =
                     formatPercent(result.fraction(
@@ -96,18 +144,21 @@ main(int argc, char **argv)
                         fault::FaultOutcome::RecoveredCheckpoint));
             }
         }
+        wp.wall_seconds = secondsSince(wl_start);
+        campaign_seconds += wp.wall_seconds;
+        perf.push_back(wp);
         row.push_back(split_cell);
         table.addRow(std::move(row));
         ++count;
         suite_counts[w.suite] += 1;
-    });
+    }
 
     table.addSeparator();
-    for (const std::string &suite : workloads::suiteNames()) {
-        std::vector<std::string> row{"Mean " + suite};
+    for (const std::string &suite_name : workloads::suiteNames()) {
+        std::vector<std::string> row{"Mean " + suite_name};
         for (std::size_t d = 0; d < dmaxes.size(); ++d)
-            row.push_back(formatPercent(suite_sums[suite][d] /
-                                        suite_counts[suite]));
+            row.push_back(formatPercent(suite_sums[suite_name][d] /
+                                        suite_counts[suite_name]));
         row.push_back("");
         table.addRow(std::move(row));
     }
@@ -120,9 +171,55 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
 
+    std::uint64_t total_trials = 0;
+    for (const WorkloadPerf &wp : perf)
+        total_trials += wp.trials;
+    const double trials_per_sec =
+        campaign_seconds > 0.0 ? total_trials / campaign_seconds : 0.0;
+
     std::cout << "\nPaper shape check: coverage ordering Dmax 10 > 100 "
                  "> 1000; mean coverage at\nDmax=100 in the "
                  "mid-to-high 90s%, vs the 91% masking baseline "
                  "(paper: 97%).\n";
+    std::cout << "\nPerf: prep " << formatFixed(prep_seconds, 2)
+              << "s, campaigns " << formatFixed(campaign_seconds, 2)
+              << "s (" << total_trials << " trials, "
+              << formatFixed(trials_per_sec, 1) << " trials/s) at jobs="
+              << jobs << ".\n";
+
+    if (!json_path.empty()) {
+        std::ofstream json(json_path);
+        json << "{\n"
+             << "  \"bench\": \"fig8_fault_coverage\",\n"
+             << "  \"jobs\": " << jobs << ",\n"
+             << "  \"hardware_threads\": "
+             << std::thread::hardware_concurrency() << ",\n"
+             << "  \"seed\": " << seed << ",\n"
+             << "  \"trials_per_campaign\": " << trials << ",\n"
+             << "  \"campaigns_per_workload\": " << dmaxes.size()
+             << ",\n"
+             << "  \"prep_wall_seconds\": "
+             << formatFixed(prep_seconds, 4) << ",\n"
+             << "  \"campaign_wall_seconds\": "
+             << formatFixed(campaign_seconds, 4) << ",\n"
+             << "  \"total_trials\": " << total_trials << ",\n"
+             << "  \"trials_per_sec\": "
+             << formatFixed(trials_per_sec, 2) << ",\n"
+             << "  \"workloads\": [\n";
+        for (std::size_t i = 0; i < perf.size(); ++i) {
+            const WorkloadPerf &wp = perf[i];
+            const double tps = wp.wall_seconds > 0.0
+                                   ? wp.trials / wp.wall_seconds
+                                   : 0.0;
+            json << "    {\"name\": \"" << wp.name
+                 << "\", \"trials\": " << wp.trials
+                 << ", \"wall_seconds\": "
+                 << formatFixed(wp.wall_seconds, 4)
+                 << ", \"trials_per_sec\": " << formatFixed(tps, 2)
+                 << "}" << (i + 1 < perf.size() ? "," : "") << "\n";
+        }
+        json << "  ]\n}\n";
+        std::cout << "Wrote " << json_path << ".\n";
+    }
     return 0;
 }

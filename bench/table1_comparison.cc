@@ -23,6 +23,7 @@ main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
     cli.parse(argc, argv);
+    const std::size_t jobs = bench::jobsFlag(cli);
 
     bench::printHeader(
         "Table 1",
@@ -35,20 +36,38 @@ main(int argc, char **argv)
     RunningStats ckpt_work;
     std::vector<double> lengths;
 
-    bench::forEachWorkload([&](const workloads::Workload &w) {
-        EncoreConfig config;
-        auto prepared = bench::prepareWorkload(w, config);
-        for (const RegionReport &region : prepared.report.regions) {
-            if (!region.selected || region.entries <= 0.0)
-                continue;
-            region_len.add(region.hot_path_length);
-            lengths.push_back(region.hot_path_length);
-            slot_storage.add(region.static_storage_mem_bytes +
-                             region.static_storage_reg_bytes);
-            log_storage.add(region.storage_bytes);
-            ckpt_work.add(region.overhead_instrs / region.entries);
-        }
-    });
+    struct SelectedRegion
+    {
+        double hot_path, slot_bytes, log_bytes, work;
+    };
+    bench::mapWorkloads(
+        jobs,
+        [](const workloads::Workload &w) {
+            EncoreConfig config;
+            auto prepared = bench::prepareWorkload(w, config);
+            std::vector<SelectedRegion> regions;
+            for (const RegionReport &region : prepared.report.regions) {
+                if (!region.selected || region.entries <= 0.0)
+                    continue;
+                regions.push_back(
+                    {region.hot_path_length,
+                     region.static_storage_mem_bytes +
+                         region.static_storage_reg_bytes,
+                     region.storage_bytes,
+                     region.overhead_instrs / region.entries});
+            }
+            return regions;
+        },
+        [&](const workloads::Workload &,
+            const std::vector<SelectedRegion> &regions) {
+            for (const SelectedRegion &region : regions) {
+                region_len.add(region.hot_path);
+                lengths.push_back(region.hot_path);
+                slot_storage.add(region.slot_bytes);
+                log_storage.add(region.log_bytes);
+                ckpt_work.add(region.work);
+            }
+        });
 
     Table table({"Attributes", "Enterprise", "Architectural",
                  "Encore (measured)"});

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "support/diagnostics.h"
+#include "support/thread_pool.h"
 
 namespace encore::fault {
 
@@ -250,9 +251,22 @@ FaultInjector::FaultInjector(const ir::Module &module,
     : module_(module)
 {
     for (const RegionReport &region : report.regions) {
-        if (region.id != ir::kInvalidRegion)
-            region_class_[region.id] = region.cls;
+        if (region.id == ir::kInvalidRegion)
+            continue;
+        if (region.id >= region_class_.size())
+            region_class_.resize(region.id + 1,
+                                 RegionClass::NonIdempotent);
+        region_class_[region.id] = region.cls;
     }
+}
+
+RegionClass
+FaultInjector::regionClassOf(ir::RegionId id) const
+{
+    // Ids outside the table (including kInvalidRegion) fall back to
+    // NonIdempotent, as the old map lookup did for missing entries.
+    return id < region_class_.size() ? region_class_[id]
+                                     : RegionClass::NonIdempotent;
 }
 
 bool
@@ -268,7 +282,7 @@ FaultInjector::prepare(const std::string &entry,
 }
 
 FaultOutcome
-FaultInjector::runTrial(Rng &rng, const TrialConfig &config)
+FaultInjector::runTrial(Rng &rng, const TrialConfig &config) const
 {
     ENCORE_ASSERT(prepared_, "runTrial before a successful prepare()");
     ENCORE_ASSERT(golden_.value_instrs > 0,
@@ -327,31 +341,55 @@ FaultInjector::runTrial(Rng &rng, const TrialConfig &config)
     if (!result.sameOutput(golden_))
         return FaultOutcome::RecoveryFailed;
 
-    auto it = region_class_.find(hooks.faultRegion());
-    const RegionClass cls = it == region_class_.end()
-                                ? RegionClass::NonIdempotent
-                                : it->second;
-    return cls == RegionClass::Idempotent
+    return regionClassOf(hooks.faultRegion()) == RegionClass::Idempotent
                ? FaultOutcome::RecoveredIdempotent
                : FaultOutcome::RecoveredCheckpoint;
 }
 
 CampaignResult
-FaultInjector::runCampaign(const CampaignConfig &config)
+FaultInjector::runCampaign(const CampaignConfig &config) const
 {
-    CampaignResult result;
-    Rng rng(config.seed);
-    MaskingModel masking(config.masking_rate);
+    const MaskingModel masking(config.masking_rate);
 
-    for (std::uint64_t t = 0; t < config.trials; ++t) {
+    // Trial t draws everything — the masking coin first, then the
+    // fault parameters — from its own counter-derived stream, so the
+    // outcome of trial t is independent of every other trial and of
+    // the thread that happens to run it.
+    auto run_one = [&](std::uint64_t t, CampaignResult &acc) {
+        Rng rng = Rng::forStream(config.seed, t);
         FaultOutcome outcome;
         if (config.model_masking && masking.isMasked(rng)) {
             outcome = FaultOutcome::Masked;
         } else {
             outcome = runTrial(rng, config.trial);
         }
-        ++result.counts[static_cast<int>(outcome)];
-        ++result.trials;
+        ++acc.counts[static_cast<int>(outcome)];
+        ++acc.trials;
+    };
+
+    const std::size_t jobs = resolveJobs(config.jobs);
+    if (jobs <= 1) {
+        CampaignResult result;
+        for (std::uint64_t t = 0; t < config.trials; ++t)
+            run_one(t, result);
+        return result;
+    }
+
+    ThreadPool pool(jobs);
+    // One accumulator per worker slot, merged below: no shared writes
+    // on the trial path.
+    std::vector<CampaignResult> shards(pool.slotCount());
+    pool.parallelFor(config.trials,
+                     [&](std::uint64_t t, std::size_t slot) {
+                         run_one(t, shards[slot]);
+                     });
+
+    CampaignResult result;
+    for (const CampaignResult &shard : shards) {
+        for (int i = 0; i < static_cast<int>(FaultOutcome::NumOutcomes);
+             ++i)
+            result.counts[i] += shard.counts[i];
+        result.trials += shard.trials;
     }
     return result;
 }

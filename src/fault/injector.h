@@ -16,11 +16,17 @@
  * the program finished with output identical to the golden run. A
  * detection landing in a different region instance than the fault is
  * Not Recoverable, matching the paper's criterion (s + l < n).
+ *
+ * Trials are mutually independent — each is a pure function of
+ * (module, golden run, trial seed) — so campaigns shard them across a
+ * work-stealing thread pool (CampaignConfig::jobs). Counter-based
+ * per-trial seeding keeps campaign results bit-identical at any
+ * thread count.
  */
 #ifndef ENCORE_FAULT_INJECTOR_H
 #define ENCORE_FAULT_INJECTOR_H
 
-#include <map>
+#include <vector>
 
 #include "encore/pipeline.h"
 #include "fault/masking.h"
@@ -57,6 +63,11 @@ struct CampaignConfig
 {
     std::uint64_t trials = 1000;
     std::uint64_t seed = 12345;
+    /// Worker threads for the campaign: 1 = sequential, 0 = all
+    /// hardware threads. Trials use counter-based per-trial seeding
+    /// (Rng::forStream(seed, trial)), so the aggregated result is
+    /// bit-identical for every value of `jobs`.
+    std::size_t jobs = 1;
     TrialConfig trial;
     double masking_rate = MaskingModel::kArm926Rate;
     /// When true, masked trials are drawn but not executed (they
@@ -111,17 +122,26 @@ class FaultInjector
     bool prepare(const std::string &entry,
                  const std::vector<std::uint64_t> &args);
 
-    /// Runs one trial.
-    FaultOutcome runTrial(Rng &rng, const TrialConfig &config);
+    /// Runs one trial. Thread-safe after prepare(): all mutable state
+    /// (interpreter, memory image, hooks) is local to the call; the
+    /// module, golden run, and region table are read-only.
+    FaultOutcome runTrial(Rng &rng, const TrialConfig &config) const;
 
-    /// Runs a whole campaign (including modelled masking).
-    CampaignResult runCampaign(const CampaignConfig &config);
+    /// Runs a whole campaign (including modelled masking), sharding
+    /// trials across `config.jobs` threads with per-worker outcome
+    /// accumulators. Per-trial seeding makes the result bit-identical
+    /// regardless of thread count or schedule.
+    CampaignResult runCampaign(const CampaignConfig &config) const;
 
     const interp::RunResult &golden() const { return golden_; }
 
   private:
+    RegionClass regionClassOf(ir::RegionId id) const;
+
     const ir::Module &module_;
-    std::map<ir::RegionId, RegionClass> region_class_;
+    /// Region-id → class lookup, flat-indexed by id: this sits on the
+    /// per-trial hot path, so no tree walk.
+    std::vector<RegionClass> region_class_;
     std::string entry_;
     std::vector<std::uint64_t> args_;
     interp::RunResult golden_;

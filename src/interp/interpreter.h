@@ -11,6 +11,13 @@
  * jumping back to the region header) or — when no region is active —
  * abandons the run as unrecoverable. Checkpoint state is per activation
  * frame, mirroring the paper's reserved stack area.
+ *
+ * Thread-safety contract: an Interpreter never mutates the module it
+ * executes — all run state (memory image, frames, counters) lives in
+ * the Interpreter/Memory instances themselves. Parallel fault
+ * injection relies on this: each trial constructs its own Interpreter
+ * over the shared read-only module, so any new caching added here
+ * must stay per-instance (or be synchronized).
  */
 #ifndef ENCORE_INTERP_INTERPRETER_H
 #define ENCORE_INTERP_INTERPRETER_H

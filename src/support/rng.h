@@ -7,6 +7,13 @@
  * an explicitly seeded Xoshiro256** generator so that test and benchmark
  * output is reproducible run-to-run, as required for a statistical
  * fault-injection methodology (paper §4).
+ *
+ * Parallel campaigns use *counter-based* per-trial seeding: trial i's
+ * generator is constructed from `campaign_seed ^ i` (scrambled through
+ * SplitMix64 by the constructor — see forStream). Each trial's draws
+ * are therefore a pure function of (seed, trial index), independent of
+ * how trials are scheduled across threads, which is what makes
+ * FaultInjector::runCampaign bit-identical at every worker count.
  */
 #ifndef ENCORE_SUPPORT_RNG_H
 #define ENCORE_SUPPORT_RNG_H
@@ -50,6 +57,17 @@ class Rng
     /// Forks an independent stream (e.g., one per benchmark) so that
     /// adding trials to one campaign does not perturb another.
     Rng fork();
+
+    /// Counter-based stream derivation: the generator for stream
+    /// `index` under `seed` is Rng(seed ^ index); the constructor's
+    /// SplitMix64 expansion decorrelates adjacent indices. Used for
+    /// per-trial seeding in parallel fault-injection campaigns so
+    /// results do not depend on the thread schedule.
+    static Rng
+    forStream(std::uint64_t seed, std::uint64_t index)
+    {
+        return Rng(seed ^ index);
+    }
 
   private:
     std::uint64_t state_[4];

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Multi-threaded campaign smoke test — the ctest target behind the
+ * ENCORE_SANITIZE=thread build: a 50-trial campaign on 4 jobs whose
+ * trials all read the shared module / golden run / region table
+ * concurrently, so TSan flags any data race in the supposedly
+ * read-only shared state of FaultInjector and the interpreter.
+ */
+#include <gtest/gtest.h>
+
+#include "encore/pipeline.h"
+#include "fault/injector.h"
+#include "ir/parser.h"
+
+namespace encore::fault {
+namespace {
+
+const char *kProgram = R"(
+module "m"
+global @data 64
+global @out 64
+func @main(1) {
+  bb entry:
+    r1 = mov 0
+    jmp work
+  bb work:
+    r2 = mul r1, 31
+    r3 = and r2, 63
+    r4 = load [@data + r3]
+    r5 = add r4, r1
+    r8 = and r1, 63
+    store [@out + r8], r5
+    r1 = add r1, 1
+    r6 = cmplt r1, r0
+    br r6, work, done
+  bb done:
+    r7 = load [@out + 3]
+    ret r7
+}
+)";
+
+TEST(CampaignSmoke, FiftyTrialsOnFourJobs)
+{
+    auto module = ir::parseModule(kProgram);
+    EncoreConfig config;
+    config.gamma = 1.0;
+    EncorePipeline pipeline(*module, config);
+    const EncoreReport report = pipeline.run({RunSpec{"main", {50}}});
+    FaultInjector injector(*module, report);
+    ASSERT_TRUE(injector.prepare("main", {50}));
+
+    CampaignConfig campaign;
+    campaign.trials = 50;
+    campaign.jobs = 4;
+    campaign.model_masking = false;
+    const CampaignResult result = injector.runCampaign(campaign);
+    EXPECT_EQ(result.trials, 50u);
+    std::uint64_t total = 0;
+    for (int i = 0; i < static_cast<int>(FaultOutcome::NumOutcomes); ++i)
+        total += result.counts[i];
+    EXPECT_EQ(total, 50u);
+}
+
+} // namespace
+} // namespace encore::fault

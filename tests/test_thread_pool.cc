@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Thread-pool and parallel-for tests: empty ranges, ranges smaller
+ * than the worker count, slot-sharded accumulation, chunked grains,
+ * exception propagation, and pool reuse after a failed loop.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace encore {
+namespace {
+
+TEST(ResolveJobs, ZeroMeansHardwareConcurrency)
+{
+    EXPECT_GE(resolveJobs(0), 1u);
+    EXPECT_EQ(resolveJobs(1), 1u);
+    EXPECT_EQ(resolveJobs(7), 7u);
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](std::uint64_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, FewerItemsThanWorkersCoversEveryIndexOnce)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(hits.size(), [&](std::uint64_t i, std::size_t) {
+        ++hits[i];
+    });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, SlotShardedAccumulationNeedsNoAtomics)
+{
+    ThreadPool pool(4);
+    ASSERT_EQ(pool.slotCount(), 4u);
+    const std::uint64_t n = 10'000;
+    std::vector<std::uint64_t> partial(pool.slotCount(), 0);
+    pool.parallelFor(n, [&](std::uint64_t i, std::size_t slot) {
+        ASSERT_LT(slot, partial.size());
+        partial[slot] += i;
+    });
+    const std::uint64_t total =
+        std::accumulate(partial.begin(), partial.end(), 0ULL);
+    EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, CoarseGrainStillCoversTheWholeRange)
+{
+    ThreadPool pool(3);
+    const std::uint64_t n = 1000;
+    std::vector<std::uint64_t> partial(pool.slotCount(), 0);
+    pool.parallelFor(
+        n,
+        [&](std::uint64_t i, std::size_t slot) { partial[slot] += i; },
+        /*grain=*/64);
+    EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), 0ULL),
+              n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.workerCount(), 0u);
+    std::vector<std::uint64_t> order;
+    pool.parallelFor(5, [&](std::uint64_t i, std::size_t slot) {
+        EXPECT_EQ(slot, 0u);
+        order.push_back(i);
+    });
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](std::uint64_t i, std::size_t) {
+                             if (i == 41)
+                                 throw std::runtime_error("trial 41");
+                         }),
+        std::runtime_error);
+
+    // The failed loop must not wedge the pool.
+    std::atomic<int> calls{0};
+    pool.parallelFor(50, [&](std::uint64_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 50);
+}
+
+TEST(ParallelForHelper, RunsOnEphemeralPool)
+{
+    std::atomic<std::uint64_t> sum{0};
+    parallelFor(3, 100,
+                [&](std::uint64_t i, std::size_t) { sum += i; });
+    EXPECT_EQ(sum.load(), 100ULL * 99 / 2);
+}
+
+} // namespace
+} // namespace encore
