@@ -189,6 +189,13 @@ main(int argc, char **argv)
 
     if (!json_path.empty()) {
         std::ofstream json(json_path);
+        if (!json) {
+            std::cerr << "error: cannot open '" << json_path
+                      << "' for writing (--json): check that the "
+                         "directory exists and is writable, or pass "
+                         "--json \"\" to disable the report.\n";
+            return 1;
+        }
         json << "{\n"
              << "  \"bench\": \"fig8_fault_coverage\",\n"
              << "  \"jobs\": " << jobs << ",\n"
@@ -219,6 +226,13 @@ main(int argc, char **argv)
                  << "}" << (i + 1 < perf.size() ? "," : "") << "\n";
         }
         json << "  ]\n}\n";
+        json.flush();
+        if (!json) {
+            std::cerr << "error: failed while writing '" << json_path
+                      << "' (--json): the file may be truncated "
+                         "(disk full or I/O error).\n";
+            return 1;
+        }
         std::cout << "Wrote " << json_path << ".\n";
     }
     return 0;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Sanitizer lanes for CI and local gating.
+#
+# Builds the tree twice — once under ThreadSanitizer and once under
+# AddressSanitizer — and runs the relevant ctest subset in each lane:
+#
+#   thread  : test_campaign_smoke (multi-threaded campaign over the
+#             shared read-only DecodedModule — the data-race gate)
+#   address : the full suite (heap/stack/use-after-free gate for the
+#             pooled interpreter state: frames, undo logs, memory)
+#
+# Usage: scripts/sanitize.sh [build-root]
+#   build-root defaults to build-sanitize/ next to the source tree.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_root="${1:-${repo_root}/build-sanitize}"
+
+run_lane() {
+    local lane="$1"
+    shift
+    local build_dir="${build_root}/${lane}"
+    echo "==> [${lane}] configure + build"
+    cmake -B "${build_dir}" -S "${repo_root}" \
+        -DENCORE_SANITIZE="${lane}" > /dev/null
+    cmake --build "${build_dir}" -j > /dev/null
+    echo "==> [${lane}] ctest $*"
+    (cd "${build_dir}" && ctest --output-on-failure "$@")
+}
+
+run_lane thread -R test_campaign_smoke
+run_lane address
+
+echo "==> all sanitizer lanes passed"

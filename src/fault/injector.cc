@@ -1,5 +1,6 @@
 #include "fault/injector.h"
 
+#include <memory>
 #include <set>
 
 #include "support/diagnostics.h"
@@ -45,7 +46,7 @@ namespace {
  * divert control flow". Runtime errors (wild pointers, division by
  * zero) are likewise treated as immediate symptoms.
  */
-class TrialHooks : public interp::ExecHooks, public interp::Observer
+class TrialHooks : public interp::ExecHooks
 {
   public:
     TrialHooks(interp::Interpreter &interp, std::uint64_t target_value_index,
@@ -80,10 +81,18 @@ class TrialHooks : public interp::ExecHooks, public interp::Observer
 
         // Taint propagation: the destination is corrupt when any
         // register source is, or (for loads) when the loaded word was
-        // written with tainted data.
+        // written with tainted data. When no register taint is live and
+        // the load was clean, nothing can propagate and the dest
+        // untaint is a no-op — skip the operand walk entirely. This is
+        // the steady state for the whole post-rollback tail of a trial.
+        if (tainted_regs_.empty() && !current_load_tainted_)
+            return value;
         if (inst.hasDest()) {
             bool src_tainted = current_load_tainted_;
-            for (const ir::Operand &op : inst.usedOperands()) {
+            const int n = ir::opcodeNumOperands(inst.opcode());
+            for (int i = 0; i < n; ++i) {
+                const ir::Operand &op =
+                    i == 0 ? inst.a() : i == 1 ? inst.b() : inst.c();
                 if (op.isReg() && regTainted(op.reg))
                     src_tainted = true;
             }
@@ -117,6 +126,13 @@ class TrialHooks : public interp::ExecHooks, public interp::Observer
         (void)dyn_index;
         if (!injected_)
             return;
+        // With no live taint anywhere, a store can't taint a word and a
+        // load can't pick taint up — both set operations are no-ops.
+        if (tainted_regs_.empty() && tainted_words_.empty()) {
+            if (!is_store)
+                current_load_tainted_ = false;
+            return;
+        }
         if (is_store) {
             const bool tainted =
                 inst.a().isReg() && regTainted(inst.a().reg);
@@ -248,7 +264,8 @@ class TrialHooks : public interp::ExecHooks, public interp::Observer
 
 FaultInjector::FaultInjector(const ir::Module &module,
                              const EncoreReport &report)
-    : module_(module)
+    : module_(module),
+      decoded_(std::make_shared<const interp::DecodedModule>(module))
 {
     for (const RegionReport &region : report.regions) {
         if (region.id == ir::kInvalidRegion)
@@ -275,7 +292,7 @@ FaultInjector::prepare(const std::string &entry,
 {
     entry_ = entry;
     args_ = args;
-    interp::Interpreter interp(module_);
+    interp::Interpreter interp(decoded_);
     golden_ = interp.run(entry, args);
     prepared_ = golden_.ok();
     return prepared_;
@@ -283,6 +300,14 @@ FaultInjector::prepare(const std::string &entry,
 
 FaultOutcome
 FaultInjector::runTrial(Rng &rng, const TrialConfig &config) const
+{
+    interp::Interpreter interp(decoded_);
+    return runTrial(rng, config, interp);
+}
+
+FaultOutcome
+FaultInjector::runTrial(Rng &rng, const TrialConfig &config,
+                        interp::Interpreter &interp) const
 {
     ENCORE_ASSERT(prepared_, "runTrial before a successful prepare()");
     ENCORE_ASSERT(golden_.value_instrs > 0,
@@ -293,23 +318,35 @@ FaultInjector::runTrial(Rng &rng, const TrialConfig &config) const
     const std::uint64_t latency =
         config.dmax == 0 ? 0 : rng.below(config.dmax + 1);
 
-    interp::Interpreter interp(module_);
+    // The trial rides entirely on the hook interface (including memory
+    // taint via ExecHooks::onMemoryAccess) — the observer list stays
+    // empty, keeping per-instruction observer dispatch off the
+    // campaign hot path.
     TrialHooks hooks(interp, target, bit, latency);
     interp.setHooks(&hooks);
-    interp.addObserver(&hooks); // memory-taint tracking
+    // Trials never read RunResult::globals — output equality is checked
+    // in place against the golden snapshot, saving a full copy of
+    // global memory per trial.
+    interp.setCaptureGlobals(false);
     interp.setMaxInstructions(static_cast<std::uint64_t>(
         static_cast<double>(golden_.dyn_instrs) *
             config.run_budget_factor +
         10'000.0));
 
     const interp::RunResult result = interp.run(entry_, args_);
+    interp.setHooks(nullptr);
+
+    const auto same_output = [&] {
+        return result.return_value == golden_.return_value &&
+               interp.globalsMatch(golden_.globals);
+    };
 
     if (!hooks.injected()) {
         // The run ended before reaching the target instruction — can
         // happen when an unrelated code path executes fewer value
         // instructions than the golden run. Treat as benign/silent by
         // output.
-        return result.ok() && result.sameOutput(golden_)
+        return result.ok() && same_output()
                    ? FaultOutcome::Benign
                    : FaultOutcome::SilentCorruption;
     }
@@ -326,8 +363,8 @@ FaultInjector::runTrial(Rng &rng, const TrialConfig &config) const
 
     if (!hooks.detected()) {
         // Program finished before the detection latency elapsed.
-        return result.sameOutput(golden_) ? FaultOutcome::Benign
-                                          : FaultOutcome::SilentCorruption;
+        return same_output() ? FaultOutcome::Benign
+                             : FaultOutcome::SilentCorruption;
     }
 
     if (!hooks.sameInstance()) {
@@ -338,7 +375,7 @@ FaultInjector::runTrial(Rng &rng, const TrialConfig &config) const
         return FaultOutcome::NotRecoverable;
     }
 
-    if (!result.sameOutput(golden_))
+    if (!same_output())
         return FaultOutcome::RecoveryFailed;
 
     return regionClassOf(hooks.faultRegion()) == RegionClass::Idempotent
@@ -355,13 +392,14 @@ FaultInjector::runCampaign(const CampaignConfig &config) const
     // fault parameters — from its own counter-derived stream, so the
     // outcome of trial t is independent of every other trial and of
     // the thread that happens to run it.
-    auto run_one = [&](std::uint64_t t, CampaignResult &acc) {
+    auto run_one = [&](std::uint64_t t, CampaignResult &acc,
+                       interp::Interpreter &interp) {
         Rng rng = Rng::forStream(config.seed, t);
         FaultOutcome outcome;
         if (config.model_masking && masking.isMasked(rng)) {
             outcome = FaultOutcome::Masked;
         } else {
-            outcome = runTrial(rng, config.trial);
+            outcome = runTrial(rng, config.trial, interp);
         }
         ++acc.counts[static_cast<int>(outcome)];
         ++acc.trials;
@@ -370,18 +408,28 @@ FaultInjector::runCampaign(const CampaignConfig &config) const
     const std::size_t jobs = resolveJobs(config.jobs);
     if (jobs <= 1) {
         CampaignResult result;
+        interp::Interpreter interp(decoded_);
         for (std::uint64_t t = 0; t < config.trials; ++t)
-            run_one(t, result);
+            run_one(t, result, interp);
         return result;
     }
 
     ThreadPool pool(jobs);
-    // One accumulator per worker slot, merged below: no shared writes
-    // on the trial path.
+    // One accumulator and one pooled interpreter per worker slot,
+    // merged below: no shared writes on the trial path, and each
+    // worker's frames / undo logs / memory image are recycled across
+    // its trials (constructed lazily so idle slots cost nothing).
     std::vector<CampaignResult> shards(pool.slotCount());
+    std::vector<std::unique_ptr<interp::Interpreter>> workers(
+        pool.slotCount());
     pool.parallelFor(config.trials,
                      [&](std::uint64_t t, std::size_t slot) {
-                         run_one(t, shards[slot]);
+                         if (!workers[slot]) {
+                             workers[slot] =
+                                 std::make_unique<interp::Interpreter>(
+                                     decoded_);
+                         }
+                         run_one(t, shards[slot], *workers[slot]);
                      });
 
     CampaignResult result;

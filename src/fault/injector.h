@@ -22,6 +22,13 @@
  * work-stealing thread pool (CampaignConfig::jobs). Counter-based
  * per-trial seeding keeps campaign results bit-identical at any
  * thread count.
+ *
+ * Execution cost per trial is kept allocation-free in steady state:
+ * the injector pre-decodes the instrumented module once (one immutable
+ * DecodedModule shared read-only by every worker), each campaign
+ * worker reuses a single Interpreter whose frames / undo logs / memory
+ * storage are pooled across trials, and golden-output checking
+ * compares global memory in place instead of snapshotting it.
  */
 #ifndef ENCORE_FAULT_INJECTOR_H
 #define ENCORE_FAULT_INJECTOR_H
@@ -122,10 +129,19 @@ class FaultInjector
     bool prepare(const std::string &entry,
                  const std::vector<std::uint64_t> &args);
 
-    /// Runs one trial. Thread-safe after prepare(): all mutable state
-    /// (interpreter, memory image, hooks) is local to the call; the
-    /// module, golden run, and region table are read-only.
+    /// Runs one trial on a fresh interpreter. Thread-safe after
+    /// prepare(): all mutable state (interpreter, memory image, hooks)
+    /// is local to the call; the module, decoded code cache, golden
+    /// run, and region table are read-only.
     FaultOutcome runTrial(Rng &rng, const TrialConfig &config) const;
+
+    /// Runs one trial on a caller-owned interpreter (which must have
+    /// been constructed over decodedModule()). Campaign workers call
+    /// this with one pooled interpreter per worker so steady-state
+    /// trials allocate nothing; the trial installs its own hooks and
+    /// clears them again before returning.
+    FaultOutcome runTrial(Rng &rng, const TrialConfig &config,
+                          interp::Interpreter &interp) const;
 
     /// Runs a whole campaign (including modelled masking), sharding
     /// trials across `config.jobs` threads with per-worker outcome
@@ -135,10 +151,20 @@ class FaultInjector
 
     const interp::RunResult &golden() const { return golden_; }
 
+    /// The immutable pre-decoded code cache shared by every trial.
+    const std::shared_ptr<const interp::DecodedModule> &
+    decodedModule() const
+    {
+        return decoded_;
+    }
+
   private:
     RegionClass regionClassOf(ir::RegionId id) const;
 
     const ir::Module &module_;
+    /// Built once in the constructor (the module is already in its
+    /// final instrumented form there) and never mutated afterwards.
+    std::shared_ptr<const interp::DecodedModule> decoded_;
     /// Region-id → class lookup, flat-indexed by id: this sits on the
     /// per-trial hot path, so no tree walk.
     std::vector<RegionClass> region_class_;

@@ -5,7 +5,64 @@
 
 #include "support/diagnostics.h"
 
+// Dispatch selection. The default is a dense switch over the flat
+// decoded opcode; -DENCORE_COMPUTED_GOTO=ON replaces it with a
+// labels-as-values jump table (GCC/Clang extension), which removes the
+// bounds check and gives each opcode its own indirect-branch site.
+// Both dispatchers execute the exact same case bodies.
+#if defined(ENCORE_COMPUTED_GOTO) && !defined(__GNUC__) && \
+    !defined(__clang__)
+#error "ENCORE_COMPUTED_GOTO requires GCC or Clang (labels as values)"
+#endif
+
+#ifdef ENCORE_COMPUTED_GOTO
+#define ENCORE_OP(name) L_##name
+#define ENCORE_NEXT goto L_dispatch_done
+#else
+#define ENCORE_OP(name) case ir::Opcode::name
+#define ENCORE_NEXT break
+#endif
+
+// Pre-resolved operand fetches for the current decoded instruction.
+#define ENCORE_VA (fetch(frame, inst.a))
+#define ENCORE_VB (fetch(frame, inst.b))
+#define ENCORE_VC (fetch(frame, inst.c))
+
+// Common tail of every value-producing opcode: count it, let the hooks
+// filter (fault-inject) the result, write the destination register,
+// and fall through to the next flat instruction.
+#define ENCORE_WRITE_VALUE(expr)                                        \
+    do {                                                                \
+        std::uint64_t v_ = (expr);                                      \
+        ++value_count_;                                                 \
+        if (hooks_)                                                     \
+            v_ = hooks_->filterResult(*inst.src, my_index, v_);         \
+        frame.regs[inst.dest] = v_;                                     \
+        ++frame.ip;                                                     \
+    } while (0)
+
 namespace encore::interp {
+
+namespace {
+
+/// Matches the recursion guard of the seed engine; Frame slots are
+/// reserved up front so pushing never reallocates the pool (frames are
+/// referenced across pushes inside the dispatch loop).
+constexpr std::size_t kMaxCallDepth = 512;
+
+std::int64_t
+asSigned(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value);
+}
+
+std::uint64_t
+fromSigned(std::int64_t value)
+{
+    return static_cast<std::uint64_t>(value);
+}
+
+} // namespace
 
 bool
 RunResult::sameOutput(const RunResult &other) const
@@ -14,8 +71,16 @@ RunResult::sameOutput(const RunResult &other) const
 }
 
 Interpreter::Interpreter(const ir::Module &module)
-    : module_(module), memory_(module)
+    : Interpreter(std::make_shared<const DecodedModule>(module))
 {
+}
+
+Interpreter::Interpreter(std::shared_ptr<const DecodedModule> decoded)
+    : decoded_(std::move(decoded)),
+      module_(decoded_->module()),
+      memory_(module_)
+{
+    frames_.reserve(kMaxCallDepth);
 }
 
 void
@@ -24,31 +89,17 @@ Interpreter::addObserver(Observer *observer)
     observers_.push_back(observer);
 }
 
-std::uint64_t
-Interpreter::evalOperand(const Frame &frame, const ir::Operand &op) const
-{
-    switch (op.kind) {
-      case ir::Operand::Kind::Reg:
-        return frame.regs[op.reg];
-      case ir::Operand::Kind::Imm:
-        return static_cast<std::uint64_t>(op.imm);
-      case ir::Operand::Kind::None:
-        return 0;
-    }
-    return 0;
-}
-
 void
-Interpreter::evalAddr(const Frame &frame, const ir::AddrExpr &addr,
+Interpreter::evalAddr(const Frame &frame, const DecodedInst &inst,
                       ir::ObjectId &object, std::uint32_t &offset) const
 {
     std::int64_t off =
-        static_cast<std::int64_t>(evalOperand(frame, addr.offset));
+        static_cast<std::int64_t>(fetch(frame, inst.addr_off));
 
-    if (addr.isObjectBase()) {
-        object = addr.object;
-    } else if (addr.isRegBase()) {
-        const std::uint64_t ptr = frame.regs[addr.base_reg];
+    if (inst.addr_base == DecodedInst::AddrBase::Object) {
+        object = inst.addr_object;
+    } else if (inst.addr_base == DecodedInst::AddrBase::Reg) {
+        const std::uint64_t ptr = frame.regs[inst.addr_reg];
         if (!ir::Pointer::isPointer(ptr))
             throw ExecError{"dereference of a non-pointer value"};
         object = ir::Pointer::object(ptr);
@@ -71,129 +122,39 @@ Interpreter::evalAddr(const Frame &frame, const ir::AddrExpr &addr,
     offset = static_cast<std::uint32_t>(off);
 }
 
-namespace {
-
-std::int64_t
-asSigned(std::uint64_t value)
+Interpreter::Frame &
+Interpreter::activateFrame(const DecodedFunction &func)
 {
-    return static_cast<std::int64_t>(value);
-}
-
-std::uint64_t
-fromSigned(std::int64_t value)
-{
-    return static_cast<std::uint64_t>(value);
-}
-
-} // namespace
-
-std::uint64_t
-Interpreter::execValueOp(Frame &frame, const ir::Instruction &inst)
-{
-    using ir::Opcode;
-    const std::uint64_t a = evalOperand(frame, inst.a());
-    const std::uint64_t b = evalOperand(frame, inst.b());
-
-    switch (inst.opcode()) {
-      case Opcode::Mov:
-        return a;
-      case Opcode::Add:
-        return a + b;
-      case Opcode::Sub:
-        return a - b;
-      case Opcode::Mul:
-        return a * b;
-      case Opcode::Div: {
-        if (b == 0)
-            throw ExecError{"division by zero"};
-        const std::int64_t sa = asSigned(a), sb = asSigned(b);
-        if (sa == std::numeric_limits<std::int64_t>::min() && sb == -1)
-            return a; // wraps, matching hardware behavior
-        return fromSigned(sa / sb);
-      }
-      case Opcode::Rem: {
-        if (b == 0)
-            throw ExecError{"remainder by zero"};
-        const std::int64_t sa = asSigned(a), sb = asSigned(b);
-        if (sa == std::numeric_limits<std::int64_t>::min() && sb == -1)
-            return 0;
-        return fromSigned(sa % sb);
-      }
-      case Opcode::And:
-        return a & b;
-      case Opcode::Or:
-        return a | b;
-      case Opcode::Xor:
-        return a ^ b;
-      case Opcode::Shl:
-        return a << (b & 63);
-      case Opcode::Shr:
-        return a >> (b & 63);
-      case Opcode::Neg:
-        return fromSigned(-asSigned(a));
-      case Opcode::Not:
-        return ~a;
-      case Opcode::FAdd:
-        return ir::doubleToBits(ir::bitsToDouble(a) + ir::bitsToDouble(b));
-      case Opcode::FSub:
-        return ir::doubleToBits(ir::bitsToDouble(a) - ir::bitsToDouble(b));
-      case Opcode::FMul:
-        return ir::doubleToBits(ir::bitsToDouble(a) * ir::bitsToDouble(b));
-      case Opcode::FDiv: {
-        // IEEE division by zero yields inf/nan, which is well-defined.
-        return ir::doubleToBits(ir::bitsToDouble(a) / ir::bitsToDouble(b));
-      }
-      case Opcode::IntToFp:
-        return ir::doubleToBits(static_cast<double>(asSigned(a)));
-      case Opcode::FpToInt: {
-        // Saturating conversion: NaN -> 0, +/-inf clamp like hardware
-        // cvttsd2si-with-saturation semantics.
-        const double d = ir::bitsToDouble(a);
-        if (std::isnan(d))
-            return 0;
-        if (d >= 9.2e18)
-            return fromSigned(std::numeric_limits<std::int64_t>::max());
-        if (d <= -9.2e18)
-            return fromSigned(std::numeric_limits<std::int64_t>::min());
-        return fromSigned(static_cast<std::int64_t>(d));
-      }
-      case Opcode::CmpEq:
-        return a == b ? 1 : 0;
-      case Opcode::CmpNe:
-        return a != b ? 1 : 0;
-      case Opcode::CmpLt:
-        return asSigned(a) < asSigned(b) ? 1 : 0;
-      case Opcode::CmpLe:
-        return asSigned(a) <= asSigned(b) ? 1 : 0;
-      case Opcode::CmpGt:
-        return asSigned(a) > asSigned(b) ? 1 : 0;
-      case Opcode::CmpGe:
-        return asSigned(a) >= asSigned(b) ? 1 : 0;
-      case Opcode::FCmpLt:
-        return ir::bitsToDouble(a) < ir::bitsToDouble(b) ? 1 : 0;
-      case Opcode::Select:
-        return a ? b : evalOperand(frame, inst.c());
-      default:
-        panicf("execValueOp on non-value opcode '",
-               ir::opcodeName(inst.opcode()), "'");
-    }
+    if (depth_ == frames_.size())
+        frames_.emplace_back();
+    Frame &frame = frames_[depth_++];
+    frame.func = &func;
+    frame.regs.assign(func.num_regs, 0);
+    frame.caller_dest = ir::kInvalidReg;
+    frame.recovery.active = false;
+    frame.recovery.region = ir::kInvalidRegion;
+    frame.recovery.token = 0;
+    frame.recovery.recovery_block = kNoDecodedBlock;
+    frame.recovery.log.clear();
+    return frame;
 }
 
 void
-Interpreter::enterBlock(Frame &frame, const ir::BasicBlock *block,
+Interpreter::enterBlock(Frame &frame, std::uint32_t block,
                         const ir::BasicBlock *from)
 {
+    const DecodedBlock &db = frame.func->blocks[block];
     frame.block = block;
-    frame.ip = block->instructions().begin();
+    frame.ip = db.first;
     for (Observer *obs : observers_)
-        obs->onBlockEnter(*frame.func, *block, from);
+        obs->onBlockEnter(*frame.func->src, *db.bb, from);
 }
 
 bool
 Interpreter::handleDetection(Frame &frame)
 {
     RecoveryState &rec = frame.recovery;
-    if (!rec.active || !rec.recovery_block) {
+    if (!rec.active || rec.recovery_block == kNoDecodedBlock) {
         if (hooks_)
             hooks_->onDetectionHandled(DetectionResponse::Unrecoverable, 0);
         return false;
@@ -213,18 +174,18 @@ Interpreter::handleDetection(Frame &frame)
 std::uint64_t
 Interpreter::currentRegionToken() const
 {
-    if (frames_.empty())
+    if (depth_ == 0)
         return 0;
-    const RecoveryState &rec = frames_.back().recovery;
+    const RecoveryState &rec = frames_[depth_ - 1].recovery;
     return rec.active ? rec.token : 0;
 }
 
 ir::RegionId
 Interpreter::currentRegionId() const
 {
-    if (frames_.empty())
+    if (depth_ == 0)
         return ir::kInvalidRegion;
-    const RecoveryState &rec = frames_.back().recovery;
+    const RecoveryState &rec = frames_[depth_ - 1].recovery;
     return rec.active ? rec.region : ir::kInvalidRegion;
 }
 
@@ -233,14 +194,14 @@ Interpreter::run(const std::string &func_name,
                  const std::vector<std::uint64_t> &args)
 {
     RunResult result;
-    const ir::Function *func = module_.functionByName(func_name);
+    const DecodedFunction *func = decoded_->functionByName(func_name);
     if (!func)
         fatalf("run: no function named '", func_name, "'");
-    ENCORE_ASSERT(args.size() == func->numParams(),
+    ENCORE_ASSERT(args.size() == func->src->numParams(),
                   "argument count mismatch for '" + func_name + "'");
 
     memory_.reset();
-    frames_.clear();
+    depth_ = 0;
     dyn_count_ = 0;
     value_count_ = 0;
     overhead_count_ = 0;
@@ -254,20 +215,18 @@ Interpreter::run(const std::string &func_name,
         result.overhead_instrs = overhead_count_;
         result.value_instrs = value_count_;
         result.rollbacks = rollback_count_;
-        result.globals = memory_.snapshotGlobals();
+        if (capture_globals_)
+            result.globals = memory_.snapshotGlobals();
         return result;
     };
 
-    // Set up the initial frame.
+    // Set up the initial frame (reusing the pooled slot, if any).
     {
-        Frame frame;
-        frame.func = func;
-        frame.regs.assign(func->numRegs(), 0);
+        Frame &frame = activateFrame(*func);
         for (std::size_t i = 0; i < args.size(); ++i)
             frame.regs[i] = args[i];
-        memory_.pushFrame(*func);
-        frames_.push_back(std::move(frame));
-        enterBlock(frames_.back(), func->entry(), nullptr);
+        memory_.pushFrame(*func->src);
+        enterBlock(frame, func->entry_block, nullptr);
     }
 
     while (true) {
@@ -275,13 +234,13 @@ Interpreter::run(const std::string &func_name,
             return finish(RunResult::Status::InstructionLimit,
                           "instruction limit exceeded");
 
-        Frame &frame = frames_.back();
+        Frame &frame = frames_[depth_ - 1];
 
-        ENCORE_ASSERT(frame.ip != frame.block->instructions().end(),
+        ENCORE_ASSERT(frame.ip < frame.func->code.size(),
                       "fell off the end of a basic block");
-        const ir::Instruction &inst = *frame.ip;
+        const DecodedInst &inst = frame.func->code[frame.ip];
 
-        if (hooks_ && hooks_->shouldTriggerDetection(inst, dyn_count_)) {
+        if (hooks_ && hooks_->shouldTriggerDetection(*inst.src, dyn_count_)) {
             if (!handleDetection(frame)) {
                 return finish(RunResult::Status::DetectedUnrecoverable,
                               "fault detected outside any active region");
@@ -289,143 +248,306 @@ Interpreter::run(const std::string &func_name,
             continue;
         }
 
-        const ir::Function *exec_func = frame.func;
+        const DecodedFunction *exec_func = frame.func;
         const std::uint64_t my_index = dyn_count_;
         ++dyn_count_;
-        if (inst.isPseudo())
+        if (inst.is_pseudo)
             ++overhead_count_;
 
         try {
-            using ir::Opcode;
-            switch (inst.opcode()) {
-              case Opcode::Load: {
+#ifdef ENCORE_COMPUTED_GOTO
+            // Table order must match the ir::Opcode enumeration.
+            static const void *const kJumpTable[] = {
+                &&L_Mov,     &&L_Add,     &&L_Sub,     &&L_Mul,
+                &&L_Div,     &&L_Rem,     &&L_And,     &&L_Or,
+                &&L_Xor,     &&L_Shl,     &&L_Shr,     &&L_Neg,
+                &&L_Not,     &&L_FAdd,    &&L_FSub,    &&L_FMul,
+                &&L_FDiv,    &&L_IntToFp, &&L_FpToInt, &&L_CmpEq,
+                &&L_CmpNe,   &&L_CmpLt,   &&L_CmpLe,   &&L_CmpGt,
+                &&L_CmpGe,   &&L_FCmpLt,  &&L_Select,  &&L_Lea,
+                &&L_Load,    &&L_Store,   &&L_Call,    &&L_Br,
+                &&L_Jmp,     &&L_Ret,     &&L_RegionEnter,
+                &&L_CkptMem, &&L_CkptReg, &&L_Restore,
+            };
+            static_assert(sizeof(kJumpTable) / sizeof(kJumpTable[0]) ==
+                              static_cast<std::size_t>(
+                                  ir::Opcode::NumOpcodes),
+                          "jump table out of sync with the opcode enum");
+            goto *kJumpTable[static_cast<unsigned>(inst.op)];
+#else
+            switch (inst.op) {
+#endif
+
+            ENCORE_OP(Mov):
+                ENCORE_WRITE_VALUE(ENCORE_VA);
+                ENCORE_NEXT;
+            ENCORE_OP(Add):
+                ENCORE_WRITE_VALUE(ENCORE_VA + ENCORE_VB);
+                ENCORE_NEXT;
+            ENCORE_OP(Sub):
+                ENCORE_WRITE_VALUE(ENCORE_VA - ENCORE_VB);
+                ENCORE_NEXT;
+            ENCORE_OP(Mul):
+                ENCORE_WRITE_VALUE(ENCORE_VA * ENCORE_VB);
+                ENCORE_NEXT;
+            ENCORE_OP(Div): {
+                const std::uint64_t a = ENCORE_VA, b = ENCORE_VB;
+                if (b == 0)
+                    throw ExecError{"division by zero"};
+                const std::int64_t sa = asSigned(a), sb = asSigned(b);
+                std::uint64_t v;
+                if (sa == std::numeric_limits<std::int64_t>::min() &&
+                    sb == -1)
+                    v = a; // wraps, matching hardware behavior
+                else
+                    v = fromSigned(sa / sb);
+                ENCORE_WRITE_VALUE(v);
+            }
+                ENCORE_NEXT;
+            ENCORE_OP(Rem): {
+                const std::uint64_t a = ENCORE_VA, b = ENCORE_VB;
+                if (b == 0)
+                    throw ExecError{"remainder by zero"};
+                const std::int64_t sa = asSigned(a), sb = asSigned(b);
+                std::uint64_t v;
+                if (sa == std::numeric_limits<std::int64_t>::min() &&
+                    sb == -1)
+                    v = 0;
+                else
+                    v = fromSigned(sa % sb);
+                ENCORE_WRITE_VALUE(v);
+            }
+                ENCORE_NEXT;
+            ENCORE_OP(And):
+                ENCORE_WRITE_VALUE(ENCORE_VA & ENCORE_VB);
+                ENCORE_NEXT;
+            ENCORE_OP(Or):
+                ENCORE_WRITE_VALUE(ENCORE_VA | ENCORE_VB);
+                ENCORE_NEXT;
+            ENCORE_OP(Xor):
+                ENCORE_WRITE_VALUE(ENCORE_VA ^ ENCORE_VB);
+                ENCORE_NEXT;
+            ENCORE_OP(Shl):
+                ENCORE_WRITE_VALUE(ENCORE_VA << (ENCORE_VB & 63));
+                ENCORE_NEXT;
+            ENCORE_OP(Shr):
+                ENCORE_WRITE_VALUE(ENCORE_VA >> (ENCORE_VB & 63));
+                ENCORE_NEXT;
+            ENCORE_OP(Neg):
+                ENCORE_WRITE_VALUE(fromSigned(-asSigned(ENCORE_VA)));
+                ENCORE_NEXT;
+            ENCORE_OP(Not):
+                ENCORE_WRITE_VALUE(~ENCORE_VA);
+                ENCORE_NEXT;
+            ENCORE_OP(FAdd):
+                ENCORE_WRITE_VALUE(
+                    ir::doubleToBits(ir::bitsToDouble(ENCORE_VA) +
+                                     ir::bitsToDouble(ENCORE_VB)));
+                ENCORE_NEXT;
+            ENCORE_OP(FSub):
+                ENCORE_WRITE_VALUE(
+                    ir::doubleToBits(ir::bitsToDouble(ENCORE_VA) -
+                                     ir::bitsToDouble(ENCORE_VB)));
+                ENCORE_NEXT;
+            ENCORE_OP(FMul):
+                ENCORE_WRITE_VALUE(
+                    ir::doubleToBits(ir::bitsToDouble(ENCORE_VA) *
+                                     ir::bitsToDouble(ENCORE_VB)));
+                ENCORE_NEXT;
+            ENCORE_OP(FDiv):
+                // IEEE division by zero yields inf/nan: well-defined.
+                ENCORE_WRITE_VALUE(
+                    ir::doubleToBits(ir::bitsToDouble(ENCORE_VA) /
+                                     ir::bitsToDouble(ENCORE_VB)));
+                ENCORE_NEXT;
+            ENCORE_OP(IntToFp):
+                ENCORE_WRITE_VALUE(ir::doubleToBits(
+                    static_cast<double>(asSigned(ENCORE_VA))));
+                ENCORE_NEXT;
+            ENCORE_OP(FpToInt): {
+                // Saturating conversion: NaN -> 0, +/-inf clamp like
+                // hardware cvttsd2si-with-saturation semantics.
+                const double d = ir::bitsToDouble(ENCORE_VA);
+                std::uint64_t v;
+                if (std::isnan(d))
+                    v = 0;
+                else if (d >= 9.2e18)
+                    v = fromSigned(
+                        std::numeric_limits<std::int64_t>::max());
+                else if (d <= -9.2e18)
+                    v = fromSigned(
+                        std::numeric_limits<std::int64_t>::min());
+                else
+                    v = fromSigned(static_cast<std::int64_t>(d));
+                ENCORE_WRITE_VALUE(v);
+            }
+                ENCORE_NEXT;
+            ENCORE_OP(CmpEq):
+                ENCORE_WRITE_VALUE(ENCORE_VA == ENCORE_VB ? 1 : 0);
+                ENCORE_NEXT;
+            ENCORE_OP(CmpNe):
+                ENCORE_WRITE_VALUE(ENCORE_VA != ENCORE_VB ? 1 : 0);
+                ENCORE_NEXT;
+            ENCORE_OP(CmpLt):
+                ENCORE_WRITE_VALUE(
+                    asSigned(ENCORE_VA) < asSigned(ENCORE_VB) ? 1 : 0);
+                ENCORE_NEXT;
+            ENCORE_OP(CmpLe):
+                ENCORE_WRITE_VALUE(
+                    asSigned(ENCORE_VA) <= asSigned(ENCORE_VB) ? 1 : 0);
+                ENCORE_NEXT;
+            ENCORE_OP(CmpGt):
+                ENCORE_WRITE_VALUE(
+                    asSigned(ENCORE_VA) > asSigned(ENCORE_VB) ? 1 : 0);
+                ENCORE_NEXT;
+            ENCORE_OP(CmpGe):
+                ENCORE_WRITE_VALUE(
+                    asSigned(ENCORE_VA) >= asSigned(ENCORE_VB) ? 1 : 0);
+                ENCORE_NEXT;
+            ENCORE_OP(FCmpLt):
+                ENCORE_WRITE_VALUE(ir::bitsToDouble(ENCORE_VA) <
+                                           ir::bitsToDouble(ENCORE_VB)
+                                       ? 1
+                                       : 0);
+                ENCORE_NEXT;
+            ENCORE_OP(Select):
+                ENCORE_WRITE_VALUE(ENCORE_VA ? ENCORE_VB : ENCORE_VC);
+                ENCORE_NEXT;
+
+            ENCORE_OP(Lea): {
                 ir::ObjectId object;
                 std::uint32_t offset;
-                evalAddr(frame, inst.addr(), object, offset);
-                std::uint64_t value = 0;
-                memory_.read(object, offset, value);
+                evalAddr(frame, inst, object, offset);
+                ENCORE_WRITE_VALUE(ir::Pointer::encode(object, offset));
+            }
+                ENCORE_NEXT;
+            ENCORE_OP(Load): {
+                ir::ObjectId object;
+                std::uint32_t offset;
+                evalAddr(frame, inst, object, offset);
+                std::uint64_t value = memory_.wordAt(object, offset);
+                if (hooks_) {
+                    hooks_->onMemoryAccess(*frame.func->src, *inst.src,
+                                           object, offset, false, my_index);
+                }
                 for (Observer *obs : observers_) {
-                    obs->onMemoryAccess(*frame.func, inst, object, offset,
-                                        false, my_index);
+                    obs->onMemoryAccess(*frame.func->src, *inst.src,
+                                        object, offset, false, my_index);
                 }
                 ++value_count_;
                 if (hooks_)
-                    value = hooks_->filterResult(inst, my_index, value);
-                frame.regs[inst.dest()] = value;
+                    value = hooks_->filterResult(*inst.src, my_index,
+                                                 value);
+                frame.regs[inst.dest] = value;
                 ++frame.ip;
-                break;
-              }
-              case Opcode::Lea: {
+            }
+                ENCORE_NEXT;
+            ENCORE_OP(Store): {
                 ir::ObjectId object;
                 std::uint32_t offset;
-                evalAddr(frame, inst.addr(), object, offset);
-                std::uint64_t value = ir::Pointer::encode(object, offset);
-                ++value_count_;
-                if (hooks_)
-                    value = hooks_->filterResult(inst, my_index, value);
-                frame.regs[inst.dest()] = value;
-                ++frame.ip;
-                break;
-              }
-              case Opcode::Store: {
-                ir::ObjectId object;
-                std::uint32_t offset;
-                evalAddr(frame, inst.addr(), object, offset);
-                memory_.write(object, offset,
-                              evalOperand(frame, inst.a()));
+                evalAddr(frame, inst, object, offset);
+                memory_.setWord(object, offset, ENCORE_VA);
+                if (hooks_) {
+                    hooks_->onMemoryAccess(*frame.func->src, *inst.src,
+                                           object, offset, true, my_index);
+                }
                 for (Observer *obs : observers_) {
-                    obs->onMemoryAccess(*frame.func, inst, object, offset,
-                                        true, my_index);
+                    obs->onMemoryAccess(*frame.func->src, *inst.src,
+                                        object, offset, true, my_index);
                 }
                 ++frame.ip;
-                break;
-              }
-              case Opcode::Call: {
-                const ir::Function *callee = inst.callee();
-                if (!callee)
+            }
+                ENCORE_NEXT;
+
+            ENCORE_OP(Call): {
+                if (inst.callee == ~0u)
                     throw ExecError{"unresolved call"};
-                if (frames_.size() >= 512)
+                if (depth_ >= kMaxCallDepth)
                     throw ExecError{"call stack overflow"};
-                Frame next;
-                next.func = callee;
-                next.regs.assign(callee->numRegs(), 0);
-                for (std::size_t i = 0; i < inst.args().size(); ++i)
-                    next.regs[i] = evalOperand(frame, inst.args()[i]);
-                next.caller_dest =
-                    inst.hasDest() ? inst.dest() : ir::kInvalidReg;
+                const DecodedFunction &callee =
+                    decoded_->function(inst.callee);
                 ++frame.ip; // return point
-                memory_.pushFrame(*callee);
-                frames_.push_back(std::move(next));
-                enterBlock(frames_.back(), callee->entry(), nullptr);
-                break;
-              }
-              case Opcode::Br: {
-                const std::uint64_t cond = evalOperand(frame, inst.a());
-                enterBlock(frame, cond ? inst.succ0() : inst.succ1(),
-                           frame.block);
-                break;
-              }
-              case Opcode::Jmp:
-                enterBlock(frame, inst.succ0(), frame.block);
-                break;
-              case Opcode::Ret: {
-                const std::uint64_t value = evalOperand(frame, inst.a());
+                // `frame` stays valid across the push: the pool's
+                // capacity is reserved to kMaxCallDepth up front.
+                Frame &next = activateFrame(callee);
+                const DecodedOperand *call_args =
+                    exec_func->args_pool.data() + inst.args_first;
+                for (std::uint32_t i = 0; i < inst.args_count; ++i)
+                    next.regs[i] = fetch(frame, call_args[i]);
+                next.caller_dest = inst.dest;
+                memory_.pushFrame(*callee.src);
+                enterBlock(next, callee.entry_block, nullptr);
+            }
+                ENCORE_NEXT;
+            ENCORE_OP(Br): {
+                const std::uint64_t cond = ENCORE_VA;
+                enterBlock(frame, cond ? inst.target0 : inst.target1,
+                           frame.func->blocks[frame.block].bb);
+            }
+                ENCORE_NEXT;
+            ENCORE_OP(Jmp):
+                enterBlock(frame, inst.target0,
+                           frame.func->blocks[frame.block].bb);
+                ENCORE_NEXT;
+            ENCORE_OP(Ret): {
+                const std::uint64_t value = ENCORE_VA;
                 const ir::RegId dest = frame.caller_dest;
                 memory_.popFrame();
-                frames_.pop_back();
-                if (frames_.empty()) {
+                --depth_;
+                if (depth_ == 0) {
                     for (Observer *obs : observers_)
-                        obs->onInstruction(*exec_func, inst, my_index);
+                        obs->onInstruction(*exec_func->src, *inst.src,
+                                           my_index);
                     result.return_value = value;
                     return finish(RunResult::Status::Ok, "");
                 }
                 if (dest != ir::kInvalidReg)
-                    frames_.back().regs[dest] = value;
-                break;
-              }
-              case Opcode::RegionEnter: {
+                    frames_[depth_ - 1].regs[dest] = value;
+            }
+                ENCORE_NEXT;
+
+            ENCORE_OP(RegionEnter): {
                 RecoveryState &rec = frame.recovery;
                 rec.log.clear();
-                if (inst.regionId() == ir::kInvalidRegion) {
+                if (inst.region == ir::kInvalidRegion) {
                     rec.active = false;
                     rec.region = ir::kInvalidRegion;
                     rec.token = 0;
-                    rec.recovery_block = nullptr;
+                    rec.recovery_block = kNoDecodedBlock;
                 } else {
                     rec.active = true;
-                    rec.region = inst.regionId();
+                    rec.region = inst.region;
                     rec.token = ++next_token_;
-                    rec.recovery_block = inst.succ0();
+                    rec.recovery_block = inst.target0;
                 }
                 ++frame.ip;
-                break;
-              }
-              case Opcode::CkptMem: {
+            }
+                ENCORE_NEXT;
+            ENCORE_OP(CkptMem): {
                 ir::ObjectId object;
                 std::uint32_t offset;
-                evalAddr(frame, inst.addr(), object, offset);
-                std::uint64_t value = 0;
-                memory_.read(object, offset, value);
+                evalAddr(frame, inst, object, offset);
+                const std::uint64_t value = memory_.wordAt(object, offset);
                 if (frame.recovery.active) {
                     frame.recovery.log.push_back(
                         Undo{Undo::Kind::Mem, object, offset,
                              ir::kInvalidReg, value});
                 }
                 ++frame.ip;
-                break;
-              }
-              case Opcode::CkptReg: {
-                ENCORE_ASSERT(inst.a().isReg(),
+            }
+                ENCORE_NEXT;
+            ENCORE_OP(CkptReg): {
+                ENCORE_ASSERT(inst.a.is_reg,
                               "ckpt.reg needs a register operand");
                 if (frame.recovery.active) {
                     frame.recovery.log.push_back(
                         Undo{Undo::Kind::Reg, ir::kInvalidObject, 0,
-                             inst.a().reg, frame.regs[inst.a().reg]});
+                             inst.a.reg, frame.regs[inst.a.reg]});
                 }
                 ++frame.ip;
-                break;
-              }
-              case Opcode::Restore: {
+            }
+                ENCORE_NEXT;
+            ENCORE_OP(Restore): {
                 RecoveryState &rec = frame.recovery;
                 for (auto it = rec.log.rbegin(); it != rec.log.rend();
                      ++it) {
@@ -436,18 +558,17 @@ Interpreter::run(const std::string &func_name,
                 }
                 rec.log.clear();
                 ++frame.ip;
-                break;
-              }
-              default: {
-                std::uint64_t value = execValueOp(frame, inst);
-                ++value_count_;
-                if (hooks_)
-                    value = hooks_->filterResult(inst, my_index, value);
-                frame.regs[inst.dest()] = value;
-                ++frame.ip;
-                break;
-              }
             }
+                ENCORE_NEXT;
+
+#ifdef ENCORE_COMPUTED_GOTO
+        L_dispatch_done:;
+#else
+              default:
+                panicf("interpreter dispatch on invalid opcode ",
+                       static_cast<int>(inst.op));
+            }
+#endif
         } catch (const ExecError &err) {
             // Runtime errors are execution symptoms. The hooks decide
             // whether to treat them as an immediate detection (fault
@@ -455,7 +576,7 @@ Interpreter::run(const std::string &func_name,
             const bool treat_as_detection =
                 hooks_ && hooks_->onRuntimeError(err.message, my_index);
             if (treat_as_detection) {
-                if (!handleDetection(frames_.back())) {
+                if (!handleDetection(frames_[depth_ - 1])) {
                     return finish(RunResult::Status::DetectedUnrecoverable,
                                   err.message);
                 }
@@ -464,11 +585,18 @@ Interpreter::run(const std::string &func_name,
             return finish(RunResult::Status::Error, err.message);
         }
 
-        if (!frames_.empty()) {
+        if (depth_ != 0) {
             for (Observer *obs : observers_)
-                obs->onInstruction(*exec_func, inst, my_index);
+                obs->onInstruction(*exec_func->src, *inst.src, my_index);
         }
     }
 }
 
 } // namespace encore::interp
+
+#undef ENCORE_OP
+#undef ENCORE_NEXT
+#undef ENCORE_VA
+#undef ENCORE_VB
+#undef ENCORE_VC
+#undef ENCORE_WRITE_VALUE

@@ -12,19 +12,35 @@
  * abandons the run as unrecoverable. Checkpoint state is per activation
  * frame, mirroring the paper's reserved stack area.
  *
- * Thread-safety contract: an Interpreter never mutates the module it
- * executes — all run state (memory image, frames, counters) lives in
- * the Interpreter/Memory instances themselves. Parallel fault
- * injection relies on this: each trial constructs its own Interpreter
- * over the shared read-only module, so any new caching added here
- * must stay per-instance (or be synchronized).
+ * Execution engine: the interpreter runs pre-decoded flat bytecode
+ * (interp/decoded.h), not the IR lists directly. The DecodedModule
+ * cache is built once — either privately by the Interpreter(Module)
+ * constructor or up front by the caller and shared — and is immutable
+ * afterwards. Dispatch is a dense switch over the flat instruction
+ * array (a computed-goto dispatcher can be selected with the
+ * ENCORE_COMPUTED_GOTO CMake option on GCC/Clang). Frames, register
+ * files, and checkpoint undo logs are pooled across run() calls, so a
+ * reused Interpreter executes allocation-free in steady state — the
+ * fault injector runs tens of thousands of trials per worker on one
+ * instance. The seed list-walking engine survives as
+ * ReferenceInterpreter (interp/reference.h) for differential testing.
+ *
+ * Thread-safety contract: an Interpreter never mutates the module or
+ * the decoded cache it executes — all run state (memory image, frames,
+ * counters) lives in the Interpreter/Memory instances themselves.
+ * Parallel fault injection relies on this: campaign workers construct
+ * their own Interpreters over one shared read-only DecodedModule, so
+ * any new caching added here must stay per-instance (or be built
+ * immutably before the interpreters are shared).
  */
 #ifndef ENCORE_INTERP_INTERPRETER_H
 #define ENCORE_INTERP_INTERPRETER_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "interp/decoded.h"
 #include "interp/memory.h"
 #include "interp/observer.h"
 
@@ -51,6 +67,8 @@ struct RunResult
     std::uint64_t rollbacks = 0;
     std::string error;
     /// Final contents of every global object, for output comparison.
+    /// Left empty when the interpreter runs with setCaptureGlobals(false)
+    /// — campaign trials compare in place via globalsMatch() instead.
     std::vector<std::vector<std::uint64_t>> globals;
 
     bool ok() const { return status == Status::Ok; }
@@ -62,10 +80,20 @@ struct RunResult
 class Interpreter
 {
   public:
+    /// Decodes the module privately. Decode the module once and use the
+    /// shared-cache constructor instead when many interpreters run the
+    /// same module (campaign workers).
     explicit Interpreter(const ir::Module &module);
+
+    /// Executes from a shared immutable code cache.
+    explicit Interpreter(std::shared_ptr<const DecodedModule> decoded);
 
     /// Registers a passive observer (not owned).
     void addObserver(Observer *observer);
+
+    /// Removes all observers (reused per-worker interpreters install
+    /// fresh per-trial observers each run).
+    void clearObservers() { observers_.clear(); }
 
     /// Installs active hooks (not owned); pass nullptr to remove.
     void setHooks(ExecHooks *hooks) { hooks_ = hooks; }
@@ -73,9 +101,23 @@ class Interpreter
     /// Execution budget; runs exceeding it end with InstructionLimit.
     void setMaxInstructions(std::uint64_t limit) { max_instrs_ = limit; }
 
+    /// When disabled, run() skips the RunResult::globals snapshot (an
+    /// allocation + copy per run); callers compare via globalsMatch().
+    void setCaptureGlobals(bool capture) { capture_globals_ = capture; }
+
     /// Runs `func_name` with the given arguments on fresh memory.
+    /// Frames and memory storage pooled by earlier runs are reused.
     RunResult run(const std::string &func_name,
                   const std::vector<std::uint64_t> &args);
+
+    /// In-place comparison of the current global memory against a
+    /// snapshot (as captured by a golden run), without allocating.
+    bool
+    globalsMatch(const std::vector<std::vector<std::uint64_t>> &snapshot)
+        const
+    {
+        return memory_.globalsEqual(snapshot);
+    }
 
     // --- Recovery-runtime introspection (used by the fault injector) ----
     /// Token of the region instance active in the current frame; 0 when
@@ -84,7 +126,7 @@ class Interpreter
     /// Region id active in the current frame, or ir::kInvalidRegion.
     ir::RegionId currentRegionId() const;
     /// Depth of the activation stack (1 while the entry function runs).
-    std::size_t frameDepth() const { return frames_.size(); }
+    std::size_t frameDepth() const { return depth_; }
 
   private:
     struct Undo
@@ -102,16 +144,16 @@ class Interpreter
         bool active = false;
         ir::RegionId region = ir::kInvalidRegion;
         std::uint64_t token = 0;
-        const ir::BasicBlock *recovery_block = nullptr;
+        std::uint32_t recovery_block = kNoDecodedBlock;
         std::vector<Undo> log;
     };
 
     struct Frame
     {
-        const ir::Function *func = nullptr;
+        const DecodedFunction *func = nullptr;
         std::vector<std::uint64_t> regs;
-        const ir::BasicBlock *block = nullptr;
-        std::list<ir::Instruction>::const_iterator ip;
+        std::uint32_t block = 0; ///< Current block index.
+        std::uint32_t ip = 0;    ///< Index into func->code.
         ir::RegId caller_dest = ir::kInvalidReg;
         RecoveryState recovery;
     };
@@ -122,26 +164,37 @@ class Interpreter
         std::string message;
     };
 
-    std::uint64_t evalOperand(const Frame &frame,
-                              const ir::Operand &op) const;
-    void evalAddr(const Frame &frame, const ir::AddrExpr &addr,
-                  ir::ObjectId &object, std::uint32_t &offset) const;
-    std::uint64_t execValueOp(Frame &frame, const ir::Instruction &inst);
+    std::uint64_t
+    fetch(const Frame &frame, const DecodedOperand &op) const
+    {
+        return op.is_reg ? frame.regs[op.reg] : op.imm;
+    }
 
-    void enterBlock(Frame &frame, const ir::BasicBlock *block,
+    void evalAddr(const Frame &frame, const DecodedInst &inst,
+                  ir::ObjectId &object, std::uint32_t &offset) const;
+
+    /// Claims (or reuses) the frame slot at depth_ and re-initializes it
+    /// for an activation of `func`. Does not touch Memory.
+    Frame &activateFrame(const DecodedFunction &func);
+
+    void enterBlock(Frame &frame, std::uint32_t block,
                     const ir::BasicBlock *from);
     /// Handles a detection event; returns true if rolled back (continue
     /// executing) or false if the run must be abandoned.
     bool handleDetection(Frame &frame);
 
+    std::shared_ptr<const DecodedModule> decoded_;
     const ir::Module &module_;
     Memory memory_;
     std::vector<Observer *> observers_;
     ExecHooks *hooks_ = nullptr;
     std::uint64_t max_instrs_ = 200'000'000;
+    bool capture_globals_ = true;
 
-    // Per-run state.
+    // Per-run state. `frames_` is a pool that only ever grows (bounded
+    // by the call-depth limit); frames_[0 .. depth_) are live.
     std::vector<Frame> frames_;
+    std::size_t depth_ = 0;
     std::uint64_t dyn_count_ = 0;
     std::uint64_t value_count_ = 0;
     std::uint64_t overhead_count_ = 0;

@@ -7,7 +7,7 @@ namespace encore::interp {
 Memory::Memory(const ir::Module &module)
     : module_(module),
       storage_(module.objects().size()),
-      allocated_(module.objects().size(), false)
+      allocated_(module.objects().size(), 0)
 {
     reset();
 }
@@ -15,14 +15,16 @@ Memory::Memory(const ir::Module &module)
 void
 Memory::reset()
 {
-    frames_.clear();
+    depth_ = 0;
     for (const ir::MemObject &obj : module_.objects()) {
         if (obj.is_global) {
             storage_[obj.id].assign(obj.size, 0);
-            allocated_[obj.id] = true;
+            allocated_[obj.id] = 1;
         } else {
-            storage_[obj.id].clear();
-            allocated_[obj.id] = false;
+            // Keep the words in place (capacity and size) — the object
+            // is logically gone while its flag is down, and the next
+            // pushFrame re-zeroes it without reallocating.
+            allocated_[obj.id] = 0;
         }
     }
 }
@@ -30,26 +32,38 @@ Memory::reset()
 void
 Memory::pushFrame(const ir::Function &func)
 {
-    FrameRecord record;
-    record.func = &func;
+    if (depth_ == frames_.size())
+        frames_.emplace_back();
+    FrameRecord &record = frames_[depth_++];
+    record.saved.clear();
     for (const ir::ObjectId id : func.localObjects()) {
-        record.saved.emplace_back(id, std::move(storage_[id]));
+        SavedLocal saved;
+        saved.id = id;
+        saved.was_allocated = allocated_[id] != 0;
+        if (saved.was_allocated)
+            saved.contents = std::move(storage_[id]);
+        record.saved.push_back(std::move(saved));
         storage_[id].assign(module_.object(id).size, 0);
-        allocated_[id] = true;
+        allocated_[id] = 1;
     }
-    frames_.push_back(std::move(record));
 }
 
 void
 Memory::popFrame()
 {
-    ENCORE_ASSERT(!frames_.empty(), "popFrame with no active frame");
-    FrameRecord &record = frames_.back();
+    ENCORE_ASSERT(depth_ > 0, "popFrame with no active frame");
+    FrameRecord &record = frames_[--depth_];
     for (auto it = record.saved.rbegin(); it != record.saved.rend(); ++it) {
-        storage_[it->first] = std::move(it->second);
-        allocated_[it->first] = !storage_[it->first].empty();
+        if (it->was_allocated) {
+            storage_[it->id] = std::move(it->contents);
+            allocated_[it->id] = storage_[it->id].empty() ? 0 : 1;
+        } else {
+            // Deallocate by flag only; the words stay as capacity for
+            // the next activation.
+            allocated_[it->id] = 0;
+        }
     }
-    frames_.pop_back();
+    record.saved.clear();
 }
 
 bool
@@ -82,12 +96,6 @@ Memory::objectSize(ir::ObjectId object) const
                : 0;
 }
 
-bool
-Memory::isAllocated(ir::ObjectId object) const
-{
-    return object < allocated_.size() && allocated_[object];
-}
-
 std::vector<std::vector<std::uint64_t>>
 Memory::snapshotGlobals() const
 {
@@ -97,6 +105,21 @@ Memory::snapshotGlobals() const
             snapshot.push_back(storage_[obj.id]);
     }
     return snapshot;
+}
+
+bool
+Memory::globalsEqual(
+    const std::vector<std::vector<std::uint64_t>> &snapshot) const
+{
+    std::size_t i = 0;
+    for (const ir::MemObject &obj : module_.objects()) {
+        if (!obj.is_global)
+            continue;
+        if (i >= snapshot.size() || storage_[obj.id] != snapshot[i])
+            return false;
+        ++i;
+    }
+    return i == snapshot.size();
 }
 
 } // namespace encore::interp

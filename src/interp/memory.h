@@ -8,12 +8,19 @@
  * popFrame restores it. This matters for the idempotence analysis's
  * treatment of calls: a callee's stores to its own locals are invisible
  * to the caller and are excluded from call mod/ref summaries.
+ *
+ * The containers here are pools: reset(), pushFrame(), and popFrame()
+ * recycle word storage and frame records instead of freeing them, so a
+ * Memory reused across runs (one fault-injection trial after another)
+ * reaches a steady state with no heap traffic on the non-recursive
+ * path. The `allocated_` flags are bytes, not std::vector<bool> bits —
+ * isAllocated() sits on the address-evaluation hot path and the
+ * bit-reference proxy costs a shift+mask there.
  */
 #ifndef ENCORE_INTERP_MEMORY_H
 #define ENCORE_INTERP_MEMORY_H
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "ir/module.h"
@@ -25,7 +32,8 @@ class Memory
   public:
     explicit Memory(const ir::Module &module);
 
-    /// Zeroes every global object.
+    /// Zeroes every global object and deallocates locals. Storage
+    /// capacity is retained for reuse by the next run.
     void reset();
 
     /// Allocates fresh zeroed storage for the function's locals.
@@ -41,27 +49,60 @@ class Memory
     bool write(ir::ObjectId object, std::uint32_t offset,
                std::uint64_t value);
 
+    /// Unchecked word access for callers that have already validated
+    /// (object, offset) against isAllocated()/objectSize() — the
+    /// interpreter's address evaluation does exactly that.
+    std::uint64_t
+    wordAt(ir::ObjectId object, std::uint32_t offset) const
+    {
+        return storage_[object][offset];
+    }
+
+    void
+    setWord(ir::ObjectId object, std::uint32_t offset, std::uint64_t value)
+    {
+        storage_[object][offset] = value;
+    }
+
     std::uint32_t objectSize(ir::ObjectId object) const;
-    bool isAllocated(ir::ObjectId object) const;
+
+    bool
+    isAllocated(ir::ObjectId object) const
+    {
+        return object < allocated_.size() && allocated_[object] != 0;
+    }
 
     /// Snapshot of all global objects' contents, for golden-output
     /// comparison in the fault-injection campaigns.
     std::vector<std::vector<std::uint64_t>> snapshotGlobals() const;
 
+    /// In-place equality against a snapshotGlobals() result — the
+    /// allocation-free form of the golden-output check.
+    bool globalsEqual(
+        const std::vector<std::vector<std::uint64_t>> &snapshot) const;
+
   private:
+    struct SavedLocal
+    {
+        ir::ObjectId id = ir::kInvalidObject;
+        /// True when the object was live in an outer activation
+        /// (recursion); `contents` then holds the shadowed words.
+        bool was_allocated = false;
+        std::vector<std::uint64_t> contents;
+    };
+
     struct FrameRecord
     {
-        const ir::Function *func;
-        // Shadowed storage for each local (empty vector if the local
-        // was previously unallocated).
-        std::vector<std::pair<ir::ObjectId, std::vector<std::uint64_t>>>
-            saved;
+        std::vector<SavedLocal> saved;
     };
 
     const ir::Module &module_;
     std::vector<std::vector<std::uint64_t>> storage_; // indexed by id
-    std::vector<bool> allocated_;
+    /// Byte flags (not vector<bool>): isAllocated is hot.
+    std::vector<std::uint8_t> allocated_;
+    /// Pooled frame records; frames_[0 .. depth_) are live.
     std::vector<FrameRecord> frames_;
+    std::size_t depth_ = 0;
 };
 
 } // namespace encore::interp

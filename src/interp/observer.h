@@ -120,6 +120,24 @@ class ExecHooks
         (void)dyn_index;
         return false;
     }
+
+    /// A load or store touched memory (after address evaluation).
+    /// Mirrors Observer::onMemoryAccess so a fault model that needs
+    /// memory taint tracking can ride on the hook interface alone —
+    /// trials then run with an empty observer list, which removes the
+    /// per-instruction observer dispatch from the campaign hot path.
+    virtual void
+    onMemoryAccess(const ir::Function &func, const ir::Instruction &inst,
+                   ir::ObjectId object, std::uint32_t offset, bool is_store,
+                   std::uint64_t dyn_index)
+    {
+        (void)func;
+        (void)inst;
+        (void)object;
+        (void)offset;
+        (void)is_store;
+        (void)dyn_index;
+    }
 };
 
 } // namespace encore::interp

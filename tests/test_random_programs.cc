@@ -17,6 +17,7 @@
 #include "encore/pipeline.h"
 #include "fault/injector.h"
 #include "interp/interpreter.h"
+#include "interp/reference.h"
 #include "ir/builder.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -270,6 +271,82 @@ TEST_P(RandomProgram, InjectedFaultsNeverCorruptAfterRollback)
     campaign.trial.dmax = 60;
     const auto result = injector.runCampaign(campaign);
     EXPECT_EQ(result.count(fault::FaultOutcome::RecoveryFailed), 0u);
+}
+
+/// Every RunResult field the two engines must agree on, bit for bit.
+void
+expectSameRun(const interp::RunResult &ref, const interp::RunResult &dec)
+{
+    EXPECT_EQ(static_cast<int>(ref.status), static_cast<int>(dec.status));
+    EXPECT_EQ(ref.error, dec.error);
+    EXPECT_EQ(ref.return_value, dec.return_value);
+    EXPECT_EQ(ref.dyn_instrs, dec.dyn_instrs);
+    EXPECT_EQ(ref.value_instrs, dec.value_instrs);
+    EXPECT_EQ(ref.overhead_instrs, dec.overhead_instrs);
+    EXPECT_EQ(ref.rollbacks, dec.rollbacks);
+    EXPECT_EQ(ref.globals, dec.globals);
+}
+
+TEST_P(RandomProgram, DecodedEngineMatchesReferenceEngine)
+{
+    // Plain module: the decoded flat-bytecode engine must reproduce the
+    // tree-walking reference engine's RunResult exactly.
+    {
+        Generator gen(GetParam());
+        auto module = gen.generate();
+        interp::ReferenceInterpreter ref(*module);
+        ref.setMaxInstructions(2'000'000);
+        interp::Interpreter dec(*module);
+        dec.setMaxInstructions(2'000'000);
+        expectSameRun(ref.run("main", {GetParam() % 97}),
+                      dec.run("main", {GetParam() % 97}));
+    }
+
+    // Instrumented module: the recovery pseudo-ops (region.enter,
+    // ckpt.*, restore) must decode and count identically too.
+    {
+        Generator gen(GetParam());
+        auto module = gen.generate();
+        EncoreConfig config;
+        EncorePipeline pipeline(*module, config);
+        pipeline.run({RunSpec{"main", {7}}});
+
+        interp::ReferenceInterpreter ref(*module);
+        ref.setMaxInstructions(2'000'000);
+        interp::Interpreter dec(*module);
+        dec.setMaxInstructions(2'000'000);
+        expectSameRun(ref.run("main", {7}), dec.run("main", {7}));
+    }
+}
+
+TEST_P(RandomProgram, CampaignBitIdenticalAcrossJobCounts)
+{
+    Generator gen(GetParam());
+    auto module = gen.generate();
+    EncoreConfig config;
+    EncorePipeline pipeline(*module, config);
+    const EncoreReport report = pipeline.run({RunSpec{"main", {7}}});
+
+    fault::FaultInjector injector(*module, report);
+    ASSERT_TRUE(injector.prepare("main", {7}));
+
+    fault::CampaignConfig campaign;
+    campaign.trials = 40;
+    campaign.seed = GetParam() * 17 + 3;
+    campaign.trial.dmax = 60;
+
+    campaign.jobs = 1;
+    const auto sequential = injector.runCampaign(campaign);
+    campaign.jobs = 4;
+    const auto parallel = injector.runCampaign(campaign);
+
+    EXPECT_EQ(sequential.trials, parallel.trials);
+    for (int i = 0; i < static_cast<int>(fault::FaultOutcome::NumOutcomes);
+         ++i) {
+        EXPECT_EQ(sequential.counts[i], parallel.counts[i])
+            << "outcome bucket " << i << " diverged between jobs=1 and "
+            << "jobs=4";
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram,
