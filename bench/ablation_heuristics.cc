@@ -31,23 +31,48 @@ struct AblationRow
 };
 
 AblationRow
-evaluate(const EncoreConfig &config, std::size_t jobs)
+rowFromReport(const EncoreReport &report)
+{
+    AblationRow one;
+    one.overhead = report.projectedOverheadFraction();
+    one.protected_dyn = report.dynFractionIdempotent() +
+                        report.dynFractionCheckpointed();
+    one.regions = static_cast<double>(report.regions.size());
+    for (const RegionReport &region : report.regions)
+        one.selected += region.selected ? 1.0 : 0.0;
+    return one;
+}
+
+/// Means over the whole suite for one config point. With sessions the
+/// grid shares one analysis base (and memoized region dataflow) per
+/// workload; without, every point reruns the full pipeline.
+AblationRow
+evaluate(const EncoreConfig &config, std::size_t jobs,
+         std::vector<std::unique_ptr<bench::WorkloadSession>> *sessions)
 {
     AblationRow row;
+    if (sessions) {
+        std::vector<AblationRow> ones(sessions->size());
+        ThreadPool pool(jobs);
+        pool.parallelFor(sessions->size(),
+                         [&](std::uint64_t i, std::size_t) {
+                             ones[i] = rowFromReport(
+                                 (*sessions)[i]->analyze(config));
+                         });
+        for (const AblationRow &one : ones) {
+            row.overhead += one.overhead;
+            row.protected_dyn += one.protected_dyn;
+            row.regions += one.regions;
+            row.selected += one.selected;
+            ++row.count;
+        }
+        return row;
+    }
     bench::mapWorkloads(
         jobs,
         [&config](const workloads::Workload &w) {
-            auto prepared = bench::prepareWorkload(w, config);
-            AblationRow one;
-            one.overhead = prepared.report.projectedOverheadFraction();
-            one.protected_dyn =
-                prepared.report.dynFractionIdempotent() +
-                prepared.report.dynFractionCheckpointed();
-            one.regions = static_cast<double>(
-                prepared.report.regions.size());
-            for (const RegionReport &region : prepared.report.regions)
-                one.selected += region.selected ? 1.0 : 0.0;
-            return one;
+            return rowFromReport(
+                bench::prepareWorkload(w, config).report);
         },
         [&row](const workloads::Workload &, const AblationRow &one) {
             row.overhead += one.overhead;
@@ -76,6 +101,24 @@ main(int argc, char **argv)
     CommandLine cli = bench::standardFlags("0");
     cli.parse(argc, argv);
     const std::size_t jobs = bench::jobsFlag(cli);
+    const bool use_cache = bench::analysisCacheFlag(cli);
+
+    // One session per workload, shared by every grid point below.
+    std::vector<std::unique_ptr<bench::WorkloadSession>> sessions;
+    if (use_cache) {
+        const std::vector<workloads::Workload> &suite =
+            workloads::allWorkloads();
+        sessions.resize(suite.size());
+        ThreadPool pool(jobs);
+        pool.parallelFor(
+            suite.size(), [&](std::uint64_t i, std::size_t) {
+                sessions[i] =
+                    std::make_unique<bench::WorkloadSession>(suite[i]);
+            });
+    }
+    const auto eval = [&](const EncoreConfig &config) {
+        return evaluate(config, jobs, use_cache ? &sessions : nullptr);
+    };
 
     bench::printHeader(
         "Ablations",
@@ -89,7 +132,7 @@ main(int argc, char **argv)
     {
         EncoreConfig base;
         addRow(table, "baseline (Pmin=0, gamma=50, merge on)",
-               evaluate(base, jobs));
+               eval(base));
     }
     table.addSeparator();
 
@@ -100,7 +143,7 @@ main(int argc, char **argv)
         addRow(table,
                pmin < 0 ? "Pmin=none"
                         : "Pmin=" + formatFixed(pmin, 2),
-               evaluate(config, jobs));
+               eval(config));
     }
     table.addSeparator();
 
@@ -108,7 +151,7 @@ main(int argc, char **argv)
         EncoreConfig config;
         config.gamma = gamma;
         addRow(table, "gamma=" + formatFixed(gamma, 0),
-               evaluate(config, jobs));
+               eval(config));
     }
     table.addSeparator();
 
@@ -116,12 +159,12 @@ main(int argc, char **argv)
         EncoreConfig config;
         config.merge_regions = false;
         addRow(table, "merging off (level-0 intervals only)",
-               evaluate(config, jobs));
+               eval(config));
     }
     for (const double eta : {10.0, 100.0, 1000.0}) {
         EncoreConfig config;
         config.eta = eta;
-        addRow(table, "eta=" + formatFixed(eta, 0), evaluate(config, jobs));
+        addRow(table, "eta=" + formatFixed(eta, 0), eval(config));
     }
     table.addSeparator();
 
@@ -129,7 +172,7 @@ main(int argc, char **argv)
         EncoreConfig config;
         config.max_storage_bytes = bytes;
         addRow(table, "storage<=" + formatFixed(bytes, 0) + "B",
-               evaluate(config, jobs));
+               eval(config));
     }
     table.addSeparator();
 
@@ -137,17 +180,17 @@ main(int argc, char **argv)
         EncoreConfig config;
         config.use_call_summaries = false;
         addRow(table, "call summaries off (paper Unknown rule)",
-               evaluate(config, jobs));
+               eval(config));
     }
     {
         EncoreConfig config;
         config.auto_tune = false;
-        addRow(table, "budget auto-tune off", evaluate(config, jobs));
+        addRow(table, "budget auto-tune off", eval(config));
     }
     {
         EncoreConfig config;
         config.alias_mode = EncoreConfig::AliasMode::Optimistic;
-        addRow(table, "optimistic alias analysis", evaluate(config, jobs));
+        addRow(table, "optimistic alias analysis", eval(config));
     }
 
     table.print(std::cout);

@@ -1,8 +1,33 @@
 #include "common.h"
 
+#include <fstream>
 #include <iostream>
 
 namespace encore::bench {
+
+WorkloadSession::WorkloadSession(const workloads::Workload &workload,
+                                 bool cache, std::size_t jobs)
+    : workload_(&workload), module_(workload.build())
+{
+    EncoreConfig defaults;
+    base_ = std::make_unique<AnalysisBase>(
+        *module_, std::vector<RunSpec>{RunSpec{workload.entry,
+                                               workload.train_args}},
+        defaults.profile_max_instrs, jobs);
+    if (cache)
+        cache_ = std::make_unique<AnalysisCache>(*base_);
+}
+
+WorkloadSession::~WorkloadSession() = default;
+
+EncoreReport
+WorkloadSession::analyze(EncoreConfig config,
+                         AnalysisPhaseTimings *timings)
+{
+    for (const std::string &name : workload_->opaque)
+        config.opaque_functions.insert(name);
+    return analyzeConfig(*base_, config, cache_.get(), timings).report;
+}
 
 PreparedWorkload
 prepareWorkload(const workloads::Workload &workload, EncoreConfig config)
@@ -51,6 +76,9 @@ standardFlags(const std::string &trials_default)
     cli.addFlag("jobs", "0",
                 "worker threads for workload prep and campaigns "
                 "(0 = all hardware threads)");
+    cli.addFlag("no-analysis-cache", "false",
+                "disable sharing of analysis state across sweep "
+                "config points (slower; results are identical)");
     return cli;
 }
 
@@ -59,6 +87,46 @@ jobsFlag(const CommandLine &cli)
 {
     const std::int64_t raw = cli.getInt("jobs");
     return resolveJobs(raw <= 0 ? 0 : static_cast<std::size_t>(raw));
+}
+
+bool
+analysisCacheFlag(const CommandLine &cli)
+{
+    return !cli.getBool("no-analysis-cache");
+}
+
+void
+addJsonFlag(CommandLine &cli, const std::string &default_path)
+{
+    cli.addFlag("json", default_path,
+                "path for the machine-readable report "
+                "(\"\" disables it)");
+}
+
+bool
+writeJsonReport(const std::string &path,
+                const std::function<void(std::ostream &)> &body)
+{
+    if (path.empty())
+        return true;
+    std::ofstream json(path);
+    if (!json) {
+        std::cerr << "error: cannot open '" << path
+                  << "' for writing (--json): check that the "
+                     "directory exists and is writable, or pass "
+                     "--json \"\" to disable the report.\n";
+        return false;
+    }
+    body(json);
+    json.flush();
+    if (!json) {
+        std::cerr << "error: failed while writing '" << path
+                  << "' (--json): the file may be truncated "
+                     "(disk full or I/O error).\n";
+        return false;
+    }
+    std::cout << "Wrote " << path << ".\n";
+    return true;
 }
 
 void

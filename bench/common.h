@@ -8,12 +8,14 @@
 #define ENCORE_BENCH_COMMON_H
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "encore/analysis_base.h"
 #include "encore/pipeline.h"
 #include "support/cli.h"
 #include "support/table.h"
@@ -44,6 +46,40 @@ PreparedWorkload prepareWorkload(const workloads::Workload &workload,
 std::vector<PreparedWorkload> prepareSuite(const EncoreConfig &config,
                                            std::size_t jobs);
 
+/**
+ * One workload's shared analysis state for configuration sweeps: the
+ * module is built and profiled once, and per-region dataflow results
+ * are memoized across config points (see encore/analysis_base.h).
+ * analyze() never instruments the module, so any number of configs
+ * can be evaluated against one session; reports are bit-identical to
+ * prepareWorkload's at the same config. With `cache == false` the
+ * memo is disabled and every analyze() recomputes from the shared
+ * base (the --no-analysis-cache path).
+ */
+class WorkloadSession
+{
+  public:
+    explicit WorkloadSession(const workloads::Workload &workload,
+                             bool cache = true, std::size_t jobs = 1);
+    ~WorkloadSession();
+
+    /// Report for one config point (the workload's opaque-function
+    /// list is merged into `config`, as prepareWorkload does).
+    EncoreReport analyze(EncoreConfig config,
+                         AnalysisPhaseTimings *timings = nullptr);
+
+    const workloads::Workload &workload() const { return *workload_; }
+    AnalysisBase &base() { return *base_; }
+    /// Null when caching is disabled.
+    AnalysisCache *cache() { return cache_.get(); }
+
+  private:
+    const workloads::Workload *workload_;
+    std::unique_ptr<ir::Module> module_;
+    std::unique_ptr<AnalysisBase> base_;
+    std::unique_ptr<AnalysisCache> cache_;
+};
+
 /// Runs `fn` for every workload in suite order.
 void forEachWorkload(
     const std::function<void(const workloads::Workload &)> &fn);
@@ -71,12 +107,29 @@ mapWorkloads(std::size_t jobs, Produce produce, Consume consume)
 }
 
 /// Standard flags most benches share. Returns a CommandLine with
-/// --seed, --trials, and --jobs registered (callers may add more
-/// before parse).
+/// --seed, --trials, --jobs and --no-analysis-cache registered
+/// (callers may add more before parse).
 CommandLine standardFlags(const std::string &trials_default);
 
 /// Resolved --jobs value: 0 (the default) means hardware concurrency.
 std::size_t jobsFlag(const CommandLine &cli);
+
+/// True unless --no-analysis-cache was passed: whether sweeps may
+/// share analysis state across config points.
+bool analysisCacheFlag(const CommandLine &cli);
+
+/// Registers the standard --json flag with the given default path
+/// ("" disables the report).
+void addJsonFlag(CommandLine &cli, const std::string &default_path);
+
+/**
+ * Writes `body(out)` to `path` as the machine-readable report. A
+ * no-op returning true when `path` is empty. On failure prints the
+ * standard actionable message to stderr and returns false (callers
+ * exit non-zero); on success prints "Wrote <path>.".
+ */
+bool writeJsonReport(const std::string &path,
+                     const std::function<void(std::ostream &)> &body);
 
 /// Prints the standard header naming the figure being reproduced.
 void printHeader(const std::string &figure, const std::string &summary);

@@ -45,8 +45,11 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
+    bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
     const std::size_t jobs = bench::jobsFlag(cli);
+    const bool use_cache = bench::analysisCacheFlag(cli);
+    const std::string json_path = cli.getString("json");
 
     bench::printHeader(
         "Figure 5",
@@ -77,24 +80,43 @@ main(int argc, char **argv)
     std::map<std::string, SuiteTotals> suite_totals;
     SuiteTotals grand;
 
+    struct JsonRow
+    {
+        std::string name;
+        std::string suite;
+        std::array<Breakdown, 4> breakdowns;
+    };
+    std::vector<JsonRow> json_rows;
+
     std::string current_suite;
     bench::mapWorkloads(
         jobs,
         // Parallel: all four pipeline configurations per workload.
+        // One session per workload builds + profiles once and shares
+        // the analysis base across the four Pmin points; the uncached
+        // path reruns the whole pipeline per point.
         [&](const workloads::Workload &w) {
             std::array<Breakdown, 4> breakdowns;
+            std::unique_ptr<bench::WorkloadSession> session;
+            if (use_cache)
+                session = std::make_unique<bench::WorkloadSession>(w);
             for (std::size_t s = 0; s < settings.size(); ++s) {
                 EncoreConfig config;
                 config.prune = settings[s].prune;
                 config.pmin = settings[s].pmin;
-                auto prepared = bench::prepareWorkload(w, config);
-                breakdowns[s] = classify(prepared.report);
+                if (session) {
+                    breakdowns[s] = classify(session->analyze(config));
+                } else {
+                    auto prepared = bench::prepareWorkload(w, config);
+                    breakdowns[s] = classify(prepared.report);
+                }
             }
             return breakdowns;
         },
         // Sequential, suite order: rows and aggregates.
         [&](const workloads::Workload &w,
             const std::array<Breakdown, 4> &breakdowns) {
+            json_rows.push_back(JsonRow{w.name, w.suite, breakdowns});
             if (w.suite != current_suite) {
                 if (!current_suite.empty())
                     table.addSeparator();
@@ -153,5 +175,30 @@ main(int argc, char **argv)
               << formatPercent(static_cast<double>(zero.idem) /
                                std::max<std::size_t>(1, zero.total()))
               << ".\n";
-    return 0;
+
+    const bool json_ok = bench::writeJsonReport(
+        json_path, [&](std::ostream &out) {
+            out << "{\n  \"bench\": \"fig5_region_idempotence\",\n"
+                << "  \"settings\": [\"none\", \"0.0\", \"0.1\", "
+                   "\"0.25\"],\n"
+                << "  \"workloads\": [\n";
+            for (std::size_t i = 0; i < json_rows.size(); ++i) {
+                const JsonRow &row = json_rows[i];
+                out << "    {\"name\": \"" << row.name
+                    << "\", \"suite\": \"" << row.suite
+                    << "\", \"classification\": [";
+                for (std::size_t s = 0; s < row.breakdowns.size();
+                     ++s) {
+                    const Breakdown &b = row.breakdowns[s];
+                    out << "{\"idempotent\": " << b.idem
+                        << ", \"non_idempotent\": " << b.non
+                        << ", \"unknown\": " << b.unknown << "}"
+                        << (s + 1 < row.breakdowns.size() ? ", " : "");
+                }
+                out << "]}"
+                    << (i + 1 < json_rows.size() ? "," : "") << "\n";
+            }
+            out << "  ]\n}\n";
+        });
+    return json_ok ? 0 : 1;
 }

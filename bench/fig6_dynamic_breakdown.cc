@@ -18,8 +18,10 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
+    bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
     const std::size_t jobs = bench::jobsFlag(cli);
+    const std::string json_path = cli.getString("json");
 
     bench::printHeader(
         "Figure 6",
@@ -41,6 +43,13 @@ main(int argc, char **argv)
     {
         double idem, ckpt, lost;
     };
+    struct JsonRow
+    {
+        std::string name;
+        std::string suite;
+        Fractions fractions;
+    };
+    std::vector<JsonRow> json_rows;
     std::string current_suite;
     bench::mapWorkloads(
         jobs,
@@ -52,6 +61,7 @@ main(int argc, char **argv)
                              prepared.report.dynFractionUnprotected()};
         },
         [&](const workloads::Workload &w, const Fractions &f) {
+            json_rows.push_back(JsonRow{w.name, w.suite, f});
             if (w.suite != current_suite) {
                 if (!current_suite.empty())
                     table.addSeparator();
@@ -86,5 +96,24 @@ main(int argc, char **argv)
     std::cout << "\nPaper shape check: SPEC2K-FP and MEDIABENCH spend "
                  "more dynamic time in\nEncore-recoverable code "
                  "(Idempotent + w/ Ckpt) than SPEC2K-INT.\n";
-    return 0;
+
+    const bool json_ok = bench::writeJsonReport(
+        json_path, [&](std::ostream &out) {
+            out << "{\n  \"bench\": \"fig6_dynamic_breakdown\",\n"
+                << "  \"workloads\": [\n";
+            for (std::size_t i = 0; i < json_rows.size(); ++i) {
+                const JsonRow &row = json_rows[i];
+                out << "    {\"name\": \"" << row.name
+                    << "\", \"suite\": \"" << row.suite
+                    << "\", \"idempotent\": "
+                    << formatFixed(row.fractions.idem, 6)
+                    << ", \"checkpointed\": "
+                    << formatFixed(row.fractions.ckpt, 6)
+                    << ", \"unprotected\": "
+                    << formatFixed(row.fractions.lost, 6) << "}"
+                    << (i + 1 < json_rows.size() ? "," : "") << "\n";
+            }
+            out << "  ]\n}\n";
+        });
+    return json_ok ? 0 : 1;
 }

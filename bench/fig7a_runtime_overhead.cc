@@ -39,8 +39,10 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
+    bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
     const std::size_t jobs = bench::jobsFlag(cli);
+    const std::string json_path = cli.getString("json");
 
     bench::printHeader(
         "Figure 7a",
@@ -54,6 +56,15 @@ main(int argc, char **argv)
     int count = 0;
     std::map<std::string, std::pair<double, int>> suite_static;
     std::map<std::string, double> suite_opt;
+
+    struct JsonRow
+    {
+        std::string name;
+        std::string suite;
+        double static_oh;
+        double opt_oh;
+    };
+    std::vector<JsonRow> json_rows;
 
     std::string current_suite;
     bench::mapWorkloads(
@@ -74,6 +85,8 @@ main(int argc, char **argv)
         [&](const workloads::Workload &w,
             const std::pair<double, double> &overheads) {
             const auto [static_oh, opt_oh] = overheads;
+            json_rows.push_back(
+                JsonRow{w.name, w.suite, static_oh, opt_oh});
             if (w.suite != current_suite) {
                 if (!current_suite.empty())
                     table.addSeparator();
@@ -103,5 +116,22 @@ main(int argc, char **argv)
                  "low-to-mid teens, under the\n20% budget; optimistic "
                  "AA strictly lower (paper's approximate lower "
                  "bound).\n";
-    return 0;
+
+    const bool json_ok = bench::writeJsonReport(
+        json_path, [&](std::ostream &out) {
+            out << "{\n  \"bench\": \"fig7a_runtime_overhead\",\n"
+                << "  \"workloads\": [\n";
+            for (std::size_t i = 0; i < json_rows.size(); ++i) {
+                const JsonRow &row = json_rows[i];
+                out << "    {\"name\": \"" << row.name
+                    << "\", \"suite\": \"" << row.suite
+                    << "\", \"static_overhead\": "
+                    << formatFixed(row.static_oh, 6)
+                    << ", \"optimistic_overhead\": "
+                    << formatFixed(row.opt_oh, 6) << "}"
+                    << (i + 1 < json_rows.size() ? "," : "") << "\n";
+            }
+            out << "  ]\n}\n";
+        });
+    return json_ok ? 0 : 1;
 }

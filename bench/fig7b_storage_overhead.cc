@@ -20,8 +20,10 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
+    bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
     const std::size_t jobs = bench::jobsFlag(cli);
+    const std::string json_path = cli.getString("json");
 
     bench::printHeader(
         "Figure 7b",
@@ -36,6 +38,15 @@ main(int argc, char **argv)
     std::map<std::string, std::array<double, 3>> suite_sums;
     std::map<std::string, int> suite_counts;
 
+    struct JsonRow
+    {
+        std::string name;
+        std::string suite;
+        double mem;
+        double reg;
+    };
+    std::vector<JsonRow> json_rows;
+
     std::string current_suite;
     bench::mapWorkloads(
         jobs,
@@ -49,6 +60,7 @@ main(int argc, char **argv)
         [&](const workloads::Workload &w,
             const std::pair<double, double> &storage) {
             const auto [mem, reg] = storage;
+            json_rows.push_back(JsonRow{w.name, w.suite, mem, reg});
             if (w.suite != current_suite) {
                 if (!current_suite.empty())
                     table.addSeparator();
@@ -83,5 +95,23 @@ main(int argc, char **argv)
     std::cout << "\nPaper shape check: tens of bytes per region — "
                  "orders of magnitude below\nfull-system "
                  "checkpointing footprints (Table 1).\n";
-    return 0;
+
+    const bool json_ok = bench::writeJsonReport(
+        json_path, [&](std::ostream &out) {
+            out << "{\n  \"bench\": \"fig7b_storage_overhead\",\n"
+                << "  \"workloads\": [\n";
+            for (std::size_t i = 0; i < json_rows.size(); ++i) {
+                const JsonRow &row = json_rows[i];
+                out << "    {\"name\": \"" << row.name
+                    << "\", \"suite\": \"" << row.suite
+                    << "\", \"mem_bytes\": "
+                    << formatFixed(row.mem, 3)
+                    << ", \"reg_bytes\": " << formatFixed(row.reg, 3)
+                    << ", \"total_bytes\": "
+                    << formatFixed(row.mem + row.reg, 3) << "}"
+                    << (i + 1 < json_rows.size() ? "," : "") << "\n";
+            }
+            out << "  ]\n}\n";
+        });
+    return json_ok ? 0 : 1;
 }

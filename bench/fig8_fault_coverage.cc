@@ -187,53 +187,38 @@ main(int argc, char **argv)
               << formatFixed(trials_per_sec, 1) << " trials/s) at jobs="
               << jobs << ".\n";
 
-    if (!json_path.empty()) {
-        std::ofstream json(json_path);
-        if (!json) {
-            std::cerr << "error: cannot open '" << json_path
-                      << "' for writing (--json): check that the "
-                         "directory exists and is writable, or pass "
-                         "--json \"\" to disable the report.\n";
-            return 1;
-        }
-        json << "{\n"
-             << "  \"bench\": \"fig8_fault_coverage\",\n"
-             << "  \"jobs\": " << jobs << ",\n"
-             << "  \"hardware_threads\": "
-             << std::thread::hardware_concurrency() << ",\n"
-             << "  \"seed\": " << seed << ",\n"
-             << "  \"trials_per_campaign\": " << trials << ",\n"
-             << "  \"campaigns_per_workload\": " << dmaxes.size()
-             << ",\n"
-             << "  \"prep_wall_seconds\": "
-             << formatFixed(prep_seconds, 4) << ",\n"
-             << "  \"campaign_wall_seconds\": "
-             << formatFixed(campaign_seconds, 4) << ",\n"
-             << "  \"total_trials\": " << total_trials << ",\n"
-             << "  \"trials_per_sec\": "
-             << formatFixed(trials_per_sec, 2) << ",\n"
-             << "  \"workloads\": [\n";
-        for (std::size_t i = 0; i < perf.size(); ++i) {
-            const WorkloadPerf &wp = perf[i];
-            const double tps = wp.wall_seconds > 0.0
-                                   ? wp.trials / wp.wall_seconds
-                                   : 0.0;
-            json << "    {\"name\": \"" << wp.name
-                 << "\", \"trials\": " << wp.trials
-                 << ", \"wall_seconds\": "
-                 << formatFixed(wp.wall_seconds, 4)
-                 << ", \"trials_per_sec\": " << formatFixed(tps, 2)
-                 << "}" << (i + 1 < perf.size() ? "," : "") << "\n";
-        }
-        json << "  ]\n}\n";
-        json.flush();
-        if (!json) {
-            std::cerr << "error: failed while writing '" << json_path
-                      << "' (--json): the file may be truncated "
-                         "(disk full or I/O error).\n";
-            return 1;
-        }
-        std::cout << "Wrote " << json_path << ".\n";
-    }
-    return 0;
+    const bool json_ok = bench::writeJsonReport(
+        json_path, [&](std::ostream &json) {
+            json << "{\n"
+                 << "  \"bench\": \"fig8_fault_coverage\",\n"
+                 << "  \"jobs\": " << jobs << ",\n"
+                 << "  \"hardware_threads\": "
+                 << std::thread::hardware_concurrency() << ",\n"
+                 << "  \"seed\": " << seed << ",\n"
+                 << "  \"trials_per_campaign\": " << trials << ",\n"
+                 << "  \"campaigns_per_workload\": " << dmaxes.size()
+                 << ",\n"
+                 << "  \"prep_wall_seconds\": "
+                 << formatFixed(prep_seconds, 4) << ",\n"
+                 << "  \"campaign_wall_seconds\": "
+                 << formatFixed(campaign_seconds, 4) << ",\n"
+                 << "  \"total_trials\": " << total_trials << ",\n"
+                 << "  \"trials_per_sec\": "
+                 << formatFixed(trials_per_sec, 2) << ",\n"
+                 << "  \"workloads\": [\n";
+            for (std::size_t i = 0; i < perf.size(); ++i) {
+                const WorkloadPerf &wp = perf[i];
+                const double tps = wp.wall_seconds > 0.0
+                                       ? wp.trials / wp.wall_seconds
+                                       : 0.0;
+                json << "    {\"name\": \"" << wp.name
+                     << "\", \"trials\": " << wp.trials
+                     << ", \"wall_seconds\": "
+                     << formatFixed(wp.wall_seconds, 4)
+                     << ", \"trials_per_sec\": " << formatFixed(tps, 2)
+                     << "}" << (i + 1 < perf.size() ? "," : "") << "\n";
+            }
+            json << "  ]\n}\n";
+        });
+    return json_ok ? 0 : 1;
 }

@@ -22,8 +22,10 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
+    bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
     const std::size_t jobs = bench::jobsFlag(cli);
+    const std::string json_path = cli.getString("json");
 
     bench::printHeader(
         "Table 1",
@@ -92,5 +94,21 @@ main(int argc, char **argv)
                  "instructions with ~10-100 B of\ncheckpoint state — "
                  "orders of magnitude finer/cheaper than the other "
                  "rows.\n";
-    return 0;
+
+    const bool json_ok = bench::writeJsonReport(
+        json_path, [&](std::ostream &out) {
+            out << "{\n  \"bench\": \"table1_comparison\",\n"
+                << "  \"selected_regions\": " << region_len.count()
+                << ",\n  \"interval_length\": {\"median\": "
+                << formatFixed(percentile(lengths, 50), 3)
+                << ", \"mean\": " << formatFixed(region_len.mean(), 3)
+                << ", \"max\": " << formatFixed(region_len.max(), 3)
+                << "},\n  \"storage_bytes\": {\"slot_mean\": "
+                << formatFixed(slot_storage.mean(), 3)
+                << ", \"undo_log_mean\": "
+                << formatFixed(log_storage.mean(), 3)
+                << "},\n  \"checkpoint_work_instrs_per_entry\": "
+                << formatFixed(ckpt_work.mean(), 3) << "\n}\n";
+        });
+    return json_ok ? 0 : 1;
 }

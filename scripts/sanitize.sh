@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Sanitizer lanes for CI and local gating.
 #
-# Builds the tree twice — once under ThreadSanitizer and once under
-# AddressSanitizer — and runs the relevant ctest subset in each lane:
+# Builds the tree under ThreadSanitizer, AddressSanitizer and
+# UndefinedBehaviorSanitizer, and runs the relevant ctest subset in
+# each lane:
 #
-#   thread  : test_campaign_smoke (multi-threaded campaign over the
-#             shared read-only DecodedModule — the data-race gate)
-#   address : the full suite (heap/stack/use-after-free gate for the
-#             pooled interpreter state: frames, undo logs, memory)
+#   thread    : test_campaign_smoke (multi-threaded campaign over the
+#               shared read-only DecodedModule — the data-race gate)
+#   address   : the full suite (heap/stack/use-after-free gate for the
+#               pooled interpreter state: frames, undo logs, memory)
+#   undefined : the full suite (overflow/misalignment/OOB-shift gate
+#               for the interned-ID set machinery and bit-twiddling
+#               in the decoded engine; recovery is disabled so any
+#               report fails the test)
 #
 # Usage: scripts/sanitize.sh [build-root]
 #   build-root defaults to build-sanitize/ next to the source tree.
@@ -30,5 +35,6 @@ run_lane() {
 
 run_lane thread -R test_campaign_smoke
 run_lane address
+run_lane undefined
 
 echo "==> all sanitizer lanes passed"

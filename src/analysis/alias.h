@@ -21,8 +21,8 @@
 #ifndef ENCORE_ANALYSIS_ALIAS_H
 #define ENCORE_ANALYSIS_ALIAS_H
 
-#include <map>
 #include <set>
+#include <unordered_map>
 
 #include "analysis/memloc.h"
 
@@ -42,6 +42,15 @@ class AliasAnalysis
     /// locations.
     virtual bool mayAlias(const LocEntry &a, const LocEntry &b) const;
     virtual bool mustAlias(const LocEntry &a, const LocEntry &b) const;
+
+    /// True when mayAlias/mustAlias consult the origin instructions and
+    /// not just the abstract locations. Lets memoization layers pick
+    /// the smallest sound cache key (location pair vs entry pair).
+    virtual bool
+    originSensitive() const
+    {
+        return false;
+    }
 };
 
 /**
@@ -75,7 +84,8 @@ class StaticAliasAnalysis : public AliasAnalysis
     void analyzeFunction(const ir::Function &func);
 
     const ir::Module &module_;
-    std::map<const ir::Function *, std::vector<PointsTo>> points_to_;
+    std::unordered_map<const ir::Function *, std::vector<PointsTo>>
+        points_to_;
     PointsTo empty_;
 };
 
@@ -100,7 +110,8 @@ struct AddrObservation
 /// AddressProfiler observer.
 struct DynamicAddressProfile
 {
-    std::map<const ir::Instruction *, AddrObservation> observations;
+    std::unordered_map<const ir::Instruction *, AddrObservation>
+        observations;
 
     const AddrObservation *find(const ir::Instruction *inst) const;
 };
@@ -117,6 +128,14 @@ class ProfileGuidedAliasAnalysis : public AliasAnalysis
 
     bool mayAlias(const LocEntry &a, const LocEntry &b) const override;
     bool mustAlias(const LocEntry &a, const LocEntry &b) const override;
+
+    bool
+    originSensitive() const override
+    {
+        // The queries compare the concrete address sets observed at the
+        // origin instructions.
+        return true;
+    }
 
   private:
     const StaticAliasAnalysis &fallback_;

@@ -1,5 +1,7 @@
 #include "encore/cost_model.h"
 
+#include <unordered_map>
+
 #include "support/diagnostics.h"
 
 namespace encore {
@@ -55,16 +57,22 @@ RegionCostFromProfile(const interp::ProfileData &profile,
 
     cost.entries = regionOutsideEntries(profile, region);
 
-    // Baseline dynamic instructions attributed to the region.
+    // Baseline dynamic instructions attributed to the region. A single
+    // walk also records each member instruction's block count so the
+    // checkpoint weighting below is a lookup instead of a rescan of the
+    // region per checkpoint site.
+    std::unordered_map<const ir::Instruction *, double> count_of_block;
     double dyn = 0.0;
     for (const ir::BlockId block : region.blocks) {
+        const double block_count =
+            static_cast<double>(profile.blockCount(func, block));
         std::size_t real = 0;
         for (const auto &inst : func.blockById(block)->instructions()) {
             if (!inst.isPseudo())
                 ++real;
+            count_of_block.emplace(&inst, block_count);
         }
-        dyn += static_cast<double>(profile.blockCount(func, block)) *
-               static_cast<double>(real);
+        dyn += block_count * static_cast<double>(real);
     }
     cost.dyn_instrs = dyn;
     cost.hot_path_length = cost.entries > 0.0 ? dyn / cost.entries : 0.0;
@@ -80,29 +88,16 @@ RegionCostFromProfile(const interp::ProfileData &profile,
                                              reg_ckpts.size()));
     double mem_ckpt_dyn = 0.0;
     for (const ir::Instruction *store : analysis.checkpoint_stores) {
-        // Locate the store's block to weight it.
-        for (const ir::BlockId block : region.blocks) {
-            for (const auto &inst :
-                 func.blockById(block)->instructions()) {
-                if (&inst == store) {
-                    mem_ckpt_dyn += static_cast<double>(
-                        profile.blockCount(func, block));
-                }
-            }
-        }
+        auto it = count_of_block.find(store);
+        if (it != count_of_block.end())
+            mem_ckpt_dyn += it->second;
         ++cost.static_mem_ckpts;
     }
     for (const auto &call_ckpt : analysis.checkpoint_calls) {
-        for (const ir::BlockId block : region.blocks) {
-            for (const auto &inst :
-                 func.blockById(block)->instructions()) {
-                if (&inst == call_ckpt.call) {
-                    mem_ckpt_dyn +=
-                        static_cast<double>(
-                            profile.blockCount(func, block)) *
-                        static_cast<double>(call_ckpt.mods.size());
-                }
-            }
+        auto it = count_of_block.find(call_ckpt.call);
+        if (it != count_of_block.end()) {
+            mem_ckpt_dyn +=
+                it->second * static_cast<double>(call_ckpt.mods.size());
         }
         cost.static_mem_ckpts += call_ckpt.mods.size();
     }

@@ -1,18 +1,40 @@
 #include "encore/idempotence.h"
 
 #include <algorithm>
-#include <set>
 
 #include "support/diagnostics.h"
 
 namespace encore {
 
+using analysis::EntryId;
+using analysis::GuardId;
+using analysis::IdSet;
+using analysis::kInvalidInternId;
 using analysis::DiGraph;
-using analysis::GuardSet;
-using analysis::LocationSet;
 using analysis::Loop;
 using analysis::MemLoc;
 using analysis::NodeId;
+
+const FunctionContext &
+FunctionContextCache::get(const ir::Function &func)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = contexts_.find(&func);
+    if (it == contexts_.end()) {
+        it = contexts_
+                 .emplace(&func, std::make_unique<FunctionContext>(func))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+FunctionContextCache::put(const ir::Function &func,
+                          std::unique_ptr<FunctionContext> ctx)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    contexts_.emplace(&func, std::move(ctx));
+}
 
 /**
  * Summary of a natural loop, used to treat the whole loop as a single
@@ -23,22 +45,23 @@ struct IdempotenceAnalysis::LoopSummaryData
     bool unknown = false;
     std::string reason;
     /// AS^l: every (live) store the loop may execute. RS^l == AS^l.
-    LocationSet as;
+    IdSet as;
     /// GA^l: addresses guaranteed overwritten whenever the loop runs.
-    GuardSet ga;
+    IdSet ga;
     /// EA^l: addresses exposed by unguarded loads on paths through the
     /// loop.
-    LocationSet ea;
-    /// Violating (exposed origin, store origin, store loc) triples
-    /// found inside the loop; rediscovered by enclosing regions through
-    /// the pseudo-block check, kept here for direct loop queries.
+    IdSet ea;
+    /// Violating (exposed origin, store origin) pairs found inside the
+    /// loop; rediscovered by enclosing regions through the pseudo-block
+    /// check, kept here for direct loop queries.
     std::vector<IdempotenceResult::Violation> violations;
 };
 
 /**
  * Condensed acyclic view of a region or loop body: plain blocks stay
  * themselves; maximal contained loops collapse into pseudo-nodes
- * carrying their summaries.
+ * carrying their summaries. All sets hold interned IDs: EntryIds for
+ * AS/RS/EA, GuardIds for the must-sets.
  */
 struct IdempotenceAnalysis::Subgraph
 {
@@ -50,78 +73,135 @@ struct IdempotenceAnalysis::Subgraph
     struct Node
     {
         bool is_loop = false;
-        const Loop *loop = nullptr;       // when is_loop
-        ir::BlockId block = 0;            // when !is_loop
+        const Loop *loop = nullptr; // when is_loop
+        ir::BlockId block = 0;      // when !is_loop
         bool live = true;
 
-        LocationSet as;       ///< Stores (may).
-        GuardSet as_must;     ///< Stores with exact addresses (must).
-        LocationSet ea_local; ///< Locally exposed loads.
+        IdSet as;       ///< Stores (may), EntryIds.
+        IdSet as_must;  ///< Stores with exact addresses, GuardIds.
+        IdSet ea_local; ///< Locally exposed loads, EntryIds.
 
-        LocationSet rs;
-        GuardSet ga;
-        LocationSet ea;
+        IdSet rs;
+        IdSet ga;
+        IdSet ea;
     };
 
     std::vector<Node> nodes;
     DiGraph graph{0};
     NodeId entry = 0;
     /// Nodes that exit the subgraph (outside successor or no
-    /// successors).
+    /// successors), ascending.
     std::vector<NodeId> exits;
 
     /// Analysis outputs.
     std::vector<IdempotenceResult::Violation> violations;
-    /// Offending plain stores.
-    std::set<const ir::Instruction *> offender_stores;
-    /// Offending summarized side effects: (call instruction, location).
-    std::set<std::pair<const ir::Instruction *, std::size_t>>
-        offender_call_keys;
-    std::vector<std::pair<const ir::Instruction *, MemLoc>> offender_calls;
+    /// Offending plain stores (self entries of Store instructions).
+    IdSet offender_store_entries;
+    /// Offending summarized side effects (call-anchored entries).
+    IdSet offender_call_entries;
 };
 
-IdempotenceAnalysis::IdempotenceAnalysis(const ir::Module &module,
-                                         const analysis::AliasAnalysis &aa,
-                                         const CallSummaries &summaries,
-                                         const interp::ProfileData *profile,
-                                         Options options)
+IdempotenceAnalysis::IdempotenceAnalysis(
+    const ir::Module &module, const analysis::AliasAnalysis &aa,
+    const CallSummaries &summaries, const interp::ProfileData *profile,
+    Options options, FunctionContextCache *shared_contexts)
     : module_(module),
       aa_(aa),
       summaries_(summaries),
       profile_(profile),
-      options_(options)
+      options_(options),
+      filter_(interner_, aa),
+      contexts_(shared_contexts ? shared_contexts : &own_contexts_)
 {
+    internModule();
 }
 
 IdempotenceAnalysis::~IdempotenceAnalysis() = default;
 
-const IdempotenceAnalysis::FunctionContext &
+const FunctionContext &
 IdempotenceAnalysis::context(const ir::Function &func)
 {
-    auto it = contexts_.find(&func);
-    if (it == contexts_.end()) {
-        it = contexts_
-                 .emplace(&func, std::make_unique<FunctionContext>(func))
-                 .first;
-    }
-    return *it->second;
+    return contexts_->get(func);
 }
 
-namespace {
-
-/// Rewrites a callee-summary location set so every entry is anchored at
-/// the call site (for checkpoint planning; alias queries then fall back
-/// to location-level reasoning).
-LocationSet
-anchorAtCall(const LocationSet &set, const ir::Instruction *call)
+/**
+ * Deterministic pre-pass: walk the module in program order and intern
+ * every location the dataflow can encounter — the classified address of
+ * each load/store (tagged with the instruction itself) and each call
+ * summary's mod/ref sets re-anchored at the call site. Region analysis
+ * afterwards never interns, so IDs (and thus every set, in ascending-ID
+ * order) are independent of analysis order and thread count.
+ */
+void
+IdempotenceAnalysis::internModule()
 {
-    LocationSet anchored;
-    for (const analysis::LocEntry &entry : set.entries())
-        anchored.add(entry.loc, call);
-    return anchored;
+    for (const auto &func : module_.functions()) {
+        std::vector<std::vector<Event>> events(func->numBlocks());
+        for (const auto &bb : func->blocks()) {
+            std::vector<Event> &list = events[bb->id()];
+            for (const auto &inst : bb->instructions()) {
+                switch (inst.opcode()) {
+                  case ir::Opcode::Load:
+                  case ir::Opcode::Store: {
+                    const MemLoc loc = aa_.classify(*func, inst);
+                    const analysis::LocId loc_id = interner_.internLoc(loc);
+                    Event ev;
+                    ev.kind = inst.opcode() == ir::Opcode::Load
+                                  ? Event::Kind::Load
+                                  : Event::Kind::Store;
+                    ev.entry = interner_.internEntry(loc_id, &inst);
+                    ev.guard = interner_.guardOfLoc(loc_id);
+                    list.push_back(ev);
+                    break;
+                  }
+                  case ir::Opcode::Call: {
+                    const ir::Function *callee = inst.callee();
+                    ENCORE_ASSERT(callee,
+                                  "unresolved call during analysis");
+                    CallSite site;
+                    const FunctionSummary &summary =
+                        summaries_.summary(*callee);
+                    if (!summary.analyzable) {
+                        site.ok = false;
+                        site.fail_reason = "call to @" + callee->name() +
+                                           ": " + summary.reason;
+                    } else if (!options_.use_call_summaries &&
+                               summary.hasSideEffects()) {
+                        site.ok = false;
+                        site.fail_reason =
+                            "call to @" + callee->name() +
+                            " with side effects (summaries disabled)";
+                    } else {
+                        for (const analysis::LocEntry &ref :
+                             summary.ref.entries()) {
+                            const analysis::LocId loc_id =
+                                interner_.internLoc(ref.loc);
+                            site.refs.emplace_back(
+                                interner_.internEntry(loc_id, &inst),
+                                interner_.guardOfLoc(loc_id));
+                        }
+                        for (const analysis::LocEntry &mod :
+                             summary.mod.entries()) {
+                            site.mods.insert(
+                                interner_.internEntry(mod.loc, &inst));
+                        }
+                    }
+                    Event ev;
+                    ev.kind = Event::Kind::Call;
+                    ev.call = static_cast<std::uint32_t>(
+                        call_sites_.size());
+                    call_sites_.push_back(std::move(site));
+                    list.push_back(ev);
+                    break;
+                  }
+                  default:
+                    break;
+                }
+            }
+        }
+        block_events_.emplace(func.get(), std::move(events));
+    }
 }
-
-} // namespace
 
 std::unique_ptr<IdempotenceAnalysis::Subgraph>
 IdempotenceAnalysis::buildSubgraph(const ir::Function &func,
@@ -186,7 +266,8 @@ IdempotenceAnalysis::buildSubgraph(const ir::Function &func,
     }
 
     // --- Create nodes -------------------------------------------------------
-    std::map<ir::BlockId, NodeId> node_of;
+    constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+    std::vector<NodeId> node_of(func.numBlocks(), kNoNode);
     for (const Loop *loop : collapsed) {
         Subgraph::Node node;
         node.is_loop = true;
@@ -197,27 +278,27 @@ IdempotenceAnalysis::buildSubgraph(const ir::Function &func,
         sub->nodes.push_back(std::move(node));
     }
     for (const ir::BlockId block : blocks) {
-        if (node_of.count(block))
+        if (node_of[block] != kNoNode)
             continue;
         Subgraph::Node node;
         node.block = block;
         node_of[block] = static_cast<NodeId>(sub->nodes.size());
         sub->nodes.push_back(std::move(node));
     }
-    sub->entry = node_of.at(header);
+    sub->entry = node_of[header];
 
     // --- Edges (condensed, intra-region, back edges dropped in loop
     // mode) -------------------------------------------------------------------
     sub->graph = DiGraph(sub->nodes.size());
     for (const ir::BlockId block : blocks) {
-        const NodeId cu = node_of.at(block);
+        const NodeId cu = node_of[block];
         const ir::BasicBlock *bb = func.blockById(block);
         for (const ir::BasicBlock *succ : bb->successors()) {
             if (!in_set(succ->id()))
                 continue;
             if (loop_mode && succ->id() == header)
                 continue; // back edge of the loop under analysis
-            const NodeId cv = node_of.at(succ->id());
+            const NodeId cv = node_of[succ->id()];
             if (cu == cv)
                 continue;
             // Entering a collapsed loop anywhere but its header is a
@@ -251,6 +332,7 @@ IdempotenceAnalysis::buildSubgraph(const ir::Function &func,
     }
 
     // --- Per-node access summaries ------------------------------------------
+    const std::vector<std::vector<Event>> &events = block_events_.at(&func);
     for (Subgraph::Node &node : sub->nodes) {
         if (node.is_loop) {
             const LoopSummaryData &summary =
@@ -263,57 +345,47 @@ IdempotenceAnalysis::buildSubgraph(const ir::Function &func,
             continue;
         }
 
-        GuardSet local_guard;
-        const ir::BasicBlock *bb = func.blockById(node.block);
-        for (const auto &inst : bb->instructions()) {
-            switch (inst.opcode()) {
-              case ir::Opcode::Load: {
-                const MemLoc loc = aa_.classify(func, inst);
-                if (!local_guard.covers(loc))
-                    node.ea_local.add(loc, &inst);
-                break;
-              }
-              case ir::Opcode::Store: {
-                const MemLoc loc = aa_.classify(func, inst);
-                node.as.add(loc, &inst);
-                node.as_must.insert(loc);
-                // Subsequent loads of this exact word within the block
-                // are locally guarded (Equation 3's EA_local).
-                local_guard.insert(loc);
-                break;
-              }
-              case ir::Opcode::Call: {
-                const ir::Function *callee = inst.callee();
-                ENCORE_ASSERT(callee, "unresolved call during analysis");
-                const FunctionSummary &summary =
-                    summaries_.summary(*callee);
-                if (!summary.analyzable)
-                    return fail("call to @" + callee->name() + ": " +
-                                summary.reason);
-                if (!options_.use_call_summaries &&
-                    summary.hasSideEffects()) {
-                    return fail("call to @" + callee->name() +
-                                " with side effects (summaries disabled)");
+        IdSet local_guard;
+        for (const Event &ev : events[node.block]) {
+            switch (ev.kind) {
+              case Event::Kind::Load:
+                if (ev.guard == kInvalidInternId ||
+                    !local_guard.contains(ev.guard)) {
+                    node.ea_local.insert(ev.entry);
                 }
-                for (const analysis::LocEntry &ref :
-                     summary.ref.entries()) {
-                    if (!local_guard.covers(ref.loc))
-                        node.ea_local.add(ref.loc, &inst);
+                break;
+              case Event::Kind::Store:
+                node.as.insert(ev.entry);
+                if (ev.guard != kInvalidInternId) {
+                    node.as_must.insert(ev.guard);
+                    // Subsequent loads of this exact word within the
+                    // block are locally guarded (Equation 3's
+                    // EA_local).
+                    local_guard.insert(ev.guard);
                 }
-                node.as.unionWith(anchorAtCall(summary.mod, &inst));
+                break;
+              case Event::Kind::Call: {
+                const CallSite &site = call_sites_[ev.call];
+                if (!site.ok)
+                    return fail(site.fail_reason);
+                for (const auto &[ref_entry, ref_guard] : site.refs) {
+                    if (ref_guard == kInvalidInternId ||
+                        !local_guard.contains(ref_guard)) {
+                        node.ea_local.insert(ref_entry);
+                    }
+                }
+                node.as.unionWith(site.mods);
                 // Flow-insensitive summaries cannot promise a write on
                 // every path, so calls contribute nothing to as_must.
                 break;
               }
-              default:
-                break;
             }
         }
     }
 
     // --- Exits -------------------------------------------------------------------
     {
-        std::set<NodeId> exit_set;
+        std::vector<NodeId> exit_nodes;
         for (const ir::BlockId block : blocks) {
             const ir::BasicBlock *bb = func.blockById(block);
             const auto succs = bb->successors();
@@ -323,7 +395,7 @@ IdempotenceAnalysis::buildSubgraph(const ir::Function &func,
                     exits_here = true;
             }
             if (exits_here)
-                exit_set.insert(node_of.at(block));
+                exit_nodes.push_back(node_of[block]);
         }
         if (loop_mode) {
             // With back edges dropped, latches become sinks of the DAG
@@ -332,18 +404,22 @@ IdempotenceAnalysis::buildSubgraph(const ir::Function &func,
                  ctx.loops.loopWithHeader(header)
                      ? ctx.loops.loopWithHeader(header)->latches
                      : std::vector<NodeId>{}) {
-                exit_set.insert(
-                    node_of.at(static_cast<ir::BlockId>(latch_block)));
+                exit_nodes.push_back(
+                    node_of[static_cast<ir::BlockId>(latch_block)]);
             }
         }
-        sub->exits.assign(exit_set.begin(), exit_set.end());
+        std::sort(exit_nodes.begin(), exit_nodes.end());
+        exit_nodes.erase(
+            std::unique(exit_nodes.begin(), exit_nodes.end()),
+            exit_nodes.end());
+        sub->exits = std::move(exit_nodes);
     }
 
     return sub;
 }
 
 void
-IdempotenceAnalysis::analyzeSubgraph(Subgraph &sub) const
+IdempotenceAnalysis::analyzeSubgraph(Subgraph &sub)
 {
     if (sub.unknown)
         return;
@@ -353,7 +429,7 @@ IdempotenceAnalysis::analyzeSubgraph(Subgraph &sub) const
     // --- Forward pass: reachable stores (Equation 1) -------------------------
     if (sub.loop_mode) {
         // RS^l = AS^l for every node: all cross-iteration WARs count.
-        LocationSet as_all;
+        IdSet as_all;
         for (const Subgraph::Node &node : sub.nodes) {
             if (node.live)
                 as_all.unionWith(node.as);
@@ -383,10 +459,10 @@ IdempotenceAnalysis::analyzeSubgraph(Subgraph &sub) const
             const Subgraph::Node &pred = sub.nodes[pred_id];
             if (!pred.live)
                 continue;
-            GuardSet incoming = pred.ga;
+            IdSet incoming = pred.ga;
             incoming.unionWith(pred.as_must);
             if (first_pred) {
-                node.ga = incoming;
+                node.ga = std::move(incoming);
                 first_pred = false;
             } else {
                 node.ga.intersectWith(incoming);
@@ -395,12 +471,13 @@ IdempotenceAnalysis::analyzeSubgraph(Subgraph &sub) const
         }
         // Entry (or all predecessors pruned): nothing is guarded.
         if (first_pred)
-            node.ga = GuardSet();
+            node.ga = IdSet();
 
-        for (const analysis::LocEntry &entry : node.ea_local.entries()) {
-            if (!node.ga.covers(entry.loc))
-                node.ea.add(entry);
-        }
+        node.ea_local.forEach([&](EntryId entry) {
+            const GuardId guard = interner_.guardOfEntry(entry);
+            if (guard == kInvalidInternId || !node.ga.contains(guard))
+                node.ea.insert(entry);
+        });
     }
 
     // --- Violation check (Equation 4) ----------------------------------------------
@@ -408,33 +485,23 @@ IdempotenceAnalysis::analyzeSubgraph(Subgraph &sub) const
         Subgraph::Node &node = sub.nodes[id];
         if (!node.live)
             continue;
-        for (const analysis::LocEntry &exposed : node.ea.entries()) {
-            for (const analysis::LocEntry &store : node.rs.entries()) {
-                if (!aa_.mayAlias(exposed, store))
-                    continue;
-                sub.violations.push_back(
-                    IdempotenceResult::Violation{exposed.origin,
-                                                 store.origin});
-                if (store.origin &&
-                    store.origin->opcode() == ir::Opcode::Store) {
-                    sub.offender_stores.insert(store.origin);
-                } else if (store.origin &&
-                           store.origin->opcode() == ir::Opcode::Call) {
-                    // Deduplicate (call, loc) pairs.
-                    bool seen = false;
-                    for (const auto &[call, loc] : sub.offender_calls) {
-                        if (call == store.origin && loc == store.loc) {
-                            seen = true;
-                            break;
-                        }
-                    }
-                    if (!seen) {
-                        sub.offender_calls.emplace_back(store.origin,
-                                                        store.loc);
-                    }
+        filter_.forEachAliasingPair(
+            node.ea, node.rs, [&](EntryId exposed, EntryId store) {
+                const analysis::LocEntry &exposed_entry =
+                    interner_.entry(exposed);
+                const analysis::LocEntry &store_entry =
+                    interner_.entry(store);
+                sub.violations.push_back(IdempotenceResult::Violation{
+                    exposed_entry.origin, store_entry.origin});
+                if (store_entry.origin &&
+                    store_entry.origin->opcode() == ir::Opcode::Store) {
+                    sub.offender_store_entries.insert(store);
+                } else if (store_entry.origin &&
+                           store_entry.origin->opcode() ==
+                               ir::Opcode::Call) {
+                    sub.offender_call_entries.insert(store);
                 }
-            }
-        }
+            });
     }
 }
 
@@ -472,10 +539,10 @@ IdempotenceAnalysis::loopSummary(const ir::Function &func, const Loop *loop)
             const Subgraph::Node &node = sub->nodes[exit];
             if (!node.live)
                 continue;
-            GuardSet guards = node.ga;
+            IdSet guards = node.ga;
             guards.unionWith(node.as_must);
             if (first) {
-                data->ga = guards;
+                data->ga = std::move(guards);
                 first = false;
             } else {
                 data->ga.intersectWith(guards);
@@ -522,23 +589,42 @@ IdempotenceAnalysis::analyzeRegion(const Region &region)
     }
 
     result.violations = sub->violations;
-    if (sub->offender_stores.empty() && sub->offender_calls.empty()) {
+    if (sub->offender_store_entries.empty() &&
+        sub->offender_call_entries.empty()) {
         result.cls = RegionClass::Idempotent;
         return result;
     }
 
     result.cls = RegionClass::NonIdempotent;
-    result.checkpoint_stores.assign(sub->offender_stores.begin(),
-                                    sub->offender_stores.end());
+    sub->offender_store_entries.forEach([&](EntryId entry) {
+        result.checkpoint_stores.push_back(interner_.entry(entry).origin);
+    });
+    // Match the historical emission order (address order — the entries
+    // came out of a pointer-keyed set before the interning rewrite).
+    std::sort(result.checkpoint_stores.begin(),
+              result.checkpoint_stores.end());
 
     // Group offending call side effects per call site; every location
-    // must be exact to be checkpointable before the call.
-    std::map<const ir::Instruction *, std::vector<MemLoc>> per_call;
-    for (const auto &[call, loc] : sub->offender_calls) {
-        if (!loc.isExact())
+    // must be exact to be checkpointable before the call. Groups are
+    // emitted in call address order, mods in interned-entry order.
+    std::vector<std::pair<const ir::Instruction *, std::vector<MemLoc>>>
+        per_call;
+    std::unordered_map<const ir::Instruction *, std::size_t> group_of;
+    sub->offender_call_entries.forEach([&](EntryId entry) {
+        const analysis::LocEntry &loc_entry = interner_.entry(entry);
+        if (!loc_entry.loc.isExact())
             result.checkpointable = false;
-        per_call[call].push_back(loc);
-    }
+        auto [it, inserted] =
+            group_of.try_emplace(loc_entry.origin, per_call.size());
+        if (inserted)
+            per_call.emplace_back(loc_entry.origin,
+                                  std::vector<MemLoc>{});
+        per_call[it->second].second.push_back(loc_entry.loc);
+    });
+    std::sort(per_call.begin(), per_call.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
     for (auto &[call, mods] : per_call) {
         result.checkpoint_calls.push_back(
             IdempotenceResult::CallCheckpoint{call, std::move(mods)});

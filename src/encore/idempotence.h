@@ -26,15 +26,27 @@
  * while profiling" point) or below pmin are excluded from the child
  * sets of every equation — trading a statistical sliver of soundness
  * for substantially more idempotence, exactly the Figure 5 experiment.
+ *
+ * Implementation note: construction runs a deterministic pre-pass that
+ * interns every location/entry the dataflow can ever see (per-block
+ * access events, call-summary mod/ref sets anchored at their call
+ * sites) into dense u32 IDs — see analysis/interning.h. The RS/GA/EA
+ * sets are then IdSets with linear merges, may-alias queries are
+ * memoized per location/entry pair, and region analysis itself is
+ * lookup-only, so results are bit-reproducible regardless of the order
+ * regions are analyzed in.
  */
 #ifndef ENCORE_ENCORE_IDEMPOTENCE_H
 #define ENCORE_ENCORE_IDEMPOTENCE_H
 
-#include <map>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "analysis/alias.h"
+#include "analysis/interning.h"
 #include "analysis/intervals.h"
+#include "analysis/liveness.h"
 #include "analysis/loop_info.h"
 #include "encore/call_summary.h"
 #include "encore/region.h"
@@ -42,9 +54,57 @@
 
 namespace encore {
 
+/// Cached per-function CFG structures, shared by the idempotence
+/// analysis, region formation (intervals) and instrumentation
+/// (liveness). Pure functions of the (pristine) function body.
+struct FunctionContext
+{
+    analysis::DiGraph cfg;
+    analysis::DominatorTree dom;
+    analysis::LoopInfo loops;
+    analysis::IntervalHierarchy intervals;
+    analysis::Liveness liveness;
+
+    explicit FunctionContext(const ir::Function &func)
+        : cfg(analysis::buildCfg(func)),
+          dom(cfg, func.entry()->id()),
+          loops(cfg, dom),
+          intervals(cfg, func.entry()->id()),
+          liveness(func)
+    {
+    }
+};
+
+/**
+ * Lazily-built per-function context cache. One instance can be shared
+ * read-mostly across every analysis variant of a workload (the contexts
+ * depend only on the module, not on any EncoreConfig field); get() is
+ * thread-safe.
+ */
+class FunctionContextCache
+{
+  public:
+    const FunctionContext &get(const ir::Function &func);
+
+    /// Pre-inserts a context built elsewhere (parallel warm-up);
+    /// no-op when the function already has one.
+    void put(const ir::Function &func,
+             std::unique_ptr<FunctionContext> ctx);
+
+  private:
+    std::mutex mutex_;
+    std::unordered_map<const ir::Function *,
+                       std::unique_ptr<FunctionContext>>
+        contexts_;
+};
+
 class IdempotenceAnalysis
 {
   public:
+    /// Backwards-compatible alias — the context type used to be nested
+    /// here before it was shared across analysis variants.
+    using FunctionContext = encore::FunctionContext;
+
     struct Options
     {
         /// Execution-probability threshold for pruning; negative means
@@ -58,47 +118,69 @@ class IdempotenceAnalysis
     };
 
     /// `profile` may be null, in which case no pruning happens
-    /// regardless of pmin.
+    /// regardless of pmin. `shared_contexts` (optional) supplies the
+    /// per-function CFG structures so several analysis variants over
+    /// one module can share them; when null a private cache is used.
+    /// Instances are not internally synchronized: concurrent
+    /// analyzeRegion calls on one instance must be serialized by the
+    /// caller (AnalysisCache does).
     IdempotenceAnalysis(const ir::Module &module,
                         const analysis::AliasAnalysis &aa,
                         const CallSummaries &summaries,
                         const interp::ProfileData *profile,
-                        Options options);
+                        Options options,
+                        FunctionContextCache *shared_contexts = nullptr);
 
     ~IdempotenceAnalysis();
 
     IdempotenceResult analyzeRegion(const Region &region);
 
-    /// Cached per-function CFG structures, exposed for reuse by region
-    /// formation.
-    struct FunctionContext
-    {
-        analysis::DiGraph cfg;
-        analysis::DominatorTree dom;
-        analysis::LoopInfo loops;
-
-        explicit FunctionContext(const ir::Function &func)
-            : cfg(analysis::buildCfg(func)),
-              dom(cfg, func.entry()->id()),
-              loops(cfg, dom)
-        {
-        }
-    };
-
     const FunctionContext &context(const ir::Function &func);
 
     const Options &options() const { return options_; }
 
+    const analysis::LocationInterner &interner() const { return interner_; }
+
+    /// Memoized pair queries answered so far (diagnostics).
+    std::size_t aliasCacheSize() const { return filter_.cacheSize(); }
+
   private:
     struct LoopSummaryData;
     struct Subgraph;
+
+    /// Per-block access events, precomputed by the interning pre-pass.
+    struct Event
+    {
+        enum class Kind : std::uint8_t
+        {
+            Load,
+            Store,
+            Call
+        };
+        Kind kind;
+        analysis::EntryId entry = analysis::kInvalidInternId;
+        analysis::GuardId guard = analysis::kInvalidInternId;
+        std::uint32_t call = 0; ///< Index into call_sites_ (Kind::Call).
+    };
+
+    /// A call site with its summary pre-resolved against the options.
+    struct CallSite
+    {
+        bool ok = true;
+        std::string fail_reason;
+        /// Callee ref entries anchored at the call: (entry, guard of
+        /// the underlying location), in summary order.
+        std::vector<std::pair<analysis::EntryId, analysis::GuardId>> refs;
+        /// Callee mod entries anchored at the call.
+        analysis::IdSet mods;
+    };
 
     const LoopSummaryData &loopSummary(const ir::Function &func,
                                        const analysis::Loop *loop);
 
     /// Shared worker: runs the RS/GA/EA equations over the subgraph
     /// (`loop_mode` applies the RS^l = AS^l rule and drops back edges).
-    void analyzeSubgraph(Subgraph &sub) const;
+    void analyzeSubgraph(Subgraph &sub);
 
     /// Builds the condensed node view for a block set.
     std::unique_ptr<Subgraph> buildSubgraph(const ir::Function &func,
@@ -107,15 +189,25 @@ class IdempotenceAnalysis
                                                 &blocks,
                                             bool loop_mode);
 
+    void internModule();
+
     const ir::Module &module_;
     const analysis::AliasAnalysis &aa_;
     const CallSummaries &summaries_;
     const interp::ProfileData *profile_;
     Options options_;
 
-    std::map<const ir::Function *, std::unique_ptr<FunctionContext>>
-        contexts_;
-    std::map<const analysis::Loop *, std::unique_ptr<LoopSummaryData>>
+    analysis::LocationInterner interner_;
+    analysis::AliasFilter filter_;
+    /// Per function, per block id: the interned access events.
+    std::unordered_map<const ir::Function *, std::vector<std::vector<Event>>>
+        block_events_;
+    std::vector<CallSite> call_sites_;
+
+    FunctionContextCache *contexts_;
+    FunctionContextCache own_contexts_;
+    std::unordered_map<const analysis::Loop *,
+                       std::unique_ptr<LoopSummaryData>>
         loop_summaries_;
 };
 

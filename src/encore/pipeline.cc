@@ -1,10 +1,9 @@
 #include "encore/pipeline.h"
 
-#include <algorithm>
+#include <cstdio>
 #include <functional>
 
-#include "interp/interpreter.h"
-#include "ir/verifier.h"
+#include "encore/analysis_base.h"
 #include "support/diagnostics.h"
 
 namespace encore {
@@ -131,6 +130,59 @@ EncoreReport::classOf(ir::RegionId id) const
     return RegionClass::Unknown;
 }
 
+namespace {
+
+void
+appendDouble(std::string &out, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+EncoreReport::serialized() const
+{
+    std::string out;
+    appendDouble(out, baseline_dyn_instrs);
+    appendDouble(out, projected_overhead_instrs);
+    for (const RegionReport &region : regions) {
+        out += std::to_string(region.id);
+        out += '|';
+        out += region.function;
+        out += '|';
+        out += std::to_string(region.header);
+        out += '|';
+        out += std::to_string(region.num_blocks);
+        out += '|';
+        out += regionClassName(region.cls);
+        out += '|';
+        out += region.unknown_reason;
+        out += '|';
+        out += region.selected ? '1' : '0';
+        out += '|';
+        out += region.rejection_reason;
+        out += '\n';
+        appendDouble(out, region.entries);
+        appendDouble(out, region.hot_path_length);
+        appendDouble(out, region.dyn_instrs);
+        appendDouble(out, region.overhead_instrs);
+        out += std::to_string(region.static_mem_ckpts);
+        out += '|';
+        out += std::to_string(region.static_reg_ckpts);
+        out += '\n';
+        appendDouble(out, region.storage_bytes);
+        appendDouble(out, region.storage_mem_bytes);
+        appendDouble(out, region.storage_reg_bytes);
+        appendDouble(out, region.static_storage_mem_bytes);
+        appendDouble(out, region.static_storage_reg_bytes);
+    }
+    return out;
+}
+
 EncorePipeline::EncorePipeline(ir::Module &module, EncoreConfig config)
     : module_(module), config_(std::move(config))
 {
@@ -138,231 +190,25 @@ EncorePipeline::EncorePipeline(ir::Module &module, EncoreConfig config)
 
 EncorePipeline::~EncorePipeline() = default;
 
+const interp::ProfileData &
+EncorePipeline::profileData() const
+{
+    ENCORE_ASSERT(base_ != nullptr,
+                  "profileData is only valid after run()");
+    return base_->profile();
+}
+
 EncoreReport
 EncorePipeline::run(const std::vector<RunSpec> &profile_runs)
 {
     ENCORE_ASSERT(!ran_, "EncorePipeline::run may only be called once");
     ran_ = true;
 
-    module_.resolveCalls();
-    ir::verifyOrDie(module_);
-
-    // The analysis assumes a pristine module.
-    for (const auto &func : module_.functions()) {
-        for (const auto &bb : func->blocks()) {
-            for (const auto &inst : bb->instructions()) {
-                ENCORE_ASSERT(!inst.isPseudo(),
-                              "module is already instrumented");
-            }
-        }
-    }
-
-    // --- Stage 1: profiling ------------------------------------------------
-    {
-        interp::Interpreter interp(module_);
-        interp::Profiler profiler(profile_);
-        interp::AddressProfiler addr_profiler(addr_profile_);
-        interp.addObserver(&profiler);
-        interp.addObserver(&addr_profiler);
-        interp.setMaxInstructions(config_.profile_max_instrs);
-        for (const RunSpec &spec : profile_runs) {
-            const interp::RunResult result = interp.run(spec.entry,
-                                                        spec.args);
-            if (!result.ok()) {
-                fatalf("profiling run of @", spec.entry,
-                       " failed: ", result.error);
-            }
-        }
-    }
-
-    // --- Stage 2: analyses --------------------------------------------------
-    analysis::StaticAliasAnalysis static_aa(module_);
-    std::unique_ptr<analysis::ProfileGuidedAliasAnalysis> optimistic_aa;
-    const analysis::AliasAnalysis *aa = &static_aa;
-    if (config_.alias_mode == EncoreConfig::AliasMode::Optimistic) {
-        optimistic_aa =
-            std::make_unique<analysis::ProfileGuidedAliasAnalysis>(
-                static_aa, addr_profile_);
-        aa = optimistic_aa.get();
-    }
-
-    CallSummaries summaries(module_, *aa, config_.opaque_functions);
-
-    IdempotenceAnalysis::Options idem_options;
-    idem_options.pmin = config_.prune ? config_.pmin : -1.0;
-    idem_options.use_call_summaries = config_.use_call_summaries;
-    IdempotenceAnalysis idem(module_, *aa, summaries, &profile_,
-                             idem_options);
-
-    CostModel cost_model(profile_);
-
-    FormationOptions formation;
-    formation.eta = config_.eta;
-    formation.merge = config_.merge_regions;
-    formation.max_storage_bytes = config_.max_storage_bytes;
-    formation.max_hot_path = config_.max_region_length;
-
-    // --- Stage 3: region formation & selection -------------------------------
-    struct FunctionWork
-    {
-        ir::Function *func;
-        std::unique_ptr<analysis::Liveness> liveness;
-    };
-    std::vector<FunctionWork> work;
-
-    for (const auto &func : module_.functions()) {
-        FunctionWork item;
-        item.func = func.get();
-        item.liveness = std::make_unique<analysis::Liveness>(*func);
-        auto candidates = formRegions(*func, idem, cost_model,
-                                      *item.liveness, formation);
-        for (CandidateRegion &candidate : candidates) {
-            InstrumentedRegion region;
-            region.candidate = std::move(candidate);
-            regions_.push_back(std::move(region));
-        }
-        work.push_back(std::move(item));
-    }
-
-    // Selection: γ filter.
-    for (InstrumentedRegion &region : regions_) {
-        const CandidateRegion &cand = region.candidate;
-        if (cand.analysis.cls == RegionClass::Unknown) {
-            region.rejection_reason = cand.analysis.unknown_reason;
-            continue;
-        }
-        if (!cand.analysis.checkpointable) {
-            region.rejection_reason = "offender not checkpointable";
-            continue;
-        }
-        if (cand.cost.entries <= 0.0) {
-            // Never profiled: protect only when free (idempotent).
-            if (cand.analysis.isIdempotent()) {
-                region.selected = true;
-            } else {
-                region.rejection_reason = "cold region needing checkpoints";
-            }
-            continue;
-        }
-        if (cand.cost.storage_bytes > config_.max_storage_bytes) {
-            region.rejection_reason = "exceeds checkpoint storage budget";
-            continue;
-        }
-        const double n = cand.cost.coverage();
-        const double c = std::max(cand.cost.ckpt_per_entry, 1e-9);
-        if (n * n / c > config_.gamma) {
-            region.selected = true;
-        } else {
-            region.rejection_reason = "coverage/cost below gamma";
-        }
-    }
-
-    // Budget auto-tune: drop the least efficient regions until the
-    // projected overhead fits.
-    const double baseline =
-        static_cast<double>(profile_.totalDynInstrs());
-    if (config_.auto_tune && baseline > 0.0) {
-        auto projected = [&]() {
-            // Clearing enters are only emitted in functions with at
-            // least one protected region (see instrumentFunction).
-            std::set<const ir::Function *> protected_funcs;
-            for (const InstrumentedRegion &region : regions_) {
-                if (region.selected)
-                    protected_funcs.insert(region.candidate.region.func);
-            }
-            double total = 0.0;
-            for (const InstrumentedRegion &region : regions_) {
-                if (region.selected) {
-                    total += region.candidate.cost.overhead_instrs;
-                } else if (protected_funcs.count(
-                               region.candidate.region.func)) {
-                    total += region.candidate.cost.entries; // clear enter
-                }
-            }
-            return total;
-        };
-        while (projected() > config_.overhead_budget * baseline) {
-            InstrumentedRegion *worst = nullptr;
-            double worst_ratio = -1.0;
-            for (InstrumentedRegion &region : regions_) {
-                if (!region.selected)
-                    continue;
-                const RegionCost &cost = region.candidate.cost;
-                const double saved =
-                    cost.overhead_instrs - cost.entries;
-                if (saved <= 0.0)
-                    continue; // dropping gains nothing
-                const double ratio =
-                    saved / std::max(cost.dyn_instrs, 1.0);
-                if (ratio > worst_ratio) {
-                    worst_ratio = ratio;
-                    worst = &region;
-                }
-            }
-            if (!worst)
-                break;
-            worst->selected = false;
-            worst->rejection_reason = "dropped to meet overhead budget";
-        }
-    }
-
-    // --- Stage 4: instrumentation ----------------------------------------------
-    ir::RegionId next_id = 0;
-    for (InstrumentedRegion &region : regions_) {
-        if (region.selected)
-            region.id = next_id++;
-    }
-    for (FunctionWork &item : work) {
-        std::vector<InstrumentedRegion *> mine;
-        for (InstrumentedRegion &region : regions_) {
-            if (region.candidate.region.func == item.func)
-                mine.push_back(&region);
-        }
-        instrumentFunction(*item.func, mine, *item.liveness);
-    }
-
-    ir::verifyOrDie(module_);
-
-    // --- Stage 5: report ----------------------------------------------------------
-    EncoreReport report;
-    report.baseline_dyn_instrs = baseline;
-    std::set<const ir::Function *> protected_funcs;
-    for (const InstrumentedRegion &region : regions_) {
-        if (region.selected)
-            protected_funcs.insert(region.candidate.region.func);
-    }
-    for (const InstrumentedRegion &region : regions_) {
-        const CandidateRegion &cand = region.candidate;
-        RegionReport entry;
-        entry.id = region.id;
-        entry.function = cand.region.func->name();
-        entry.header = cand.region.header;
-        entry.num_blocks = cand.region.blocks.size();
-        entry.cls = cand.analysis.cls;
-        entry.unknown_reason = cand.analysis.unknown_reason;
-        entry.selected = region.selected;
-        entry.rejection_reason = region.rejection_reason;
-        entry.entries = cand.cost.entries;
-        entry.hot_path_length = cand.cost.hot_path_length;
-        entry.dyn_instrs = cand.cost.dyn_instrs;
-        entry.overhead_instrs =
-            region.selected ? cand.cost.overhead_instrs
-            : protected_funcs.count(cand.region.func)
-                ? cand.cost.entries
-                : 0.0;
-        entry.static_mem_ckpts = cand.cost.static_mem_ckpts;
-        entry.static_reg_ckpts = cand.cost.static_reg_ckpts;
-        entry.storage_bytes = cand.cost.storage_bytes;
-        entry.storage_mem_bytes = cand.cost.storage_mem_bytes;
-        entry.storage_reg_bytes = cand.cost.storage_reg_bytes;
-        entry.static_storage_mem_bytes =
-            cand.cost.static_storage_mem_bytes;
-        entry.static_storage_reg_bytes =
-            cand.cost.static_storage_reg_bytes;
-        report.projected_overhead_instrs += entry.overhead_instrs;
-        report.regions.push_back(std::move(entry));
-    }
-    return report;
+    base_ = std::make_unique<AnalysisBase>(module_, profile_runs,
+                                           config_.profile_max_instrs);
+    ConfigAnalysis out = runConfig(*base_, config_);
+    regions_ = std::move(out.regions);
+    return out.report;
 }
 
 } // namespace encore

@@ -152,8 +152,21 @@ struct EncoreReport
 
     /// Class of a region id (for fault-outcome attribution).
     RegionClass classOf(ir::RegionId id) const;
+
+    /// Canonical byte serialization of every field (doubles rendered
+    /// with full precision) — two reports are bit-identical iff their
+    /// serializations compare equal. Used by the determinism tests.
+    std::string serialized() const;
 };
 
+class AnalysisBase;
+
+/**
+ * Single-config convenience wrapper over the shared-analysis API: one
+ * AnalysisBase, one runConfig (see encore/analysis_base.h). Sweeps
+ * over many configs should use that API directly so the base and the
+ * per-region dataflow results are shared across config points.
+ */
 class EncorePipeline
 {
   public:
@@ -170,13 +183,13 @@ class EncorePipeline
         return regions_;
     }
 
-    const interp::ProfileData &profileData() const { return profile_; }
+    /// Profiling counts (valid after run()).
+    const interp::ProfileData &profileData() const;
 
   private:
     ir::Module &module_;
     EncoreConfig config_;
-    interp::ProfileData profile_;
-    analysis::DynamicAddressProfile addr_profile_;
+    std::unique_ptr<AnalysisBase> base_;
     std::vector<InstrumentedRegion> regions_;
     bool ran_ = false;
 };

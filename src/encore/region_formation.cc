@@ -12,8 +12,7 @@ namespace {
 CandidateRegion
 makeCandidate(const ir::Function &func, ir::BlockId header,
               std::vector<ir::BlockId> blocks, unsigned level,
-              IdempotenceAnalysis &idem, const CostModel &cost_model,
-              const analysis::Liveness &liveness)
+              RegionEvaluator &evaluator)
 {
     CandidateRegion candidate;
     candidate.region.func = &func;
@@ -21,27 +20,21 @@ makeCandidate(const ir::Function &func, ir::BlockId header,
     std::sort(blocks.begin(), blocks.end());
     candidate.region.blocks = std::move(blocks);
     candidate.level = level;
-    candidate.analysis = idem.analyzeRegion(candidate.region);
-    candidate.cost = cost_model.evaluate(candidate.region,
-                                         candidate.analysis, liveness);
+    evaluator.evaluate(candidate);
     return candidate;
 }
 
 } // namespace
 
 std::vector<CandidateRegion>
-formRegions(const ir::Function &func, IdempotenceAnalysis &idem,
-            const CostModel &cost_model,
-            const analysis::Liveness &liveness,
+formRegions(const ir::Function &func, const FunctionContext &ctx,
+            const interp::ProfileData &profile, RegionEvaluator &evaluator,
             const FormationOptions &options)
 {
-    const auto &ctx = idem.context(func);
-    const analysis::IntervalHierarchy hierarchy(ctx.cfg,
-                                                func.entry()->id());
+    const analysis::IntervalHierarchy &hierarchy = ctx.intervals;
 
     const double func_dyn = std::max<double>(
-        1.0,
-        static_cast<double>(cost_model.profile().functionDynInstrs(func)));
+        1.0, static_cast<double>(profile.functionDynInstrs(func)));
 
     // decisions[i] — the current region set representing interval i of
     // the level being processed.
@@ -53,7 +46,7 @@ formRegions(const ir::Function &func, IdempotenceAnalysis &idem,
         std::vector<CandidateRegion> single;
         single.push_back(makeCandidate(
             func, static_cast<ir::BlockId>(interval.header),
-            std::move(blocks), 0, idem, cost_model, liveness));
+            std::move(blocks), 0, evaluator));
         decisions.push_back(std::move(single));
     }
 
@@ -79,8 +72,8 @@ formRegions(const ir::Function &func, IdempotenceAnalysis &idem,
                 blocks.push_back(static_cast<ir::BlockId>(b));
             CandidateRegion merged = makeCandidate(
                 func, static_cast<ir::BlockId>(interval.header),
-                std::move(blocks), static_cast<unsigned>(level), idem,
-                cost_model, liveness);
+                std::move(blocks), static_cast<unsigned>(level),
+                evaluator);
 
             bool accept = merged.analysis.cls != RegionClass::Unknown &&
                           merged.analysis.checkpointable &&
@@ -128,6 +121,17 @@ formRegions(const ir::Function &func, IdempotenceAnalysis &idem,
             result.push_back(std::move(region));
     }
     return result;
+}
+
+std::vector<CandidateRegion>
+formRegions(const ir::Function &func, IdempotenceAnalysis &idem,
+            const CostModel &cost_model,
+            const analysis::Liveness &liveness,
+            const FormationOptions &options)
+{
+    DirectRegionEvaluator evaluator(idem, cost_model, liveness);
+    return formRegions(func, idem.context(func), cost_model.profile(),
+                       evaluator, options);
 }
 
 } // namespace encore
