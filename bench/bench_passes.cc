@@ -255,20 +255,14 @@ bool
 writeInterpJson(const std::vector<InterpStats> &stats,
                 const std::string &path)
 {
-    std::ofstream json(path);
-    if (!json) {
-        std::cerr << "error: cannot open '" << path
-                  << "' for writing BENCH_interp.json stats.\n";
-        return false;
-    }
     double ref_sum = 0.0, dec_sum = 0.0;
     for (const InterpStats &s : stats) {
         ref_sum += s.ref_mips;
         dec_sum += s.decoded_mips;
     }
     const double n = static_cast<double>(stats.size());
-    json << "{\n"
-         << "  \"bench\": \"bench_passes/interp\",\n"
+    return bench::writeJsonReport(path, [&](std::ostream &json) {
+    json << "  \"bench\": \"bench_passes/interp\",\n"
          << "  \"engine\": \"decoded\",\n"
          << "  \"mean_reference_mips\": "
          << formatFixed(n > 0 ? ref_sum / n : 0.0, 3) << ",\n"
@@ -291,14 +285,7 @@ writeInterpJson(const std::vector<InterpStats> &stats,
              << "}" << (i + 1 < stats.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";
-    json.flush();
-    if (!json) {
-        std::cerr << "error: failed while writing '" << path
-                  << "' (disk full or I/O error).\n";
-        return false;
-    }
-    std::cout << "Wrote " << path << ".\n";
-    return true;
+    });
 }
 
 /**
@@ -501,8 +488,7 @@ writeAnalysisJson(const std::string &path)
                  << ", \"instrument\": " << formatFixed(t.instrument, 6)
                  << "}";
         };
-        json << "{\n"
-             << "  \"bench\": \"bench_passes/analysis\",\n"
+        json << "  \"bench\": \"bench_passes/analysis\",\n"
              << "  \"phase_seconds_total\": ";
         phase_fields(total);
         json << ",\n  \"sweeps\": {\n"

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "support/build_info.h"
+
 namespace encore::bench {
 
 WorkloadSession::WorkloadSession(const workloads::Workload &workload,
@@ -117,6 +119,10 @@ writeJsonReport(const std::string &path,
                      "--json \"\" to disable the report.\n";
         return false;
     }
+    // Every report opens with the build provenance so committed
+    // numbers stay attributable to the build that produced them; the
+    // body supplies the remaining fields and the closing brace.
+    json << "{\n  \"build\": " << buildInfoJson() << ",\n";
     body(json);
     json.flush();
     if (!json) {

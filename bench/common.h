@@ -123,10 +123,13 @@ bool analysisCacheFlag(const CommandLine &cli);
 void addJsonFlag(CommandLine &cli, const std::string &default_path);
 
 /**
- * Writes `body(out)` to `path` as the machine-readable report. A
- * no-op returning true when `path` is empty. On failure prints the
- * standard actionable message to stderr and returns false (callers
- * exit non-zero); on success prints "Wrote <path>.".
+ * Writes the machine-readable report to `path`: an opening brace and
+ * a "build" provenance object (git hash, compiler, build type,
+ * computed-goto state — support/build_info.h) are emitted first, then
+ * `body(out)` supplies the remaining top-level fields and the closing
+ * brace. A no-op returning true when `path` is empty. On failure
+ * prints the standard actionable message to stderr and returns false
+ * (callers exit non-zero); on success prints "Wrote <path>.".
  */
 bool writeJsonReport(const std::string &path,
                      const std::function<void(std::ostream &)> &body);

@@ -178,7 +178,7 @@ main(int argc, char **argv)
 
     const bool json_ok = bench::writeJsonReport(
         json_path, [&](std::ostream &out) {
-            out << "{\n  \"bench\": \"fig5_region_idempotence\",\n"
+            out << "  \"bench\": \"fig5_region_idempotence\",\n"
                 << "  \"settings\": [\"none\", \"0.0\", \"0.1\", "
                    "\"0.25\"],\n"
                 << "  \"workloads\": [\n";

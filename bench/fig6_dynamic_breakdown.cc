@@ -99,7 +99,7 @@ main(int argc, char **argv)
 
     const bool json_ok = bench::writeJsonReport(
         json_path, [&](std::ostream &out) {
-            out << "{\n  \"bench\": \"fig6_dynamic_breakdown\",\n"
+            out << "  \"bench\": \"fig6_dynamic_breakdown\",\n"
                 << "  \"workloads\": [\n";
             for (std::size_t i = 0; i < json_rows.size(); ++i) {
                 const JsonRow &row = json_rows[i];

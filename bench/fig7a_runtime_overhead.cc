@@ -119,7 +119,7 @@ main(int argc, char **argv)
 
     const bool json_ok = bench::writeJsonReport(
         json_path, [&](std::ostream &out) {
-            out << "{\n  \"bench\": \"fig7a_runtime_overhead\",\n"
+            out << "  \"bench\": \"fig7a_runtime_overhead\",\n"
                 << "  \"workloads\": [\n";
             for (std::size_t i = 0; i < json_rows.size(); ++i) {
                 const JsonRow &row = json_rows[i];

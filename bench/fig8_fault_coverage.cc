@@ -16,9 +16,11 @@
  * can be tracked across revisions.
  */
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include "campaign/runner.h"
 #include "common.h"
 #include "fault/injector.h"
 #include "support/strings.h"
@@ -54,6 +56,10 @@ main(int argc, char **argv)
     cli.addFlag("json", "BENCH_injection.json",
                 "path for machine-readable campaign throughput "
                 "(empty = disabled)");
+    cli.addFlag("store", "",
+                "directory for durable per-campaign trial stores; a "
+                "rerun resumes interrupted campaigns instead of "
+                "restarting them (empty = in-memory campaigns)");
     cli.parse(argc, argv);
 
     const std::uint64_t trials =
@@ -63,6 +69,9 @@ main(int argc, char **argv)
     const double mask_rate = cli.getDouble("mask");
     const std::size_t jobs = bench::jobsFlag(cli);
     const std::string json_path = cli.getString("json");
+    const std::string store_dir = cli.getString("store");
+    if (!store_dir.empty())
+        std::filesystem::create_directories(store_dir);
 
     std::vector<std::uint64_t> dmaxes;
     for (const std::string &field : split(cli.getString("dmax"), ','))
@@ -128,8 +137,22 @@ main(int argc, char **argv)
             campaign.jobs = jobs;
             campaign.masking_rate = mask_rate;
             campaign.trial.dmax = dmaxes[d];
-            const fault::CampaignResult result =
-                injector.runCampaign(campaign);
+            fault::CampaignResult result;
+            if (store_dir.empty()) {
+                result = injector.runCampaign(campaign);
+            } else {
+                // Durable path: identical numbers (same per-trial
+                // seeding), but interrupted campaigns resume from the
+                // store instead of restarting.
+                campaign::RunnerOptions opts;
+                opts.store_path = store_dir + "/" + w.name + "_d" +
+                                  std::to_string(dmaxes[d]) + ".trials";
+                opts.label = w.name + " Dmax=" +
+                             std::to_string(dmaxes[d]);
+                campaign::CampaignRunner runner(injector, campaign,
+                                                opts);
+                result = runner.run().result;
+            }
             const double covered = result.coveredFraction();
             row.push_back(formatPercent(covered));
             sums[d] += covered;
@@ -189,8 +212,7 @@ main(int argc, char **argv)
 
     const bool json_ok = bench::writeJsonReport(
         json_path, [&](std::ostream &json) {
-            json << "{\n"
-                 << "  \"bench\": \"fig8_fault_coverage\",\n"
+            json << "  \"bench\": \"fig8_fault_coverage\",\n"
                  << "  \"jobs\": " << jobs << ",\n"
                  << "  \"hardware_threads\": "
                  << std::thread::hardware_concurrency() << ",\n"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-command CI gate: the tier-1 verify (full build + full ctest
+# suite, which includes the campaign determinism and CLI end-to-end
+# tests) followed by the ThreadSanitizer campaign lane (the concurrent
+# trial-store writer and the multi-threaded campaign/resume paths).
+#
+# Usage: scripts/ci.sh [build-root]
+#   build-root defaults to build-ci/ next to the source tree. The
+#   tier-1 lane builds into <build-root>/tier1, the TSan lane into
+#   <build-root>/tsan, so neither touches a developer's build/.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_root="${1:-${repo_root}/build-ci}"
+
+echo "==> [tier1] configure + build"
+cmake -B "${build_root}/tier1" -S "${repo_root}" > /dev/null
+cmake --build "${build_root}/tier1" -j > /dev/null
+echo "==> [tier1] full ctest suite"
+(cd "${build_root}/tier1" && ctest --output-on-failure -j)
+
+echo "==> [tsan] configure + build"
+cmake -B "${build_root}/tsan" -S "${repo_root}" \
+    -DENCORE_SANITIZE=thread > /dev/null
+cmake --build "${build_root}/tsan" -j > /dev/null
+echo "==> [tsan] campaign smoke: concurrent store writer + runner"
+(cd "${build_root}/tsan" &&
+    ctest --output-on-failure \
+        -R 'test_campaign_smoke|test_store_concurrency|test_campaign$')
+
+echo "==> ci passed (tier1 + tsan campaign lane)"

@@ -7,6 +7,10 @@
 #
 #   thread    : test_campaign_smoke (multi-threaded campaign over the
 #               shared read-only DecodedModule — the data-race gate)
+#               + test_store_concurrency (worker threads and the
+#               background flusher hammering one TrialStoreWriter)
+#               + test_campaign (resume/shard/merge with a durable
+#               store under worker-thread parallelism)
 #   address   : the full suite (heap/stack/use-after-free gate for the
 #               pooled interpreter state: frames, undo logs, memory)
 #   undefined : the full suite (overflow/misalignment/OOB-shift gate
@@ -33,7 +37,7 @@ run_lane() {
     (cd "${build_dir}" && ctest --output-on-failure "$@")
 }
 
-run_lane thread -R test_campaign_smoke
+run_lane thread -R 'test_campaign_smoke|test_store_concurrency|test_campaign$'
 run_lane address
 run_lane undefined
 

@@ -1,0 +1,122 @@
+#include "campaign/progress.h"
+
+#include <iostream>
+
+#include "support/strings.h"
+
+namespace encore::campaign {
+
+ProgressMeter::ProgressMeter(Options options)
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now())
+{
+    if (!options_.heartbeat_path.empty()) {
+        heartbeat_.open(options_.heartbeat_path,
+                        std::ios::out | std::ios::app);
+        if (!heartbeat_)
+            std::cerr << "warn: cannot open heartbeat file '"
+                      << options_.heartbeat_path
+                      << "'; continuing without heartbeat\n";
+    }
+    if (options_.line || heartbeat_.is_open()) {
+        ticker_ = std::make_unique<Ticker>(options_.interval, [this] {
+            std::lock_guard<std::mutex> lock(emit_mutex_);
+            if (!finished_)
+                emitLocked(false);
+        });
+    }
+}
+
+ProgressMeter::~ProgressMeter()
+{
+    finish();
+}
+
+void
+ProgressMeter::note(fault::FaultOutcome outcome)
+{
+    counts_[static_cast<int>(outcome)].fetch_add(
+        1, std::memory_order_relaxed);
+    executed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ProgressMeter::finish()
+{
+    if (ticker_)
+        ticker_->stop();
+    std::lock_guard<std::mutex> lock(emit_mutex_);
+    if (finished_)
+        return;
+    finished_ = true;
+    // One final sample so the last line / heartbeat entry reflects
+    // the completed state; the progress line gains its newline here.
+    if (options_.line || heartbeat_.is_open())
+        emitLocked(true);
+}
+
+void
+ProgressMeter::emitLocked(bool final)
+{
+    constexpr int kNumOutcomes =
+        static_cast<int>(fault::FaultOutcome::NumOutcomes);
+    const std::uint64_t executed =
+        executed_.load(std::memory_order_relaxed);
+    const std::uint64_t done = options_.initial.trials + executed;
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(executed) / elapsed : 0.0;
+    const std::uint64_t remaining =
+        options_.total > done ? options_.total - done : 0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
+
+    fault::CampaignResult tally = options_.initial;
+    for (int i = 0; i < kNumOutcomes; ++i)
+        tally.counts[i] += counts_[i].load(std::memory_order_relaxed);
+    tally.trials = done;
+
+    if (options_.line) {
+        std::cerr << '\r' << options_.label << ' ' << done << '/'
+                  << options_.total << " trials";
+        if (options_.total > 0)
+            std::cerr << " ("
+                      << formatPercent(
+                             static_cast<double>(done) /
+                             static_cast<double>(options_.total))
+                      << ')';
+        std::cerr << " | " << formatFixed(rate, 0) << " trials/s";
+        if (remaining > 0 && rate > 0.0)
+            std::cerr << " | ETA " << formatFixed(eta, 1) << "s";
+        if (done > 0)
+            std::cerr << " | covered "
+                      << formatPercent(tally.coveredFraction());
+        std::cerr << "   " << (final ? "\n" : "") << std::flush;
+    }
+
+    if (heartbeat_.is_open()) {
+        heartbeat_ << "{\"elapsed_ms\": "
+                   << static_cast<std::uint64_t>(elapsed * 1000.0)
+                   << ", \"done\": " << done
+                   << ", \"total\": " << options_.total
+                   << ", \"executed\": " << executed
+                   << ", \"trials_per_sec\": " << formatFixed(rate, 1)
+                   << ", \"eta_s\": " << formatFixed(eta, 1)
+                   << ", \"final\": " << (final ? "true" : "false")
+                   << ", \"counts\": {";
+        for (int i = 0; i < kNumOutcomes; ++i) {
+            heartbeat_
+                << '"'
+                << fault::outcomeName(
+                       static_cast<fault::FaultOutcome>(i))
+                << "\": " << tally.counts[i]
+                << (i + 1 < kNumOutcomes ? ", " : "");
+        }
+        heartbeat_ << "}}\n" << std::flush;
+    }
+}
+
+} // namespace encore::campaign

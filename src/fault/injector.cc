@@ -3,6 +3,8 @@
 #include <memory>
 #include <set>
 
+#include "ir/printer.h"
+#include "support/checksum.h"
 #include "support/diagnostics.h"
 #include "support/thread_pool.h"
 
@@ -29,6 +31,23 @@ outcomeName(FaultOutcome outcome)
       default:
         return "?";
     }
+}
+
+void
+validateCampaignConfig(const CampaignConfig &config)
+{
+    if (config.trials == 0)
+        fatal("campaign config: trials must be > 0");
+    if (!(config.masking_rate >= 0.0 && config.masking_rate <= 1.0))
+        fatalf("campaign config: masking_rate must be in [0, 1], got ",
+               config.masking_rate);
+    if (!(config.trial.run_budget_factor >= 1.0))
+        fatalf("campaign config: run_budget_factor must be >= 1 (the "
+               "faulty run needs at least the golden run's budget), "
+               "got ",
+               config.trial.run_budget_factor);
+    if (config.trial.dmax == 0)
+        fatal("campaign config: dmax must be > 0 dynamic instructions");
 }
 
 namespace {
@@ -265,6 +284,7 @@ class TrialHooks : public interp::ExecHooks
 FaultInjector::FaultInjector(const ir::Module &module,
                              const EncoreReport &report)
     : module_(module),
+      module_hash_(fnv1a64(ir::moduleToString(module))),
       decoded_(std::make_shared<const interp::DecodedModule>(module))
 {
     for (const RegionReport &region : report.regions) {
@@ -383,24 +403,31 @@ FaultInjector::runTrial(Rng &rng, const TrialConfig &config,
                : FaultOutcome::RecoveredCheckpoint;
 }
 
-CampaignResult
-FaultInjector::runCampaign(const CampaignConfig &config) const
+FaultOutcome
+FaultInjector::runCampaignTrial(std::uint64_t trial,
+                                const CampaignConfig &config,
+                                interp::Interpreter &interp) const
 {
-    const MaskingModel masking(config.masking_rate);
-
     // Trial t draws everything — the masking coin first, then the
     // fault parameters — from its own counter-derived stream, so the
     // outcome of trial t is independent of every other trial and of
-    // the thread that happens to run it.
+    // the thread (or process) that happens to run it.
+    Rng rng = Rng::forStream(config.seed, trial);
+    if (config.model_masking &&
+        MaskingModel(config.masking_rate).isMasked(rng))
+        return FaultOutcome::Masked;
+    return runTrial(rng, config.trial, interp);
+}
+
+CampaignResult
+FaultInjector::runCampaign(const CampaignConfig &config) const
+{
+    validateCampaignConfig(config);
+
     auto run_one = [&](std::uint64_t t, CampaignResult &acc,
                        interp::Interpreter &interp) {
-        Rng rng = Rng::forStream(config.seed, t);
-        FaultOutcome outcome;
-        if (config.model_masking && masking.isMasked(rng)) {
-            outcome = FaultOutcome::Masked;
-        } else {
-            outcome = runTrial(rng, config.trial, interp);
-        }
+        const FaultOutcome outcome =
+            runCampaignTrial(t, config, interp);
         ++acc.counts[static_cast<int>(outcome)];
         ++acc.trials;
     };

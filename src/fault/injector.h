@@ -83,6 +83,13 @@ struct CampaignConfig
     bool model_masking = true;
 };
 
+/// Validates a campaign configuration at campaign entry: trials > 0,
+/// masking_rate in [0, 1], run_budget_factor >= 1, dmax > 0. Invalid
+/// configurations exit through support/diagnostics fatal() with a
+/// message naming the offending field, instead of silently producing
+/// nonsense tables (e.g. a 0-trial campaign whose every fraction is 0).
+void validateCampaignConfig(const CampaignConfig &config);
+
 struct CampaignResult
 {
     std::uint64_t counts[static_cast<int>(FaultOutcome::NumOutcomes)] = {};
@@ -143,13 +150,35 @@ class FaultInjector
     FaultOutcome runTrial(Rng &rng, const TrialConfig &config,
                           interp::Interpreter &interp) const;
 
+    /// Runs campaign trial `trial` — the masking coin plus (when not
+    /// masked) one injected execution — on a caller-owned pooled
+    /// interpreter. The outcome is a pure function of (module, golden
+    /// run, config.seed, trial): all randomness comes from the
+    /// counter-derived stream Rng::forStream(config.seed, trial). Both
+    /// runCampaign and the durable campaign runner (src/campaign/)
+    /// execute trials through this single entry point, which is what
+    /// makes a resumed or sharded campaign bit-identical to an
+    /// uninterrupted single-process one.
+    FaultOutcome runCampaignTrial(std::uint64_t trial,
+                                  const CampaignConfig &config,
+                                  interp::Interpreter &interp) const;
+
     /// Runs a whole campaign (including modelled masking), sharding
     /// trials across `config.jobs` threads with per-worker outcome
     /// accumulators. Per-trial seeding makes the result bit-identical
-    /// regardless of thread count or schedule.
+    /// regardless of thread count or schedule. Fatal on an invalid
+    /// config (see validateCampaignConfig).
     CampaignResult runCampaign(const CampaignConfig &config) const;
 
     const interp::RunResult &golden() const { return golden_; }
+
+    /// Identity of the prepared campaign target, used by the durable
+    /// trial store to fingerprint which (module, entry, args) a store
+    /// belongs to. moduleHash() is a stable hash of the instrumented
+    /// module's printed form, computed once in the constructor.
+    std::uint64_t moduleHash() const { return module_hash_; }
+    const std::string &entry() const { return entry_; }
+    const std::vector<std::uint64_t> &args() const { return args_; }
 
     /// The immutable pre-decoded code cache shared by every trial.
     const std::shared_ptr<const interp::DecodedModule> &
@@ -162,6 +191,7 @@ class FaultInjector
     RegionClass regionClassOf(ir::RegionId id) const;
 
     const ir::Module &module_;
+    std::uint64_t module_hash_ = 0;
     /// Built once in the constructor (the module is already in its
     /// final instrumented form there) and never mutated afterwards.
     std::shared_ptr<const interp::DecodedModule> decoded_;

@@ -1,0 +1,41 @@
+#include "support/build_info.h"
+
+#ifndef ENCORE_GIT_HASH
+#define ENCORE_GIT_HASH "unknown"
+#endif
+#ifndef ENCORE_COMPILER_ID
+#define ENCORE_COMPILER_ID "unknown"
+#endif
+#ifndef ENCORE_BUILD_TYPE
+#define ENCORE_BUILD_TYPE "unknown"
+#endif
+
+namespace encore {
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = {
+        ENCORE_GIT_HASH,
+        ENCORE_COMPILER_ID,
+        ENCORE_BUILD_TYPE,
+#ifdef ENCORE_BUILD_COMPUTED_GOTO
+        true,
+#else
+        false,
+#endif
+    };
+    return info;
+}
+
+std::string
+buildInfoJson()
+{
+    const BuildInfo &info = buildInfo();
+    return "{\"git_hash\": \"" + info.git_hash + "\", \"compiler\": \"" +
+           info.compiler + "\", \"build_type\": \"" + info.build_type +
+           "\", \"computed_goto\": " +
+           (info.computed_goto ? "true" : "false") + "}";
+}
+
+} // namespace encore

@@ -1,0 +1,48 @@
+#include "support/checksum.h"
+
+#include <array>
+
+namespace encore {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = makeCrcTable();
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t seed)
+{
+    const unsigned char *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = kCrcTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    return ~crc;
+}
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t size, std::uint64_t seed)
+{
+    const unsigned char *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace encore

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Checksums and stable hashes for the durable campaign subsystem.
+ *
+ * crc32() guards individual trial-store records and headers against
+ * torn writes and bit rot: a campaign killed mid-write leaves a
+ * partial record whose CRC cannot match, so the reader can recover
+ * the valid prefix instead of failing.
+ *
+ * fnv1a64() provides the stable 64-bit fingerprints that tie a store
+ * to its (module, campaign config) identity. Both are plain
+ * deterministic functions of their input bytes — no per-process salt —
+ * because fingerprints written by one process must validate in another
+ * (resume, shard merge).
+ */
+#ifndef ENCORE_SUPPORT_CHECKSUM_H
+#define ENCORE_SUPPORT_CHECKSUM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace encore {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size`
+/// bytes. `seed` chains incremental computations: crc32(b, crc32(a))
+/// == crc32(a||b).
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// FNV-1a 64-bit hash of a byte range.
+std::uint64_t fnv1a64(const void *data, std::size_t size,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+inline std::uint64_t
+fnv1a64(std::string_view text, std::uint64_t seed = 0xcbf29ce484222325ULL)
+{
+    return fnv1a64(text.data(), text.size(), seed);
+}
+
+/// Folds a 64-bit value into a running FNV-1a hash (by value bytes,
+/// host-endian — fingerprints are only compared on the machine
+/// architecture family that wrote them, like the store files).
+inline std::uint64_t
+fnv1a64Mix(std::uint64_t value, std::uint64_t seed)
+{
+    return fnv1a64(&value, sizeof value, seed);
+}
+
+} // namespace encore
+
+#endif // ENCORE_SUPPORT_CHECKSUM_H

@@ -1,0 +1,50 @@
+#include "support/ticker.h"
+
+namespace encore {
+
+Ticker::Ticker(std::chrono::milliseconds period,
+               std::function<void()> tick)
+    : period_(period), tick_(std::move(tick)),
+      thread_([this] { loop(); })
+{
+}
+
+Ticker::~Ticker()
+{
+    stop();
+}
+
+void
+Ticker::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+Ticker::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        // wait_for measures against steady_clock — the monotonic
+        // guarantee this class exists for.
+        if (cv_.wait_for(lock, period_, [this] { return stopping_; }))
+            return;
+        // Tick outside the lock so stop() is never blocked on a slow
+        // callback longer than one in-flight tick.
+        lock.unlock();
+        tick_();
+        lock.lock();
+        if (stopping_)
+            return;
+    }
+}
+
+} // namespace encore

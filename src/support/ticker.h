@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Monotonic-clock ticker thread.
+ *
+ * Runs a callback every `period` on a dedicated thread, timed against
+ * std::chrono::steady_clock so wall-clock adjustments (NTP slews,
+ * suspend/resume) never stall or burst the ticks. Built for the
+ * campaign progress/telemetry layer: the campaign workers saturate
+ * every core, so progress reporting rides on its own thread that
+ * wakes, samples a few atomics, prints, and sleeps again.
+ *
+ * The callback runs on the ticker thread; callers are responsible for
+ * making the state it reads thread-safe (the campaign layer uses
+ * atomic counters). stop() — and the destructor — synchronizes with a
+ * possibly in-flight tick before returning, so the callback's
+ * captures may be destroyed immediately afterwards.
+ */
+#ifndef ENCORE_SUPPORT_TICKER_H
+#define ENCORE_SUPPORT_TICKER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace encore {
+
+class Ticker
+{
+  public:
+    /// Starts ticking immediately; the first tick fires one `period`
+    /// after construction.
+    Ticker(std::chrono::milliseconds period, std::function<void()> tick);
+
+    /// Stops and joins. Idempotent.
+    ~Ticker();
+
+    Ticker(const Ticker &) = delete;
+    Ticker &operator=(const Ticker &) = delete;
+
+    /// Stops the thread; no tick runs after this returns. Idempotent.
+    void stop();
+
+  private:
+    void loop();
+
+    std::chrono::milliseconds period_;
+    std::function<void()> tick_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false; // guarded by mutex_
+    std::thread thread_;
+};
+
+} // namespace encore
+
+#endif // ENCORE_SUPPORT_TICKER_H

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Campaign-runner tests: the durability acceptance criteria.
+ *
+ *  - An interrupted campaign resumed from its store produces a
+ *    byte-identical aggregate to an uninterrupted run, at --jobs 1
+ *    and --jobs 4, including after torn-tail corruption.
+ *  - Resume re-executes exactly the missing trial indices.
+ *  - Shards 0/2 + 1/2 merged are byte-identical to the unsharded run.
+ *  - Merge refuses mismatched fingerprints, duplicate shards, and
+ *    incomplete campaigns with a clear diagnostic.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "campaign/runner.h"
+#include "encore/pipeline.h"
+#include "ir/parser.h"
+
+namespace encore::campaign {
+namespace {
+
+const char *kProgram = R"(
+module "m"
+global @data 64
+global @out 64
+func @main(1) {
+  bb entry:
+    r1 = mov 0
+    jmp work
+  bb work:
+    r2 = mul r1, 31
+    r3 = and r2, 63
+    r4 = load [@data + r3]
+    r5 = add r4, r1
+    r8 = and r1, 63
+    store [@out + r8], r5
+    r1 = add r1, 1
+    r6 = cmplt r1, r0
+    br r6, work, done
+  bb done:
+    r7 = load [@out + 3]
+    ret r7
+}
+)";
+
+struct Harness
+{
+    std::unique_ptr<ir::Module> module;
+    EncoreReport report;
+    std::unique_ptr<fault::FaultInjector> injector;
+};
+
+Harness
+prepare(std::uint64_t arg = 50)
+{
+    Harness setup;
+    setup.module = ir::parseModule(kProgram);
+    EncoreConfig config;
+    config.gamma = 1.0;
+    EncorePipeline pipeline(*setup.module, config);
+    setup.report = pipeline.run({RunSpec{"main", {arg}}});
+    setup.injector = std::make_unique<fault::FaultInjector>(
+        *setup.module, setup.report);
+    EXPECT_TRUE(setup.injector->prepare("main", {arg}));
+    return setup;
+}
+
+fault::CampaignConfig
+campaignConfig(std::size_t jobs = 1)
+{
+    fault::CampaignConfig config;
+    config.trials = 300;
+    config.seed = 20240;
+    config.jobs = jobs;
+    config.masking_rate = 0.5; // exercise both coin results
+    config.trial.dmax = 40;
+    return config;
+}
+
+std::string
+tempStorePath(const std::string &name)
+{
+    const std::string path =
+        (std::filesystem::path(::testing::TempDir()) / name).string();
+    std::filesystem::remove(path);
+    return path;
+}
+
+void
+appendBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ShardSpecTest, ParseAcceptsAndRejects)
+{
+    const auto ok = parseShardSpec("2/8");
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->index, 2u);
+    EXPECT_EQ(ok->count, 8u);
+    EXPECT_FALSE(parseShardSpec("8/8").has_value());
+    EXPECT_FALSE(parseShardSpec("0/0").has_value());
+    EXPECT_FALSE(parseShardSpec("1").has_value());
+    EXPECT_FALSE(parseShardSpec("a/b").has_value());
+    EXPECT_FALSE(parseShardSpec("-1/4").has_value());
+    EXPECT_FALSE(parseShardSpec("1/2/3").has_value());
+}
+
+TEST(ShardSpecTest, StridePartitionIsExactAndDisjoint)
+{
+    const std::uint64_t trials = 107;
+    std::vector<int> owners(trials, 0);
+    std::uint64_t owned_total = 0;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        const ShardSpec spec{i, 4};
+        owned_total += spec.ownedTrials(trials);
+        for (std::uint64_t t = 0; t < trials; ++t)
+            if (spec.owns(t))
+                ++owners[t];
+    }
+    EXPECT_EQ(owned_total, trials);
+    for (std::uint64_t t = 0; t < trials; ++t)
+        EXPECT_EQ(owners[t], 1) << "trial " << t;
+}
+
+TEST(FingerprintTest, SensitiveToOutcomeInputsOnly)
+{
+    Harness setup = prepare();
+    const fault::CampaignConfig base = campaignConfig();
+    const std::uint64_t fp = campaignFingerprint(*setup.injector, base);
+
+    // jobs does not change trial outcomes, so it must not change the
+    // fingerprint — a campaign resumed at a different thread count is
+    // the same campaign.
+    fault::CampaignConfig jobs8 = base;
+    jobs8.jobs = 8;
+    EXPECT_EQ(campaignFingerprint(*setup.injector, jobs8), fp);
+
+    fault::CampaignConfig other_seed = base;
+    other_seed.seed += 1;
+    EXPECT_NE(campaignFingerprint(*setup.injector, other_seed), fp);
+    fault::CampaignConfig other_dmax = base;
+    other_dmax.trial.dmax += 1;
+    EXPECT_NE(campaignFingerprint(*setup.injector, other_dmax), fp);
+    fault::CampaignConfig other_mask = base;
+    other_mask.masking_rate = 0.25;
+    EXPECT_NE(campaignFingerprint(*setup.injector, other_mask), fp);
+}
+
+TEST(CampaignRunner, MatchesInMemoryCampaignWithoutAStore)
+{
+    Harness setup = prepare();
+    const fault::CampaignConfig config = campaignConfig();
+    const std::string baseline =
+        formatAggregate(setup.injector->runCampaign(config));
+
+    CampaignRunner runner(*setup.injector, config, {});
+    const RunSummary summary = runner.run();
+    EXPECT_TRUE(summary.complete);
+    EXPECT_EQ(summary.executed, config.trials);
+    EXPECT_EQ(formatAggregate(summary.result), baseline);
+}
+
+void
+interruptedResumeIsByteIdentical(std::size_t jobs)
+{
+    Harness setup = prepare();
+    const fault::CampaignConfig config = campaignConfig(jobs);
+    const std::string baseline =
+        formatAggregate(setup.injector->runCampaign(config));
+    const std::string path = tempStorePath(
+        "resume_j" + std::to_string(jobs) + ".trials");
+
+    // Interrupt deterministically after 100 of 300 trials.
+    RunnerOptions first;
+    first.store_path = path;
+    first.stop_after = 100;
+    {
+        CampaignRunner runner(*setup.injector, config, first);
+        const RunSummary summary = runner.run();
+        EXPECT_FALSE(summary.complete);
+        EXPECT_EQ(summary.executed, 100u);
+    }
+
+    // Simulate the kill -9 torn tail on top of the interruption.
+    appendBytes(path, "torn-record-prefix");
+
+    RunnerOptions second;
+    second.store_path = path;
+    second.store_policy = RunnerOptions::StorePolicy::MustExist;
+    CampaignRunner runner(*setup.injector, config, second);
+    const RunSummary summary = runner.run();
+    EXPECT_TRUE(summary.complete);
+    EXPECT_EQ(summary.resumed, 100u);
+    EXPECT_EQ(summary.executed, 200u);
+    EXPECT_GT(summary.recovered_dropped_bytes, 0u);
+    EXPECT_EQ(formatAggregate(summary.result), baseline);
+
+    // A third run over the complete store executes nothing and still
+    // reports the identical aggregate.
+    CampaignRunner third(*setup.injector, config, second);
+    const RunSummary replay = third.run();
+    EXPECT_TRUE(replay.complete);
+    EXPECT_EQ(replay.executed, 0u);
+    EXPECT_EQ(formatAggregate(replay.result), baseline);
+}
+
+TEST(CampaignRunner, InterruptedResumeByteIdenticalJobs1)
+{
+    interruptedResumeIsByteIdentical(1);
+}
+
+TEST(CampaignRunner, InterruptedResumeByteIdenticalJobs4)
+{
+    interruptedResumeIsByteIdentical(4);
+}
+
+TEST(CampaignRunner, ResumeRefillsExactlyTheMissingIndices)
+{
+    Harness setup = prepare();
+    const fault::CampaignConfig config = campaignConfig();
+    const std::string path = tempStorePath("refill.trials");
+
+    RunnerOptions first;
+    first.store_path = path;
+    first.stop_after = 120;
+    CampaignRunner(*setup.injector, config, first).run();
+
+    StoreContents before;
+    ASSERT_FALSE(readTrialStore(path, before).has_value());
+    ASSERT_EQ(before.records.size(), 120u);
+
+    RunnerOptions second;
+    second.store_path = path;
+    CampaignRunner(*setup.injector, config, second).run();
+
+    // The resumed run appended exactly the other 180 indices: the
+    // store now covers [0, trials) with no duplicates.
+    StoreContents after;
+    ASSERT_FALSE(readTrialStore(path, after).has_value());
+    ASSERT_EQ(after.records.size(), config.trials);
+    std::vector<int> seen(config.trials, 0);
+    for (const TrialRecord &record : after.records)
+        ++seen[record.trial];
+    for (std::uint64_t t = 0; t < config.trials; ++t)
+        EXPECT_EQ(seen[t], 1) << "trial " << t;
+    // The first 120 records are untouched by the resume.
+    for (std::size_t i = 0; i < before.records.size(); ++i) {
+        EXPECT_EQ(after.records[i].trial, before.records[i].trial);
+        EXPECT_EQ(after.records[i].outcome, before.records[i].outcome);
+    }
+}
+
+TEST(CampaignRunner, ShardedRunPlusMergeMatchesUnsharded)
+{
+    Harness setup = prepare();
+    const fault::CampaignConfig config = campaignConfig();
+    const std::string baseline =
+        formatAggregate(setup.injector->runCampaign(config));
+
+    std::vector<std::string> paths;
+    for (std::uint32_t i = 0; i < 2; ++i) {
+        const std::string path = tempStorePath(
+            "shard" + std::to_string(i) + ".trials");
+        RunnerOptions options;
+        options.store_path = path;
+        options.shard = ShardSpec{i, 2};
+        CampaignRunner runner(*setup.injector, config, options);
+        const RunSummary summary = runner.run();
+        EXPECT_TRUE(summary.complete);
+        EXPECT_EQ(summary.shard_trials, config.trials / 2);
+        paths.push_back(path);
+    }
+
+    MergeSummary merged;
+    const auto err = mergeTrialStores(paths, merged);
+    ASSERT_FALSE(err.has_value()) << *err;
+    EXPECT_EQ(merged.stores_merged, 2u);
+    EXPECT_EQ(formatAggregate(merged.result), baseline);
+}
+
+TEST(CampaignMerge, RefusesIncompleteCampaign)
+{
+    Harness setup = prepare();
+    const fault::CampaignConfig config = campaignConfig();
+    const std::string path = tempStorePath("only_shard0.trials");
+    RunnerOptions options;
+    options.store_path = path;
+    options.shard = ShardSpec{0, 2};
+    CampaignRunner(*setup.injector, config, options).run();
+
+    MergeSummary merged;
+    const auto err = mergeTrialStores({path}, merged);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("campaign incomplete"), std::string::npos);
+    EXPECT_NE(err->find("1 of 2 shard stores were not given"),
+              std::string::npos);
+}
+
+TEST(CampaignMerge, RefusesDuplicateShard)
+{
+    Harness setup = prepare();
+    const fault::CampaignConfig config = campaignConfig();
+    const std::string path = tempStorePath("dup_shard.trials");
+    RunnerOptions options;
+    options.store_path = path;
+    options.shard = ShardSpec{0, 2};
+    CampaignRunner(*setup.injector, config, options).run();
+
+    MergeSummary merged;
+    const auto err = mergeTrialStores({path, path}, merged);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("appears twice"), std::string::npos);
+}
+
+TEST(CampaignMerge, RefusesMismatchedFingerprints)
+{
+    Harness setup = prepare();
+    fault::CampaignConfig config = campaignConfig();
+
+    const std::string shard0 = tempStorePath("fp_shard0.trials");
+    RunnerOptions options0;
+    options0.store_path = shard0;
+    options0.shard = ShardSpec{0, 2};
+    CampaignRunner(*setup.injector, config, options0).run();
+
+    // Shard 1 of a *different* campaign (different seed).
+    config.seed += 1;
+    const std::string shard1 = tempStorePath("fp_shard1.trials");
+    RunnerOptions options1;
+    options1.store_path = shard1;
+    options1.shard = ShardSpec{1, 2};
+    CampaignRunner(*setup.injector, config, options1).run();
+
+    MergeSummary merged;
+    const auto err = mergeTrialStores({shard0, shard1}, merged);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("config fingerprint mismatch"),
+              std::string::npos);
+}
+
+TEST(CampaignMerge, RefusesEmptyPathList)
+{
+    MergeSummary merged;
+    const auto err = mergeTrialStores({}, merged);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("no trial stores"), std::string::npos);
+}
+
+TEST(CampaignRunnerDeathTest, RefusesResumeIntoForeignStore)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Harness setup = prepare();
+    const fault::CampaignConfig config = campaignConfig();
+    const std::string path = tempStorePath("foreign.trials");
+    RunnerOptions options;
+    options.store_path = path;
+    options.stop_after = 10;
+    CampaignRunner(*setup.injector, config, options).run();
+
+    // Same store, different Dmax: the fingerprint differs, resuming
+    // would silently mix incomparable trials — must die, not merge.
+    fault::CampaignConfig other = config;
+    other.trial.dmax += 1;
+    EXPECT_EXIT(
+        {
+            CampaignRunner runner(*setup.injector, other, options);
+            runner.run();
+        },
+        ::testing::ExitedWithCode(1), "different campaign");
+}
+
+TEST(CampaignRunnerDeathTest, ResumeOfMissingStoreMustExist)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Harness setup = prepare();
+    const fault::CampaignConfig config = campaignConfig();
+    RunnerOptions options;
+    options.store_path = tempStorePath("absent.trials");
+    options.store_policy = RunnerOptions::StorePolicy::MustExist;
+    EXPECT_EXIT(
+        {
+            CampaignRunner runner(*setup.injector, config, options);
+            runner.run();
+        },
+        ::testing::ExitedWithCode(1), "nothing to resume");
+}
+
+} // namespace
+} // namespace encore::campaign

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * End-to-end tests of the real encore_campaign binary (path injected
+ * by CMake as ENCORE_CAMPAIGN_TOOL): kill/resume determinism, shard +
+ * merge determinism, and the exit-status contract — merge of
+ * mismatched stores must fail with a non-zero exit and a fingerprint
+ * diagnostic on stderr.
+ */
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+const char *kWorkload = "cjpeg";
+
+std::filesystem::path
+tempDir()
+{
+    static const std::filesystem::path dir = [] {
+        std::filesystem::path d =
+            std::filesystem::path(::testing::TempDir()) /
+            "encore_campaign_cli";
+        std::filesystem::remove_all(d);
+        std::filesystem::create_directories(d);
+        return d;
+    }();
+    return dir;
+}
+
+struct CommandResult
+{
+    int exit_code = -1;
+    std::string output; // stdout + stderr
+};
+
+/// Runs the tool with `args`, capturing interleaved stdout+stderr.
+CommandResult
+runTool(const std::string &args)
+{
+    const std::string capture =
+        (tempDir() / "capture.txt").string();
+    const std::string command = std::string(ENCORE_CAMPAIGN_TOOL) +
+                                " " + args + " > " + capture +
+                                " 2>&1";
+    const int status = std::system(command.c_str());
+    CommandResult result;
+    result.exit_code =
+        WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    std::ifstream in(capture);
+    std::ostringstream out;
+    out << in.rdbuf();
+    result.output = out.str();
+    return result;
+}
+
+/// Everything from "trials N" on — the aggregate table whose
+/// byte-identity across resume/shard/merge is the determinism
+/// criterion.
+std::string
+aggregateOf(const std::string &output)
+{
+    // The aggregate table is the last "trials N" paragraph; header
+    // lines like "total trials 120" must not match, so anchor to a
+    // line start.
+    const auto pos = output.rfind("\ntrials ");
+    return pos == std::string::npos ? "" : output.substr(pos + 1);
+}
+
+std::string
+storePath(const std::string &name)
+{
+    return (tempDir() / name).string();
+}
+
+const std::string kCommon =
+    " --workload cjpeg --trials 120 --seed 777 --dmax 50 --jobs 2";
+
+TEST(CampaignCli, HelpAndUnknownSubcommand)
+{
+    EXPECT_EQ(runTool("--help").exit_code, 0);
+    const CommandResult unknown = runTool("frobnicate");
+    EXPECT_NE(unknown.exit_code, 0);
+    EXPECT_NE(unknown.output.find("unknown subcommand"),
+              std::string::npos);
+}
+
+TEST(CampaignCli, UnknownWorkloadListsAvailable)
+{
+    const CommandResult result =
+        runTool("run --workload no_such_workload --trials 10");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("unknown workload"),
+              std::string::npos);
+    EXPECT_NE(result.output.find(kWorkload), std::string::npos);
+}
+
+TEST(CampaignCli, InvalidConfigRejectedAtEntry)
+{
+    const CommandResult result = runTool(
+        "run --workload cjpeg --trials 10 --mask 1.5");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("masking_rate"), std::string::npos);
+}
+
+TEST(CampaignCli, InterruptedRunThenResumeIsByteIdentical)
+{
+    // Uninterrupted baseline (no store).
+    const CommandResult baseline = runTool("run" + kCommon);
+    ASSERT_EQ(baseline.exit_code, 0) << baseline.output;
+    const std::string want = aggregateOf(baseline.output);
+    ASSERT_FALSE(want.empty());
+
+    // Interrupt after 40 of 120 trials, then resume to completion.
+    const std::string store = storePath("resume.trials");
+    const CommandResult interrupted = runTool(
+        "run" + kCommon + " --stop-after 40 --store " + store);
+    ASSERT_EQ(interrupted.exit_code, 0) << interrupted.output;
+    EXPECT_NE(interrupted.output.find("INCOMPLETE"),
+              std::string::npos);
+
+    const CommandResult resumed =
+        runTool("resume" + kCommon + " --store " + store);
+    ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+    EXPECT_NE(resumed.output.find("resumed 40"), std::string::npos);
+    EXPECT_EQ(aggregateOf(resumed.output), want);
+
+    // inspect agrees: nothing missing, same aggregate.
+    const CommandResult inspected =
+        runTool("inspect --store " + store);
+    ASSERT_EQ(inspected.exit_code, 0) << inspected.output;
+    EXPECT_NE(inspected.output.find("missing 0 of 120"),
+              std::string::npos);
+    EXPECT_EQ(aggregateOf(inspected.output), want);
+}
+
+TEST(CampaignCli, ResumeOfMissingStoreFails)
+{
+    const CommandResult result = runTool(
+        "resume" + kCommon + " --store " + storePath("absent.trials"));
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("nothing to resume"),
+              std::string::npos);
+}
+
+TEST(CampaignCli, ShardedRunsMergeToUnshardedAggregate)
+{
+    const CommandResult baseline = runTool("run" + kCommon);
+    ASSERT_EQ(baseline.exit_code, 0) << baseline.output;
+    const std::string want = aggregateOf(baseline.output);
+
+    const std::string shard0 = storePath("merge_s0.trials");
+    const std::string shard1 = storePath("merge_s1.trials");
+    ASSERT_EQ(runTool("run" + kCommon + " --shard 0/2 --store " +
+                      shard0)
+                  .exit_code,
+              0);
+    ASSERT_EQ(runTool("run" + kCommon + " --shard 1/2 --store " +
+                      shard1)
+                  .exit_code,
+              0);
+
+    const CommandResult merged =
+        runTool("merge --stores " + shard0 + "," + shard1);
+    ASSERT_EQ(merged.exit_code, 0) << merged.output;
+    EXPECT_EQ(aggregateOf(merged.output), want);
+
+    // Merging an incomplete set must fail loudly, not extrapolate.
+    const CommandResult partial =
+        runTool("merge --stores " + shard0);
+    EXPECT_NE(partial.exit_code, 0);
+    EXPECT_NE(partial.output.find("campaign incomplete"),
+              std::string::npos);
+}
+
+TEST(CampaignCli, MergeRefusesMismatchedFingerprints)
+{
+    const std::string shard0 = storePath("mismatch_s0.trials");
+    const std::string shard1 = storePath("mismatch_s1.trials");
+    ASSERT_EQ(runTool("run" + kCommon + " --shard 0/2 --store " +
+                      shard0)
+                  .exit_code,
+              0);
+    // Shard 1 of a different campaign: same workload, other seed.
+    ASSERT_EQ(runTool("run --workload cjpeg --trials 120 --seed 778 "
+                      "--dmax 50 --shard 1/2 --store " +
+                      shard1)
+                  .exit_code,
+              0);
+
+    const CommandResult merged =
+        runTool("merge --stores " + shard0 + "," + shard1);
+    EXPECT_NE(merged.exit_code, 0);
+    EXPECT_NE(merged.output.find("fingerprint"), std::string::npos);
+    EXPECT_NE(merged.output.find("refusing"), std::string::npos);
+}
+
+TEST(CampaignCli, JsonReportCarriesBuildProvenance)
+{
+    const std::string json = (tempDir() / "campaign.json").string();
+    const CommandResult result =
+        runTool("run" + kCommon + " --json " + json);
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    std::ifstream in(json);
+    std::ostringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("\"build\""), std::string::npos);
+    EXPECT_NE(body.str().find("\"git_hash\""), std::string::npos);
+    EXPECT_NE(body.str().find("\"counts\""), std::string::npos);
+}
+
+} // namespace

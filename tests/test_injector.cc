@@ -150,18 +150,58 @@ TEST(Injector, NoMaskingInjectsEveryTrial)
 TEST(Injector, ZeroLatencyRecoversProtectedFaults)
 {
     // With Dmax = 0 detection fires on the very next instruction; any
-    // fault striking inside a protected region must recover.
+    // fault striking inside a protected region must recover. Dmax = 0
+    // is rejected at *campaign* entry (validateCampaignConfig), so the
+    // latency extreme is exercised through the single-trial interface.
     Harness setup = prepare();
-    CampaignConfig config;
-    config.trials = 120;
-    config.model_masking = false;
-    config.trial.dmax = 0;
-    const CampaignResult result = setup.injector->runCampaign(config);
+    TrialConfig trial;
+    trial.dmax = 0;
+    CampaignResult result;
+    result.trials = 120;
+    for (std::uint64_t t = 0; t < result.trials; ++t) {
+        Rng rng = Rng::forStream(12345, t);
+        const FaultOutcome outcome =
+            setup.injector->runTrial(rng, trial);
+        ++result.counts[static_cast<int>(outcome)];
+    }
     EXPECT_EQ(result.count(FaultOutcome::RecoveryFailed), 0u);
     EXPECT_EQ(result.count(FaultOutcome::SilentCorruption), 0u);
     EXPECT_GT(result.count(FaultOutcome::RecoveredIdempotent) +
                   result.count(FaultOutcome::RecoveredCheckpoint),
               0u);
+}
+
+TEST(InjectorValidationDeathTest, RejectsInvalidCampaignConfigs)
+{
+    // Each out-of-range field must exit through fatal() with a message
+    // naming the field — not silently produce a nonsense table.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Harness setup = prepare();
+
+    CampaignConfig zero_trials;
+    zero_trials.trials = 0;
+    EXPECT_EXIT(setup.injector->runCampaign(zero_trials),
+                ::testing::ExitedWithCode(1), "trials must be > 0");
+
+    CampaignConfig bad_mask_high;
+    bad_mask_high.masking_rate = 1.5;
+    EXPECT_EXIT(setup.injector->runCampaign(bad_mask_high),
+                ::testing::ExitedWithCode(1), "masking_rate");
+
+    CampaignConfig bad_mask_nan;
+    bad_mask_nan.masking_rate = -0.01;
+    EXPECT_EXIT(setup.injector->runCampaign(bad_mask_nan),
+                ::testing::ExitedWithCode(1), "masking_rate");
+
+    CampaignConfig bad_budget;
+    bad_budget.trial.run_budget_factor = 0.5;
+    EXPECT_EXIT(setup.injector->runCampaign(bad_budget),
+                ::testing::ExitedWithCode(1), "run_budget_factor");
+
+    CampaignConfig bad_dmax;
+    bad_dmax.trial.dmax = 0;
+    EXPECT_EXIT(setup.injector->runCampaign(bad_dmax),
+                ::testing::ExitedWithCode(1), "dmax must be > 0");
 }
 
 TEST(Injector, LongLatencyLosesMoreFaults)

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Trial-store writer under concurrency — the TSan target for the
+ * durability layer (scripts/ci.sh builds this with
+ * -DENCORE_SANITIZE=thread). Worker threads add() records while the
+ * background flusher thread drains the batch buffer on its own
+ * schedule; every record must land exactly once.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "campaign/trial_store.h"
+
+namespace encore::campaign {
+namespace {
+
+std::string
+tempStorePath(const std::string &name)
+{
+    const std::string path =
+        (std::filesystem::path(::testing::TempDir()) / name).string();
+    std::filesystem::remove(path);
+    return path;
+}
+
+TEST(TrialStoreConcurrency, ParallelWritersWithBackgroundFlusher)
+{
+    const std::uint64_t kThreads = 4;
+    const std::uint64_t kPerThread = 2000;
+    const std::uint64_t kTotal = kThreads * kPerThread;
+
+    const std::string path = tempStorePath("concurrent.trials");
+    StoreHeader header;
+    header.total_trials = kTotal;
+    TrialStoreWriter::Options options;
+    // Tiny batch + fast flusher: maximal contention between inline
+    // flushes and the ticker thread.
+    options.flush_batch = 16;
+    options.flush_interval = std::chrono::milliseconds(1);
+    std::string error;
+    auto writer =
+        TrialStoreWriter::create(path, header, options, &error);
+    ASSERT_NE(writer, nullptr) << error;
+
+    std::vector<std::thread> threads;
+    for (std::uint64_t worker = 0; worker < kThreads; ++worker) {
+        threads.emplace_back([&, worker] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                const std::uint64_t trial = worker * kPerThread + i;
+                writer->add(trial,
+                            static_cast<std::uint32_t>(trial % 5));
+                if (i % 512 == 0) {
+                    EXPECT_TRUE(writer->ok());
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_TRUE(writer->finish());
+
+    StoreContents contents;
+    const auto err = readTrialStore(path, contents);
+    ASSERT_FALSE(err.has_value()) << *err;
+    EXPECT_EQ(contents.dropped_bytes, 0u);
+    ASSERT_EQ(contents.records.size(), kTotal);
+    std::vector<int> seen(kTotal, 0);
+    for (const TrialRecord &record : contents.records) {
+        ASSERT_LT(record.trial, kTotal);
+        EXPECT_EQ(record.outcome, record.trial % 5);
+        ++seen[record.trial];
+    }
+    for (std::uint64_t t = 0; t < kTotal; ++t)
+        EXPECT_EQ(seen[t], 1) << "trial " << t;
+}
+
+TEST(TrialStoreConcurrency, FinishRacesWithLateAdds)
+{
+    // finish() must be safe to call while another thread is still
+    // adding; late records may or may not land, but nothing tears.
+    const std::string path = tempStorePath("late_adds.trials");
+    StoreHeader header;
+    header.total_trials = 100000;
+    TrialStoreWriter::Options options;
+    options.flush_batch = 8;
+    options.flush_interval = std::chrono::milliseconds(1);
+    std::string error;
+    auto writer =
+        TrialStoreWriter::create(path, header, options, &error);
+    ASSERT_NE(writer, nullptr) << error;
+
+    std::thread adder([&] {
+        for (std::uint64_t t = 0; t < 5000; ++t)
+            writer->add(t, 0);
+    });
+    writer->finish();
+    adder.join();
+    writer.reset();
+
+    StoreContents contents;
+    const auto err = readTrialStore(path, contents);
+    ASSERT_FALSE(err.has_value()) << *err;
+    EXPECT_EQ(contents.dropped_bytes, 0u);
+    EXPECT_LE(contents.records.size(), 5000u);
+}
+
+} // namespace
+} // namespace encore::campaign

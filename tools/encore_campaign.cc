@@ -1,0 +1,352 @@
+/**
+ * @file
+ * encore_campaign — durable fault-injection campaign driver.
+ *
+ * Subcommands:
+ *   run      start (or transparently resume) a campaign on one
+ *            workload, optionally durable via --store and split
+ *            across processes via --shard i/N
+ *   resume   like run, but requires the store to already exist —
+ *            the explicit "continue after a crash/kill" verb
+ *   merge    combine completed shard stores into one aggregate,
+ *            refusing stores with mismatched campaign identity
+ *   inspect  print a store's header, record count and outcome tally
+ *            without executing anything
+ *
+ * Determinism contract: any split of a campaign across kills,
+ * resumes, shards and thread counts yields a byte-identical aggregate
+ * table to one uninterrupted single-process run (see
+ * src/campaign/runner.h). Exit status is 0 on success, 1 on any
+ * refusal (invalid config, identity mismatch, unusable store).
+ */
+#include <iostream>
+
+#include "campaign/runner.h"
+#include "common.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+#include "workloads/workload.h"
+
+using namespace encore;
+
+namespace {
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: encore_campaign <run|resume|merge|inspect> [flags]\n"
+          "  run     --workload <name> [--store <path>] [--trials N] "
+          "[--seed S]\n"
+          "          [--jobs J] [--dmax D] [--mask R] [--no-masking]\n"
+          "          [--budget-factor F] [--shard i/N] [--progress]\n"
+          "          [--heartbeat <path.jsonl>] [--stop-after K] "
+          "[--json <path>]\n"
+          "  resume  same flags; --store must name an existing store\n"
+          "  merge   --stores <a,b,...> [--json <path>]\n"
+          "  inspect --store <path>\n"
+          "Pass --help after a subcommand for its full flag list.\n";
+}
+
+fault::CampaignConfig
+campaignFromFlags(const CommandLine &cli)
+{
+    fault::CampaignConfig config;
+    config.trials = static_cast<std::uint64_t>(cli.getInt("trials"));
+    config.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+    config.jobs = bench::jobsFlag(cli);
+    config.trial.dmax = static_cast<std::uint64_t>(cli.getInt("dmax"));
+    config.trial.run_budget_factor = cli.getDouble("budget-factor");
+    config.masking_rate = cli.getDouble("mask");
+    config.model_masking = !cli.getBool("no-masking");
+    return config;
+}
+
+/// Counts + fractions as JSON fields under the writeJsonReport
+/// contract (provenance + opening brace come from the harness).
+void
+writeCampaignJson(std::ostream &out, const std::string &mode,
+                  const std::string &workload,
+                  const fault::CampaignConfig &config,
+                  const fault::CampaignResult &result)
+{
+    out << "  \"tool\": \"encore_campaign\",\n"
+        << "  \"mode\": \"" << mode << "\",\n"
+        << "  \"workload\": \"" << workload << "\",\n"
+        << "  \"seed\": " << config.seed << ",\n"
+        << "  \"trials\": " << config.trials << ",\n"
+        << "  \"dmax\": " << config.trial.dmax << ",\n"
+        << "  \"run_budget_factor\": " << config.trial.run_budget_factor
+        << ",\n"
+        << "  \"masking_rate\": " << config.masking_rate << ",\n"
+        << "  \"model_masking\": "
+        << (config.model_masking ? "true" : "false") << ",\n"
+        << "  \"counts\": {";
+    constexpr int kNumOutcomes =
+        static_cast<int>(fault::FaultOutcome::NumOutcomes);
+    for (int i = 0; i < kNumOutcomes; ++i) {
+        const auto outcome = static_cast<fault::FaultOutcome>(i);
+        out << "\"" << fault::outcomeName(outcome)
+            << "\": " << result.count(outcome)
+            << (i + 1 < kNumOutcomes ? ", " : "");
+    }
+    out << "},\n"
+        << "  \"covered\": "
+        << formatFixed(result.coveredFraction(), 6) << "\n"
+        << "}\n";
+}
+
+int
+cmdRunOrResume(int argc, char **argv, bool resume)
+{
+    CommandLine cli;
+    cli.addFlag("workload", "",
+                "workload to inject into (see encore_campaign run "
+                "--workload '' for the list)");
+    cli.addFlag("store", "",
+                "trial store path; \"\" runs without durability");
+    cli.addFlag("trials", "10000", "total campaign trials (all shards)");
+    cli.addFlag("seed", "12345", "campaign RNG seed");
+    cli.addFlag("jobs", "0",
+                "worker threads (0 = all hardware threads); never "
+                "affects results");
+    cli.addFlag("dmax", "100",
+                "detection latency bound, dynamic instructions");
+    cli.addFlag("mask", "0.91", "hardware masking rate in [0, 1]");
+    cli.addFlag("no-masking", "false",
+                "inject every trial (skip the modelled masking coin)");
+    cli.addFlag("budget-factor", "4.0",
+                "execution budget multiplier over the golden run");
+    cli.addFlag("shard", "0/1",
+                "this process's shard, as i/N: it owns trial indices "
+                "with t %% N == i");
+    cli.addFlag("stop-after", "0",
+                "stop after executing K new trials (0 = run to "
+                "completion); simulates an interrupted campaign");
+    cli.addFlag("progress", "false",
+                "print an in-place progress line to stderr");
+    cli.addFlag("progress-interval-ms", "500",
+                "progress/heartbeat period, monotonic clock");
+    cli.addFlag("heartbeat", "",
+                "append a JSONL heartbeat to this path for external "
+                "monitors");
+    cli.addFlag("flush-interval-ms", "200",
+                "trial-store background flush period");
+    cli.addFlag("flush-batch", "256",
+                "trial-store records per batched write");
+    bench::addJsonFlag(cli, "");
+    cli.parse(argc, argv);
+
+    const std::string name = cli.getString("workload");
+    const workloads::Workload *workload = workloads::findWorkload(name);
+    if (workload == nullptr) {
+        std::cerr << (name.empty()
+                          ? "error: --workload is required"
+                          : "error: unknown workload '" + name + "'")
+                  << "; available workloads:\n";
+        for (const workloads::Workload &w : workloads::allWorkloads())
+            std::cerr << "  " << w.name << " (" << w.suite << ")\n";
+        return 1;
+    }
+
+    const fault::CampaignConfig config = campaignFromFlags(cli);
+    fault::validateCampaignConfig(config);
+
+    campaign::RunnerOptions options;
+    options.store_path = cli.getString("store");
+    if (resume) {
+        if (options.store_path.empty())
+            fatal("resume: --store is required (that is what is being "
+                  "resumed)");
+        options.store_policy =
+            campaign::RunnerOptions::StorePolicy::MustExist;
+    }
+    const auto shard = campaign::parseShardSpec(cli.getString("shard"));
+    if (!shard)
+        fatalf("--shard expects i/N with 0 <= i < N, got '",
+               cli.getString("shard"), "'");
+    options.shard = *shard;
+    options.stop_after =
+        static_cast<std::uint64_t>(cli.getInt("stop-after"));
+    options.progress = cli.getBool("progress");
+    options.progress_interval =
+        std::chrono::milliseconds(cli.getInt("progress-interval-ms"));
+    options.heartbeat_path = cli.getString("heartbeat");
+    options.store.flush_interval =
+        std::chrono::milliseconds(cli.getInt("flush-interval-ms"));
+    options.store.flush_batch =
+        static_cast<std::size_t>(cli.getInt("flush-batch"));
+    options.label = workload->name + " shard " +
+                    std::to_string(options.shard.index) + "/" +
+                    std::to_string(options.shard.count);
+
+    std::cerr << "preparing " << workload->name
+              << " (build + profile + analyze + instrument)...\n";
+    EncoreConfig encore_config;
+    bench::PreparedWorkload prepared =
+        bench::prepareWorkload(*workload, encore_config);
+    fault::FaultInjector injector(*prepared.module, prepared.report);
+    if (!injector.prepare(workload->entry, workload->train_args))
+        fatalf("golden run failed for ", workload->name);
+
+    campaign::CampaignRunner runner(injector, config, options);
+    const campaign::RunSummary summary = runner.run();
+
+    std::cout << "campaign " << workload->name << " seed "
+              << config.seed << " dmax " << config.trial.dmax
+              << " shard " << options.shard.index << "/"
+              << options.shard.count << "\n"
+              << "resumed " << summary.resumed << ", executed "
+              << summary.executed << " of " << summary.shard_trials
+              << " owned trials\n\n"
+              << campaign::formatAggregate(summary.result);
+    if (!summary.complete)
+        std::cout << "\nINCOMPLETE: "
+                  << summary.shard_trials - summary.result.trials
+                  << " trials still missing — rerun with `resume` to "
+                     "continue this store.\n";
+
+    const bool json_ok = bench::writeJsonReport(
+        cli.getString("json"), [&](std::ostream &out) {
+            writeCampaignJson(out, resume ? "resume" : "run",
+                              workload->name, config, summary.result);
+        });
+    return json_ok ? 0 : 1;
+}
+
+int
+cmdMerge(int argc, char **argv)
+{
+    CommandLine cli;
+    cli.addFlag("stores", "",
+                "comma-separated shard store paths to combine");
+    bench::addJsonFlag(cli, "");
+    cli.parse(argc, argv);
+
+    std::vector<std::string> paths;
+    for (const std::string &path : split(cli.getString("stores"), ','))
+        if (!path.empty())
+            paths.push_back(path);
+    if (paths.empty())
+        fatal("merge: --stores expects at least one store path");
+
+    campaign::MergeSummary merged;
+    if (const auto err = campaign::mergeTrialStores(paths, merged))
+        fatal(*err);
+
+    std::cout << "merged " << merged.stores_merged << " store"
+              << (merged.stores_merged == 1 ? "" : "s") << " ("
+              << merged.header.shard_count << " shards, seed "
+              << merged.header.seed << ")\n\n"
+              << campaign::formatAggregate(merged.result);
+
+    const bool json_ok = bench::writeJsonReport(
+        cli.getString("json"), [&](std::ostream &out) {
+            fault::CampaignConfig config;
+            config.seed = merged.header.seed;
+            config.trials = merged.header.total_trials;
+            out << "  \"tool\": \"encore_campaign\",\n"
+                << "  \"mode\": \"merge\",\n"
+                << "  \"stores\": " << merged.stores_merged << ",\n"
+                << "  \"shards\": " << merged.header.shard_count
+                << ",\n"
+                << "  \"seed\": " << merged.header.seed << ",\n"
+                << "  \"trials\": " << merged.header.total_trials
+                << ",\n"
+                << "  \"counts\": {";
+            constexpr int kNumOutcomes =
+                static_cast<int>(fault::FaultOutcome::NumOutcomes);
+            for (int i = 0; i < kNumOutcomes; ++i) {
+                const auto outcome = static_cast<fault::FaultOutcome>(i);
+                out << "\"" << fault::outcomeName(outcome)
+                    << "\": " << merged.result.count(outcome)
+                    << (i + 1 < kNumOutcomes ? ", " : "");
+            }
+            out << "},\n"
+                << "  \"covered\": "
+                << formatFixed(merged.result.coveredFraction(), 6)
+                << "\n}\n";
+        });
+    return json_ok ? 0 : 1;
+}
+
+int
+cmdInspect(int argc, char **argv)
+{
+    CommandLine cli;
+    cli.addFlag("store", "", "trial store to describe");
+    cli.parse(argc, argv);
+
+    const std::string path = cli.getString("store");
+    if (path.empty())
+        fatal("inspect: --store is required");
+    campaign::StoreContents contents;
+    if (const auto err = campaign::readTrialStore(path, contents))
+        fatal(*err);
+
+    const campaign::StoreHeader &h = contents.header;
+    const campaign::ShardSpec spec{h.shard_index, h.shard_count};
+    fault::CampaignResult tally;
+    std::vector<std::uint8_t> done(h.total_trials, 0);
+    std::uint64_t bad_records = 0;
+    for (const campaign::TrialRecord &record : contents.records) {
+        if (record.outcome >=
+                static_cast<std::uint32_t>(
+                    fault::FaultOutcome::NumOutcomes) ||
+            !spec.owns(record.trial) || done[record.trial]) {
+            ++bad_records;
+            continue;
+        }
+        done[record.trial] = 1;
+        ++tally.counts[record.outcome];
+        ++tally.trials;
+    }
+
+    std::cout << "store " << path << "\n"
+              << std::hex << "  config fingerprint 0x"
+              << h.config_fingerprint << "\n  module hash 0x"
+              << h.module_hash << std::dec << "\n  seed " << h.seed
+              << "\n  total trials " << h.total_trials << " (shard "
+              << h.shard_index << "/" << h.shard_count << " owns "
+              << spec.ownedTrials(h.total_trials) << ")\n  records "
+              << contents.records.size() << " valid";
+    if (bad_records > 0)
+        std::cout << " (" << bad_records
+                  << " duplicate/foreign — store was tampered with?)";
+    if (contents.dropped_bytes > 0)
+        std::cout << ", " << contents.dropped_bytes
+                  << " torn tail bytes (interrupted run; `resume` "
+                     "will repair)";
+    std::cout << "\n  missing "
+              << spec.ownedTrials(h.total_trials) - tally.trials
+              << " of " << spec.ownedTrials(h.total_trials)
+              << " owned trials\n\n"
+              << campaign::formatAggregate(tally);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(std::cerr);
+        return 1;
+    }
+    const std::string command = argv[1];
+    if (command == "--help" || command == "-h" || command == "help") {
+        usage(std::cout);
+        return 0;
+    }
+    if (command == "run")
+        return cmdRunOrResume(argc - 1, argv + 1, /*resume=*/false);
+    if (command == "resume")
+        return cmdRunOrResume(argc - 1, argv + 1, /*resume=*/true);
+    if (command == "merge")
+        return cmdMerge(argc - 1, argv + 1);
+    if (command == "inspect")
+        return cmdInspect(argc - 1, argv + 1);
+    std::cerr << "error: unknown subcommand '" << command << "'\n";
+    usage(std::cerr);
+    return 1;
+}
