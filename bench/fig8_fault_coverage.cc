@@ -34,6 +34,7 @@ struct WorkloadPerf
     std::string name;
     std::uint64_t trials = 0;
     double wall_seconds = 0.0;
+    interp::SnapshotStats snapshots;
 };
 
 double
@@ -60,6 +61,18 @@ main(int argc, char **argv)
                 "directory for durable per-campaign trial stores; a "
                 "rerun resumes interrupted campaigns instead of "
                 "restarting them (empty = in-memory campaigns)");
+    cli.addFlag("snapshot-stride", "1024",
+                "golden-run snapshot stride in value instructions "
+                "(0 disables the snapshot tier; never affects "
+                "outcomes)");
+    cli.addFlag("snapshot-budget-mb", "64",
+                "resident byte budget per workload for the snapshot "
+                "store, MiB");
+    cli.addFlag("workloads", "",
+                "comma-separated workload names to run (empty = the "
+                "whole suite); note the per-campaign seeds depend on "
+                "suite position, so a filtered run's coverage numbers "
+                "are not comparable to a full run's");
     cli.parse(argc, argv);
 
     const std::uint64_t trials =
@@ -99,12 +112,39 @@ main(int argc, char **argv)
     std::vector<WorkloadPerf> perf;
     double campaign_seconds = 0.0;
 
+    interp::SnapshotConfig snap_config;
+    const long long snap_stride = cli.getInt("snapshot-stride");
+    snap_config.enabled = snap_stride > 0;
+    snap_config.stride =
+        snap_stride > 0 ? static_cast<std::uint64_t>(snap_stride) : 0;
+    snap_config.byte_budget =
+        static_cast<std::uint64_t>(cli.getInt("snapshot-budget-mb"))
+        << 20;
+
+    std::vector<std::string> only;
+    for (const std::string &field :
+         split(cli.getString("workloads"), ','))
+        if (!field.empty())
+            only.push_back(field);
+
     // Phase 1 — pipeline every workload (build + profile + analyze +
     // instrument) across the pool; order of results is suite order.
     EncoreConfig config;
     const auto prep_start = std::chrono::steady_clock::now();
-    std::vector<bench::PreparedWorkload> suite =
-        bench::prepareSuite(config, jobs);
+    std::vector<bench::PreparedWorkload> suite;
+    if (only.empty()) {
+        suite = bench::prepareSuite(config, jobs);
+    } else {
+        for (const std::string &name : only) {
+            const workloads::Workload *w = workloads::findWorkload(name);
+            if (w == nullptr) {
+                std::cerr << "error: unknown workload '" << name
+                          << "'\n";
+                return 1;
+            }
+            suite.push_back(bench::prepareWorkload(*w, config));
+        }
+    }
     const double prep_seconds = secondsSince(prep_start);
 
     // Phase 2 — per workload, golden run + campaigns; the trials of
@@ -118,6 +158,7 @@ main(int argc, char **argv)
             current_suite = w.suite;
         }
         fault::FaultInjector injector(*prepared.module, prepared.report);
+        injector.configureSnapshots(snap_config);
         if (!injector.prepare(w.entry, w.train_args)) {
             std::cerr << "golden run failed for " << w.name << "\n";
             continue;
@@ -168,6 +209,7 @@ main(int argc, char **argv)
             }
         }
         wp.wall_seconds = secondsSince(wl_start);
+        wp.snapshots = injector.snapshotStats();
         campaign_seconds += wp.wall_seconds;
         perf.push_back(wp);
         row.push_back(split_cell);
@@ -178,10 +220,15 @@ main(int argc, char **argv)
 
     table.addSeparator();
     for (const std::string &suite_name : workloads::suiteNames()) {
+        // A --workloads filter can leave a suite with no rows; skip its
+        // mean instead of dividing an empty accumulator by zero.
+        const auto counted = suite_counts.find(suite_name);
+        if (counted == suite_counts.end() || counted->second == 0)
+            continue;
         std::vector<std::string> row{"Mean " + suite_name};
         for (std::size_t d = 0; d < dmaxes.size(); ++d)
             row.push_back(formatPercent(suite_sums[suite_name][d] /
-                                        suite_counts[suite_name]));
+                                        counted->second));
         row.push_back("");
         table.addRow(std::move(row));
     }
@@ -217,6 +264,8 @@ main(int argc, char **argv)
                  << "  \"hardware_threads\": "
                  << std::thread::hardware_concurrency() << ",\n"
                  << "  \"seed\": " << seed << ",\n"
+                 << "  \"snapshot_stride\": " << snap_config.stride
+                 << ",\n"
                  << "  \"trials_per_campaign\": " << trials << ",\n"
                  << "  \"campaigns_per_workload\": " << dmaxes.size()
                  << ",\n"
@@ -238,7 +287,13 @@ main(int argc, char **argv)
                      << ", \"wall_seconds\": "
                      << formatFixed(wp.wall_seconds, 4)
                      << ", \"trials_per_sec\": " << formatFixed(tps, 2)
-                     << "}" << (i + 1 < perf.size() ? "," : "") << "\n";
+                     << ", \"snapshot_count\": " << wp.snapshots.count
+                     << ", \"snapshot_bytes\": " << wp.snapshots.bytes
+                     << ", \"snapshot_hit_rate\": "
+                     << formatFixed(wp.snapshots.hitRate(), 4)
+                     << ", \"snapshot_resyncs\": "
+                     << wp.snapshots.resyncs << "}"
+                     << (i + 1 < perf.size() ? "," : "") << "\n";
             }
             json << "  ]\n}\n";
         });

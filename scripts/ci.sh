@@ -2,7 +2,9 @@
 # One-command CI gate: the tier-1 verify (full build + full ctest
 # suite, which includes the campaign determinism and CLI end-to-end
 # tests) followed by the ThreadSanitizer campaign lane (the concurrent
-# trial-store writer and the multi-threaded campaign/resume paths).
+# trial-store writer and the multi-threaded campaign/resume paths),
+# then a warn-only perf smoke that compares injection throughput on
+# two medium workloads against the committed BENCH_injection.json.
 #
 # Usage: scripts/ci.sh [build-root]
 #   build-root defaults to build-ci/ next to the source tree. The
@@ -28,4 +30,45 @@ echo "==> [tsan] campaign smoke: concurrent store writer + runner"
     ctest --output-on-failure \
         -R 'test_campaign_smoke|test_store_concurrency|test_campaign$')
 
-echo "==> ci passed (tier1 + tsan campaign lane)"
+echo "==> [perf] injection-throughput smoke (warn-only)"
+# A filtered fig8 run on two medium workloads, compared per-workload
+# against the committed BENCH_injection.json. Warn-only: CI machines
+# differ too much for a hard throughput gate, but a big drop right
+# next to the change that caused it is exactly what a reviewer wants
+# to see. The coverage numbers of a filtered run are not comparable
+# to the committed full-suite run (per-campaign seeds depend on suite
+# position) — only trials/s is compared here.
+perf_json="${build_root}/perf_smoke.json"
+"${build_root}/tier1/bench/fig8_fault_coverage" \
+    --workloads mpeg2dec,pegwitdec --trials 200 \
+    --json "${perf_json}" > /dev/null
+python3 - "${repo_root}/BENCH_injection.json" "${perf_json}" <<'EOF'
+import json, sys
+base_path, cur_path = sys.argv[1], sys.argv[2]
+try:
+    with open(base_path) as f:
+        base = {w["name"]: w for w in json.load(f)["workloads"]}
+except (OSError, ValueError, KeyError) as e:
+    print(f"perf-smoke: cannot read baseline {base_path}: {e} "
+          "(skipping comparison)")
+    sys.exit(0)
+with open(cur_path) as f:
+    cur = json.load(f)
+for w in cur["workloads"]:
+    name, tps = w["name"], w["trials_per_sec"]
+    ref = base.get(name)
+    if ref is None:
+        print(f"perf-smoke: {name}: {tps:.1f} trials/s "
+              "(no committed baseline)")
+        continue
+    ref_tps = ref["trials_per_sec"]
+    delta = (tps - ref_tps) / ref_tps * 100 if ref_tps else 0.0
+    flag = "  <-- WARNING: >20% below committed baseline" \
+        if delta < -20 else ""
+    print(f"perf-smoke: {name}: {tps:.1f} trials/s "
+          f"(baseline {ref_tps:.1f}, {delta:+.1f}%){flag}")
+print("perf-smoke: warn-only; a slower CI machine is expected to "
+      "show negative deltas")
+EOF
+
+echo "==> ci passed (tier1 + tsan campaign lane + perf smoke)"

@@ -19,7 +19,11 @@ constexpr int kNumOutcomes =
 
 /// Fatal with a diagnostic naming every differing identity field —
 /// "fingerprint mismatch" alone would leave the user guessing which
-/// knob they changed.
+/// knob they changed. The snapshot_* provenance fields are
+/// deliberately NOT compared: the snapshot tier cannot change trial
+/// outcomes (bit-identity is enforced by the differential suite), so
+/// resuming a full-rerun store with snapshots enabled — or vice
+/// versa — is safe and must not be refused.
 void
 checkHeaderMatches(const StoreHeader &want, const StoreHeader &found,
                    const std::string &path)
@@ -110,6 +114,18 @@ CampaignRunner::header() const
     header.total_trials = config_.trials;
     header.shard_index = options_.shard.index;
     header.shard_count = options_.shard.count;
+    // Provenance only (audit via `encore_campaign inspect`): the
+    // effective stride after any adaptive doubling, 0 when the tier is
+    // off or recorded nothing for this workload.
+    if (injector_.snapshotsActive()) {
+        header.snapshot_stride = injector_.snapshotStats().stride;
+        header.snapshot_byte_budget =
+            injector_.snapshotConfig().byte_budget;
+        header.snapshot_page_bytes =
+            static_cast<std::uint32_t>(
+                injector_.snapshotConfig().page_words) *
+            8;
+    }
     return header;
 }
 

@@ -43,7 +43,10 @@ encodeHeader(char (&bytes)[kTrialStoreHeaderSize],
     put<std::uint64_t>(bytes, 40, header.total_trials);
     put<std::uint32_t>(bytes, 48, header.shard_index);
     put<std::uint32_t>(bytes, 52, header.shard_count);
-    put<std::uint32_t>(bytes, 56, crc32(bytes, 56));
+    put<std::uint64_t>(bytes, 56, header.snapshot_stride);
+    put<std::uint64_t>(bytes, 64, header.snapshot_byte_budget);
+    put<std::uint32_t>(bytes, 72, header.snapshot_page_bytes);
+    put<std::uint32_t>(bytes, 76, crc32(bytes, 76));
 }
 
 void
@@ -83,7 +86,7 @@ readTrialStore(const std::string &path, StoreContents &out)
         return "trial store '" + path + "' declares " +
                std::to_string(record_size) + "-byte records, expected " +
                std::to_string(kTrialRecordSize);
-    if (get<std::uint32_t>(header_bytes, 56) != crc32(header_bytes, 56))
+    if (get<std::uint32_t>(header_bytes, 76) != crc32(header_bytes, 76))
         return "trial store '" + path + "' has a corrupt header (CRC "
                "mismatch)";
 
@@ -94,6 +97,11 @@ readTrialStore(const std::string &path, StoreContents &out)
     out.header.total_trials = get<std::uint64_t>(header_bytes, 40);
     out.header.shard_index = get<std::uint32_t>(header_bytes, 48);
     out.header.shard_count = get<std::uint32_t>(header_bytes, 52);
+    out.header.snapshot_stride = get<std::uint64_t>(header_bytes, 56);
+    out.header.snapshot_byte_budget =
+        get<std::uint64_t>(header_bytes, 64);
+    out.header.snapshot_page_bytes =
+        get<std::uint32_t>(header_bytes, 72);
     out.valid_bytes = kTrialStoreHeaderSize;
 
     // Records: accept the longest prefix of whole, CRC-clean records

@@ -32,9 +32,21 @@
  *   40      8     total campaign trials (across ALL shards)
  *   48      4     shard index
  *   52      4     shard count
- *   56      4     CRC32 of bytes [0, 56)
- *   60      4     zero padding
- *   64      16×N  records: trial u64 | outcome u32 | CRC32(first 12 B)
+ *   56      8     snapshot stride      (0 = snapshot tier disabled)
+ *   64      8     snapshot byte budget
+ *   72      4     snapshot page bytes
+ *   76      4     CRC32 of bytes [0, 76)
+ *   80      16×N  records: trial u64 | outcome u32 | CRC32(first 12 B)
+ *
+ * The snapshot_* fields (version 2) are **provenance, not identity**:
+ * they record how the shard was produced so `inspect` can audit a
+ * merged campaign, but they are deliberately excluded from the config
+ * fingerprint and from the resume/merge identity checks. Snapshots
+ * only change *where a trial's execution starts*, never what it
+ * computes — the restored state is bit-identical to re-executing the
+ * prefix (enforced by the differential suite) — so a snapshot-run
+ * shard and a full-rerun shard of the same campaign hold identical
+ * records and may be merged freely.
  */
 #ifndef ENCORE_CAMPAIGN_TRIAL_STORE_H
 #define ENCORE_CAMPAIGN_TRIAL_STORE_H
@@ -52,8 +64,8 @@
 
 namespace encore::campaign {
 
-inline constexpr std::uint32_t kTrialStoreVersion = 1;
-inline constexpr std::size_t kTrialStoreHeaderSize = 64;
+inline constexpr std::uint32_t kTrialStoreVersion = 2;
+inline constexpr std::size_t kTrialStoreHeaderSize = 80;
 inline constexpr std::size_t kTrialRecordSize = 16;
 
 struct StoreHeader
@@ -65,6 +77,12 @@ struct StoreHeader
     std::uint64_t total_trials = 0;
     std::uint32_t shard_index = 0;
     std::uint32_t shard_count = 1;
+    /// Snapshot-tier provenance (see the layout comment: audit-only,
+    /// never part of the campaign identity). stride 0 means the shard
+    /// ran without snapshots.
+    std::uint64_t snapshot_stride = 0;
+    std::uint64_t snapshot_byte_budget = 0;
+    std::uint32_t snapshot_page_bytes = 0;
 };
 
 struct TrialRecord

@@ -68,12 +68,20 @@ namespace {
 class TrialHooks : public interp::ExecHooks
 {
   public:
+    /// `start_value_index` is the value-instruction count already
+    /// executed before these hooks see their first filterResult — 0
+    /// for a full run, the snapshot's value_count when the trial
+    /// resumes from a prefix snapshot. Pre-injection the hooks are
+    /// pure pass-throughs, so skipping the prefix callbacks changes
+    /// nothing except where the internal counter starts.
     TrialHooks(interp::Interpreter &interp, std::uint64_t target_value_index,
-               int bit, std::uint64_t latency)
+               int bit, std::uint64_t latency,
+               std::uint64_t start_value_index)
         : interp_(interp),
           target_value_index_(target_value_index),
           bit_(bit),
-          latency_(latency)
+          latency_(latency),
+          value_count_(start_value_index)
     {
     }
 
@@ -194,6 +202,33 @@ class TrialHooks : public interp::ExecHooks
             tainted_regs_.clear();
             tainted_words_.clear();
             current_load_tainted_ = false;
+            if (!sameInstance()) {
+                // Detection fired after control left the faulty region
+                // instance (or the fault struck unprotected code): the
+                // classification is Not Recoverable no matter how the
+                // run would end — Ok, Error, and InstructionLimit all
+                // map there, and no further detection can fire. The
+                // rolled-back state was corrupted before region entry,
+                // so a golden resync could never match either; stop
+                // the run instead of executing the rest of the
+                // program for an already-decided outcome.
+                interp_.requestTrialStop();
+                return;
+            }
+            // From here on these hooks are pure pass-throughs:
+            // detection fired already, filterResult never changes a
+            // value past the injection, and the golden run has no
+            // runtime errors once the state converges. That is exactly
+            // the contract armGoldenResync requires — the moment the
+            // live state equals a golden snapshot, the rest of the run
+            // is the golden suffix. Pass-through also means the
+            // per-instruction callbacks are silent no-ops, so drop
+            // them from the dispatch loop entirely: the rollback
+            // replay ahead is where most of the trial's instructions
+            // run, and it proceeds at observer-free interpreter speed
+            // (onRuntimeError stays live for the crash-loop guard).
+            interp_.armGoldenResync();
+            interp_.quiesceHooks();
         }
     }
 
@@ -281,6 +316,53 @@ class TrialHooks : public interp::ExecHooks
 
 } // namespace
 
+FaultOutcome
+classifyTrialOutcome(const TrialObservation &obs)
+{
+    if (!obs.injected) {
+        // The run ended before reaching the target instruction — can
+        // happen when an unrelated code path executes fewer value
+        // instructions than the golden run. Judged by output alone.
+        return obs.status == interp::RunResult::Status::Ok &&
+                       obs.same_output
+                   ? FaultOutcome::Benign
+                   : FaultOutcome::SilentCorruption;
+    }
+
+    switch (obs.status) {
+      case interp::RunResult::Status::DetectedUnrecoverable:
+        return FaultOutcome::NotRecoverable;
+      case interp::RunResult::Status::Error:
+      case interp::RunResult::Status::InstructionLimit:
+        // Crash-looping or runaway corrupted executions (the trial
+        // budget cut them off): not recoverable.
+        return FaultOutcome::NotRecoverable;
+      case interp::RunResult::Status::Ok:
+        break;
+    }
+
+    if (!obs.detected) {
+        // Program finished before the detection latency elapsed.
+        return obs.same_output ? FaultOutcome::Benign
+                               : FaultOutcome::SilentCorruption;
+    }
+
+    if (!obs.same_instance) {
+        // Detected after control left the faulty region instance (or
+        // the fault struck unprotected code): the paper's
+        // Not Recoverable case, regardless of how the lucky rollback
+        // turned out.
+        return FaultOutcome::NotRecoverable;
+    }
+
+    if (!obs.same_output)
+        return FaultOutcome::RecoveryFailed;
+
+    return obs.region_class == RegionClass::Idempotent
+               ? FaultOutcome::RecoveredIdempotent
+               : FaultOutcome::RecoveredCheckpoint;
+}
+
 FaultInjector::FaultInjector(const ir::Module &module,
                              const EncoreReport &report)
     : module_(module),
@@ -306,23 +388,58 @@ FaultInjector::regionClassOf(ir::RegionId id) const
                                      : RegionClass::NonIdempotent;
 }
 
+void
+FaultInjector::configureSnapshots(const interp::SnapshotConfig &config)
+{
+    snap_config_ = config;
+}
+
+interp::SnapshotStats
+FaultInjector::snapshotStats() const
+{
+    return snapshots_ ? snapshots_->stats() : interp::SnapshotStats{};
+}
+
 bool
 FaultInjector::prepare(const std::string &entry,
                        const std::vector<std::uint64_t> &args)
 {
     entry_ = entry;
     args_ = args;
+    snapshots_.reset();
     interp::Interpreter interp(decoded_);
-    golden_ = interp.run(entry, args);
+    if (snap_config_.enabled && snap_config_.stride > 0) {
+        // The golden run doubles as the snapshot recording run: dirty
+        // tracking observes memory deltas and the interpreter captures
+        // into the store at every stride barrier. Recording only reads
+        // execution state, so the golden RunResult is bit-identical to
+        // a recording-free run.
+        auto store =
+            std::make_shared<interp::SnapshotStore>(snap_config_);
+        interp.memoryRef().enableDirtyTracking(
+            store->pool().page_words);
+        interp.setSnapshotRecorder(store.get());
+        golden_ = interp.run(entry, args);
+        interp.setSnapshotRecorder(nullptr);
+        interp.memoryRef().disableDirtyTracking();
+        if (store->size() > 0)
+            snapshots_ = std::move(store);
+    } else {
+        golden_ = interp.run(entry, args);
+    }
     prepared_ = golden_.ok();
+    if (!prepared_)
+        snapshots_.reset();
     return prepared_;
 }
 
 FaultOutcome
 FaultInjector::runTrial(Rng &rng, const TrialConfig &config) const
 {
-    interp::Interpreter interp(decoded_);
-    return runTrial(rng, config, interp);
+    std::lock_guard<std::mutex> lock(scratch_mutex_);
+    if (!scratch_)
+        scratch_ = std::make_unique<interp::Interpreter>(decoded_);
+    return runTrial(rng, config, *scratch_);
 }
 
 FaultOutcome
@@ -337,70 +454,90 @@ FaultInjector::runTrial(Rng &rng, const TrialConfig &config,
     const int bit = static_cast<int>(rng.below(64));
     const std::uint64_t latency =
         config.dmax == 0 ? 0 : rng.below(config.dmax + 1);
+    return runTrialAt(target, bit, latency, config, interp);
+}
+
+FaultOutcome
+FaultInjector::runTrialAt(std::uint64_t target_value_index, int bit,
+                          std::uint64_t latency,
+                          const TrialConfig &config,
+                          interp::Interpreter &interp) const
+{
+    ENCORE_ASSERT(prepared_, "runTrial before a successful prepare()");
+
+    // Seek: the latest golden-run snapshot at-or-before the target.
+    // Pre-injection the trial hooks are pure pass-throughs, so the
+    // trial's own prefix is bit-identical to the golden run's — the
+    // restored state is exactly what re-executing would produce.
+    const interp::Snapshot *snap =
+        snapshots_
+            ? snapshots_->findAtOrBefore(target_value_index)
+            : nullptr;
+
+    // Keep dirty tracking on across a worker's trials: restore() then
+    // rewrites only pages dirtied since the previous restore (or whose
+    // pool refs differ between the two snapshots), and the resync
+    // state test skips clean shared-ref pages the same way — both drop
+    // from O(live memory) to O(changed pages) per trial. Idempotent
+    // after the first trial on this interpreter.
+    if (snapshots_)
+        interp.memoryRef().enableDirtyTracking(
+            snapshots_->pool().page_words);
+    else
+        interp.memoryRef().disableDirtyTracking();
 
     // The trial rides entirely on the hook interface (including memory
     // taint via ExecHooks::onMemoryAccess) — the observer list stays
     // empty, keeping per-instruction observer dispatch off the
     // campaign hot path.
-    TrialHooks hooks(interp, target, bit, latency);
+    TrialHooks hooks(interp, target_value_index, bit, latency,
+                     snap ? snap->exec.value_count : 0);
     interp.setHooks(&hooks);
     // Trials never read RunResult::globals — output equality is checked
     // in place against the golden snapshot, saving a full copy of
     // global memory per trial.
     interp.setCaptureGlobals(false);
+    // The budget counts *total* dynamic instructions including the
+    // restored prefix (resumeRun restores dyn_count), so the cutoff is
+    // the same whether or not the prefix was re-executed.
     interp.setMaxInstructions(static_cast<std::uint64_t>(
         static_cast<double>(golden_.dyn_instrs) *
             config.run_budget_factor +
         10'000.0));
+    // The same snapshots double as resync anchors on the way *out*:
+    // after a successful rollback the hooks arm a watch, and the trial
+    // fast-forwards the moment its state equals a golden snapshot past
+    // the injection point (see TrialHooks::onDetectionHandled).
+    interp.setResyncSource(snapshots_.get(), golden_.dyn_instrs);
 
-    const interp::RunResult result = interp.run(entry_, args_);
+    const interp::RunResult result =
+        snap ? interp.resumeRun(*snap, snapshots_->pool())
+             : interp.run(entry_, args_);
     interp.setHooks(nullptr);
+    interp.setResyncSource(nullptr, 0);
 
-    const auto same_output = [&] {
-        return result.return_value == golden_.return_value &&
-               interp.globalsMatch(golden_.globals);
-    };
-
-    if (!hooks.injected()) {
-        // The run ended before reaching the target instruction — can
-        // happen when an unrelated code path executes fewer value
-        // instructions than the golden run. Treat as benign/silent by
-        // output.
-        return result.ok() && same_output()
-                   ? FaultOutcome::Benign
-                   : FaultOutcome::SilentCorruption;
+    TrialObservation obs;
+    obs.status = result.status;
+    obs.injected = hooks.injected();
+    obs.detected = hooks.detected();
+    obs.same_instance = hooks.sameInstance();
+    obs.region_class = regionClassOf(hooks.faultRegion());
+    // Output equality is a full global-memory compare; only legs that
+    // classify by output pay for it.
+    if (result.golden_resync) {
+        // The run was cut short because the live state matched a
+        // golden snapshot exactly: the remainder is the golden suffix
+        // by determinism, so the final state — return value and global
+        // memory — is the golden one. Adopt it without executing.
+        obs.same_output = true;
+        snapshots_->noteResync();
+    } else if (obs.status == interp::RunResult::Status::Ok &&
+               (!obs.injected || !obs.detected || obs.same_instance)) {
+        obs.same_output =
+            result.return_value == golden_.return_value &&
+            interp.globalsMatch(golden_.globals);
     }
-
-    switch (result.status) {
-      case interp::RunResult::Status::DetectedUnrecoverable:
-        return FaultOutcome::NotRecoverable;
-      case interp::RunResult::Status::Error:
-      case interp::RunResult::Status::InstructionLimit:
-        return FaultOutcome::NotRecoverable;
-      case interp::RunResult::Status::Ok:
-        break;
-    }
-
-    if (!hooks.detected()) {
-        // Program finished before the detection latency elapsed.
-        return same_output() ? FaultOutcome::Benign
-                             : FaultOutcome::SilentCorruption;
-    }
-
-    if (!hooks.sameInstance()) {
-        // Detected after control left the faulty region instance (or
-        // the fault struck unprotected code): the paper's
-        // Not Recoverable case, regardless of how the lucky rollback
-        // turned out.
-        return FaultOutcome::NotRecoverable;
-    }
-
-    if (!same_output())
-        return FaultOutcome::RecoveryFailed;
-
-    return regionClassOf(hooks.faultRegion()) == RegionClass::Idempotent
-               ? FaultOutcome::RecoveredIdempotent
-               : FaultOutcome::RecoveredCheckpoint;
+    return classifyTrialOutcome(obs);
 }
 
 FaultOutcome

@@ -33,6 +33,8 @@
 #ifndef ENCORE_FAULT_INJECTOR_H
 #define ENCORE_FAULT_INJECTOR_H
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "encore/pipeline.h"
@@ -122,6 +124,32 @@ struct CampaignResult
 };
 
 /**
+ * Everything a finished trial execution exposes to outcome
+ * classification. Factoring the mapping out of runTrial keeps every
+ * outcome leg unit-testable — including the ones that are unreachable
+ * end-to-end under full determinism (e.g. the SilentCorruption leg of
+ * the not-injected path, which requires a run that diverges from the
+ * golden prefix *before* any fault was injected).
+ */
+struct TrialObservation
+{
+    interp::RunResult::Status status = interp::RunResult::Status::Ok;
+    bool injected = false;
+    /// Detection fired (by latency expiry or symptom).
+    bool detected = false;
+    /// Detection fired in the same region instance as the fault.
+    bool same_instance = false;
+    /// Return value and global memory match the golden run.
+    bool same_output = false;
+    /// Class of the region the fault struck.
+    RegionClass region_class = RegionClass::NonIdempotent;
+};
+
+/// The trial outcome table (see runTrial for the execution that fills
+/// a TrialObservation in). Pure; exercised directly by tests.
+FaultOutcome classifyTrialOutcome(const TrialObservation &obs);
+
+/**
  * Runs fault-injection campaigns against one instrumented module.
  */
 class FaultInjector
@@ -131,15 +159,42 @@ class FaultInjector
     /// already be instrumented by the pipeline.
     FaultInjector(const ir::Module &module, const EncoreReport &report);
 
+    /// Selects the snapshot tier configuration for the next prepare()
+    /// (snapshots are rebuilt from scratch by every prepare). Call
+    /// before prepare(); a config with enabled=false (or stride 0)
+    /// turns the tier off and every trial re-executes from entry.
+    void configureSnapshots(const interp::SnapshotConfig &config);
+
+    const interp::SnapshotConfig &
+    snapshotConfig() const
+    {
+        return snap_config_;
+    }
+
+    /// True when prepare() recorded at least one snapshot.
+    bool
+    snapshotsActive() const
+    {
+        return snapshots_ && snapshots_->size() > 0;
+    }
+
+    /// Store counters (count/bytes/stride/hit-rate); all-zero when the
+    /// tier is disabled.
+    interp::SnapshotStats snapshotStats() const;
+
     /// Executes the golden (fault-free) run; must be called before
-    /// trials. Returns false when the program itself fails.
+    /// trials. When the snapshot tier is enabled, the same run also
+    /// records the prefix SnapshotStore that trial execution seeks
+    /// into. Returns false when the program itself fails.
     bool prepare(const std::string &entry,
                  const std::vector<std::uint64_t> &args);
 
-    /// Runs one trial on a fresh interpreter. Thread-safe after
-    /// prepare(): all mutable state (interpreter, memory image, hooks)
-    /// is local to the call; the module, decoded code cache, golden
-    /// run, and region table are read-only.
+    /// Runs one trial on a lazily created injector-owned scratch
+    /// interpreter (so single-trial callers — tests, table1 — stop
+    /// paying decode-frame allocation per trial). Thread-safe after
+    /// prepare(), but calls through this overload serialize on the
+    /// scratch interpreter's mutex; campaign workers use the pooled
+    /// overload below instead.
     FaultOutcome runTrial(Rng &rng, const TrialConfig &config) const;
 
     /// Runs one trial on a caller-owned interpreter (which must have
@@ -149,6 +204,20 @@ class FaultInjector
     /// clears them again before returning.
     FaultOutcome runTrial(Rng &rng, const TrialConfig &config,
                           interp::Interpreter &interp) const;
+
+    /// Deterministic single-trial execution with explicit fault
+    /// parameters (the Rng overloads draw target/bit/latency and call
+    /// this). `target_value_index` is the value-producing dynamic
+    /// instruction whose destination gets `bit` flipped; detection
+    /// fires `latency` dynamic instructions later (or at the first
+    /// symptom). Useful for replaying one specific trial and for
+    /// pinning down outcome edges in tests. When the snapshot tier is
+    /// active, execution starts from the nearest snapshot at-or-before
+    /// the target — bit-identical to a full run by construction.
+    FaultOutcome runTrialAt(std::uint64_t target_value_index, int bit,
+                            std::uint64_t latency,
+                            const TrialConfig &config,
+                            interp::Interpreter &interp) const;
 
     /// Runs campaign trial `trial` — the masking coin plus (when not
     /// masked) one injected execution — on a caller-owned pooled
@@ -202,6 +271,18 @@ class FaultInjector
     std::vector<std::uint64_t> args_;
     interp::RunResult golden_;
     bool prepared_ = false;
+
+    /// Snapshot tier: configured before prepare(), recorded during it,
+    /// then shared read-only by every trial thread. shared_ptr so the
+    /// store outlives re-prepares already-running readers might race
+    /// (in practice prepare() happens once, before trials start).
+    interp::SnapshotConfig snap_config_;
+    std::shared_ptr<interp::SnapshotStore> snapshots_;
+
+    /// Scratch interpreter for the convenience runTrial overload;
+    /// lazily created, guarded by its mutex.
+    mutable std::mutex scratch_mutex_;
+    mutable std::unique_ptr<interp::Interpreter> scratch_;
 };
 
 } // namespace encore::fault

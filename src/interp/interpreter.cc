@@ -35,8 +35,8 @@
     do {                                                                \
         std::uint64_t v_ = (expr);                                      \
         ++value_count_;                                                 \
-        if (hooks_)                                                     \
-            v_ = hooks_->filterResult(*inst.src, my_index, v_);         \
+        if (hot_hooks_)                                                 \
+            v_ = hot_hooks_->filterResult(*inst.src, my_index, v_);     \
         frame.regs[inst.dest] = v_;                                     \
         ++frame.ip;                                                     \
     } while (0)
@@ -193,7 +193,6 @@ RunResult
 Interpreter::run(const std::string &func_name,
                  const std::vector<std::uint64_t> &args)
 {
-    RunResult result;
     const DecodedFunction *func = decoded_->functionByName(func_name);
     if (!func)
         fatalf("run: no function named '", func_name, "'");
@@ -207,6 +206,41 @@ Interpreter::run(const std::string &func_name,
     overhead_count_ = 0;
     rollback_count_ = 0;
     next_token_ = 0;
+    if (recorder_)
+        snapshot_barrier_ = recorder_->firstBarrier();
+    resync_target_ = nullptr;
+    resync_barrier_ = kNoSnapshotBarrier;
+    trial_stop_ = false;
+
+    // Set up the initial frame (reusing the pooled slot, if any).
+    {
+        Frame &frame = activateFrame(*func);
+        for (std::size_t i = 0; i < args.size(); ++i)
+            frame.regs[i] = args[i];
+        memory_.pushFrame(*func->src);
+        enterBlock(frame, func->entry_block, nullptr);
+    }
+
+    return execLoop();
+}
+
+RunResult
+Interpreter::resumeRun(const Snapshot &snap, const PagePool &pool)
+{
+    ENCORE_ASSERT(!snap.exec.frames.empty(),
+                  "resumeRun from a snapshot with no frames");
+    resync_target_ = nullptr;
+    resync_barrier_ = kNoSnapshotBarrier;
+    trial_stop_ = false;
+    memory_.restore(snap.mem, pool);
+    restoreExecState(snap.exec);
+    return execLoop();
+}
+
+RunResult
+Interpreter::execLoop()
+{
+    RunResult result;
 
     auto finish = [&](RunResult::Status status, const std::string &error) {
         result.status = status;
@@ -220,30 +254,52 @@ Interpreter::run(const std::string &func_name,
         return result;
     };
 
-    // Set up the initial frame (reusing the pooled slot, if any).
-    {
-        Frame &frame = activateFrame(*func);
-        for (std::size_t i = 0; i < args.size(); ++i)
-            frame.regs[i] = args[i];
-        memory_.pushFrame(*func->src);
-        enterBlock(frame, func->entry_block, nullptr);
-    }
-
     while (true) {
         if (dyn_count_ >= max_instrs_)
             return finish(RunResult::Status::InstructionLimit,
                           "instruction limit exceeded");
 
+        // Stride barrier of the snapshot recorder (golden run only):
+        // the loop top is a consistent between-instructions boundary,
+        // so the captured state is exactly what a trial restored here
+        // would have reached by re-executing the prefix.
+        if (value_count_ >= snapshot_barrier_)
+            snapshot_barrier_ = recorder_->capture(*this);
+
         Frame &frame = frames_[depth_ - 1];
+
+        // Golden-resync watch (armed trials only): once the live state
+        // exactly equals the anchor snapshot, the rest of the run is
+        // the golden suffix by determinism — stop here and let the
+        // caller adopt the golden outcome. The anchor's top-frame
+        // instruction index is hoisted into resync_top_ip_ so the
+        // armed steady state (the whole rolled-back replay) pays two
+        // compares per instruction, not a ladder call: equality is
+        // only possible at the anchor's exact code position.
+        if (value_count_ >= resync_barrier_ &&
+            frame.ip == resync_top_ip_ && tryGoldenResync()) {
+            result.golden_resync = true;
+            return finish(RunResult::Status::Ok, {});
+        }
 
         ENCORE_ASSERT(frame.ip < frame.func->code.size(),
                       "fell off the end of a basic block");
         const DecodedInst &inst = frame.func->code[frame.ip];
 
-        if (hooks_ && hooks_->shouldTriggerDetection(*inst.src, dyn_count_)) {
+        if (hot_hooks_ &&
+            hot_hooks_->shouldTriggerDetection(*inst.src, dyn_count_)) {
             if (!handleDetection(frame)) {
                 return finish(RunResult::Status::DetectedUnrecoverable,
                               "fault detected outside any active region");
+            }
+            // The hook may have sealed the trial's classification
+            // during onDetectionHandled (every possible way the run
+            // could still end maps to the same outcome) — finishing
+            // now is then observationally equivalent and skips the
+            // whole remaining suffix.
+            if (trial_stop_) {
+                trial_stop_ = false;
+                return finish(RunResult::Status::Ok, {});
             }
             continue;
         }
@@ -426,18 +482,19 @@ Interpreter::run(const std::string &func_name,
                 std::uint32_t offset;
                 evalAddr(frame, inst, object, offset);
                 std::uint64_t value = memory_.wordAt(object, offset);
-                if (hooks_) {
-                    hooks_->onMemoryAccess(*frame.func->src, *inst.src,
-                                           object, offset, false, my_index);
+                if (hot_hooks_) {
+                    hot_hooks_->onMemoryAccess(*frame.func->src, *inst.src,
+                                               object, offset, false,
+                                               my_index);
                 }
                 for (Observer *obs : observers_) {
                     obs->onMemoryAccess(*frame.func->src, *inst.src,
                                         object, offset, false, my_index);
                 }
                 ++value_count_;
-                if (hooks_)
-                    value = hooks_->filterResult(*inst.src, my_index,
-                                                 value);
+                if (hot_hooks_)
+                    value = hot_hooks_->filterResult(*inst.src, my_index,
+                                                     value);
                 frame.regs[inst.dest] = value;
                 ++frame.ip;
             }
@@ -447,9 +504,10 @@ Interpreter::run(const std::string &func_name,
                 std::uint32_t offset;
                 evalAddr(frame, inst, object, offset);
                 memory_.setWord(object, offset, ENCORE_VA);
-                if (hooks_) {
-                    hooks_->onMemoryAccess(*frame.func->src, *inst.src,
-                                           object, offset, true, my_index);
+                if (hot_hooks_) {
+                    hot_hooks_->onMemoryAccess(*frame.func->src, *inst.src,
+                                               object, offset, true,
+                                               my_index);
                 }
                 for (Observer *obs : observers_) {
                     obs->onMemoryAccess(*frame.func->src, *inst.src,
@@ -580,6 +638,12 @@ Interpreter::run(const std::string &func_name,
                     return finish(RunResult::Status::DetectedUnrecoverable,
                                   err.message);
                 }
+                // Same outcome-sealed exit as the loop-top detection
+                // site (see requestTrialStop).
+                if (trial_stop_) {
+                    trial_stop_ = false;
+                    return finish(RunResult::Status::Ok, {});
+                }
                 continue;
             }
             return finish(RunResult::Status::Error, err.message);
@@ -590,6 +654,175 @@ Interpreter::run(const std::string &func_name,
                 obs->onInstruction(*exec_func->src, *inst.src, my_index);
         }
     }
+}
+
+void
+Interpreter::armGoldenResync()
+{
+    resync_target_ = nullptr;
+    resync_barrier_ = kNoSnapshotBarrier;
+    if (!resync_store_)
+        return;
+    // Anchor strictly after the *current* value count. Although the
+    // imminent rollback rewinds control to the region entry, the
+    // memory image does not follow it there: the undo log only covers
+    // checkpoint-required locations (none at all for idempotent
+    // regions, clobbering stores only for checkpointed ones), so
+    // locations the region wrote without a checkpoint keep their
+    // later-than-entry values until the replay overwrites them. The
+    // earliest point the live state can equal a golden snapshot is
+    // therefore at-or-after the current position — exactly where the
+    // replay finishes re-deriving what the fault window corrupted. An
+    // anchor is self-certifying (the watch fires only on full
+    // semantic-state equality), so a conservative choice costs
+    // nothing in correctness.
+    const Snapshot *anchor = resync_store_->findFirstAfter(value_count_);
+    if (!anchor)
+        return;
+    resync_target_ = anchor;
+    resync_barrier_ = anchor->exec.value_count;
+    resync_top_ip_ = anchor->exec.frames.back().ip;
+    resync_full_compares_ = 0;
+}
+
+bool
+Interpreter::tryGoldenResync()
+{
+    constexpr std::uint32_t kMaxResyncFullCompares = 8;
+
+    const ExecSnapshot &exec = resync_target_->exec;
+
+    // Cheap-first laddering: stack depth and the top frame's cursor
+    // and registers weed out nearly every non-matching boundary before
+    // the full compare runs.
+    if (depth_ != exec.frames.size())
+        return false;
+    const Frame &top = frames_[depth_ - 1];
+    const SnapFrame &snap_top = exec.frames.back();
+    if (top.func->index != snap_top.func_index ||
+        top.block != snap_top.block || top.ip != snap_top.ip)
+        return false;
+    if (top.regs != snap_top.regs)
+        return false;
+
+    // The fast-forwarded run stands in for executing the golden suffix
+    // on top of the instructions already burned. If that projected
+    // total would trip the budget, the full run ends in
+    // InstructionLimit and the shortcut must not fire; dyn_count_ only
+    // grows, so disarm outright rather than re-checking forever.
+    const std::uint64_t suffix_dyn =
+        resync_golden_dyn_ - exec.dyn_count;
+    if (dyn_count_ + suffix_dyn >= max_instrs_) {
+        resync_target_ = nullptr;
+        resync_barrier_ = kNoSnapshotBarrier;
+        return false;
+    }
+
+    // Full compares are capped: past the cheap tests a near-converged
+    // trial can graze the anchor repeatedly, and each graze pays an
+    // O(live memory) walk. A trial that hasn't locked on within the
+    // cap just runs to completion the ordinary way.
+    if (++resync_full_compares_ > kMaxResyncFullCompares) {
+        resync_target_ = nullptr;
+        resync_barrier_ = kNoSnapshotBarrier;
+        return false;
+    }
+
+    for (std::size_t f = 0; f < depth_; ++f) {
+        const Frame &frame = frames_[f];
+        const SnapFrame &saved = exec.frames[f];
+        if (frame.func->index != saved.func_index ||
+            frame.block != saved.block || frame.ip != saved.ip ||
+            frame.caller_dest != saved.caller_dest ||
+            frame.regs != saved.regs)
+            return false;
+        const RecoveryState &rec = frame.recovery;
+        // rec.token (and next_token_) are deliberately excluded: tokens
+        // are a session counter — a rolled-back trial's run ahead of
+        // the golden run's — and nothing reads them once detection is
+        // past. Everything else, including the undo log contents, is
+        // state a future `restore` could observe.
+        if (rec.active != saved.rec_active ||
+            rec.region != saved.rec_region ||
+            rec.recovery_block != saved.rec_recovery_block)
+            return false;
+        if (rec.log.size() != saved.rec_log.size())
+            return false;
+        for (std::size_t u = 0; u < rec.log.size(); ++u) {
+            const Undo &a = rec.log[u];
+            const SnapUndo &b = saved.rec_log[u];
+            if ((a.kind == Undo::Kind::Mem) != b.is_mem ||
+                a.object != b.object || a.offset != b.offset ||
+                a.reg != b.reg || a.value != b.value)
+                return false;
+        }
+    }
+
+    return memory_.matches(resync_target_->mem, resync_store_->pool());
+}
+
+void
+Interpreter::saveExecState(ExecSnapshot &out) const
+{
+    out.frames.clear();
+    out.frames.reserve(depth_);
+    for (std::size_t f = 0; f < depth_; ++f) {
+        const Frame &frame = frames_[f];
+        SnapFrame saved;
+        saved.func_index = frame.func->index;
+        saved.regs = frame.regs;
+        saved.block = frame.block;
+        saved.ip = frame.ip;
+        saved.caller_dest = frame.caller_dest;
+        saved.rec_active = frame.recovery.active;
+        saved.rec_region = frame.recovery.region;
+        saved.rec_token = frame.recovery.token;
+        saved.rec_recovery_block = frame.recovery.recovery_block;
+        saved.rec_log.reserve(frame.recovery.log.size());
+        for (const Undo &undo : frame.recovery.log) {
+            saved.rec_log.push_back(SnapUndo{undo.kind == Undo::Kind::Mem,
+                                             undo.object, undo.offset,
+                                             undo.reg, undo.value});
+        }
+        out.frames.push_back(std::move(saved));
+    }
+    out.dyn_count = dyn_count_;
+    out.value_count = value_count_;
+    out.overhead_count = overhead_count_;
+    out.rollback_count = rollback_count_;
+    out.next_token = next_token_;
+}
+
+void
+Interpreter::restoreExecState(const ExecSnapshot &snap)
+{
+    depth_ = 0;
+    for (const SnapFrame &saved : snap.frames) {
+        if (depth_ == frames_.size())
+            frames_.emplace_back();
+        Frame &frame = frames_[depth_++];
+        frame.func = &decoded_->function(saved.func_index);
+        frame.regs.assign(saved.regs.begin(), saved.regs.end());
+        frame.block = saved.block;
+        frame.ip = saved.ip;
+        frame.caller_dest = saved.caller_dest;
+        frame.recovery.active = saved.rec_active;
+        frame.recovery.region = saved.rec_region;
+        frame.recovery.token = saved.rec_token;
+        frame.recovery.recovery_block = saved.rec_recovery_block;
+        frame.recovery.log.clear();
+        frame.recovery.log.reserve(saved.rec_log.size());
+        for (const SnapUndo &undo : saved.rec_log) {
+            frame.recovery.log.push_back(
+                Undo{undo.is_mem ? Undo::Kind::Mem : Undo::Kind::Reg,
+                     undo.object, undo.offset, undo.reg, undo.value});
+        }
+    }
+    dyn_count_ = snap.dyn_count;
+    value_count_ = snap.value_count;
+    overhead_count_ = snap.overhead_count;
+    rollback_count_ = snap.rollback_count;
+    next_token_ = snap.next_token;
 }
 
 } // namespace encore::interp

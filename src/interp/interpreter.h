@@ -43,6 +43,7 @@
 #include "interp/decoded.h"
 #include "interp/memory.h"
 #include "interp/observer.h"
+#include "interp/snapshot.h"
 
 namespace encore::interp {
 
@@ -65,6 +66,12 @@ struct RunResult
     /// Dynamic value-producing instructions (candidates for a fault).
     std::uint64_t value_instrs = 0;
     std::uint64_t rollbacks = 0;
+    /// True when the run was cut short by a golden resync: the live
+    /// state matched the armed golden snapshot exactly, so the
+    /// remainder of the run is the golden suffix by determinism. The
+    /// caller owns adopting the golden outcome (return value, output
+    /// equality); the counters here cover only the executed portion.
+    bool golden_resync = false;
     std::string error;
     /// Final contents of every global object, for output comparison.
     /// Left empty when the interpreter runs with setCaptureGlobals(false)
@@ -96,7 +103,24 @@ class Interpreter
     void clearObservers() { observers_.clear(); }
 
     /// Installs active hooks (not owned); pass nullptr to remove.
-    void setHooks(ExecHooks *hooks) { hooks_ = hooks; }
+    void
+    setHooks(ExecHooks *hooks)
+    {
+        hooks_ = hooks;
+        hot_hooks_ = hooks;
+    }
+
+    /// Drops the installed hooks from the per-instruction hot sites
+    /// (filterResult, shouldTriggerDetection, onMemoryAccess) while
+    /// keeping the rare ones (onRuntimeError, onDetectionHandled)
+    /// live. The hooks themselves call this once they become pure
+    /// pass-throughs — after a rollback dissolves the taint, every
+    /// hot callback is an observationally-silent no-op, yet the
+    /// post-rollback replay is exactly where most of a trial's
+    /// instructions execute; skipping the virtual dispatch there
+    /// roughly halves replay cost. Re-installed by the next
+    /// setHooks().
+    void quiesceHooks() { hot_hooks_ = nullptr; }
 
     /// Execution budget; runs exceeding it end with InstructionLimit.
     void setMaxInstructions(std::uint64_t limit) { max_instrs_ = limit; }
@@ -109,6 +133,82 @@ class Interpreter
     /// Frames and memory storage pooled by earlier runs are reused.
     RunResult run(const std::string &func_name,
                   const std::vector<std::uint64_t> &args);
+
+    // --- Snapshot tier (prefix snapshots of the golden run) -------------
+    /// Installs a snapshot recorder for subsequent run() calls (pass
+    /// nullptr to remove). While installed, the dispatch loop calls
+    /// store->capture(*this) at every stride barrier; the caller must
+    /// also enable dirty tracking on memoryRef() so memory deltas are
+    /// observed. Recording and hooks are mutually exclusive in
+    /// practice: only the hook-free golden run records.
+    void
+    setSnapshotRecorder(SnapshotStore *store)
+    {
+        recorder_ = store;
+        snapshot_barrier_ =
+            store ? store->firstBarrier() : kNoSnapshotBarrier;
+    }
+
+    /// Resumes execution from a prefix snapshot instead of running
+    /// from program entry: the memory image, call stack, recovery
+    /// state, and every counter are restored exactly as they were at
+    /// the snapshot's loop-top boundary, then the dispatch loop
+    /// continues. The interpreter must share the DecodedModule the
+    /// snapshot was recorded from. Observers do not see the skipped
+    /// prefix (the trial path runs observer-free); hooks installed via
+    /// setHooks() see the suffix exactly as a full run would after the
+    /// same prefix.
+    RunResult resumeRun(const Snapshot &snap, const PagePool &pool);
+
+    // --- Golden resync (fast-forward after a successful rollback) -------
+    /// Makes `store`'s golden snapshots available as resync anchors for
+    /// subsequent runs, together with the golden run's total dynamic
+    /// instruction count (needed to prove the fast-forwarded run would
+    /// not have hit the instruction budget). Pass nullptr to clear.
+    /// Setting the source does nothing by itself — the watch starts
+    /// when armGoldenResync() is called mid-run.
+    void
+    setResyncSource(const SnapshotStore *store,
+                    std::uint64_t golden_total_dyn)
+    {
+        resync_store_ = store;
+        resync_golden_dyn_ = golden_total_dyn;
+    }
+
+    /// Arms the golden-resync watch. The caller (the injection hooks)
+    /// must guarantee that from this point on it is a pure
+    /// pass-through — fault injected, detection handled by a
+    /// successful rollback — so that the moment the live state exactly
+    /// equals a golden snapshot, the remainder of the run is the
+    /// golden suffix by determinism. The anchor is the earliest
+    /// snapshot past the current value count — the rollback replays
+    /// the region from its entry, and the live memory image (which
+    /// keeps uncheckpointed later-than-entry values) can only
+    /// reconverge with the golden run at-or-after the current
+    /// position. When the live state matches the anchor, the dispatch
+    /// loop finishes immediately with RunResult::golden_resync set.
+    void armGoldenResync();
+
+    /// Asks the dispatch loop to finish (status Ok) as soon as the
+    /// in-flight detection handling returns. For trials whose
+    /// classification is already sealed no matter how the run would
+    /// end — e.g. a rollback in a different region instance than the
+    /// fault's is Not Recoverable for every possible final status —
+    /// executing the rest of the program cannot change the outcome,
+    /// only burn time. The flag is consumed right after the current
+    /// handleDetection, so it never leaks into a later run.
+    void requestTrialStop() { trial_stop_ = true; }
+
+    /// Copies the live execution state (frames + counters) out;
+    /// used by SnapshotStore::capture at loop-top boundaries.
+    void saveExecState(ExecSnapshot &out) const;
+
+    /// Inverse of saveExecState; rebuilds the frame pool in place.
+    void restoreExecState(const ExecSnapshot &snap);
+
+    /// Direct access to the memory image — the snapshot tier uses it
+    /// for dirty-page tracking and capture/restore.
+    Memory &memoryRef() { return memory_; }
 
     /// In-place comparison of the current global memory against a
     /// snapshot (as captured by a golden run), without allocating.
@@ -183,11 +283,29 @@ class Interpreter
     /// executing) or false if the run must be abandoned.
     bool handleDetection(Frame &frame);
 
+    /// The dispatch loop, shared by run() (from a freshly set-up entry
+    /// frame) and resumeRun() (from a restored snapshot).
+    RunResult execLoop();
+
+    /// Exact-equality test of the live state against the armed resync
+    /// anchor, cheap-first: cursor (depth, function, block, ip), then
+    /// the top frame's registers, then all frames plus the full memory
+    /// image. Counters and region tokens are deliberately excluded —
+    /// they are bookkeeping, not semantic state, and a rolled-back
+    /// trial's tokens run ahead of the golden run's. Returns true when
+    /// the run may finish as a golden resync; disarms itself when the
+    /// projected full run would have hit the instruction budget or the
+    /// full-compare cap is exhausted.
+    bool tryGoldenResync();
+
     std::shared_ptr<const DecodedModule> decoded_;
     const ir::Module &module_;
     Memory memory_;
     std::vector<Observer *> observers_;
     ExecHooks *hooks_ = nullptr;
+    /// Same as hooks_ at the per-instruction call sites, but nulled by
+    /// quiesceHooks() once the hooks declare themselves pass-through.
+    ExecHooks *hot_hooks_ = nullptr;
     std::uint64_t max_instrs_ = 200'000'000;
     bool capture_globals_ = true;
 
@@ -200,6 +318,30 @@ class Interpreter
     std::uint64_t overhead_count_ = 0;
     std::uint64_t rollback_count_ = 0;
     std::uint64_t next_token_ = 0;
+
+    /// Snapshot recording: the loop captures into `recorder_` whenever
+    /// value_count_ crosses `snapshot_barrier_` (kNoSnapshotBarrier
+    /// keeps the check a single never-taken compare on normal runs).
+    SnapshotStore *recorder_ = nullptr;
+    std::uint64_t snapshot_barrier_ = kNoSnapshotBarrier;
+
+    /// Golden resync: `resync_barrier_` stays kNoSnapshotBarrier until
+    /// armGoldenResync() picks an anchor, keeping the loop-top check a
+    /// single never-taken compare on every other run.
+    const SnapshotStore *resync_store_ = nullptr;
+    std::uint64_t resync_golden_dyn_ = 0;
+    const Snapshot *resync_target_ = nullptr;
+    std::uint64_t resync_barrier_ = kNoSnapshotBarrier;
+    /// Anchor's top-frame instruction index, hoisted so the armed
+    /// watch can reject every other code position with one compare
+    /// before calling into the tryGoldenResync ladder.
+    std::uint32_t resync_top_ip_ = ~0u;
+    std::uint32_t resync_full_compares_ = 0;
+
+    /// Outcome-sealed early exit (requestTrialStop): checked only on
+    /// the detection-handling paths, so it costs nothing per
+    /// instruction.
+    bool trial_stop_ = false;
 };
 
 } // namespace encore::interp

@@ -1,8 +1,18 @@
 #include "interp/memory.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "support/diagnostics.h"
 
 namespace encore::interp {
+
+std::uint64_t
+nextPagePoolUid()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Memory::Memory(const ir::Module &module)
     : module_(module),
@@ -26,6 +36,8 @@ Memory::reset()
             // pushFrame re-zeroes it without reallocating.
             allocated_[obj.id] = 0;
         }
+        if (tracking_)
+            markAllDirty(obj.id);
     }
 }
 
@@ -45,6 +57,8 @@ Memory::pushFrame(const ir::Function &func)
         record.saved.push_back(std::move(saved));
         storage_[id].assign(module_.object(id).size, 0);
         allocated_[id] = 1;
+        if (tracking_)
+            markAllDirty(id);
     }
 }
 
@@ -62,6 +76,8 @@ Memory::popFrame()
             // the next activation.
             allocated_[it->id] = 0;
         }
+        if (tracking_)
+            markAllDirty(it->id);
     }
     record.saved.clear();
 }
@@ -85,6 +101,8 @@ Memory::write(ir::ObjectId object, std::uint32_t offset,
         offset >= storage_[object].size())
         return false;
     storage_[object][offset] = value;
+    if (tracking_)
+        dirty_[object][offset >> page_shift_] = 1;
     return true;
 }
 
@@ -120,6 +138,259 @@ Memory::globalsEqual(
         ++i;
     }
     return i == snapshot.size();
+}
+
+void
+Memory::markAllDirty(ir::ObjectId object)
+{
+    const std::size_t pages =
+        (storage_[object].size() + (1u << page_shift_) - 1) >> page_shift_;
+    dirty_[object].assign(pages, 1);
+}
+
+void
+Memory::enableDirtyTracking(std::uint32_t page_words)
+{
+    std::uint32_t shift = 0;
+    while ((1u << shift) < page_words && shift < 20)
+        ++shift;
+    // Idempotent on the trial path: runTrialAt re-asserts tracking per
+    // trial, and re-marking every page would throw away the mirror's
+    // whole benefit.
+    if (tracking_ && shift == page_shift_)
+        return;
+    page_shift_ = shift;
+    tracking_ = true;
+    mirror_ = nullptr;
+    dirty_.resize(storage_.size());
+    for (ir::ObjectId id = 0; id < storage_.size(); ++id)
+        markAllDirty(id);
+}
+
+void
+Memory::disableDirtyTracking()
+{
+    if (!tracking_)
+        return;
+    tracking_ = false;
+    mirror_ = nullptr;
+    dirty_.clear();
+    dirty_.shrink_to_fit();
+}
+
+void
+Memory::clearDirty()
+{
+    for (auto &pages : dirty_)
+        pages.assign(pages.size(), 0);
+}
+
+void
+Memory::capture(MemSnapshot &out, const MemSnapshot *prev,
+                PagePool &pool) const
+{
+    ENCORE_ASSERT(tracking_, "capture without dirty tracking enabled");
+    const std::uint32_t pw = 1u << page_shift_;
+    ENCORE_ASSERT(pool.page_words == pw,
+                  "capture into a pool with a different page size");
+    out.objects.clear();
+    out.page_refs.clear();
+    out.frames.clear();
+    out.objects.reserve(storage_.size());
+
+    for (ir::ObjectId id = 0; id < storage_.size(); ++id) {
+        MemObjectImage img;
+        img.allocated = allocated_[id] != 0;
+        if (img.allocated) {
+            const std::vector<std::uint64_t> &words = storage_[id];
+            img.size = static_cast<std::uint32_t>(words.size());
+            img.num_pages = (img.size + pw - 1) / pw;
+            img.first_ref =
+                static_cast<std::uint32_t>(out.page_refs.size());
+            const MemObjectImage *prev_img =
+                prev && id < prev->objects.size() ? &prev->objects[id]
+                                                  : nullptr;
+            // Clean-page reuse is only valid when the previous snapshot
+            // held this object at the same size: any size change went
+            // through pushFrame/popFrame, which mark the object fully
+            // dirty, so the guard is belt-and-braces.
+            const bool prev_ok = prev_img && prev_img->allocated &&
+                                 prev_img->size == img.size;
+            const std::vector<std::uint8_t> &dirty = dirty_[id];
+            for (std::uint32_t p = 0; p < img.num_pages; ++p) {
+                const bool is_dirty = p >= dirty.size() || dirty[p] != 0;
+                if (prev_ok && !is_dirty) {
+                    out.page_refs.push_back(
+                        prev->page_refs[prev_img->first_ref + p]);
+                    continue;
+                }
+                const std::uint32_t ref =
+                    static_cast<std::uint32_t>(pool.numPages());
+                pool.words.resize(pool.words.size() + pw, 0);
+                std::uint64_t *dst =
+                    pool.words.data() + std::size_t(ref) * pw;
+                const std::uint32_t base = p * pw;
+                const std::uint32_t count =
+                    std::min(pw, img.size - base);
+                for (std::uint32_t i = 0; i < count; ++i)
+                    dst[i] = words[base + i];
+                out.page_refs.push_back(ref);
+            }
+        }
+        out.objects.push_back(img);
+    }
+
+    out.frames.reserve(depth_);
+    for (std::size_t f = 0; f < depth_; ++f) {
+        MemFrameImage frame;
+        frame.saved.reserve(frames_[f].saved.size());
+        for (const SavedLocal &saved : frames_[f].saved) {
+            SavedLocalImage image;
+            image.id = saved.id;
+            image.was_allocated = saved.was_allocated;
+            image.contents = saved.contents;
+            frame.saved.push_back(std::move(image));
+        }
+        out.frames.push_back(std::move(frame));
+    }
+}
+
+void
+Memory::restore(const MemSnapshot &snap, const PagePool &pool)
+{
+    ENCORE_ASSERT(snap.objects.size() == storage_.size(),
+                  "snapshot object count mismatch");
+    const std::uint32_t pw = pool.page_words;
+    // Delta mode: everything mutated since the last restore carries a
+    // dirty flag (write/setWord page marks; reset/pushFrame/popFrame
+    // mark whole objects), so a clean page still holds the mirror
+    // snapshot's contents — and when the mirror and the target agree
+    // on its pool ref, those contents are already the target's.
+    const bool delta = tracking_ && mirror_ != nullptr &&
+                       mirror_pool_uid_ == pool.uid &&
+                       (1u << page_shift_) == pw;
+    for (ir::ObjectId id = 0; id < storage_.size(); ++id) {
+        const MemObjectImage &img = snap.objects[id];
+        if (!img.allocated) {
+            // Deallocate by flag only, matching popFrame: the words
+            // stay as capacity for the next activation.
+            allocated_[id] = 0;
+            continue;
+        }
+        std::vector<std::uint64_t> &words = storage_[id];
+        const MemObjectImage *mi = delta ? &mirror_->objects[id] : nullptr;
+        if (mi && mi->allocated && mi->size == img.size &&
+            words.size() == img.size) {
+            const std::vector<std::uint8_t> &dirty = dirty_[id];
+            for (std::uint32_t p = 0; p < img.num_pages; ++p) {
+                const std::uint32_t ref =
+                    snap.page_refs[img.first_ref + p];
+                if (p < dirty.size() && dirty[p] == 0 &&
+                    mirror_->page_refs[mi->first_ref + p] == ref)
+                    continue;
+                const std::uint64_t *src =
+                    pool.words.data() + std::size_t(ref) * pw;
+                const std::uint32_t base = p * pw;
+                const std::uint32_t count =
+                    std::min(pw, img.size - base);
+                for (std::uint32_t i = 0; i < count; ++i)
+                    words[base + i] = src[i];
+            }
+            allocated_[id] = 1;
+            continue;
+        }
+        words.resize(img.size);
+        for (std::uint32_t p = 0; p < img.num_pages; ++p) {
+            const std::uint32_t ref = snap.page_refs[img.first_ref + p];
+            const std::uint64_t *src =
+                pool.words.data() + std::size_t(ref) * pw;
+            const std::uint32_t base = p * pw;
+            const std::uint32_t count = std::min(pw, img.size - base);
+            for (std::uint32_t i = 0; i < count; ++i)
+                words[base + i] = src[i];
+        }
+        allocated_[id] = 1;
+    }
+
+    depth_ = snap.frames.size();
+    if (frames_.size() < depth_)
+        frames_.resize(depth_);
+    for (std::size_t f = 0; f < depth_; ++f) {
+        FrameRecord &record = frames_[f];
+        const MemFrameImage &image = snap.frames[f];
+        record.saved.resize(image.saved.size());
+        for (std::size_t i = 0; i < image.saved.size(); ++i) {
+            record.saved[i].id = image.saved[i].id;
+            record.saved[i].was_allocated = image.saved[i].was_allocated;
+            record.saved[i].contents = image.saved[i].contents;
+        }
+    }
+
+    if (tracking_ && (1u << page_shift_) == pw) {
+        mirror_ = &snap;
+        mirror_pool_uid_ = pool.uid;
+        clearDirty();
+    } else {
+        mirror_ = nullptr;
+    }
+}
+
+bool
+Memory::matches(const MemSnapshot &snap, const PagePool &pool) const
+{
+    if (snap.objects.size() != storage_.size())
+        return false;
+    const std::uint32_t pw = pool.page_words;
+    const bool delta = tracking_ && mirror_ != nullptr &&
+                       mirror_pool_uid_ == pool.uid &&
+                       (1u << page_shift_) == pw;
+    for (ir::ObjectId id = 0; id < storage_.size(); ++id) {
+        const MemObjectImage &img = snap.objects[id];
+        if (img.allocated != (allocated_[id] != 0))
+            return false;
+        if (!img.allocated)
+            continue;
+        const std::vector<std::uint64_t> &words = storage_[id];
+        if (words.size() != img.size)
+            return false;
+        const MemObjectImage *mi = delta ? &mirror_->objects[id] : nullptr;
+        const bool use_mirror =
+            mi && mi->allocated && mi->size == img.size;
+        for (std::uint32_t p = 0; p < img.num_pages; ++p) {
+            const std::uint32_t ref = snap.page_refs[img.first_ref + p];
+            // A page untouched since the last restore still holds the
+            // mirror snapshot's contents; a shared pool ref then makes
+            // it equal to the candidate's page with no word compare.
+            if (use_mirror && p < dirty_[id].size() &&
+                dirty_[id][p] == 0 &&
+                mirror_->page_refs[mi->first_ref + p] == ref)
+                continue;
+            const std::uint64_t *src =
+                pool.words.data() + std::size_t(ref) * pw;
+            const std::uint32_t base = p * pw;
+            const std::uint32_t count = std::min(pw, img.size - base);
+            for (std::uint32_t i = 0; i < count; ++i)
+                if (words[base + i] != src[i])
+                    return false;
+        }
+    }
+
+    if (depth_ != snap.frames.size())
+        return false;
+    for (std::size_t f = 0; f < depth_; ++f) {
+        const FrameRecord &record = frames_[f];
+        const MemFrameImage &image = snap.frames[f];
+        if (record.saved.size() != image.saved.size())
+            return false;
+        for (std::size_t i = 0; i < image.saved.size(); ++i) {
+            if (record.saved[i].id != image.saved[i].id ||
+                record.saved[i].was_allocated !=
+                    image.saved[i].was_allocated ||
+                record.saved[i].contents != image.saved[i].contents)
+                return false;
+        }
+    }
+    return true;
 }
 
 } // namespace encore::interp

@@ -16,6 +16,15 @@
  * path. The `allocated_` flags are bytes, not std::vector<bool> bits —
  * isAllocated() sits on the address-evaluation hot path and the
  * bit-reference proxy costs a shift+mask there.
+ *
+ * Snapshot support (the prefix-snapshot trial tier): a Memory can run
+ * with dirty-page tracking enabled, in which case every mutation marks
+ * the containing fixed-size page. capture() then emits a MemSnapshot —
+ * a per-object page table into a shared PagePool — re-using the
+ * previous snapshot's pool pages for every page left clean since the
+ * last kept capture, so consecutive snapshots cost only the delta.
+ * restore() rebuilds the full image from any snapshot in O(live
+ * memory), independent of how many deltas were recorded after it.
  */
 #ifndef ENCORE_INTERP_MEMORY_H
 #define ENCORE_INTERP_MEMORY_H
@@ -26,6 +35,61 @@
 #include "ir/module.h"
 
 namespace encore::interp {
+
+/// Shared backing storage for memory snapshots: fixed-size pages of
+/// `page_words` words, appended by Memory::capture and indexed by the
+/// page references inside each MemSnapshot. Immutable once recording
+/// finishes, so any number of trial threads may restore from it.
+/// Process-unique id for a PagePool instance; never reused, so a
+/// Memory can prove that page refs it recorded at a past restore still
+/// refer to the pool it is being handed now.
+std::uint64_t nextPagePoolUid();
+
+struct PagePool
+{
+    std::uint32_t page_words = 64;
+    std::vector<std::uint64_t> words; ///< Page i at [i * page_words].
+    std::uint64_t uid = nextPagePoolUid();
+
+    std::size_t
+    numPages() const
+    {
+        return page_words ? words.size() / page_words : 0;
+    }
+};
+
+/// Page table for one MemObject inside a snapshot.
+struct MemObjectImage
+{
+    bool allocated = false;
+    std::uint32_t size = 0;      ///< Object size in words.
+    std::uint32_t first_ref = 0; ///< Index into MemSnapshot::page_refs.
+    std::uint32_t num_pages = 0;
+};
+
+/// Copy of one Memory::SavedLocal (the shadow record that lets locals
+/// recurse); snapshots store these verbatim so popFrame behaves
+/// identically after a restore.
+struct SavedLocalImage
+{
+    ir::ObjectId id = ir::kInvalidObject;
+    bool was_allocated = false;
+    std::vector<std::uint64_t> contents;
+};
+
+struct MemFrameImage
+{
+    std::vector<SavedLocalImage> saved;
+};
+
+/// One snapshot of the full memory image: per-object page tables over
+/// a shared PagePool, plus the local-object shadow stack.
+struct MemSnapshot
+{
+    std::vector<MemObjectImage> objects; ///< Indexed by ir::ObjectId.
+    std::vector<std::uint32_t> page_refs;
+    std::vector<MemFrameImage> frames;
+};
 
 class Memory
 {
@@ -62,6 +126,8 @@ class Memory
     setWord(ir::ObjectId object, std::uint32_t offset, std::uint64_t value)
     {
         storage_[object][offset] = value;
+        if (tracking_)
+            dirty_[object][offset >> page_shift_] = 1;
     }
 
     std::uint32_t objectSize(ir::ObjectId object) const;
@@ -81,6 +147,45 @@ class Memory
     bool globalsEqual(
         const std::vector<std::vector<std::uint64_t>> &snapshot) const;
 
+    // --- Snapshot tier -------------------------------------------------
+    /// Turns on dirty-page tracking with the given page size (rounded
+    /// up to a power of two, minimum 1). All pages start dirty so the
+    /// first capture is a full image.
+    void enableDirtyTracking(std::uint32_t page_words);
+    void disableDirtyTracking();
+
+    /// Captures the current image into `out`, appending only pages
+    /// dirtied since the last clearDirty() to `pool` and re-using
+    /// `prev`'s page references for clean pages (prev must be the last
+    /// snapshot whose capture was followed by clearDirty()). Does NOT
+    /// clear the dirty flags — the caller decides whether to keep the
+    /// snapshot (clearDirty) or discard it (truncate the pool back).
+    void capture(MemSnapshot &out, const MemSnapshot *prev,
+                 PagePool &pool) const;
+
+    /// Marks every page clean; call after a capture is kept.
+    void clearDirty();
+
+    /// Rebuilds the image (contents, allocation flags, and the
+    /// local-object shadow stack) from a snapshot. Word storage is
+    /// reused in place. With dirty tracking enabled the restore is
+    /// *delta-aware*: the Memory remembers which snapshot it last
+    /// restored from, and a page is rewritten only when it was dirtied
+    /// since then or the two snapshots disagree on its pool ref — a
+    /// worker cycling through nearby snapshots pays O(changed pages),
+    /// not O(live memory). The result is bit-identical to a full
+    /// rebuild (clean page + shared ref ⇒ contents already right).
+    void restore(const MemSnapshot &snap, const PagePool &pool);
+
+    /// Exact equality of the current image against a snapshot:
+    /// allocation flags, live contents, and the local-object shadow
+    /// stack. This is the memory half of the golden-resync state test;
+    /// unallocated objects compare by flag only (their words are dead
+    /// capacity on both sides). Uses the same mirror shortcut as
+    /// restore(): a page clean since the last restore whose pool ref
+    /// matches the candidate's is equal without touching its words.
+    bool matches(const MemSnapshot &snap, const PagePool &pool) const;
+
   private:
     struct SavedLocal
     {
@@ -96,6 +201,11 @@ class Memory
         std::vector<SavedLocal> saved;
     };
 
+    /// Sizes dirty_[object] to the object's current page count with
+    /// every page marked dirty (used when whole-object state changes:
+    /// reset, pushFrame, popFrame).
+    void markAllDirty(ir::ObjectId object);
+
     const ir::Module &module_;
     std::vector<std::vector<std::uint64_t>> storage_; // indexed by id
     /// Byte flags (not vector<bool>): isAllocated is hot.
@@ -103,6 +213,21 @@ class Memory
     /// Pooled frame records; frames_[0 .. depth_) are live.
     std::vector<FrameRecord> frames_;
     std::size_t depth_ = 0;
+
+    /// Dirty-page tracking (golden-run recording, and trial workers
+    /// once the snapshot tier is active). Byte flags per page, per
+    /// object; `tracking_` gates the setWord fast path.
+    bool tracking_ = false;
+    std::uint32_t page_shift_ = 6;
+    std::vector<std::vector<std::uint8_t>> dirty_;
+
+    /// Restore mirror: the snapshot this image was last rebuilt from,
+    /// with dirty flags cleared at that instant. Only consulted while
+    /// `mirror_pool_uid_` matches the pool being restored from — pool
+    /// uids are never reused, so a matching uid proves the pool (and
+    /// therefore the immutable store owning `mirror_`) is still alive.
+    const MemSnapshot *mirror_ = nullptr;
+    std::uint64_t mirror_pool_uid_ = 0;
 };
 
 } // namespace encore::interp

@@ -68,6 +68,27 @@ prepare(std::uint64_t arg = 50)
     return setup;
 }
 
+/// Same harness, but with the snapshot tier actually capturing: the
+/// test program is tiny, so the stride has to drop far below the
+/// default for any barrier to be crossed.
+Harness
+prepareWithSnapshots(std::uint64_t arg = 50, std::uint64_t stride = 32)
+{
+    Harness setup;
+    setup.module = ir::parseModule(kProgram);
+    EncoreConfig config;
+    config.gamma = 1.0;
+    EncorePipeline pipeline(*setup.module, config);
+    setup.report = pipeline.run({RunSpec{"main", {arg}}});
+    setup.injector = std::make_unique<fault::FaultInjector>(
+        *setup.module, setup.report);
+    interp::SnapshotConfig snap;
+    snap.stride = stride;
+    setup.injector->configureSnapshots(snap);
+    EXPECT_TRUE(setup.injector->prepare("main", {arg}));
+    return setup;
+}
+
 fault::CampaignConfig
 campaignConfig(std::size_t jobs = 1)
 {
@@ -279,6 +300,88 @@ TEST(CampaignRunner, ShardedRunPlusMergeMatchesUnsharded)
 
     MergeSummary merged;
     const auto err = mergeTrialStores(paths, merged);
+    ASSERT_FALSE(err.has_value()) << *err;
+    EXPECT_EQ(merged.stores_merged, 2u);
+    EXPECT_EQ(formatAggregate(merged.result), baseline);
+}
+
+TEST(CampaignRunner, SnapshotKillResumeByteIdenticalAcrossTiers)
+{
+    // Interrupt a snapshot-accelerated campaign, then resume it with a
+    // snapshot-FREE injector (a full re-execution build of the same
+    // campaign). The store header records the snapshot provenance of
+    // the first run, but provenance is not identity: the resume must
+    // proceed, and the final aggregate must be byte-identical to an
+    // uninterrupted snapshot-free run.
+    Harness off = prepare();
+    const fault::CampaignConfig config = campaignConfig(4);
+    const std::string baseline =
+        formatAggregate(off.injector->runCampaign(config));
+
+    Harness on = prepareWithSnapshots();
+    ASSERT_TRUE(on.injector->snapshotsActive());
+
+    const std::string path = tempStorePath("snap_resume.trials");
+    RunnerOptions first;
+    first.store_path = path;
+    first.stop_after = 100;
+    {
+        CampaignRunner runner(*on.injector, config, first);
+        EXPECT_FALSE(runner.run().complete);
+    }
+
+    // The interrupted store carries the tier's provenance.
+    StoreContents contents;
+    ASSERT_FALSE(readTrialStore(path, contents).has_value());
+    EXPECT_EQ(contents.header.snapshot_stride,
+              on.injector->snapshotStats().stride);
+    EXPECT_GT(contents.header.snapshot_page_bytes, 0u);
+
+    RunnerOptions second;
+    second.store_path = path;
+    second.store_policy = RunnerOptions::StorePolicy::MustExist;
+    CampaignRunner runner(*off.injector, config, second);
+    const RunSummary summary = runner.run();
+    EXPECT_TRUE(summary.complete);
+    EXPECT_EQ(summary.resumed, 100u);
+    EXPECT_EQ(formatAggregate(summary.result), baseline);
+}
+
+TEST(CampaignMerge, AcceptsSnapshotRunAndFullRerunShards)
+{
+    // Shard 0 produced with the snapshot tier, shard 1 by full
+    // re-execution. Their headers differ in every snapshot_* field —
+    // and in nothing that determines trial outcomes, so the merge
+    // must accept the pair and reproduce the unsharded aggregate.
+    Harness on = prepareWithSnapshots();
+    ASSERT_TRUE(on.injector->snapshotsActive());
+    Harness off = prepare();
+    const fault::CampaignConfig config = campaignConfig();
+    const std::string baseline =
+        formatAggregate(off.injector->runCampaign(config));
+
+    const std::string shard0 = tempStorePath("snap_shard0.trials");
+    RunnerOptions options0;
+    options0.store_path = shard0;
+    options0.shard = ShardSpec{0, 2};
+    EXPECT_TRUE(
+        CampaignRunner(*on.injector, config, options0).run().complete);
+
+    const std::string shard1 = tempStorePath("snap_shard1.trials");
+    RunnerOptions options1;
+    options1.store_path = shard1;
+    options1.shard = ShardSpec{1, 2};
+    EXPECT_TRUE(
+        CampaignRunner(*off.injector, config, options1).run().complete);
+
+    StoreContents c0, c1;
+    ASSERT_FALSE(readTrialStore(shard0, c0).has_value());
+    ASSERT_FALSE(readTrialStore(shard1, c1).has_value());
+    EXPECT_GT(c0.header.snapshot_stride, 0u);
+    EXPECT_EQ(c1.header.snapshot_stride, 0u);
+
+    MergeSummary merged;
+    const auto err = mergeTrialStores({shard0, shard1}, merged);
     ASSERT_FALSE(err.has_value()) << *err;
     EXPECT_EQ(merged.stores_merged, 2u);
     EXPECT_EQ(formatAggregate(merged.result), baseline);

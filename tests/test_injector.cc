@@ -307,6 +307,139 @@ TEST(Injector, TrialOutcomeIsPureFunctionOfTrialSeed)
     }
 }
 
+TEST(OutcomeTable, NotInjectedTerminationLegs)
+{
+    // A trial whose target value index is never reached (the program
+    // terminated first, e.g. under a shorter input or an early exit)
+    // ends with injected == false. Correct output is Benign...
+    TrialObservation benign;
+    benign.status = interp::RunResult::Status::Ok;
+    benign.injected = false;
+    benign.same_output = true;
+    EXPECT_EQ(classifyTrialOutcome(benign), FaultOutcome::Benign);
+
+    // ...and a diverged output is SilentCorruption. Unreachable
+    // end-to-end under full determinism (an uninjected run IS the
+    // golden run), which is exactly why the classifier leg needs a
+    // direct test: it must stay correct for when that assumption is
+    // ever relaxed (e.g. input-dependent entropy).
+    TrialObservation silent;
+    silent.status = interp::RunResult::Status::Ok;
+    silent.injected = false;
+    silent.same_output = false;
+    EXPECT_EQ(classifyTrialOutcome(silent),
+              FaultOutcome::SilentCorruption);
+
+    // A not-injected run that did not even complete cleanly cannot be
+    // Benign regardless of the output flag — the leg is judged by
+    // "finished with the golden output", and a crash fails that.
+    TrialObservation crashed;
+    crashed.status = interp::RunResult::Status::Error;
+    crashed.injected = false;
+    crashed.same_output = true;
+    EXPECT_EQ(classifyTrialOutcome(crashed),
+              FaultOutcome::SilentCorruption);
+}
+
+TEST(OutcomeTable, InstructionLimitIsNotRecoverable)
+{
+    // An injected execution that blows the run budget maps to
+    // NotRecoverable whether or not detection fired. The budget counts
+    // restored prefix instructions too (see runTrialAt), so this
+    // mapping is identical with and without the snapshot tier.
+    for (const bool detected : {false, true}) {
+        TrialObservation obs;
+        obs.status = interp::RunResult::Status::InstructionLimit;
+        obs.injected = true;
+        obs.detected = detected;
+        obs.same_instance = detected;
+        obs.region_class = RegionClass::Idempotent;
+        EXPECT_EQ(classifyTrialOutcome(obs),
+                  FaultOutcome::NotRecoverable)
+            << "detected=" << detected;
+    }
+
+    // The not-injected leg precedes the status switch and is judged by
+    // output alone (like the Error case above): a run that never
+    // reached the target yet failed to finish with the golden output
+    // is SilentCorruption, not NotRecoverable.
+    TrialObservation uninjected;
+    uninjected.status = interp::RunResult::Status::InstructionLimit;
+    uninjected.injected = false;
+    uninjected.same_output = false;
+    EXPECT_EQ(classifyTrialOutcome(uninjected),
+              FaultOutcome::SilentCorruption);
+}
+
+TEST(OutcomeTable, DetectedLegsMatchPaperCriteria)
+{
+    // Spot-check the detected half of the table: cross-instance
+    // detection is NotRecoverable (s + l >= n), same-instance rollback
+    // with wrong output is the materialized Pmin risk, and a correct
+    // rollback splits by region class.
+    TrialObservation obs;
+    obs.status = interp::RunResult::Status::Ok;
+    obs.injected = true;
+    obs.detected = true;
+
+    obs.same_instance = false;
+    obs.same_output = true;
+    EXPECT_EQ(classifyTrialOutcome(obs), FaultOutcome::NotRecoverable);
+
+    obs.same_instance = true;
+    obs.same_output = false;
+    EXPECT_EQ(classifyTrialOutcome(obs), FaultOutcome::RecoveryFailed);
+
+    obs.same_output = true;
+    obs.region_class = RegionClass::Idempotent;
+    EXPECT_EQ(classifyTrialOutcome(obs),
+              FaultOutcome::RecoveredIdempotent);
+    obs.region_class = RegionClass::NonIdempotent;
+    EXPECT_EQ(classifyTrialOutcome(obs),
+              FaultOutcome::RecoveredCheckpoint);
+
+    // Injected but never detected: benign/silent by output alone.
+    obs.detected = false;
+    obs.same_output = true;
+    EXPECT_EQ(classifyTrialOutcome(obs), FaultOutcome::Benign);
+    obs.same_output = false;
+    EXPECT_EQ(classifyTrialOutcome(obs),
+              FaultOutcome::SilentCorruption);
+}
+
+TEST(Injector, TargetBeyondTerminationIsBenignEndToEnd)
+{
+    // End-to-end companion to the classifier test: aim the fault at
+    // value instruction == golden value count (one past the last one
+    // ever produced). The run terminates without injecting, output
+    // matches golden, outcome is Benign — on both the scratch-
+    // interpreter seam and a caller-owned interpreter.
+    Harness setup = prepare(30);
+    const std::uint64_t past_end = setup.injector->golden().value_instrs;
+    TrialConfig trial;
+    interp::Interpreter interp(setup.injector->decodedModule());
+    EXPECT_EQ(setup.injector->runTrialAt(past_end, 0, 10, trial, interp),
+              FaultOutcome::Benign);
+}
+
+TEST(Injector, ScratchTrialMatchesPooledInterpreterTrial)
+{
+    // The 2-arg runTrial (lazy injector-owned scratch interpreter)
+    // must produce the same outcome stream as the caller-owned-
+    // interpreter overload: same trial seeds, same outcomes.
+    Harness setup = prepareProgram(kProgram2, 45);
+    TrialConfig trial;
+    trial.dmax = 80;
+    interp::Interpreter pooled(setup.injector->decodedModule());
+    for (std::uint64_t t = 0; t < 40; ++t) {
+        Rng a = Rng::forStream(909, t);
+        Rng b = Rng::forStream(909, t);
+        EXPECT_EQ(setup.injector->runTrial(a, trial),
+                  setup.injector->runTrial(b, trial, pooled))
+            << "trial " << t;
+    }
+}
+
 TEST(Injector, SymptomaticFaultsDetectedBeforeWildAccess)
 {
     // A program whose index register feeds an address computation: a

@@ -35,6 +35,9 @@ sampleHeader(std::uint64_t trials = 100)
     header.total_trials = trials;
     header.shard_index = 0;
     header.shard_count = 1;
+    header.snapshot_stride = 65536;
+    header.snapshot_byte_budget = 64ULL << 20;
+    header.snapshot_page_bytes = 512;
     return header;
 }
 
@@ -93,6 +96,11 @@ TEST(TrialStore, RoundTripPreservesHeaderAndRecords)
     EXPECT_EQ(contents.header.total_trials, header.total_trials);
     EXPECT_EQ(contents.header.shard_index, header.shard_index);
     EXPECT_EQ(contents.header.shard_count, header.shard_count);
+    EXPECT_EQ(contents.header.snapshot_stride, header.snapshot_stride);
+    EXPECT_EQ(contents.header.snapshot_byte_budget,
+              header.snapshot_byte_budget);
+    EXPECT_EQ(contents.header.snapshot_page_bytes,
+              header.snapshot_page_bytes);
     ASSERT_EQ(contents.records.size(), records.size());
     for (std::size_t i = 0; i < records.size(); ++i) {
         EXPECT_EQ(contents.records[i].trial, records[i].trial);
@@ -192,8 +200,9 @@ TEST(TrialStore, MissingFileIsAnError)
 TEST(TrialStore, NonStoreFileIsAnError)
 {
     const std::string path = tempStorePath("not_a_store.trials");
-    std::ofstream(path) << "This is 64+ bytes of text that is "
-                           "definitely not a trial store header....";
+    std::ofstream(path) << "This is a full header's worth of text "
+                           "(80+ bytes) that is definitely not a "
+                           "trial store header..........";
     StoreContents contents;
     const auto err = readTrialStore(path, contents);
     ASSERT_TRUE(err.has_value());
@@ -234,8 +243,8 @@ TEST(TrialStore, WrongFormatVersionIsAnError)
     file.read(header, sizeof header);
     const std::uint32_t version = kTrialStoreVersion + 7;
     std::memcpy(header + 8, &version, sizeof version);
-    const std::uint32_t crc = crc32(header, 56);
-    std::memcpy(header + 56, &crc, sizeof crc);
+    const std::uint32_t crc = crc32(header, 76);
+    std::memcpy(header + 76, &crc, sizeof crc);
     file.seekp(0);
     file.write(header, sizeof header);
     file.close();

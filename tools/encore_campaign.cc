@@ -133,6 +133,12 @@ cmdRunOrResume(int argc, char **argv, bool resume)
                 "trial-store background flush period");
     cli.addFlag("flush-batch", "256",
                 "trial-store records per batched write");
+    cli.addFlag("snapshot-stride", "1024",
+                "golden-run snapshot stride in value instructions "
+                "(0 disables the snapshot tier; never affects "
+                "outcomes)");
+    cli.addFlag("snapshot-budget-mb", "64",
+                "resident byte budget for the snapshot store, MiB");
     bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
 
@@ -185,8 +191,24 @@ cmdRunOrResume(int argc, char **argv, bool resume)
     bench::PreparedWorkload prepared =
         bench::prepareWorkload(*workload, encore_config);
     fault::FaultInjector injector(*prepared.module, prepared.report);
+    interp::SnapshotConfig snap_config;
+    const long long stride = cli.getInt("snapshot-stride");
+    snap_config.enabled = stride > 0;
+    snap_config.stride = stride > 0
+                             ? static_cast<std::uint64_t>(stride)
+                             : 0;
+    snap_config.byte_budget =
+        static_cast<std::uint64_t>(cli.getInt("snapshot-budget-mb"))
+        << 20;
+    injector.configureSnapshots(snap_config);
     if (!injector.prepare(workload->entry, workload->train_args))
         fatalf("golden run failed for ", workload->name);
+    if (injector.snapshotsActive()) {
+        const interp::SnapshotStats stats = injector.snapshotStats();
+        std::cerr << "snapshot tier: " << stats.count
+                  << " snapshots, stride " << stats.stride << ", "
+                  << stats.bytes / 1024 << " KiB resident\n";
+    }
 
     campaign::CampaignRunner runner(injector, config, options);
     const campaign::RunSummary summary = runner.run();
@@ -307,7 +329,18 @@ cmdInspect(int argc, char **argv)
               << h.module_hash << std::dec << "\n  seed " << h.seed
               << "\n  total trials " << h.total_trials << " (shard "
               << h.shard_index << "/" << h.shard_count << " owns "
-              << spec.ownedTrials(h.total_trials) << ")\n  records "
+              << spec.ownedTrials(h.total_trials) << ")\n";
+    // Snapshot provenance: how the shard was produced. Audit-only —
+    // snapshot settings never change outcomes, so merge/resume accept
+    // shards that differ here (see campaign/trial_store.h).
+    if (h.snapshot_stride > 0)
+        std::cout << "  snapshots on: stride " << h.snapshot_stride
+                  << " value instrs, page " << h.snapshot_page_bytes
+                  << " B, budget " << (h.snapshot_byte_budget >> 20)
+                  << " MiB\n";
+    else
+        std::cout << "  snapshots off (full re-execution per trial)\n";
+    std::cout << "  records "
               << contents.records.size() << " valid";
     if (bad_records > 0)
         std::cout << " (" << bad_records
