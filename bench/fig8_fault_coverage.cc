@@ -75,10 +75,8 @@ main(int argc, char **argv)
                 "are not comparable to a full run's");
     cli.parse(argc, argv);
 
-    const std::uint64_t trials =
-        static_cast<std::uint64_t>(cli.getInt("trials"));
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(cli.getInt("seed"));
+    const std::uint64_t trials = cli.getUint("trials");
+    const std::uint64_t seed = cli.getUint("seed");
     const double mask_rate = cli.getDouble("mask");
     const std::size_t jobs = bench::jobsFlag(cli);
     const std::string json_path = cli.getString("json");
@@ -113,13 +111,10 @@ main(int argc, char **argv)
     double campaign_seconds = 0.0;
 
     interp::SnapshotConfig snap_config;
-    const long long snap_stride = cli.getInt("snapshot-stride");
+    const std::uint64_t snap_stride = cli.getUint("snapshot-stride");
     snap_config.enabled = snap_stride > 0;
-    snap_config.stride =
-        snap_stride > 0 ? static_cast<std::uint64_t>(snap_stride) : 0;
-    snap_config.byte_budget =
-        static_cast<std::uint64_t>(cli.getInt("snapshot-budget-mb"))
-        << 20;
+    snap_config.stride = snap_stride;
+    snap_config.byte_budget = cli.getUint("snapshot-budget-mb") << 20;
 
     std::vector<std::string> only;
     for (const std::string &field :

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # One-command CI gate: the tier-1 verify (full build + full ctest
 # suite, which includes the campaign determinism and CLI end-to-end
-# tests) followed by the ThreadSanitizer campaign lane (the concurrent
-# trial-store writer and the multi-threaded campaign/resume paths),
-# then a warn-only perf smoke that compares injection throughput on
-# two medium workloads against the committed BENCH_injection.json.
+# tests, the distributed-service wire-protocol tests, and the chaos
+# soak that SIGKILLs a serve/worker fleet member mid-campaign)
+# followed by the ThreadSanitizer campaign lane (the concurrent
+# trial-store writer, the multi-threaded campaign/resume paths, and
+# the coordinator/worker service), then a warn-only perf smoke that
+# compares injection throughput on two medium workloads against the
+# committed BENCH_injection.json.
 #
 # Usage: scripts/ci.sh [build-root]
 #   build-root defaults to build-ci/ next to the source tree. The
@@ -25,10 +28,10 @@ echo "==> [tsan] configure + build"
 cmake -B "${build_root}/tsan" -S "${repo_root}" \
     -DENCORE_SANITIZE=thread > /dev/null
 cmake --build "${build_root}/tsan" -j > /dev/null
-echo "==> [tsan] campaign smoke: concurrent store writer + runner"
+echo "==> [tsan] campaign smoke: concurrent store writer + runner + service"
 (cd "${build_root}/tsan" &&
     ctest --output-on-failure \
-        -R 'test_campaign_smoke|test_store_concurrency|test_campaign$')
+        -R 'test_campaign_smoke|test_store_concurrency|test_campaign$|test_campaign_service')
 
 echo "==> [perf] injection-throughput smoke (warn-only)"
 # A filtered fig8 run on two medium workloads, compared per-workload

@@ -11,6 +11,9 @@
 #               background flusher hammering one TrialStoreWriter)
 #               + test_campaign (resume/shard/merge with a durable
 #               store under worker-thread parallelism)
+#               + test_campaign_service (coordinator poll loop vs
+#               worker threads, store flusher and progress ticker in
+#               one process — the distributed-service race gate)
 #   address   : the full suite (heap/stack/use-after-free gate for the
 #               pooled interpreter state: frames, undo logs, memory)
 #   undefined : the full suite (overflow/misalignment/OOB-shift gate
@@ -37,7 +40,7 @@ run_lane() {
     (cd "${build_dir}" && ctest --output-on-failure "$@")
 }
 
-run_lane thread -R 'test_campaign_smoke|test_store_concurrency|test_campaign$'
+run_lane thread -R 'test_campaign_smoke|test_store_concurrency|test_campaign$|test_campaign_service'
 run_lane address
 run_lane undefined
 

@@ -1,10 +1,36 @@
 #include "campaign/progress.h"
 
 #include <iostream>
+#include <sstream>
 
 #include "support/strings.h"
 
 namespace encore::campaign {
+
+std::string
+formatHeartbeatJson(const ProgressSnapshot &snapshot)
+{
+    constexpr int kNumOutcomes =
+        static_cast<int>(fault::FaultOutcome::NumOutcomes);
+    std::ostringstream os;
+    os << "{\"elapsed_ms\": " << snapshot.elapsed_ms
+       << ", \"done\": " << snapshot.done
+       << ", \"total\": " << snapshot.total
+       << ", \"executed\": " << snapshot.executed
+       << ", \"trials_per_sec\": "
+       << formatFixed(snapshot.trials_per_sec, 1)
+       << ", \"eta_s\": " << formatFixed(snapshot.eta_s, 1)
+       << ", \"final\": " << (snapshot.final_sample ? "true" : "false")
+       << ", \"counts\": {";
+    for (int i = 0; i < kNumOutcomes; ++i) {
+        os << '"'
+           << fault::outcomeName(static_cast<fault::FaultOutcome>(i))
+           << "\": " << snapshot.tally.counts[i]
+           << (i + 1 < kNumOutcomes ? ", " : "");
+    }
+    os << "}}";
+    return os.str();
+}
 
 ProgressMeter::ProgressMeter(Options options)
     : options_(std::move(options)),
@@ -40,82 +66,100 @@ ProgressMeter::note(fault::FaultOutcome outcome)
     executed_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void
+ProgressSnapshot
+ProgressMeter::sample(bool final_sample) const
+{
+    constexpr int kNumOutcomes =
+        static_cast<int>(fault::FaultOutcome::NumOutcomes);
+    ProgressSnapshot snapshot;
+    snapshot.executed = executed_.load(std::memory_order_relaxed);
+    snapshot.done = options_.initial.trials + snapshot.executed;
+    snapshot.total = options_.total;
+    snapshot.final_sample = final_sample;
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    snapshot.elapsed_ms =
+        static_cast<std::uint64_t>(elapsed * 1000.0);
+    snapshot.trials_per_sec =
+        elapsed > 0.0
+            ? static_cast<double>(snapshot.executed) / elapsed
+            : 0.0;
+    const std::uint64_t remaining =
+        snapshot.total > snapshot.done ? snapshot.total - snapshot.done
+                                       : 0;
+    snapshot.eta_s = snapshot.trials_per_sec > 0.0
+                         ? static_cast<double>(remaining) /
+                               snapshot.trials_per_sec
+                         : 0.0;
+    snapshot.tally = options_.initial;
+    for (int i = 0; i < kNumOutcomes; ++i)
+        snapshot.tally.counts[i] +=
+            counts_[i].load(std::memory_order_relaxed);
+    snapshot.tally.trials = snapshot.done;
+    return snapshot;
+}
+
+bool
 ProgressMeter::finish()
 {
     if (ticker_)
         ticker_->stop();
     std::lock_guard<std::mutex> lock(emit_mutex_);
-    if (finished_)
-        return;
-    finished_ = true;
-    // One final sample so the last line / heartbeat entry reflects
-    // the completed state; the progress line gains its newline here.
-    if (options_.line || heartbeat_.is_open())
-        emitLocked(true);
+    if (!finished_) {
+        finished_ = true;
+        // One final sample so the last line / heartbeat entry reflects
+        // the completed state; the progress line gains its newline
+        // here.
+        if (options_.line || heartbeat_.is_open())
+            emitLocked(true);
+    }
+    return !heartbeat_degraded_;
 }
 
 void
 ProgressMeter::emitLocked(bool final)
 {
-    constexpr int kNumOutcomes =
-        static_cast<int>(fault::FaultOutcome::NumOutcomes);
-    const std::uint64_t executed =
-        executed_.load(std::memory_order_relaxed);
-    const std::uint64_t done = options_.initial.trials + executed;
-    const double elapsed =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - start_)
-            .count();
-    const double rate =
-        elapsed > 0.0 ? static_cast<double>(executed) / elapsed : 0.0;
-    const std::uint64_t remaining =
-        options_.total > done ? options_.total - done : 0;
-    const double eta =
-        rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
-
-    fault::CampaignResult tally = options_.initial;
-    for (int i = 0; i < kNumOutcomes; ++i)
-        tally.counts[i] += counts_[i].load(std::memory_order_relaxed);
-    tally.trials = done;
+    const ProgressSnapshot snapshot = sample(final);
 
     if (options_.line) {
-        std::cerr << '\r' << options_.label << ' ' << done << '/'
-                  << options_.total << " trials";
-        if (options_.total > 0)
+        std::cerr << '\r' << options_.label << ' ' << snapshot.done
+                  << '/' << snapshot.total << " trials";
+        if (snapshot.total > 0)
             std::cerr << " ("
                       << formatPercent(
-                             static_cast<double>(done) /
-                             static_cast<double>(options_.total))
+                             static_cast<double>(snapshot.done) /
+                             static_cast<double>(snapshot.total))
                       << ')';
-        std::cerr << " | " << formatFixed(rate, 0) << " trials/s";
-        if (remaining > 0 && rate > 0.0)
-            std::cerr << " | ETA " << formatFixed(eta, 1) << "s";
-        if (done > 0)
+        std::cerr << " | " << formatFixed(snapshot.trials_per_sec, 0)
+                  << " trials/s";
+        if (snapshot.done < snapshot.total &&
+            snapshot.trials_per_sec > 0.0)
+            std::cerr << " | ETA " << formatFixed(snapshot.eta_s, 1)
+                      << "s";
+        if (snapshot.done > 0)
             std::cerr << " | covered "
-                      << formatPercent(tally.coveredFraction());
+                      << formatPercent(
+                             snapshot.tally.coveredFraction());
         std::cerr << "   " << (final ? "\n" : "") << std::flush;
     }
 
     if (heartbeat_.is_open()) {
-        heartbeat_ << "{\"elapsed_ms\": "
-                   << static_cast<std::uint64_t>(elapsed * 1000.0)
-                   << ", \"done\": " << done
-                   << ", \"total\": " << options_.total
-                   << ", \"executed\": " << executed
-                   << ", \"trials_per_sec\": " << formatFixed(rate, 1)
-                   << ", \"eta_s\": " << formatFixed(eta, 1)
-                   << ", \"final\": " << (final ? "true" : "false")
-                   << ", \"counts\": {";
-        for (int i = 0; i < kNumOutcomes; ++i) {
-            heartbeat_
-                << '"'
-                << fault::outcomeName(
-                       static_cast<fault::FaultOutcome>(i))
-                << "\": " << tally.counts[i]
-                << (i + 1 < kNumOutcomes ? ", " : "");
+        heartbeat_ << formatHeartbeatJson(snapshot) << "\n"
+                   << std::flush;
+        // An ofstream failbit is sticky: after the first failed
+        // append (disk full, directory deleted) every later << is a
+        // silent no-op while the run looks healthy. Catch the first
+        // failure, say so once, and stop pretending to heartbeat.
+        if (!heartbeat_) {
+            heartbeat_degraded_ = true;
+            heartbeat_.close();
+            std::cerr << "warn: heartbeat append to '"
+                      << options_.heartbeat_path
+                      << "' failed (disk full or path removed); "
+                         "heartbeat disabled for the rest of the run\n";
         }
-        heartbeat_ << "}}\n" << std::flush;
     }
 }
 

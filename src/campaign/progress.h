@@ -31,6 +31,28 @@
 
 namespace encore::campaign {
 
+/// One sampled point of a running campaign — everything a heartbeat
+/// line or a progress endpoint reports.
+struct ProgressSnapshot
+{
+    std::uint64_t elapsed_ms = 0;
+    /// Trials recorded so far (resumed + executed).
+    std::uint64_t done = 0;
+    std::uint64_t total = 0;
+    /// Trials executed by this process (throughput denominator —
+    /// resumed trials cost nothing and must not inflate the rate).
+    std::uint64_t executed = 0;
+    double trials_per_sec = 0.0;
+    double eta_s = 0.0;
+    bool final_sample = false;
+    fault::CampaignResult tally;
+};
+
+/// Renders a snapshot as the canonical heartbeat JSON object (no
+/// trailing newline). The JSONL heartbeat file and the campaign
+/// service's Progress frame both emit exactly this.
+std::string formatHeartbeatJson(const ProgressSnapshot &snapshot);
+
 class ProgressMeter
 {
   public:
@@ -61,9 +83,16 @@ class ProgressMeter
     /// Called by workers after each executed trial. Lock-free.
     void note(fault::FaultOutcome outcome);
 
+    /// Samples the current state (atomics + wall clock). Thread-safe.
+    ProgressSnapshot sample(bool final_sample) const;
+
     /// Stops the ticker and emits one final progress line/heartbeat
-    /// entry. Idempotent; called by the destructor.
-    void finish();
+    /// entry. Idempotent; called by the destructor. Returns false
+    /// when the heartbeat stream degraded at any point — an append
+    /// failed (disk full, path deleted) after the file was opened —
+    /// so callers can surface a run that *looked* healthy but whose
+    /// monitors went blind.
+    bool finish();
 
   private:
     void emitLocked(bool final);
@@ -75,7 +104,8 @@ class ProgressMeter
         counts_[static_cast<int>(fault::FaultOutcome::NumOutcomes)] = {};
     std::ofstream heartbeat_;
     std::mutex emit_mutex_;
-    bool finished_ = false; // guarded by emit_mutex_
+    bool finished_ = false;           // guarded by emit_mutex_
+    bool heartbeat_degraded_ = false; // guarded by emit_mutex_
     /// Declared last so it stops before the state it samples dies.
     std::unique_ptr<Ticker> ticker_;
 };

@@ -1,0 +1,347 @@
+#include "campaign/protocol.h"
+
+#include <cstring>
+
+#include "support/checksum.h"
+
+namespace encore::campaign {
+
+namespace {
+
+void
+appendBytes(std::vector<char> &out, const void *data, std::size_t size)
+{
+    const char *bytes = static_cast<const char *>(data);
+    out.insert(out.end(), bytes, bytes + size);
+}
+
+void
+appendU16(std::vector<char> &out, std::uint16_t value)
+{
+    appendBytes(out, &value, sizeof value);
+}
+
+void
+appendU32(std::vector<char> &out, std::uint32_t value)
+{
+    appendBytes(out, &value, sizeof value);
+}
+
+void
+appendU64(std::vector<char> &out, std::uint64_t value)
+{
+    appendBytes(out, &value, sizeof value);
+}
+
+void
+appendDouble(std::vector<char> &out, double value)
+{
+    appendBytes(out, &value, sizeof value);
+}
+
+void
+appendString(std::vector<char> &out, const std::string &text)
+{
+    appendU32(out, static_cast<std::uint32_t>(text.size()));
+    appendBytes(out, text.data(), text.size());
+}
+
+/// Bounds-checked sequential reader over a payload. Any out-of-range
+/// read flips ok to false and every later read short-circuits, so
+/// decoders just read field-by-field and test ok once at the end.
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<char> &data) : data_(data) {}
+
+    bool
+    read(void *out, std::size_t size)
+    {
+        if (!ok_ || data_.size() - cursor_ < size) {
+            ok_ = false;
+            return false;
+        }
+        std::memcpy(out, data_.data() + cursor_, size);
+        cursor_ += size;
+        return true;
+    }
+
+    std::uint32_t
+    readU32()
+    {
+        std::uint32_t value = 0;
+        read(&value, sizeof value);
+        return value;
+    }
+
+    std::uint64_t
+    readU64()
+    {
+        std::uint64_t value = 0;
+        read(&value, sizeof value);
+        return value;
+    }
+
+    double
+    readDouble()
+    {
+        double value = 0.0;
+        read(&value, sizeof value);
+        return value;
+    }
+
+    std::string
+    readString()
+    {
+        const std::uint32_t size = readU32();
+        if (!ok_ || data_.size() - cursor_ < size) {
+            ok_ = false;
+            return std::string();
+        }
+        std::string text(data_.data() + cursor_, size);
+        cursor_ += size;
+        return text;
+    }
+
+    /// True when every read so far stayed in bounds AND the payload
+    /// was consumed exactly (trailing garbage is a framing bug).
+    bool
+    done() const
+    {
+        return ok_ && cursor_ == data_.size();
+    }
+
+    bool ok() const { return ok_; }
+
+  private:
+    const std::vector<char> &data_;
+    std::size_t cursor_ = 0;
+    bool ok_ = true;
+};
+
+bool
+validFrameType(std::uint16_t type)
+{
+    return type >= static_cast<std::uint16_t>(FrameType::Hello) &&
+           type <= static_cast<std::uint16_t>(FrameType::Progress);
+}
+
+} // namespace
+
+std::vector<char>
+encodeFrame(FrameType type, const std::vector<char> &payload)
+{
+    std::vector<char> frame;
+    frame.reserve(kFrameHeaderSize + payload.size());
+    appendU32(frame, static_cast<std::uint32_t>(payload.size()));
+    appendU16(frame, kProtocolVersion);
+    appendU16(frame, static_cast<std::uint16_t>(type));
+    appendBytes(frame, payload.data(), payload.size());
+    return frame;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t size)
+{
+    buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Frame>
+FrameReader::next()
+{
+    if (error_)
+        return std::nullopt;
+    // Reclaim consumed bytes lazily, only when the leftover prefix
+    // dominates the buffer.
+    if (cursor_ > 0 && cursor_ * 2 >= buffer_.size()) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(cursor_));
+        cursor_ = 0;
+    }
+    if (buffer_.size() - cursor_ < kFrameHeaderSize)
+        return std::nullopt;
+
+    std::uint32_t length = 0;
+    std::uint16_t version = 0;
+    std::uint16_t type = 0;
+    std::memcpy(&length, buffer_.data() + cursor_, 4);
+    std::memcpy(&version, buffer_.data() + cursor_ + 4, 2);
+    std::memcpy(&type, buffer_.data() + cursor_ + 6, 2);
+
+    if (version != kProtocolVersion) {
+        error_ = "protocol version mismatch: peer speaks v" +
+                 std::to_string(version) + ", this build speaks v" +
+                 std::to_string(kProtocolVersion);
+        return std::nullopt;
+    }
+    if (!validFrameType(type)) {
+        error_ = "unknown frame type " + std::to_string(type) +
+                 " — stream out of sync or peer is not a campaign "
+                 "endpoint";
+        return std::nullopt;
+    }
+    if (length > kMaxFramePayload) {
+        error_ = "frame payload of " + std::to_string(length) +
+                 " bytes exceeds the " +
+                 std::to_string(kMaxFramePayload) + "-byte limit";
+        return std::nullopt;
+    }
+    if (buffer_.size() - cursor_ < kFrameHeaderSize + length)
+        return std::nullopt;
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.assign(
+        buffer_.begin() +
+            static_cast<std::ptrdiff_t>(cursor_ + kFrameHeaderSize),
+        buffer_.begin() + static_cast<std::ptrdiff_t>(
+                              cursor_ + kFrameHeaderSize + length));
+    cursor_ += kFrameHeaderSize + length;
+    return frame;
+}
+
+std::vector<char>
+encodeCampaignSpec(const CampaignSpec &spec)
+{
+    std::vector<char> payload;
+    appendString(payload, spec.workload);
+    appendU64(payload, spec.seed);
+    appendU64(payload, spec.trials);
+    appendU64(payload, spec.dmax);
+    appendDouble(payload, spec.run_budget_factor);
+    appendDouble(payload, spec.masking_rate);
+    appendU32(payload, spec.model_masking ? 1 : 0);
+    appendU64(payload, spec.config_fingerprint);
+    appendU64(payload, spec.module_hash);
+    return payload;
+}
+
+std::optional<CampaignSpec>
+decodeCampaignSpec(const std::vector<char> &payload)
+{
+    ByteReader reader(payload);
+    CampaignSpec spec;
+    spec.workload = reader.readString();
+    spec.seed = reader.readU64();
+    spec.trials = reader.readU64();
+    spec.dmax = reader.readU64();
+    spec.run_budget_factor = reader.readDouble();
+    spec.masking_rate = reader.readDouble();
+    spec.model_masking = reader.readU32() != 0;
+    spec.config_fingerprint = reader.readU64();
+    spec.module_hash = reader.readU64();
+    if (!reader.done())
+        return std::nullopt;
+    return spec;
+}
+
+std::vector<char>
+encodeHello(const std::string &label)
+{
+    std::vector<char> payload;
+    appendString(payload, label);
+    return payload;
+}
+
+std::optional<std::string>
+decodeHello(const std::vector<char> &payload)
+{
+    ByteReader reader(payload);
+    std::string label = reader.readString();
+    if (!reader.done())
+        return std::nullopt;
+    return label;
+}
+
+std::vector<char>
+encodeLease(const LeaseGrant &lease)
+{
+    std::vector<char> payload;
+    appendU64(payload, lease.lease_id);
+    appendU64(payload, lease.first_trial);
+    appendU64(payload, lease.count);
+    return payload;
+}
+
+std::optional<LeaseGrant>
+decodeLease(const std::vector<char> &payload)
+{
+    ByteReader reader(payload);
+    LeaseGrant lease;
+    lease.lease_id = reader.readU64();
+    lease.first_trial = reader.readU64();
+    lease.count = reader.readU64();
+    if (!reader.done())
+        return std::nullopt;
+    return lease;
+}
+
+std::vector<char>
+encodeResultBatch(const ResultBatch &batch)
+{
+    std::vector<char> payload;
+    payload.reserve(16 + batch.records.size() * 16);
+    appendU64(payload, batch.lease_id);
+    appendU32(payload,
+              static_cast<std::uint32_t>(batch.records.size()));
+    for (const WireRecord &record : batch.records) {
+        // Identical layout + CRC coverage to a trial-store record.
+        char bytes[12];
+        std::memcpy(bytes, &record.trial, 8);
+        std::memcpy(bytes + 8, &record.outcome, 4);
+        appendBytes(payload, bytes, sizeof bytes);
+        appendU32(payload, crc32(bytes, sizeof bytes));
+    }
+    return payload;
+}
+
+std::optional<ResultBatch>
+decodeResultBatch(const std::vector<char> &payload)
+{
+    ByteReader reader(payload);
+    ResultBatch batch;
+    batch.lease_id = reader.readU64();
+    const std::uint32_t count = reader.readU32();
+    if (!reader.ok())
+        return std::nullopt;
+    batch.records.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        char bytes[12];
+        if (!reader.read(bytes, sizeof bytes))
+            return std::nullopt;
+        const std::uint32_t crc = reader.readU32();
+        if (!reader.ok() || crc != crc32(bytes, sizeof bytes))
+            return std::nullopt;
+        WireRecord record;
+        std::memcpy(&record.trial, bytes, 8);
+        std::memcpy(&record.outcome, bytes + 8, 4);
+        batch.records.push_back(record);
+    }
+    if (!reader.done())
+        return std::nullopt;
+    return batch;
+}
+
+std::vector<char>
+encodeHeartbeat(const HeartbeatInfo &info)
+{
+    std::vector<char> payload;
+    appendU64(payload, info.lease_id);
+    appendU64(payload, info.completed);
+    return payload;
+}
+
+std::optional<HeartbeatInfo>
+decodeHeartbeat(const std::vector<char> &payload)
+{
+    ByteReader reader(payload);
+    HeartbeatInfo info;
+    info.lease_id = reader.readU64();
+    info.completed = reader.readU64();
+    if (!reader.done())
+        return std::nullopt;
+    return info;
+}
+
+} // namespace encore::campaign

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Wire protocol for the distributed campaign service — version-tagged,
+ * length-prefixed binary frames over TCP.
+ *
+ * Every frame is an 8-byte header followed by a payload:
+ *
+ *   offset  size  field
+ *   0       4     payload length (bytes after the header)
+ *   4       2     protocol version (kProtocolVersion)
+ *   6       2     frame type (FrameType)
+ *
+ * All integers are host-endian, matching the trial store: coordinator
+ * and workers run on the same machine family (they must — the store
+ * they feed is host-endian too). A FrameReader consumes a raw byte
+ * stream incrementally, so a frame split across any number of TCP
+ * segments reassembles, and a mid-frame connection loss simply never
+ * yields the final frame. Frames with an unknown version, an unknown
+ * type, or an over-limit length poison the reader — the peer is
+ * either a different build or not a campaign endpoint at all, and the
+ * connection must be dropped rather than resynchronized.
+ *
+ * Conversation shape (W = worker, C = coordinator):
+ *
+ *   W -> C   Hello        worker label (pid, host) for logs
+ *   C -> W   Hello        CampaignSpec: everything the worker needs
+ *                         to prepare the identical injector, plus the
+ *                         coordinator's fingerprint/module hash the
+ *                         worker must reproduce before executing
+ *   C -> W   Lease        [first_trial, first_trial + count) now owned
+ *                         by this worker; count == 0 means the
+ *                         campaign is drained — finish and disconnect
+ *   W -> C   Heartbeat    liveness + progress inside the lease; a
+ *                         worker whose heartbeats lapse loses its
+ *                         lease (re-issued to another worker).
+ *                         lease_id 0 is the ready/idle signal: the
+ *                         worker has prepared the workload and wants
+ *                         its first lease
+ *   W -> C   ResultBatch  completed (trial, outcome) records for a
+ *                         lease, each carrying the same CRC32 the
+ *                         trial store uses; answered with the next
+ *                         Lease
+ *   any -> C Progress     request; C answers with a Progress frame
+ *                         whose payload is a JSON status object (the
+ *                         ProgressMeter heartbeat format)
+ *
+ * Re-lease safety: trials are pure functions of (module, golden run,
+ * seed, trial index) — counter-based seeding — so a chunk executed by
+ * two workers (one presumed dead, one live) yields byte-identical
+ * records, and the coordinator's per-trial dedup keeps the store and
+ * aggregate identical to an uninterrupted run (see DESIGN.md §8).
+ */
+#ifndef ENCORE_CAMPAIGN_PROTOCOL_H
+#define ENCORE_CAMPAIGN_PROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace encore::campaign {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 8;
+/// Upper bound on a payload; anything larger is garbage or an attack,
+/// not a campaign frame (the largest legitimate frame is a result
+/// batch: 16 B/record).
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+enum class FrameType : std::uint16_t
+{
+    Hello = 1,
+    Lease = 2,
+    ResultBatch = 3,
+    Heartbeat = 4,
+    Progress = 5,
+};
+
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    std::vector<char> payload;
+};
+
+/// Serializes one frame (header + payload).
+std::vector<char> encodeFrame(FrameType type,
+                              const std::vector<char> &payload);
+
+/**
+ * Incremental frame parser. feed() bytes as they arrive; next()
+ * yields complete frames until the buffer runs dry. A malformed
+ * header (bad version/type/length) sets error() permanently — the
+ * stream has lost sync and the connection must be closed.
+ */
+class FrameReader
+{
+  public:
+    void feed(const char *data, std::size_t size);
+    std::optional<Frame> next();
+    const std::optional<std::string> &error() const { return error_; }
+
+  private:
+    std::vector<char> buffer_;
+    std::size_t cursor_ = 0;
+    std::optional<std::string> error_;
+};
+
+/// Everything a worker needs to reconstruct the coordinator's
+/// campaign: the workload plus every outcome-relevant config field.
+/// The fingerprint/module hash are the coordinator's values; a worker
+/// that prepares the workload and does not reproduce both must refuse
+/// to execute (build or config skew would silently corrupt the store).
+struct CampaignSpec
+{
+    std::string workload;
+    std::uint64_t seed = 0;
+    std::uint64_t trials = 0;
+    std::uint64_t dmax = 0;
+    double run_budget_factor = 0.0;
+    double masking_rate = 0.0;
+    bool model_masking = true;
+    std::uint64_t config_fingerprint = 0;
+    std::uint64_t module_hash = 0;
+};
+
+std::vector<char> encodeCampaignSpec(const CampaignSpec &spec);
+std::optional<CampaignSpec>
+decodeCampaignSpec(const std::vector<char> &payload);
+
+/// Worker's side of the Hello exchange: a label for coordinator logs.
+std::vector<char> encodeHello(const std::string &label);
+std::optional<std::string> decodeHello(const std::vector<char> &payload);
+
+/// One leased chunk of contiguous trial indices. count == 0 is the
+/// drain signal: no work remains, disconnect cleanly.
+struct LeaseGrant
+{
+    std::uint64_t lease_id = 0;
+    std::uint64_t first_trial = 0;
+    std::uint64_t count = 0;
+};
+
+std::vector<char> encodeLease(const LeaseGrant &lease);
+std::optional<LeaseGrant> decodeLease(const std::vector<char> &payload);
+
+struct WireRecord
+{
+    std::uint64_t trial = 0;
+    std::uint32_t outcome = 0;
+};
+
+/// Completed records for one lease. Each record is laid out and CRC'd
+/// exactly like a trial-store record, so corruption anywhere between
+/// the worker's interpreter and the coordinator's store is caught by
+/// the same check that guards the disk format.
+struct ResultBatch
+{
+    std::uint64_t lease_id = 0;
+    std::vector<WireRecord> records;
+};
+
+std::vector<char> encodeResultBatch(const ResultBatch &batch);
+/// nullopt on a structurally bad payload or any record CRC mismatch.
+std::optional<ResultBatch>
+decodeResultBatch(const std::vector<char> &payload);
+
+struct HeartbeatInfo
+{
+    std::uint64_t lease_id = 0;
+    /// Trials finished so far inside that lease.
+    std::uint64_t completed = 0;
+};
+
+std::vector<char> encodeHeartbeat(const HeartbeatInfo &info);
+std::optional<HeartbeatInfo>
+decodeHeartbeat(const std::vector<char> &payload);
+
+} // namespace encore::campaign
+
+#endif // ENCORE_CAMPAIGN_PROTOCOL_H

@@ -17,6 +17,8 @@ namespace {
 constexpr int kNumOutcomes =
     static_cast<int>(fault::FaultOutcome::NumOutcomes);
 
+} // namespace
+
 /// Fatal with a diagnostic naming every differing identity field —
 /// "fingerprint mismatch" alone would leave the user guessing which
 /// knob they changed. The snapshot_* provenance fields are
@@ -25,8 +27,8 @@ constexpr int kNumOutcomes =
 /// resuming a full-rerun store with snapshots enabled — or vice
 /// versa — is safe and must not be refused.
 void
-checkHeaderMatches(const StoreHeader &want, const StoreHeader &found,
-                   const std::string &path)
+requireHeaderMatches(const StoreHeader &want, const StoreHeader &found,
+                     const std::string &path)
 {
     std::ostringstream os;
     auto mismatch = [&](const char *field, std::uint64_t expected,
@@ -56,8 +58,6 @@ checkHeaderMatches(const StoreHeader &want, const StoreHeader &found,
            "\nEither rerun with the original configuration, or point "
            "--store at a fresh path.");
 }
-
-} // namespace
 
 std::optional<ShardSpec>
 parseShardSpec(const std::string &text)
@@ -158,7 +158,7 @@ CampaignRunner::run()
             StoreContents contents;
             if (const auto err = readTrialStore(path, contents))
                 fatal(*err);
-            checkHeaderMatches(header(), contents.header, path);
+            requireHeaderMatches(header(), contents.header, path);
             if (contents.dropped_bytes > 0)
                 warn("trial store '" + path + "': dropped " +
                      std::to_string(contents.dropped_bytes) +

@@ -41,11 +41,22 @@ CommandLine::parse(int argc, char **argv)
             auto it = flags_.find(name);
             if (it == flags_.end())
                 fatalf("unknown flag '--", name, "'");
-            // Bare flag: boolean true unless a value follows.
-            if (i + 1 < argc && !startsWith(argv[i + 1], "--"))
+            if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
                 value = argv[++i];
-            else
-                value = "true";
+            } else {
+                // No consumable value follows. Only a boolean flag
+                // (declared with a true/false default) may be bare;
+                // for a value flag, '--label --foo' used to become
+                // label=true silently — make it an error instead.
+                const std::string &dflt = it->second.default_value;
+                if (dflt == "true" || dflt == "false")
+                    value = "true";
+                else
+                    fatalf("flag '--", name,
+                           "' requires a value (use --", name,
+                           "=VALUE if the value itself begins "
+                           "with --)");
+            }
         }
 
         auto it = flags_.find(name);
@@ -78,6 +89,17 @@ CommandLine::getInt(const std::string &name) const
         fatalf("flag '--", name, "' expects an integer, got '",
                find(name).value, "'");
     return *parsed;
+}
+
+std::uint64_t
+CommandLine::getUint(const std::string &name) const
+{
+    const std::int64_t value = getInt(name);
+    if (value < 0)
+        fatalf("flag '--", name,
+               "' expects a non-negative integer, got '",
+               find(name).value, "'");
+    return static_cast<std::uint64_t>(value);
 }
 
 double

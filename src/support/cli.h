@@ -2,9 +2,14 @@
  * @file
  * Minimal command-line flag parser for the bench and example binaries.
  *
- * Flags take the form `--name=value` or `--name value`; bare `--name`
- * sets a boolean. Unknown flags are fatal so typos in sweep scripts do
- * not silently run the default configuration.
+ * Flags take the form `--name=value` or `--name value`. Only boolean
+ * flags (those declared with a "true"/"false" default) may appear
+ * bare: `--json` means `--json=true`. A *value* flag must be given a
+ * value — `--label --foo` is fatal, not a silent boolean, because the
+ * next token looks like a flag; to pass a value that itself begins
+ * with `--`, use the `--label=--foo` form. Unknown flags are fatal so
+ * typos in sweep scripts do not silently run the default
+ * configuration.
  */
 #ifndef ENCORE_SUPPORT_CLI_H
 #define ENCORE_SUPPORT_CLI_H
@@ -27,6 +32,11 @@ class CommandLine
 
     std::string getString(const std::string &name) const;
     std::int64_t getInt(const std::string &name) const;
+    /// For inherently non-negative quantities (counts, seeds, sizes):
+    /// fatal — naming the flag and the offending value — on a negative
+    /// argument, instead of letting a later cast wrap it into a huge
+    /// unsigned count.
+    std::uint64_t getUint(const std::string &name) const;
     double getDouble(const std::string &name) const;
     bool getBool(const std::string &name) const;
 

@@ -1,0 +1,256 @@
+#include "support/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace encore {
+
+namespace {
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool
+parseAddress(const std::string &host, std::uint16_t port,
+             sockaddr_in &addr, std::string *error)
+{
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        if (error)
+            *error = "socket: invalid IPv4 address '" + host + "'";
+        return false;
+    }
+    return true;
+}
+
+std::string
+errnoMessage(const std::string &what)
+{
+    return "socket: " + what + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+Socket::Socket(int fd) : fd_(fd)
+{
+}
+
+Socket::~Socket()
+{
+    close();
+}
+
+Socket::Socket(Socket &&other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket
+Socket::connectTo(const std::string &host, std::uint16_t port,
+                  std::string *error)
+{
+    sockaddr_in addr;
+    if (!parseAddress(host, port, addr, error))
+        return Socket();
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = errnoMessage("socket()");
+        return Socket();
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        if (error)
+            *error = errnoMessage("connect to " + host + ":" +
+                                  std::to_string(port));
+        ::close(fd);
+        return Socket();
+    }
+    // Leases and result batches are small request/response frames;
+    // Nagle only adds latency here.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (!setNonBlocking(fd)) {
+        if (error)
+            *error = errnoMessage("fcntl(O_NONBLOCK)");
+        ::close(fd);
+        return Socket();
+    }
+    return Socket(fd);
+}
+
+bool
+Socket::sendAll(const void *data, std::size_t size)
+{
+    const char *bytes = static_cast<const char *>(data);
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{fd_, POLLOUT, 0};
+            // Bounded wait: a peer that stops draining for 10 s is
+            // treated as gone rather than wedging the caller forever.
+            if (::poll(&pfd, 1, 10000) <= 0)
+                return false;
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+RecvStatus
+Socket::recvSome(void *data, std::size_t size, std::size_t *received)
+{
+    *received = 0;
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n > 0) {
+        *received = static_cast<std::size_t>(n);
+        return RecvStatus::Data;
+    }
+    if (n == 0)
+        return RecvStatus::Closed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return RecvStatus::WouldBlock;
+    return RecvStatus::Error;
+}
+
+bool
+Socket::waitReadable(std::chrono::milliseconds timeout) const
+{
+    pollfd pfd{fd_, POLLIN, 0};
+    return ::poll(&pfd, 1, static_cast<int>(timeout.count())) > 0;
+}
+
+ListenSocket::~ListenSocket()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+ListenSocket::ListenSocket(ListenSocket &&other) noexcept
+    : fd_(other.fd_), port_(other.port_)
+{
+    other.fd_ = -1;
+}
+
+ListenSocket &
+ListenSocket::operator=(ListenSocket &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = other.fd_;
+        port_ = other.port_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+ListenSocket
+ListenSocket::listenOn(const std::string &host, std::uint16_t port,
+                       std::string *error)
+{
+    sockaddr_in addr;
+    if (!parseAddress(host, port, addr, error))
+        return ListenSocket();
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = errnoMessage("socket()");
+        return ListenSocket();
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        if (error)
+            *error = errnoMessage("bind to " + host + ":" +
+                                  std::to_string(port));
+        ::close(fd);
+        return ListenSocket();
+    }
+    if (::listen(fd, 64) != 0) {
+        if (error)
+            *error = errnoMessage("listen()");
+        ::close(fd);
+        return ListenSocket();
+    }
+    if (!setNonBlocking(fd)) {
+        if (error)
+            *error = errnoMessage("fcntl(O_NONBLOCK)");
+        ::close(fd);
+        return ListenSocket();
+    }
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) != 0) {
+        if (error)
+            *error = errnoMessage("getsockname()");
+        ::close(fd);
+        return ListenSocket();
+    }
+    ListenSocket listener;
+    listener.fd_ = fd;
+    listener.port_ = ntohs(bound.sin_port);
+    return listener;
+}
+
+std::optional<Socket>
+ListenSocket::accept()
+{
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0)
+        return std::nullopt;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (!setNonBlocking(fd)) {
+        ::close(fd);
+        return std::nullopt;
+    }
+    return Socket(fd);
+}
+
+} // namespace encore

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Minimal poll-based TCP socket wrapper for the campaign service.
+ *
+ * The distributed campaign layer needs exactly four things from the
+ * OS: listen on a loopback/interface port (0 = ephemeral, the bound
+ * port is readable back for port files and tests), accept without
+ * blocking the coordinator's event loop, send a complete buffer, and
+ * read whatever bytes have arrived. Everything protocol-shaped
+ * (framing, versioning, payload layout) lives one layer up in
+ * campaign/protocol.{h,cc}; this file is deliberately just file
+ * descriptors with RAII.
+ *
+ * Blocking model: accepted and connected sockets are non-blocking.
+ * recvSome() returns immediately with whatever is buffered;
+ * waitReadable() is the poll(2) wrapper callers use to sleep until
+ * data (or hangup) arrives. sendAll() internally polls for POLLOUT
+ * until the whole buffer is written — frames here are small (the
+ * largest is a result batch, ~64 KiB) and receivers drain promptly,
+ * so a bounded blocking send keeps every caller simple. Sends use
+ * MSG_NOSIGNAL: a peer that died mid-conversation surfaces as a
+ * return value, never as SIGPIPE.
+ */
+#ifndef ENCORE_SUPPORT_SOCKET_H
+#define ENCORE_SUPPORT_SOCKET_H
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace encore {
+
+/// Result of a non-blocking read.
+enum class RecvStatus
+{
+    Data,       ///< One or more bytes were read.
+    WouldBlock, ///< Nothing buffered right now; poll and retry.
+    Closed,     ///< Orderly shutdown by the peer.
+    Error,      ///< Hard socket error (connection reset, bad fd).
+};
+
+/// A connected, non-blocking TCP socket. Move-only; closes on
+/// destruction.
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd);
+    ~Socket();
+
+    Socket(Socket &&other) noexcept;
+    Socket &operator=(Socket &&other) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+    /// Returns an invalid socket and fills *error on failure.
+    static Socket connectTo(const std::string &host, std::uint16_t port,
+                            std::string *error);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+    /// Writes all `size` bytes, polling for writability as needed.
+    /// False when the peer is gone or the socket errors.
+    bool sendAll(const void *data, std::size_t size);
+
+    /// Reads up to `size` bytes into `data`. Never blocks.
+    RecvStatus recvSome(void *data, std::size_t size,
+                        std::size_t *received);
+
+    /// Sleeps until the socket is readable (data or hangup) or the
+    /// timeout elapses. True when readable.
+    bool waitReadable(std::chrono::milliseconds timeout) const;
+
+  private:
+    int fd_ = -1;
+};
+
+/// A listening TCP socket. accept() never blocks.
+class ListenSocket
+{
+  public:
+    ListenSocket() = default;
+    ~ListenSocket();
+
+    ListenSocket(ListenSocket &&other) noexcept;
+    ListenSocket &operator=(ListenSocket &&other) noexcept;
+    ListenSocket(const ListenSocket &) = delete;
+    ListenSocket &operator=(const ListenSocket &) = delete;
+
+    /// Binds and listens on host:port. Port 0 picks an ephemeral
+    /// port; port() reports the one actually bound. Returns an
+    /// invalid socket and fills *error on failure.
+    static ListenSocket listenOn(const std::string &host,
+                                 std::uint16_t port, std::string *error);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    std::uint16_t port() const { return port_; }
+
+    /// Accepts one pending connection, nullopt when none is queued.
+    std::optional<Socket> accept();
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+} // namespace encore
+
+#endif // ENCORE_SUPPORT_SOCKET_H

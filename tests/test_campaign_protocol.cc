@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the campaign service wire protocol: payload
+ * round-trips for every frame type, incremental reassembly across
+ * arbitrary feed boundaries, reader poisoning on malformed headers,
+ * and CRC rejection of corrupted result batches.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "campaign/protocol.h"
+#include "campaign/trial_store.h" // kTrialRecordSize
+
+namespace encore::campaign {
+namespace {
+
+CampaignSpec
+sampleSpec()
+{
+    CampaignSpec spec;
+    spec.workload = "cjpeg";
+    spec.seed = 777;
+    spec.trials = 120000;
+    spec.dmax = 50;
+    spec.run_budget_factor = 4.5;
+    spec.masking_rate = 0.91;
+    spec.model_masking = false;
+    spec.config_fingerprint = 0xDEADBEEFCAFEF00DULL;
+    spec.module_hash = 0x0123456789ABCDEFULL;
+    return spec;
+}
+
+TEST(Protocol, CampaignSpecRoundTrip)
+{
+    const CampaignSpec want = sampleSpec();
+    const auto got = decodeCampaignSpec(encodeCampaignSpec(want));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->workload, want.workload);
+    EXPECT_EQ(got->seed, want.seed);
+    EXPECT_EQ(got->trials, want.trials);
+    EXPECT_EQ(got->dmax, want.dmax);
+    EXPECT_DOUBLE_EQ(got->run_budget_factor, want.run_budget_factor);
+    EXPECT_DOUBLE_EQ(got->masking_rate, want.masking_rate);
+    EXPECT_EQ(got->model_masking, want.model_masking);
+    EXPECT_EQ(got->config_fingerprint, want.config_fingerprint);
+    EXPECT_EQ(got->module_hash, want.module_hash);
+}
+
+TEST(Protocol, CampaignSpecRejectsTruncationAndTrailingJunk)
+{
+    std::vector<char> bytes = encodeCampaignSpec(sampleSpec());
+    std::vector<char> truncated(bytes.begin(), bytes.end() - 1);
+    EXPECT_FALSE(decodeCampaignSpec(truncated).has_value());
+    bytes.push_back('x');
+    EXPECT_FALSE(decodeCampaignSpec(bytes).has_value());
+}
+
+TEST(Protocol, HelloRoundTrip)
+{
+    const auto got = decodeHello(encodeHello("pid:12345"));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "pid:12345");
+}
+
+TEST(Protocol, LeaseRoundTripIncludingDrain)
+{
+    const auto got = decodeLease(encodeLease({42, 4096, 1024}));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->lease_id, 42u);
+    EXPECT_EQ(got->first_trial, 4096u);
+    EXPECT_EQ(got->count, 1024u);
+
+    const auto drain = decodeLease(encodeLease({0, 0, 0}));
+    ASSERT_TRUE(drain.has_value());
+    EXPECT_EQ(drain->count, 0u);
+}
+
+TEST(Protocol, HeartbeatRoundTrip)
+{
+    const auto got = decodeHeartbeat(encodeHeartbeat({7, 512}));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->lease_id, 7u);
+    EXPECT_EQ(got->completed, 512u);
+}
+
+TEST(Protocol, ResultBatchRoundTrip)
+{
+    ResultBatch batch;
+    batch.lease_id = 9;
+    for (std::uint64_t t = 100; t < 150; ++t)
+        batch.records.push_back({t, static_cast<std::uint32_t>(t % 7)});
+    const auto got = decodeResultBatch(encodeResultBatch(batch));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->lease_id, 9u);
+    ASSERT_EQ(got->records.size(), batch.records.size());
+    for (std::size_t i = 0; i < batch.records.size(); ++i) {
+        EXPECT_EQ(got->records[i].trial, batch.records[i].trial);
+        EXPECT_EQ(got->records[i].outcome, batch.records[i].outcome);
+    }
+}
+
+TEST(Protocol, ResultBatchRejectsCorruptRecord)
+{
+    ResultBatch batch;
+    batch.lease_id = 1;
+    batch.records.push_back({5, 2});
+    std::vector<char> bytes = encodeResultBatch(batch);
+    // Flip one bit inside the record region (after the u64 lease id
+    // and u64 count prefix); the per-record CRC must catch it.
+    bytes[bytes.size() - kTrialRecordSize] ^= 0x01;
+    EXPECT_FALSE(decodeResultBatch(bytes).has_value());
+}
+
+TEST(Protocol, FrameRoundTripThroughReader)
+{
+    const std::vector<char> payload = encodeHello("worker-a");
+    const std::vector<char> wire = encodeFrame(FrameType::Hello, payload);
+
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    const auto frame = reader.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, FrameType::Hello);
+    EXPECT_EQ(frame->payload, payload);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_FALSE(reader.error().has_value());
+}
+
+TEST(Protocol, ReaderReassemblesAcrossArbitrarySplits)
+{
+    // Three frames, fed one byte at a time — every header and payload
+    // straddles feed boundaries.
+    std::vector<char> wire;
+    for (int i = 0; i < 3; ++i) {
+        const auto frame = encodeFrame(
+            FrameType::Heartbeat,
+            encodeHeartbeat({static_cast<std::uint64_t>(i + 1), 10}));
+        wire.insert(wire.end(), frame.begin(), frame.end());
+    }
+
+    FrameReader reader;
+    std::vector<Frame> frames;
+    for (const char byte : wire) {
+        reader.feed(&byte, 1);
+        while (auto frame = reader.next())
+            frames.push_back(*frame);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        const auto hb = decodeHeartbeat(frames[i].payload);
+        ASSERT_TRUE(hb.has_value());
+        EXPECT_EQ(hb->lease_id, static_cast<std::uint64_t>(i + 1));
+    }
+}
+
+TEST(Protocol, IncompleteFrameYieldsNothing)
+{
+    const auto wire = encodeFrame(FrameType::Hello, encodeHello("w"));
+    FrameReader reader;
+    reader.feed(wire.data(), wire.size() - 1);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_FALSE(reader.error().has_value()); // just waiting, not poisoned
+    reader.feed(wire.data() + wire.size() - 1, 1);
+    EXPECT_TRUE(reader.next().has_value());
+}
+
+/// Hand-build a frame header: u32 length, u16 version, u16 type.
+std::vector<char>
+rawHeader(std::uint32_t length, std::uint16_t version,
+          std::uint16_t type)
+{
+    std::vector<char> bytes(kFrameHeaderSize);
+    std::memcpy(bytes.data(), &length, 4);
+    std::memcpy(bytes.data() + 4, &version, 2);
+    std::memcpy(bytes.data() + 6, &type, 2);
+    return bytes;
+}
+
+TEST(Protocol, WrongVersionPoisonsReader)
+{
+    const auto bytes = rawHeader(0, kProtocolVersion + 1, 1);
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(reader.next().has_value());
+    ASSERT_TRUE(reader.error().has_value());
+    EXPECT_NE(reader.error()->find("version"), std::string::npos);
+}
+
+TEST(Protocol, UnknownTypePoisonsReader)
+{
+    const auto bytes = rawHeader(0, kProtocolVersion, 99);
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.error().has_value());
+}
+
+TEST(Protocol, OversizePayloadPoisonsReader)
+{
+    const auto bytes = rawHeader(
+        static_cast<std::uint32_t>(kMaxFramePayload + 1),
+        kProtocolVersion, 1);
+    FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.error().has_value());
+}
+
+TEST(Protocol, PoisonedReaderStaysPoisoned)
+{
+    const auto bad = rawHeader(0, kProtocolVersion + 1, 1);
+    FrameReader reader;
+    reader.feed(bad.data(), bad.size());
+    EXPECT_FALSE(reader.next().has_value());
+    // A valid frame after the poison must NOT resynchronize.
+    const auto good = encodeFrame(FrameType::Hello, encodeHello("w"));
+    reader.feed(good.data(), good.size());
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_TRUE(reader.error().has_value());
+}
+
+} // namespace
+} // namespace encore::campaign

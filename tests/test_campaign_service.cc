@@ -1,0 +1,624 @@
+/**
+ * @file
+ * Distributed campaign service tests, in three tiers:
+ *
+ *  - LeaseTable unit tests: chunking, FIFO grants, per-trial dedup,
+ *    settlement, heartbeat expiry and connection-loss revocation —
+ *    all clock-injected, no sleeping.
+ *  - In-process service tests: a real CampaignService::serve() on an
+ *    ephemeral port, driven by fake worker clients speaking the wire
+ *    protocol, including a worker that dies after delivering half a
+ *    lease (the re-lease + dedup path, deterministically).
+ *  - Chaos soak over the real encore_campaign binary: serve + two
+ *    throttled workers, one SIGKILLed mid-campaign; the surviving
+ *    worker finishes and the aggregate must be byte-identical to an
+ *    uninterrupted single-process `run` of the same campaign.
+ */
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "campaign/protocol.h"
+#include "campaign/service.h"
+#include "campaign/trial_store.h"
+#include "support/socket.h"
+
+namespace encore::campaign {
+namespace {
+
+using Clock = LeaseTable::Clock;
+
+std::filesystem::path
+tempDir()
+{
+    static const std::filesystem::path dir = [] {
+        std::filesystem::path d =
+            std::filesystem::path(::testing::TempDir()) /
+            "encore_campaign_service";
+        std::filesystem::remove_all(d);
+        std::filesystem::create_directories(d);
+        return d;
+    }();
+    return dir;
+}
+
+std::vector<std::uint64_t>
+range(std::uint64_t first, std::uint64_t last)
+{
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t t = first; t < last; ++t)
+        out.push_back(t);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// LeaseTable
+
+TEST(LeaseTableTest, ChunksAreContiguousRunsCappedAtChunkSize)
+{
+    // Missing = [0,10) ∪ [20,25): runs must break at the hole and at
+    // the 4-trial cap.
+    std::vector<std::uint64_t> missing = range(0, 10);
+    for (std::uint64_t t : range(20, 25))
+        missing.push_back(t);
+    LeaseTable table(missing, 30, 4, std::chrono::seconds(5));
+    const auto now = Clock::now();
+
+    const std::uint64_t expected_first[] = {0, 4, 8, 20, 24};
+    const std::uint64_t expected_count[] = {4, 4, 2, 4, 1};
+    for (int i = 0; i < 5; ++i) {
+        const auto grant = table.claim(1, now);
+        ASSERT_TRUE(grant.has_value()) << i;
+        EXPECT_EQ(grant->first_trial, expected_first[i]) << i;
+        EXPECT_EQ(grant->count, expected_count[i]) << i;
+    }
+    EXPECT_FALSE(table.claim(1, now).has_value()); // exhausted
+    EXPECT_EQ(table.pendingTrials(), 15u);
+    EXPECT_FALSE(table.allDone());
+}
+
+TEST(LeaseTableTest, MarkDoneDeduplicatesAndBounds)
+{
+    LeaseTable table(range(0, 4), 4, 4, std::chrono::seconds(5));
+    EXPECT_TRUE(table.markDone(2));
+    EXPECT_FALSE(table.markDone(2));  // duplicate
+    EXPECT_FALSE(table.markDone(99)); // out of range
+    EXPECT_EQ(table.doneTrials(), 1u);
+}
+
+TEST(LeaseTableTest, ResumedTrialsAreAlreadyDone)
+{
+    // Trial 1 is not missing (recovered from the store): a late
+    // worker record for it must be rejected as a duplicate.
+    LeaseTable table({0, 2, 3}, 4, 4, std::chrono::seconds(5));
+    EXPECT_FALSE(table.markDone(1));
+    EXPECT_TRUE(table.markDone(0));
+    EXPECT_TRUE(table.markDone(2));
+    EXPECT_TRUE(table.markDone(3));
+    EXPECT_TRUE(table.allDone());
+}
+
+TEST(LeaseTableTest, SettleLeaseRequiresFullChunk)
+{
+    LeaseTable table(range(0, 3), 3, 4, std::chrono::seconds(5));
+    const auto now = Clock::now();
+    const auto grant = table.claim(1, now);
+    ASSERT_TRUE(grant.has_value());
+
+    EXPECT_TRUE(table.markDone(0));
+    EXPECT_TRUE(table.markDone(1));
+    EXPECT_FALSE(table.settleLease(grant->lease_id)); // 2 still pending
+    EXPECT_TRUE(table.markDone(2));
+    EXPECT_TRUE(table.settleLease(grant->lease_id));
+    // Unknown/retired ids settle as true: the holder has nothing left
+    // to contribute and should be granted fresh work.
+    EXPECT_TRUE(table.settleLease(grant->lease_id));
+    EXPECT_TRUE(table.settleLease(999));
+    EXPECT_TRUE(table.allDone());
+}
+
+TEST(LeaseTableTest, ExpiredLeaseIsReissuedAndCounted)
+{
+    LeaseTable table(range(0, 4), 4, 4, std::chrono::seconds(5));
+    const auto t0 = Clock::now();
+    const auto grant = table.claim(1, t0);
+    ASSERT_TRUE(grant.has_value());
+
+    // A renewed lease survives its original deadline.
+    table.renew(grant->lease_id, t0 + std::chrono::seconds(4));
+    EXPECT_EQ(table.expireStale(t0 + std::chrono::seconds(6)), 0u);
+    // ...but lapses `lease_timeout` after the last renewal.
+    EXPECT_EQ(table.expireStale(t0 + std::chrono::seconds(10)), 1u);
+
+    const auto regrant = table.claim(2, t0 + std::chrono::seconds(10));
+    ASSERT_TRUE(regrant.has_value());
+    EXPECT_EQ(regrant->first_trial, grant->first_trial);
+    EXPECT_NE(regrant->lease_id, grant->lease_id);
+    EXPECT_EQ(table.reissued(), 1u);
+}
+
+TEST(LeaseTableTest, ReleaseWorkerRevokesAllItsLeasesFirstInQueue)
+{
+    LeaseTable table(range(0, 12), 12, 4, std::chrono::seconds(5));
+    const auto now = Clock::now();
+    const auto a1 = table.claim(7, now); // [0,4)
+    const auto a2 = table.claim(7, now); // [4,8)
+    const auto b1 = table.claim(8, now); // [8,12)
+    ASSERT_TRUE(a1 && a2 && b1);
+
+    EXPECT_EQ(table.releaseWorker(7), 2u);
+    // Revoked chunks come back before never-granted ones (queue is
+    // empty here, but order between the two revoked chunks is
+    // front-pushed): the next claims are the revoked ranges.
+    const auto r1 = table.claim(9, now);
+    const auto r2 = table.claim(9, now);
+    ASSERT_TRUE(r1 && r2);
+    EXPECT_EQ(std::min(r1->first_trial, r2->first_trial), 0u);
+    EXPECT_EQ(std::max(r1->first_trial, r2->first_trial), 4u);
+    EXPECT_EQ(table.reissued(), 2u);
+    EXPECT_FALSE(table.claim(9, now).has_value()); // b1 still live
+}
+
+TEST(LeaseTableTest, FullyDoneRevokedChunkIsNotRegranted)
+{
+    LeaseTable table(range(0, 4), 4, 4, std::chrono::seconds(5));
+    const auto now = Clock::now();
+    const auto grant = table.claim(1, now);
+    ASSERT_TRUE(grant.has_value());
+    for (std::uint64_t t = 0; t < 4; ++t)
+        EXPECT_TRUE(table.markDone(t));
+    // Worker dies after delivering everything but before settlement.
+    EXPECT_EQ(table.releaseWorker(1), 1u);
+    EXPECT_FALSE(table.claim(2, now).has_value());
+    EXPECT_TRUE(table.allDone());
+    EXPECT_EQ(table.reissued(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// In-process service + fake wire-protocol workers
+
+constexpr std::uint32_t kFakeOutcomes = 7; // NumOutcomes
+
+std::uint32_t
+fakeOutcome(std::uint64_t trial)
+{
+    return static_cast<std::uint32_t>(trial % kFakeOutcomes);
+}
+
+std::string
+waitForPortFile(const std::filesystem::path &path)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+        std::ifstream in(path);
+        std::string line;
+        if (in && std::getline(in, line) && !line.empty())
+            return line;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return std::string();
+}
+
+Socket
+connectToAddress(const std::string &address)
+{
+    const auto colon = address.rfind(':');
+    EXPECT_NE(colon, std::string::npos) << address;
+    std::string error;
+    Socket socket = Socket::connectTo(
+        address.substr(0, colon),
+        static_cast<std::uint16_t>(
+            std::stoi(address.substr(colon + 1))),
+        &error);
+    EXPECT_TRUE(socket.valid()) << error;
+    return socket;
+}
+
+bool
+sendWire(Socket &socket, FrameType type, const std::vector<char> &payload)
+{
+    const std::vector<char> frame = encodeFrame(type, payload);
+    return socket.sendAll(frame.data(), frame.size());
+}
+
+/// A protocol-conformant worker that fabricates outcomes without an
+/// injector. `deliver_fraction` < 1 sends only the leading fraction
+/// of its FIRST lease, then disconnects (simulating a worker dying
+/// mid-delivery); 1.0 runs until drained.
+struct FakeWorkerStats
+{
+    std::uint64_t delivered = 0;
+    bool drained = false;
+};
+
+FakeWorkerStats
+fakeWorker(const std::string &address, const std::string &label,
+           double deliver_fraction = 1.0,
+           const std::function<void()> &on_first_lease = nullptr)
+{
+    FakeWorkerStats stats;
+    Socket socket = connectToAddress(address);
+    if (!socket.valid())
+        return stats;
+    FrameReader reader;
+    const auto spec = workerHandshake(socket, reader, label,
+                                      std::chrono::seconds(10));
+    if (!spec.has_value()) {
+        ADD_FAILURE() << "handshake failed for " << label;
+        return stats;
+    }
+    // Ready signal (a real worker sends this after preparing the
+    // workload; the coordinator leases nothing until it arrives).
+    sendWire(socket, FrameType::Heartbeat,
+             encodeHeartbeat({0, 0}));
+
+    for (;;) {
+        const auto frame =
+            readFrame(socket, reader, std::chrono::seconds(10));
+        if (!frame.has_value()) {
+            ADD_FAILURE() << label << ": lost the coordinator";
+            return stats;
+        }
+        if (frame->type != FrameType::Lease)
+            continue;
+        const auto grant = decodeLease(frame->payload);
+        if (!grant.has_value() || grant->count == 0) {
+            stats.drained = grant.has_value();
+            return stats;
+        }
+        if (on_first_lease && stats.delivered == 0)
+            on_first_lease();
+        std::uint64_t deliver = grant->count;
+        if (deliver_fraction < 1.0)
+            deliver = static_cast<std::uint64_t>(
+                static_cast<double>(grant->count) * deliver_fraction);
+        ResultBatch batch;
+        batch.lease_id = grant->lease_id;
+        for (std::uint64_t i = 0; i < deliver; ++i)
+            batch.records.push_back(
+                {grant->first_trial + i,
+                 fakeOutcome(grant->first_trial + i)});
+        if (!sendWire(socket, FrameType::ResultBatch,
+                      encodeResultBatch(batch)))
+            return stats;
+        stats.delivered += deliver;
+        if (deliver_fraction < 1.0)
+            return stats; // die after the partial delivery
+    }
+}
+
+CampaignSpec
+fakeSpec(std::uint64_t trials)
+{
+    CampaignSpec spec;
+    spec.workload = "fake";
+    spec.seed = 1;
+    spec.trials = trials;
+    spec.dmax = 50;
+    spec.run_budget_factor = 4.0;
+    spec.masking_rate = 0.91;
+    spec.config_fingerprint = 0xF00D;
+    spec.module_hash = 0xBEEF;
+    return spec;
+}
+
+StoreHeader
+fakeHeader(const CampaignSpec &spec)
+{
+    StoreHeader header;
+    header.config_fingerprint = spec.config_fingerprint;
+    header.module_hash = spec.module_hash;
+    header.seed = spec.seed;
+    header.total_trials = spec.trials;
+    return header;
+}
+
+TEST(CampaignServiceTest, FakeWorkersDriveCampaignToCompletion)
+{
+    const std::uint64_t kTrials = 300;
+    const CampaignSpec spec = fakeSpec(kTrials);
+    ServiceOptions options;
+    options.port_file = (tempDir() / "complete.port").string();
+    options.store_path = (tempDir() / "complete.store").string();
+    options.chunk_trials = 64;
+
+    CampaignService service(spec, fakeHeader(spec), options);
+    ServiceSummary summary;
+    std::thread coordinator(
+        [&] { summary = service.serve(); });
+
+    const std::string address = waitForPortFile(options.port_file);
+    ASSERT_FALSE(address.empty());
+    // Each worker parks on its first lease until BOTH hold one: a
+    // fabricating worker is so fast it can otherwise drain the whole
+    // campaign before the second one finishes its handshake. An
+    // unsettled lease pins the campaign open, so this is race-free.
+    std::atomic<int> enrolled{0};
+    const auto rendezvous = [&enrolled] {
+        enrolled.fetch_add(1);
+        while (enrolled.load() < 2)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    std::thread w1(
+        [&] { fakeWorker(address, "fake-1", 1.0, rendezvous); });
+    std::thread w2(
+        [&] { fakeWorker(address, "fake-2", 1.0, rendezvous); });
+    w1.join();
+    w2.join();
+    coordinator.join();
+
+    EXPECT_TRUE(summary.complete);
+    EXPECT_EQ(summary.ingested, kTrials);
+    EXPECT_EQ(summary.duplicates, 0u);
+    EXPECT_EQ(summary.workers_seen, 2u);
+    EXPECT_EQ(summary.workers_lost, 0u);
+    EXPECT_EQ(summary.result.trials, kTrials);
+
+    // The store holds exactly one record per trial with the worker's
+    // outcome.
+    StoreContents contents;
+    ASSERT_FALSE(
+        readTrialStore(options.store_path, contents).has_value());
+    ASSERT_EQ(contents.records.size(), kTrials);
+    std::vector<bool> seen(kTrials, false);
+    for (const TrialRecord &record : contents.records) {
+        ASSERT_LT(record.trial, kTrials);
+        EXPECT_FALSE(seen[record.trial]);
+        seen[record.trial] = true;
+        EXPECT_EQ(record.outcome, fakeOutcome(record.trial));
+    }
+}
+
+TEST(CampaignServiceTest, PartialDeliveryThenDeathIsReLeasedAndDeduped)
+{
+    const std::uint64_t kTrials = 128;
+    const CampaignSpec spec = fakeSpec(kTrials);
+    ServiceOptions options;
+    options.port_file = (tempDir() / "partial.port").string();
+    options.store_path = (tempDir() / "partial.store").string();
+    options.chunk_trials = 64;
+    // Expiry is NOT what should trigger here — connection loss is.
+    options.lease_timeout = std::chrono::hours(1);
+
+    CampaignService service(spec, fakeHeader(spec), options);
+    ServiceSummary summary;
+    std::thread coordinator(
+        [&] { summary = service.serve(); });
+
+    const std::string address = waitForPortFile(options.port_file);
+    ASSERT_FALSE(address.empty());
+
+    // Worker 1 delivers half of its first lease (32 of 64 records),
+    // then its connection dies.
+    const FakeWorkerStats dying =
+        fakeWorker(address, "fake-dying", 0.5);
+    EXPECT_EQ(dying.delivered, 32u);
+    EXPECT_FALSE(dying.drained);
+
+    // Worker 2 finishes the campaign; it re-executes the re-leased
+    // chunk in full, so its 32 overlapping records are dropped as
+    // duplicates.
+    FakeWorkerStats survivor;
+    std::thread w2(
+        [&] { survivor = fakeWorker(address, "fake-survivor"); });
+    w2.join();
+    coordinator.join();
+
+    EXPECT_TRUE(summary.complete);
+    EXPECT_TRUE(survivor.drained);
+    EXPECT_EQ(summary.ingested, kTrials);
+    EXPECT_EQ(summary.duplicates, 32u);
+    EXPECT_EQ(summary.workers_lost, 1u);
+    EXPECT_GE(summary.leases_reissued, 1u);
+
+    StoreContents contents;
+    ASSERT_FALSE(
+        readTrialStore(options.store_path, contents).has_value());
+    EXPECT_EQ(contents.records.size(), kTrials);
+}
+
+TEST(CampaignServiceTest, ServeResumesExistingStore)
+{
+    const std::uint64_t kTrials = 100;
+    const CampaignSpec spec = fakeSpec(kTrials);
+    const std::string store = (tempDir() / "resume.store").string();
+
+    // Seed the store with the first 40 trials, as an interrupted
+    // serve would have left it.
+    {
+        std::string error;
+        auto writer = TrialStoreWriter::create(
+            store, fakeHeader(spec), {}, &error);
+        ASSERT_NE(writer, nullptr) << error;
+        for (std::uint64_t t = 0; t < 40; ++t)
+            writer->add(t, fakeOutcome(t));
+        ASSERT_TRUE(writer->finish());
+    }
+
+    ServiceOptions options;
+    options.port_file = (tempDir() / "resume.port").string();
+    options.store_path = store;
+    options.chunk_trials = 16;
+    CampaignService service(spec, fakeHeader(spec), options);
+    ServiceSummary summary;
+    std::thread coordinator(
+        [&] { summary = service.serve(); });
+
+    const std::string address = waitForPortFile(options.port_file);
+    ASSERT_FALSE(address.empty());
+    std::thread w1([&] { fakeWorker(address, "fake-resume"); });
+    w1.join();
+    coordinator.join();
+
+    EXPECT_TRUE(summary.complete);
+    EXPECT_EQ(summary.resumed, 40u);
+    EXPECT_EQ(summary.ingested, 60u);
+    EXPECT_EQ(summary.result.trials, kTrials);
+
+    StoreContents contents;
+    ASSERT_FALSE(readTrialStore(store, contents).has_value());
+    EXPECT_EQ(contents.records.size(), kTrials);
+}
+
+#ifdef ENCORE_CAMPAIGN_TOOL
+
+// ---------------------------------------------------------------------------
+// Chaos soak over the real binary
+
+struct CommandResult
+{
+    int exit_code = -1;
+    std::string output;
+};
+
+CommandResult
+runTool(const std::string &args, const std::string &tag)
+{
+    const std::string capture =
+        (tempDir() / ("capture_" + tag + ".txt")).string();
+    const std::string command = std::string(ENCORE_CAMPAIGN_TOOL) +
+                                " " + args + " > " + capture +
+                                " 2>&1";
+    const int status = std::system(command.c_str());
+    CommandResult result;
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    std::ifstream in(capture);
+    std::ostringstream out;
+    out << in.rdbuf();
+    result.output = out.str();
+    return result;
+}
+
+/// Everything from the final "trials N" line on — the aggregate table
+/// whose byte-identity is the determinism criterion.
+std::string
+aggregateOf(const std::string &output)
+{
+    const auto pos = output.rfind("\ntrials ");
+    return pos == std::string::npos ? "" : output.substr(pos + 1);
+}
+
+pid_t
+spawnTool(const std::string &args, const std::string &log)
+{
+    const std::string command = "exec " +
+                                std::string(ENCORE_CAMPAIGN_TOOL) +
+                                " " + args + " > " + log + " 2>&1";
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execl("/bin/sh", "sh", "-c", command.c_str(),
+                static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+int
+waitForPid(pid_t pid)
+{
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(CampaignServiceSoak, SigkilledWorkerDoesNotPerturbAggregate)
+{
+    const std::string kCampaign =
+        "--workload cjpeg --trials 600 --seed 777 --dmax 50";
+
+    // Uninterrupted single-process baseline.
+    const CommandResult baseline =
+        runTool("run " + kCampaign + " --jobs 2", "soak_baseline");
+    ASSERT_EQ(baseline.exit_code, 0) << baseline.output;
+    const std::string want = aggregateOf(baseline.output);
+    ASSERT_FALSE(want.empty());
+
+    const std::string store = (tempDir() / "soak.store").string();
+    const std::string port_file = (tempDir() / "soak.port").string();
+    const std::string serve_log = (tempDir() / "soak_serve.log").string();
+
+    // Small chunks + fast flushes so the kill lands between leases'
+    // store appends; 1s lease timeout exercises expiry if the drop
+    // path ever misses.
+    const pid_t serve = spawnTool(
+        "serve " + kCampaign + " --store " + store + " --port-file " +
+            port_file + " --chunk 32 --lease-timeout-ms 1000 "
+            "--flush-interval-ms 50",
+        serve_log);
+
+    const std::string address = waitForPortFile(port_file);
+    ASSERT_FALSE(address.empty()) << slurp(serve_log);
+
+    // Victim worker: throttled to ~3ms/trial so 600 trials take ~2s —
+    // plenty of window for the SIGKILL to land mid-lease.
+    const pid_t victim = spawnTool(
+        "worker --connect " + address +
+            " --label victim --throttle-us 3000",
+        (tempDir() / "soak_victim.log").string());
+
+    // Kill the victim once the store shows ingested records (it is
+    // the only worker, so it provably held leases by then).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    bool saw_records = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(store, ec);
+        if (!ec && size >= kTrialStoreHeaderSize + kTrialRecordSize) {
+            saw_records = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_TRUE(saw_records) << slurp(serve_log);
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+    waitForPid(victim);
+
+    // A clean worker finishes whatever the victim left behind.
+    const pid_t finisher = spawnTool(
+        "worker --connect " + address + " --label finisher --jobs 2",
+        (tempDir() / "soak_finisher.log").string());
+    EXPECT_EQ(waitForPid(finisher), 0)
+        << slurp((tempDir() / "soak_finisher.log").string());
+    EXPECT_EQ(waitForPid(serve), 0) << slurp(serve_log);
+
+    const std::string serve_out = slurp(serve_log);
+    EXPECT_EQ(aggregateOf(serve_out), want) << serve_out;
+    EXPECT_NE(serve_out.find("1 lost"), std::string::npos)
+        << serve_out;
+
+    // The store itself agrees: complete, nothing missing, same
+    // aggregate.
+    const CommandResult inspected =
+        runTool("inspect --store " + store, "soak_inspect");
+    ASSERT_EQ(inspected.exit_code, 0) << inspected.output;
+    EXPECT_NE(inspected.output.find("missing 0 of 600"),
+              std::string::npos);
+    EXPECT_EQ(aggregateOf(inspected.output), want);
+}
+
+#endif // ENCORE_CAMPAIGN_TOOL
+
+} // namespace
+} // namespace encore::campaign

@@ -249,5 +249,74 @@ TEST(CommandLineTest, SpaceSeparatedValue)
     EXPECT_EQ(cli.getInt("seed"), 99);
 }
 
+TEST(CommandLineTest, GetUintParsesNonNegative)
+{
+    CommandLine cli;
+    cli.addFlag("trials", "100", "number of trials");
+    const char *argv[] = {"prog", "--trials=250"};
+    cli.parse(2, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getUint("trials"), 250u);
+}
+
+TEST(CommandLineTest, GetUintRejectsNegativeInsteadOfWrapping)
+{
+    // The pre-getUint pattern, static_cast<uint64_t>(getInt(...)),
+    // turned `--trials -1` into a campaign of 2^64-1 trials. The
+    // typed accessor must refuse with a diagnostic naming the flag.
+    CommandLine cli;
+    cli.addFlag("trials", "100", "number of trials");
+    const char *argv[] = {"prog", "--trials=-5"};
+    cli.parse(2, const_cast<char **>(argv));
+    EXPECT_EXIT((void)cli.getUint("trials"),
+                testing::ExitedWithCode(1),
+                "--trials.*non-negative integer.*-5");
+}
+
+TEST(CommandLineTest, BareValueFlagBeforeAnotherFlagIsFatal)
+{
+    // '--label --foo' used to silently parse as label=true; a value
+    // flag with nothing consumable after it must say so instead.
+    CommandLine cli;
+    cli.addFlag("label", "", "a string flag");
+    cli.addFlag("foo", "false", "a boolean flag");
+    const char *argv[] = {"prog", "--label", "--foo"};
+    EXPECT_EXIT(cli.parse(3, const_cast<char **>(argv)),
+                testing::ExitedWithCode(1),
+                "--label.*requires a value");
+}
+
+TEST(CommandLineTest, BareValueFlagAtEndOfLineIsFatal)
+{
+    CommandLine cli;
+    cli.addFlag("label", "", "a string flag");
+    const char *argv[] = {"prog", "--label"};
+    EXPECT_EXIT(cli.parse(2, const_cast<char **>(argv)),
+                testing::ExitedWithCode(1),
+                "--label.*requires a value");
+}
+
+TEST(CommandLineTest, EqualsFormEscapesLeadingDashes)
+{
+    // The documented escape for values that themselves begin with --.
+    CommandLine cli;
+    cli.addFlag("label", "", "a string flag");
+    const char *argv[] = {"prog", "--label=--foo"};
+    cli.parse(2, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getString("label"), "--foo");
+}
+
+TEST(CommandLineTest, BareBooleanBeforeFlagStillTrue)
+{
+    // Boolean flags (true/false default) keep their bare form even
+    // when another flag follows.
+    CommandLine cli;
+    cli.addFlag("json", "false", "a boolean flag");
+    cli.addFlag("seed", "1", "seed");
+    const char *argv[] = {"prog", "--json", "--seed", "7"};
+    cli.parse(4, const_cast<char **>(argv));
+    EXPECT_TRUE(cli.getBool("json"));
+    EXPECT_EQ(cli.getInt("seed"), 7);
+}
+
 } // namespace
 } // namespace encore
