@@ -1,5 +1,6 @@
 #include "common.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -103,6 +104,28 @@ addJsonFlag(CommandLine &cli, const std::string &default_path)
     cli.addFlag("json", default_path,
                 "path for the machine-readable report "
                 "(\"\" disables it)");
+}
+
+void
+addEngineFlag(CommandLine &cli)
+{
+    cli.addFlag("engine", "fused",
+                "interpreter tier: 'fused' (superinstruction dispatch, "
+                "the default) or 'decoded' (one dispatch per source "
+                "instruction; same outcomes, slower)");
+}
+
+interp::EngineKind
+engineFlag(const CommandLine &cli)
+{
+    const std::string name = cli.getString("engine");
+    const auto kind = interp::parseEngineKind(name);
+    if (!kind) {
+        std::cerr << "error: unknown --engine '" << name
+                  << "': expected 'fused' or 'decoded'.\n";
+        std::exit(1);
+    }
+    return *kind;
 }
 
 bool

@@ -17,6 +17,7 @@
 
 #include "encore/analysis_base.h"
 #include "encore/pipeline.h"
+#include "interp/decoded.h"
 #include "support/cli.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
@@ -121,6 +122,14 @@ bool analysisCacheFlag(const CommandLine &cli);
 /// Registers the standard --json flag with the given default path
 /// ("" disables the report).
 void addJsonFlag(CommandLine &cli, const std::string &default_path);
+
+/// Registers --engine=decoded|fused (default fused), the interpreter
+/// tier selector shared by every binary that executes workloads.
+void addEngineFlag(CommandLine &cli);
+
+/// Resolved --engine value; exits with an actionable message on
+/// anything parseEngineKind rejects.
+interp::EngineKind engineFlag(const CommandLine &cli);
 
 /**
  * Writes the machine-readable report to `path`: an opening brace and

@@ -73,12 +73,14 @@ main(int argc, char **argv)
                 "whole suite); note the per-campaign seeds depend on "
                 "suite position, so a filtered run's coverage numbers "
                 "are not comparable to a full run's");
+    bench::addEngineFlag(cli);
     cli.parse(argc, argv);
 
     const std::uint64_t trials = cli.getUint("trials");
     const std::uint64_t seed = cli.getUint("seed");
     const double mask_rate = cli.getDouble("mask");
     const std::size_t jobs = bench::jobsFlag(cli);
+    const interp::EngineKind engine = bench::engineFlag(cli);
     const std::string json_path = cli.getString("json");
     const std::string store_dir = cli.getString("store");
     if (!store_dir.empty())
@@ -152,7 +154,8 @@ main(int argc, char **argv)
                 table.addSeparator();
             current_suite = w.suite;
         }
-        fault::FaultInjector injector(*prepared.module, prepared.report);
+        fault::FaultInjector injector(*prepared.module, prepared.report,
+                                      engine);
         injector.configureSnapshots(snap_config);
         if (!injector.prepare(w.entry, w.train_args)) {
             std::cerr << "golden run failed for " << w.name << "\n";
@@ -255,6 +258,8 @@ main(int argc, char **argv)
     const bool json_ok = bench::writeJsonReport(
         json_path, [&](std::ostream &json) {
             json << "  \"bench\": \"fig8_fault_coverage\",\n"
+                 << "  \"engine\": \""
+                 << interp::engineKindName(engine) << "\",\n"
                  << "  \"jobs\": " << jobs << ",\n"
                  << "  \"hardware_threads\": "
                  << std::thread::hardware_concurrency() << ",\n"

@@ -5,9 +5,10 @@
 # soak that SIGKILLs a serve/worker fleet member mid-campaign)
 # followed by the ThreadSanitizer campaign lane (the concurrent
 # trial-store writer, the multi-threaded campaign/resume paths, and
-# the coordinator/worker service), then a warn-only perf smoke that
-# compares injection throughput on two medium workloads against the
-# committed BENCH_injection.json.
+# the coordinator/worker service), then two warn-only perf smokes:
+# injection throughput on two medium workloads against the committed
+# BENCH_injection.json, and interpreter throughput (the fused
+# superinstruction tier) against the committed BENCH_interp.json.
 #
 # Usage: scripts/ci.sh [build-root]
 #   build-root defaults to build-ci/ next to the source tree. The
@@ -74,4 +75,49 @@ print("perf-smoke: warn-only; a slower CI machine is expected to "
       "show negative deltas")
 EOF
 
-echo "==> ci passed (tier1 + tsan campaign lane + perf smoke)"
+echo "==> [perf] interpreter-throughput smoke (warn-only)"
+# The fused superinstruction tier is the engine under every campaign
+# above; a silent regression there shows up everywhere. bench_passes
+# measures reference/decoded/fused throughput per workload; the means
+# are compared against the committed BENCH_interp.json. Warn-only for
+# the same machine-variance reason, with a tighter 10% threshold on
+# the *ratio* fused/reference — the ratio divides out most of the
+# machine difference that makes raw Mi/s incomparable.
+interp_json="${build_root}/interp_smoke.json"
+"${build_root}/tier1/bench/bench_passes" \
+    --interp-json="${interp_json}" --analysis-json= \
+    --benchmark_filter=NONE > /dev/null 2>&1 || true
+python3 - "${repo_root}/BENCH_interp.json" "${interp_json}" <<'EOF'
+import json, sys
+base_path, cur_path = sys.argv[1], sys.argv[2]
+try:
+    with open(base_path) as f:
+        base = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"interp-smoke: cannot read baseline {base_path}: {e} "
+          "(skipping comparison)")
+    sys.exit(0)
+try:
+    with open(cur_path) as f:
+        cur = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"interp-smoke: no current report ({e}); bench_passes "
+          "failed above (skipping comparison)")
+    sys.exit(0)
+for key in ("mean_reference_mips", "mean_decoded_mips",
+            "mean_fused_mips"):
+    print(f"interp-smoke: {key}: {cur[key]:.1f} "
+          f"(baseline {base[key]:.1f})")
+ratio = cur["mean_fused_mips"] / max(cur["mean_reference_mips"], 1e-9)
+ref_ratio = (base["mean_fused_mips"] /
+             max(base["mean_reference_mips"], 1e-9))
+delta = (ratio - ref_ratio) / ref_ratio * 100
+flag = "  <-- WARNING: fused/reference ratio >10% below baseline" \
+    if delta < -10 else ""
+print(f"interp-smoke: fused/reference ratio {ratio:.2f}x "
+      f"(baseline {ref_ratio:.2f}x, {delta:+.1f}%){flag}")
+print("interp-smoke: warn-only; see BENCH_interp.json provenance for "
+      "the baseline build")
+EOF
+
+echo "==> ci passed (tier1 + tsan campaign lane + perf smokes)"

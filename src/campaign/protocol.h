@@ -48,7 +48,7 @@
  * seed, trial index) — counter-based seeding — so a chunk executed by
  * two workers (one presumed dead, one live) yields byte-identical
  * records, and the coordinator's per-trial dedup keeps the store and
- * aggregate identical to an uninterrupted run (see DESIGN.md §8).
+ * aggregate identical to an uninterrupted run (see DESIGN.md §9).
  */
 #ifndef ENCORE_CAMPAIGN_PROTOCOL_H
 #define ENCORE_CAMPAIGN_PROTOCOL_H

@@ -364,10 +364,12 @@ classifyTrialOutcome(const TrialObservation &obs)
 }
 
 FaultInjector::FaultInjector(const ir::Module &module,
-                             const EncoreReport &report)
+                             const EncoreReport &report,
+                             interp::EngineKind engine)
     : module_(module),
       module_hash_(fnv1a64(ir::moduleToString(module))),
-      decoded_(std::make_shared<const interp::DecodedModule>(module))
+      decoded_(
+          std::make_shared<const interp::DecodedModule>(module, engine))
 {
     for (const RegionReport &region : report.regions) {
         if (region.id == ir::kInvalidRegion)

@@ -156,8 +156,12 @@ class FaultInjector
 {
   public:
     /// `report` supplies region-id → class attribution; the module must
-    /// already be instrumented by the pipeline.
-    FaultInjector(const ir::Module &module, const EncoreReport &report);
+    /// already be instrumented by the pipeline. `engine` selects the
+    /// execution tier for the golden run and every trial (trial
+    /// outcomes are engine-independent; the fused default is simply
+    /// faster — see interp::EngineKind).
+    FaultInjector(const ir::Module &module, const EncoreReport &report,
+                  interp::EngineKind engine = interp::EngineKind::Fused);
 
     /// Selects the snapshot tier configuration for the next prepare()
     /// (snapshots are rebuilt from scratch by every prepare). Call

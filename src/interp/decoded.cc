@@ -1,28 +1,86 @@
 #include "interp/decoded.h"
 
+#include <algorithm>
+#include <map>
+
 #include "support/diagnostics.h"
 
 namespace encore::interp {
 
 namespace {
 
-DecodedOperand
-decodeOperand(const ir::Operand &op)
+/// Interns immediates into one per-function pool so operands become
+/// plain frame-window slot indices (registers first, then the pool).
+class OperandDecoder
 {
-    DecodedOperand d;
-    if (op.isReg()) {
-        d.is_reg = true;
-        d.reg = op.reg;
-    } else if (op.isImm()) {
-        d.imm = static_cast<std::uint64_t>(op.imm);
+  public:
+    explicit OperandDecoder(DecodedFunction &func) : func_(func) {}
+
+    DecodedOperand
+    operator()(const ir::Operand &op)
+    {
+        if (op.isReg())
+            return DecodedOperand{op.reg};
+        return DecodedOperand{
+            internImm(op.isImm() ? static_cast<std::uint64_t>(op.imm)
+                                 : 0)};
     }
-    return d;
-}
+
+  private:
+    std::uint32_t
+    internImm(std::uint64_t value)
+    {
+        const auto it = pool_.find(value);
+        if (it != pool_.end())
+            return it->second;
+        const std::uint32_t slot =
+            func_.num_regs +
+            static_cast<std::uint32_t>(func_.consts.size());
+        func_.consts.push_back(value);
+        pool_.emplace(value, slot);
+        return slot;
+    }
+
+    DecodedFunction &func_;
+    std::map<std::uint64_t, std::uint32_t> pool_;
+};
 
 std::uint32_t
 blockIndexOf(const ir::BasicBlock *bb)
 {
     return bb ? bb->id() : kNoDecodedBlock;
+}
+
+/// A pure value op: reads registers/immediates, writes one register,
+/// touches no memory and no address expression. These are the legal
+/// interior components of every "Alu" fused form. Div/Rem are included
+/// — their divide-by-zero throw is handled identically fused and
+/// unfused because components advance `ip` one source instruction at a
+/// time.
+bool
+isPureValue(ir::Opcode op)
+{
+    return op >= ir::Opcode::Mov && op <= ir::Opcode::Select;
+}
+
+bool
+isCmp(ir::Opcode op)
+{
+    return op >= ir::Opcode::CmpEq && op <= ir::Opcode::FCmpLt;
+}
+
+std::uint8_t
+compClassOf(ir::Opcode op)
+{
+    if (isPureValue(op))
+        return kCompValue;
+    if (op == ir::Opcode::Lea)
+        return kCompLea;
+    if (op == ir::Opcode::Load)
+        return kCompLoad;
+    if (op == ir::Opcode::Store)
+        return kCompStore;
+    return kCompOther;
 }
 
 void
@@ -35,6 +93,7 @@ decodeFunction(const ir::Function &func, std::uint32_t index,
     out.num_regs = func.numRegs();
     out.entry_block = func.entry()->id();
     out.blocks.resize(func.numBlocks());
+    OperandDecoder decodeOperand(out);
 
     std::size_t total = 0;
     for (const auto &bb : func.blocks())
@@ -52,6 +111,8 @@ decodeFunction(const ir::Function &func, std::uint32_t index,
         for (const ir::Instruction &inst : bb->instructions()) {
             DecodedInst d;
             d.op = inst.opcode();
+            d.exec_op = static_cast<std::uint8_t>(inst.opcode());
+            d.comp_class = compClassOf(inst.opcode());
             d.is_pseudo = inst.isPseudo();
             d.dest = inst.dest();
             d.a = decodeOperand(inst.a());
@@ -91,11 +152,160 @@ decodeFunction(const ir::Function &func, std::uint32_t index,
             out.code.push_back(d);
         }
     }
+    out.num_slots =
+        out.num_regs + static_cast<std::uint32_t>(out.consts.size());
+}
+
+/// True when `br` is a conditional branch whose condition register is
+/// exactly `cond_dest` — the precondition for the compare+branch fused
+/// forms, which branch on the compare's freshly computed value instead
+/// of re-reading the register file.
+bool
+branchConsumes(const DecodedInst &br, ir::RegId cond_dest)
+{
+    // A register destination's slot is its register id, and immediates
+    // live in slots >= num_regs, so a plain slot compare suffices.
+    return br.op == ir::Opcode::Br && br.a.slot == cond_dest;
+}
+
+/**
+ * The superinstruction pass: greedy maximal-munch over each block's
+ * flat body, annotating sequence HEADS with a FusedOp exec opcode.
+ * Components are left completely untouched, so any control transfer
+ * into the middle of a sequence (snapshot resume, recovery redirect)
+ * executes the remainder unfused. Sequences never cross a block
+ * boundary — the scan is per block — which is also what keeps them
+ * from spanning a loop-top snapshot barrier: barriers are only
+ * honored between dispatches, and the interpreter's de-fuse guard
+ * refuses to enter a fused handler within a kMaxFuseLen window of one.
+ *
+ * Matching works on maximal *runs*: the longest stretch of value /
+ * lea / load / store instructions starting at the cursor. A run that
+ * ends on a compare consumed by the following conditional branch
+ * absorbs the branch too (CmpBr / AluCmpBr / RunCmpBr — the loop
+ * back-edge family). The remaining run fuses as one of the dedicated
+ * short shapes when one fits — their handlers know every component
+ * class at compile time — or as a generic Run otherwise, chunked at
+ * kMaxFuseLen.
+ */
+void
+fuseFunction(DecodedFunction &func)
+{
+    const auto fuse = [&](std::uint32_t head, FusedOp op,
+                          std::uint32_t len) {
+        func.code[head].exec_op = static_cast<std::uint8_t>(op);
+        func.code[head].fused_len = static_cast<std::uint8_t>(len);
+    };
+    for (std::size_t b = 0; b < func.blocks.size(); ++b) {
+        const std::uint32_t first = func.blocks[b].first;
+        const std::uint32_t end = b + 1 < func.blocks.size()
+                                      ? func.blocks[b + 1].first
+                                      : static_cast<std::uint32_t>(
+                                            func.code.size());
+        std::uint32_t i = first;
+        while (i < end) {
+            // Longest run of fusible straight-line work from i.
+            std::uint32_t run = 0;
+            while (i + run < end &&
+                   func.code[i + run].comp_class != kCompOther)
+                ++run;
+            if (run == 0) {
+                ++i;
+                continue;
+            }
+
+            // Compare+branch tail: the run ends on a compare whose
+            // result the next instruction's conditional branch
+            // consumes. Folding the branch in removes the back-edge
+            // dispatch and the branch's condition re-fetch. (The
+            // compare result is still materialized even when the
+            // branch is its only reader: fused and de-fused execution
+            // must leave an identical register file, or snapshot
+            // capture and the golden-resync state equality would see
+            // fusion-dependent state — see DESIGN.md §8.)
+            const DecodedInst &last = func.code[i + run - 1];
+            const bool tail = i + run < end && isCmp(last.op) &&
+                              branchConsumes(func.code[i + run],
+                                             last.dest);
+            if (tail && run + 1 <= kMaxFuseLen) {
+                const std::uint32_t len = run + 1;
+                if (len == 2)
+                    fuse(i, FusedOp::CmpBr, 2);
+                else if (len == 3 && isPureValue(func.code[i].op))
+                    fuse(i, FusedOp::AluCmpBr, 3);
+                else
+                    fuse(i, FusedOp::RunCmpBr, len);
+                i += len;
+                continue;
+            }
+
+            std::uint32_t len = std::min<std::uint32_t>(run, kMaxFuseLen);
+            // An over-long sequence ending in a compare+branch tail:
+            // stop the chunk before the compare so the next match
+            // still gets the CmpBr form.
+            if (tail && len == run)
+                --len;
+            if (len < 2) {
+                ++i;
+                continue;
+            }
+
+            const DecodedInst &i0 = func.code[i];
+            const DecodedInst &i1 = func.code[i + 1];
+            if (len >= 4) {
+                fuse(i, FusedOp::Run, len);
+            } else if (len == 3) {
+                const DecodedInst &i2 = func.code[i + 2];
+                if (i0.op == ir::Opcode::Load && isPureValue(i1.op) &&
+                    i2.op == ir::Opcode::Store)
+                    fuse(i, FusedOp::LoadAluStore, 3);
+                else if (isPureValue(i0.op) && isPureValue(i1.op) &&
+                         isPureValue(i2.op))
+                    fuse(i, FusedOp::AluAluAlu, 3);
+                else
+                    fuse(i, FusedOp::Run, 3);
+            } else { // len == 2
+                if (i0.op == ir::Opcode::Load && isPureValue(i1.op))
+                    fuse(i, FusedOp::LoadAlu, 2);
+                else if (isPureValue(i0.op) &&
+                         i1.op == ir::Opcode::Store)
+                    fuse(i, FusedOp::AluStore, 2);
+                else if (isPureValue(i0.op) &&
+                         i1.op == ir::Opcode::Load)
+                    fuse(i, FusedOp::AluLoad, 2);
+                else if (isPureValue(i0.op) && isPureValue(i1.op))
+                    fuse(i, FusedOp::AluAlu, 2);
+                else if (i0.op == ir::Opcode::Lea &&
+                         isPureValue(i1.op))
+                    fuse(i, FusedOp::LeaAlu, 2);
+                else
+                    fuse(i, FusedOp::Run, 2);
+            }
+            i += len;
+        }
+    }
 }
 
 } // namespace
 
-DecodedModule::DecodedModule(const ir::Module &module) : module_(&module)
+std::string_view
+engineKindName(EngineKind kind)
+{
+    return kind == EngineKind::Fused ? "fused" : "decoded";
+}
+
+std::optional<EngineKind>
+parseEngineKind(std::string_view name)
+{
+    if (name == "decoded")
+        return EngineKind::Decoded;
+    if (name == "fused")
+        return EngineKind::Fused;
+    return std::nullopt;
+}
+
+DecodedModule::DecodedModule(const ir::Module &module, EngineKind engine)
+    : module_(&module), engine_(engine)
 {
     std::map<const ir::Function *, std::uint32_t> fn_index;
     const auto &funcs = module.functions();
@@ -105,6 +315,8 @@ DecodedModule::DecodedModule(const ir::Module &module) : module_(&module)
     for (std::size_t i = 0; i < funcs.size(); ++i) {
         decodeFunction(*funcs[i], static_cast<std::uint32_t>(i), fn_index,
                        functions_[i]);
+        if (engine_ == EngineKind::Fused)
+            fuseFunction(functions_[i]);
     }
 }
 

@@ -11,6 +11,23 @@
  * indices — so the interpreter's hot loop is a linear walk with a
  * flat switch.
  *
+ * Superinstruction tier: with EngineKind::Fused (the default) a
+ * decode-time peephole pass additionally annotates hot static
+ * sequences inside a block — compare+branch, load+op, op+store,
+ * load+op+store, op chains, and address-feeding op+load — with a
+ * fused execution opcode on the sequence HEAD. Fusion is strictly
+ * in-place: every component instruction keeps its slot, its fields,
+ * and its source pointer, so instruction indices (ip), branch
+ * targets, snapshot cursors, and observer identities are identical
+ * between the two engines. The dispatcher executes a fused head as
+ * one handler covering all components (advancing every execution
+ * counter per *source* instruction and firing every hook exactly as
+ * the unfused sequence would); entering a sequence mid-way — a
+ * restored snapshot cursor or a recovery redirect — simply executes
+ * the remaining components unfused, because only head slots carry a
+ * fused exec_op. EngineKind::Decoded skips the pass entirely and is
+ * byte-identical to the pre-fusion engine.
+ *
  * Lifetime and thread-safety contract: a DecodedModule is built from a
  * module *after* all passes that mutate it (notably the instrumenter)
  * and is immutable afterwards, so one cache can be shared read-only by
@@ -23,26 +40,99 @@
 #define ENCORE_INTERP_DECODED_H
 
 #include <cstdint>
-#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/module.h"
 
 namespace encore::interp {
 
-/// A pre-resolved operand: either a register index or an immediate
-/// already widened to the register representation. An absent operand
-/// decodes as immediate 0, matching the interpreter's evalOperand.
+/// Which execution tier a DecodedModule is prepared for. Fused is the
+/// default everywhere; Decoded is the opt-out (`--engine=decoded`)
+/// that reproduces the pre-fusion engine byte for byte. Outcomes are
+/// engine-independent by construction — the flag trades speed only.
+enum class EngineKind : std::uint8_t
+{
+    Decoded, ///< Flat bytecode, one dispatch per source instruction.
+    Fused,   ///< Flat bytecode plus superinstruction annotations.
+};
+
+std::string_view engineKindName(EngineKind kind);
+/// Parses "decoded" / "fused"; nullopt on anything else.
+std::optional<EngineKind> parseEngineKind(std::string_view name);
+
+/// A pre-resolved operand: an index into the frame's value window.
+/// Slots below DecodedFunction::num_regs are the function's registers
+/// (slot == register id); slots at or above it name entries of the
+/// function's immediate pool, which frame activation materializes
+/// right after the registers. Either way a fetch is one unconditional
+/// indexed load — no register/immediate branch on the hot path. An
+/// absent operand decodes as the pooled immediate 0, matching the
+/// interpreter's evalOperand.
 struct DecodedOperand
 {
-    std::uint64_t imm = 0;
-    ir::RegId reg = ir::kInvalidReg;
-    bool is_reg = false;
+    std::uint32_t slot = 0;
 };
 
 /// Sentinel for "no block target" (e.g. a region.enter with no
 /// recovery block).
 constexpr std::uint32_t kNoDecodedBlock = ~0u;
+
+/**
+ * Fused execution opcodes, numbered directly after ir::Opcode so one
+ * dispatch table covers both. "Alu" means any pure register-operand
+ * value opcode (mov/arithmetic/logic/compare/select — no memory, no
+ * address); "Cmp" any comparison. Each name lists its components in
+ * source order; the head slot carries the exec opcode, the components
+ * follow at ip+1 / ip+2 untouched.
+ */
+enum class FusedOp : std::uint8_t
+{
+    CmpBr = static_cast<std::uint8_t>(ir::Opcode::NumOpcodes),
+    AluCmpBr,     ///< alu, cmp, br — the loop back-edge idiom.
+    AluAlu,       ///< two adjacent pure value ops.
+    AluAluAlu,    ///< three adjacent pure value ops (FP chains).
+    LoadAlu,      ///< load feeding (usually) the next op.
+    AluStore,     ///< computed value immediately stored.
+    LoadAluStore, ///< read-modify-write word.
+    AluLoad,      ///< address arithmetic folded into the load.
+    LeaAlu,       ///< lea feeding pointer arithmetic.
+    Run,          ///< Generic straight-line run of value/lea/load/store
+                  ///< components (length 2..kMaxFuseLen) in any order
+                  ///< the dedicated shapes above don't cover — e.g.
+                  ///< alu+alu+store, load+load+alu, store-led runs,
+                  ///< and long FP chains. Components execute through a
+                  ///< per-instruction class tag (see comp_class).
+    RunCmpBr,     ///< A Run prefix ending in cmp + consuming br: the
+                  ///< general loop back-edge (load/alu/store setup,
+                  ///< compare, branch) as one dispatch.
+    NumExecOps,
+};
+
+/// Longest fused sequence, in source instructions. The interpreter's
+/// de-fuse guard derives its barrier windows from this, so raising it
+/// widens the window in which heads near a snapshot/resync barrier
+/// fall back to unfused stepping.
+constexpr std::uint8_t kMaxFuseLen = 8;
+
+/// Size of the extended dispatch space (base opcodes + fused forms).
+constexpr unsigned kNumExecOps =
+    static_cast<unsigned>(FusedOp::NumExecOps);
+
+/// Component classes for the generic Run/RunCmpBr handlers: every
+/// instruction a run may contain maps to one of four executable
+/// shapes. Precomputed at decode time so the run handler's inner
+/// dispatch is a dense four-way switch instead of opcode inspection.
+enum : std::uint8_t
+{
+    kCompValue = 0, ///< pure register/immediate value op
+    kCompLea = 1,
+    kCompLoad = 2,
+    kCompStore = 3,
+    kCompOther = 0xff, ///< never a run component
+};
 
 /**
  * One flat instruction. Field use depends on the opcode:
@@ -58,6 +148,18 @@ struct DecodedInst
     enum class AddrBase : std::uint8_t { None, Object, Reg };
 
     ir::Opcode op;
+    /// Dispatch opcode: equal to `op` for ordinary instructions, or a
+    /// FusedOp value when this slot heads a fused sequence. The
+    /// dispatcher indexes its table with this; `op` stays the source
+    /// opcode so hooks, tests, and the de-fuse path are unaffected.
+    std::uint8_t exec_op = 0;
+    /// Source instructions covered by this slot's dispatch: 1 for
+    /// ordinary instructions, 2..kMaxFuseLen for fused heads.
+    /// Component slots (the ones following a head) keep fused_len == 1.
+    std::uint8_t fused_len = 1;
+    /// Run-component class (kComp*), valid for every value/lea/load/
+    /// store instruction regardless of fusion; kCompOther elsewhere.
+    std::uint8_t comp_class = kCompOther;
     bool is_pseudo = false;
     AddrBase addr_base = AddrBase::None;
     ir::RegId dest = ir::kInvalidReg;
@@ -88,7 +190,14 @@ struct DecodedFunction
     const ir::Function *src = nullptr;
     std::uint32_t index = 0; ///< Position within the DecodedModule.
     std::uint32_t num_regs = 0;
+    /// Frame window width: num_regs register slots followed by the
+    /// immediate pool (see DecodedOperand).
+    std::uint32_t num_slots = 0;
     std::uint32_t entry_block = 0; ///< Block index of the entry block.
+    /// Deduplicated immediates referenced by this function's operands;
+    /// copied into the frame window at slots [num_regs, num_slots) on
+    /// every activation.
+    std::vector<std::uint64_t> consts;
     std::vector<DecodedInst> code; ///< All blocks, in block-id order.
     std::vector<DecodedBlock> blocks; ///< Indexed by ir::BlockId.
     /// Call-argument operands for every call in the function, addressed
@@ -99,11 +208,16 @@ struct DecodedFunction
 class DecodedModule
 {
   public:
-    /// Decodes every function. The module must already be in its final
+    /// Decodes every function (and, for EngineKind::Fused, runs the
+    /// superinstruction pass). The module must already be in its final
     /// (e.g. instrumented) form and must outlive this cache.
-    explicit DecodedModule(const ir::Module &module);
+    explicit DecodedModule(const ir::Module &module,
+                           EngineKind engine = EngineKind::Fused);
 
     const ir::Module &module() const { return *module_; }
+
+    EngineKind engine() const { return engine_; }
+    bool fused() const { return engine_ == EngineKind::Fused; }
 
     const DecodedFunction &
     function(std::uint32_t index) const
@@ -118,6 +232,7 @@ class DecodedModule
 
   private:
     const ir::Module *module_;
+    EngineKind engine_;
     std::vector<DecodedFunction> functions_; ///< Module function order.
 };
 

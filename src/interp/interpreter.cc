@@ -1,5 +1,6 @@
 #include "interp/interpreter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -15,11 +16,17 @@
 #error "ENCORE_COMPUTED_GOTO requires GCC or Clang (labels as values)"
 #endif
 
+// The dispatch index is DecodedInst::exec_op — the source opcode for
+// ordinary instructions, or a FusedOp value (numbered after the base
+// opcodes) when the slot heads a fused sequence — so both dispatchers
+// cover the extended space with one table/switch.
 #ifdef ENCORE_COMPUTED_GOTO
 #define ENCORE_OP(name) L_##name
+#define ENCORE_FOP(name) L_Fused##name
 #define ENCORE_NEXT goto L_dispatch_done
 #else
-#define ENCORE_OP(name) case ir::Opcode::name
+#define ENCORE_OP(name) case static_cast<unsigned>(ir::Opcode::name)
+#define ENCORE_FOP(name) case static_cast<unsigned>(FusedOp::name)
 #define ENCORE_NEXT break
 #endif
 
@@ -39,6 +46,156 @@
             v_ = hot_hooks_->filterResult(*inst.src, my_index, v_);     \
         frame.regs[inst.dest] = v_;                                     \
         ++frame.ip;                                                     \
+    } while (0)
+
+// ---- Fused-handler building blocks ------------------------------------
+//
+// A fused handler executes its 2..kMaxFuseLen source instructions back to back
+// between two loop tops. Every component replays the corresponding
+// unfused case body exactly — same counter increments, same hook calls
+// in the same order, same per-component ip advance — so the observable
+// trace (injection targets, memory-access callbacks, detection poll
+// points, even the ip seen by a mid-component ExecError) is identical
+// to dispatching the components individually. The only loop-top work a
+// handler does NOT replay at interior boundaries is the snapshot/
+// resync barrier and budget checks; ENCORE_FUSE_GUARD therefore
+// re-dispatches the head unfused whenever one of those could fire
+// before the sequence ends (see recomputeFuseLimits).
+
+#define ENCORE_FUSE_GUARD                                               \
+    do {                                                                \
+        if (value_count_ >= fuse_value_limit_ ||                        \
+            dyn_count_ > fuse_dyn_limit_) {                             \
+            dispatch_op = static_cast<unsigned>(inst.op);               \
+            goto L_redispatch;                                          \
+        }                                                               \
+    } while (0)
+
+// Advance to the next component: replicate the loop top's detection
+// poll and per-instruction counters for it. On a detection the rest of
+// the sequence is abandoned exactly as the unfused loop abandons its
+// suffix (control was redirected to a recovery block).
+#define ENCORE_FUSE_STEP(comp)                                          \
+    do {                                                                \
+        if (hot_hooks_ && hot_hooks_->shouldTriggerDetection(           \
+                              *(comp).src, dyn_count_)) {               \
+            if (!handleDetection(frame))                                \
+                return finish(                                          \
+                    RunResult::Status::DetectedUnrecoverable,           \
+                    "fault detected outside any active region");        \
+            if (trial_stop_) {                                          \
+                trial_stop_ = false;                                    \
+                return finish(RunResult::Status::Ok, {});               \
+            }                                                           \
+            goto L_dispatch_done;                                       \
+        }                                                               \
+        my_index = dyn_count_;                                          \
+        ++dyn_count_;                                                   \
+    } while (0)
+
+// ENCORE_WRITE_VALUE for an explicit component instruction.
+#define ENCORE_FUSE_VALUE(comp, expr)                                   \
+    do {                                                                \
+        std::uint64_t v_ = (expr);                                      \
+        ++value_count_;                                                 \
+        if (hot_hooks_)                                                 \
+            v_ = hot_hooks_->filterResult(*(comp).src, my_index, v_);   \
+        frame.regs[(comp).dest] = v_;                                   \
+        ++frame.ip;                                                     \
+    } while (0)
+
+// A pure value-op component (any Mov..Select), via the shared
+// semantics function.
+#define ENCORE_FUSE_ALU(comp)                                           \
+    ENCORE_FUSE_VALUE((comp),                                           \
+                      applyValueOp((comp).op, fetch(frame, (comp).a),   \
+                                   fetch(frame, (comp).b),              \
+                                   fetch(frame, (comp).c)))
+
+// Compare component of the compare+branch forms: leaves the result in
+// `vout` for the fused branch. The register write always happens, even
+// when the branch is the compare's only reader: the architectural
+// register file must be identical whether this code ran fused or
+// de-fused, because snapshot capture and the golden-resync state
+// equality compare the whole file (see DESIGN.md §8).
+#define ENCORE_FUSE_CMP(comp, vout)                                     \
+    do {                                                                \
+        std::uint64_t v_ =                                              \
+            applyValueOp((comp).op, fetch(frame, (comp).a),             \
+                         fetch(frame, (comp).b), 0);                    \
+        ++value_count_;                                                 \
+        if (hot_hooks_)                                                 \
+            v_ = hot_hooks_->filterResult(*(comp).src, my_index, v_);   \
+        frame.regs[(comp).dest] = v_;                                   \
+        ++frame.ip;                                                     \
+        (vout) = v_;                                                    \
+    } while (0)
+
+// Load/store component bodies. The observer loops of the unfused cases
+// are dropped: observers force a permanent de-fuse (fuse_value_limit_
+// is 0 while any observer is attached), so a fused handler never runs
+// with one.
+#define ENCORE_FUSE_LOAD(comp)                                          \
+    do {                                                                \
+        ir::ObjectId obj_;                                              \
+        std::uint32_t off_;                                             \
+        evalAddr(frame, (comp), obj_, off_);                            \
+        std::uint64_t v_ = memory_.wordAt(obj_, off_);                  \
+        if (hot_hooks_) {                                               \
+            hot_hooks_->onMemoryAccess(*frame.func->src, *(comp).src,   \
+                                       obj_, off_, false, my_index);    \
+        }                                                               \
+        ++value_count_;                                                 \
+        if (hot_hooks_)                                                 \
+            v_ = hot_hooks_->filterResult(*(comp).src, my_index, v_);   \
+        frame.regs[(comp).dest] = v_;                                   \
+        ++frame.ip;                                                     \
+    } while (0)
+
+#define ENCORE_FUSE_STORE(comp)                                         \
+    do {                                                                \
+        ir::ObjectId obj_;                                              \
+        std::uint32_t off_;                                             \
+        evalAddr(frame, (comp), obj_, off_);                            \
+        memory_.setWord(obj_, off_, fetch(frame, (comp).a));            \
+        if (hot_hooks_) {                                               \
+            hot_hooks_->onMemoryAccess(*frame.func->src, *(comp).src,   \
+                                       obj_, off_, true, my_index);     \
+        }                                                               \
+        ++frame.ip;                                                     \
+    } while (0)
+
+// Branch component: branches on the fused compare's result value (the
+// pass guarantees the branch condition register is the compare's
+// destination, so the value is what a register read would see).
+#define ENCORE_FUSE_BR(comp, cond)                                      \
+    enterBlock(frame, (cond) ? (comp).target0 : (comp).target1,         \
+               frame.func->blocks[frame.block].bb)
+
+// One component of a generic Run/RunCmpBr sequence, dispatched on the
+// decode-time class tag. The four bodies are the same building blocks
+// the dedicated handlers use; the tag switch is what the dedicated
+// shapes avoid, which is why they keep their own handlers.
+#define ENCORE_FUSE_COMP(comp)                                          \
+    do {                                                                \
+        switch ((comp).comp_class) {                                    \
+        case kCompValue:                                                \
+            ENCORE_FUSE_ALU(comp);                                      \
+            break;                                                      \
+        case kCompLea: {                                                \
+            ir::ObjectId obj_;                                          \
+            std::uint32_t off_;                                         \
+            evalAddr(frame, (comp), obj_, off_);                        \
+            ENCORE_FUSE_VALUE((comp),                                   \
+                              ir::Pointer::encode(obj_, off_));         \
+        } break;                                                        \
+        case kCompLoad:                                                 \
+            ENCORE_FUSE_LOAD(comp);                                     \
+            break;                                                      \
+        default:                                                        \
+            ENCORE_FUSE_STORE(comp);                                    \
+            break;                                                      \
+        }                                                               \
     } while (0)
 
 namespace encore::interp {
@@ -70,8 +227,8 @@ RunResult::sameOutput(const RunResult &other) const
     return return_value == other.return_value && globals == other.globals;
 }
 
-Interpreter::Interpreter(const ir::Module &module)
-    : Interpreter(std::make_shared<const DecodedModule>(module))
+Interpreter::Interpreter(const ir::Module &module, EngineKind engine)
+    : Interpreter(std::make_shared<const DecodedModule>(module, engine))
 {
 }
 
@@ -81,6 +238,13 @@ Interpreter::Interpreter(std::shared_ptr<const DecodedModule> decoded)
       memory_(module_)
 {
     frames_.reserve(kMaxCallDepth);
+    for (std::size_t i = 0; i < decoded_->numFunctions(); ++i)
+        max_regs_ = std::max(max_regs_, decoded_->function(i).num_slots);
+    // One contiguous register arena for the whole call stack; frames
+    // index it by (depth × stride), so pushes never allocate and the
+    // Frame::regs pointers stay valid for the interpreter's lifetime.
+    reg_arena_.assign(
+        static_cast<std::size_t>(kMaxCallDepth) * max_regs_, 0);
 }
 
 void
@@ -127,9 +291,15 @@ Interpreter::activateFrame(const DecodedFunction &func)
 {
     if (depth_ == frames_.size())
         frames_.emplace_back();
-    Frame &frame = frames_[depth_++];
+    Frame &frame = frames_[depth_];
+    frame.regs = reg_arena_.data() + depth_ * max_regs_;
+    ++depth_;
     frame.func = &func;
-    frame.regs.assign(func.num_regs, 0);
+    std::fill_n(frame.regs, func.num_regs, 0);
+    // Materialize the function's immediate pool right after the
+    // registers: operand slots index the combined window.
+    std::copy(func.consts.begin(), func.consts.end(),
+              frame.regs + func.num_regs);
     frame.caller_dest = ir::kInvalidReg;
     frame.recovery.active = false;
     frame.recovery.region = ir::kInvalidRegion;
@@ -254,6 +424,8 @@ Interpreter::execLoop()
         return result;
     };
 
+    recomputeFuseLimits();
+
     while (true) {
         if (dyn_count_ >= max_instrs_)
             return finish(RunResult::Status::InstructionLimit,
@@ -263,8 +435,10 @@ Interpreter::execLoop()
         // the loop top is a consistent between-instructions boundary,
         // so the captured state is exactly what a trial restored here
         // would have reached by re-executing the prefix.
-        if (value_count_ >= snapshot_barrier_)
+        if (value_count_ >= snapshot_barrier_) {
             snapshot_barrier_ = recorder_->capture(*this);
+            recomputeFuseLimits();
+        }
 
         Frame &frame = frames_[depth_ - 1];
 
@@ -305,14 +479,21 @@ Interpreter::execLoop()
         }
 
         const DecodedFunction *exec_func = frame.func;
-        const std::uint64_t my_index = dyn_count_;
+        // Mutable: fused handlers re-point it at each component's
+        // dynamic index, so per-component hook calls see exactly the
+        // index the unfused loop would have handed them.
+        std::uint64_t my_index = dyn_count_;
         ++dyn_count_;
-        if (inst.is_pseudo)
-            ++overhead_count_;
+        overhead_count_ += inst.is_pseudo;
 
         try {
+            // Fused heads re-enter here with dispatch_op reset to the
+            // plain source opcode when the de-fuse guard refuses the
+            // sequence (barrier or budget too close).
+            unsigned dispatch_op = inst.exec_op;
+        L_redispatch:
 #ifdef ENCORE_COMPUTED_GOTO
-            // Table order must match the ir::Opcode enumeration.
+            // Table order must match ir::Opcode, then FusedOp.
             static const void *const kJumpTable[] = {
                 &&L_Mov,     &&L_Add,     &&L_Sub,     &&L_Mul,
                 &&L_Div,     &&L_Rem,     &&L_And,     &&L_Or,
@@ -324,14 +505,20 @@ Interpreter::execLoop()
                 &&L_Load,    &&L_Store,   &&L_Call,    &&L_Br,
                 &&L_Jmp,     &&L_Ret,     &&L_RegionEnter,
                 &&L_CkptMem, &&L_CkptReg, &&L_Restore,
+                &&L_FusedCmpBr,     &&L_FusedAluCmpBr,
+                &&L_FusedAluAlu,    &&L_FusedAluAluAlu,
+                &&L_FusedLoadAlu,   &&L_FusedAluStore,
+                &&L_FusedLoadAluStore, &&L_FusedAluLoad,
+                &&L_FusedLeaAlu,       &&L_FusedRun,
+                &&L_FusedRunCmpBr,
             };
             static_assert(sizeof(kJumpTable) / sizeof(kJumpTable[0]) ==
-                              static_cast<std::size_t>(
-                                  ir::Opcode::NumOpcodes),
-                          "jump table out of sync with the opcode enum");
-            goto *kJumpTable[static_cast<unsigned>(inst.op)];
+                              static_cast<std::size_t>(kNumExecOps),
+                          "jump table out of sync with the exec-opcode "
+                          "space");
+            goto *kJumpTable[dispatch_op];
 #else
-            switch (inst.op) {
+            switch (dispatch_op) {
 #endif
 
             ENCORE_OP(Mov):
@@ -595,12 +782,12 @@ Interpreter::execLoop()
             }
                 ENCORE_NEXT;
             ENCORE_OP(CkptReg): {
-                ENCORE_ASSERT(inst.a.is_reg,
+                ENCORE_ASSERT(inst.a.slot < frame.func->num_regs,
                               "ckpt.reg needs a register operand");
                 if (frame.recovery.active) {
                     frame.recovery.log.push_back(
                         Undo{Undo::Kind::Reg, ir::kInvalidObject, 0,
-                             inst.a.reg, frame.regs[inst.a.reg]});
+                             inst.a.slot, frame.regs[inst.a.slot]});
                 }
                 ++frame.ip;
             }
@@ -619,14 +806,142 @@ Interpreter::execLoop()
             }
                 ENCORE_NEXT;
 
-#ifdef ENCORE_COMPUTED_GOTO
-        L_dispatch_done:;
-#else
+            // ---- Superinstruction handlers (fused sequence heads) --
+            // Components live at ip+1 / ip+2 of the same block; the
+            // head slot's own fields are the first component's.
+
+            ENCORE_FOP(CmpBr): {
+                ENCORE_FUSE_GUARD;
+                const DecodedInst &br = frame.func->code[frame.ip + 1];
+                std::uint64_t cond;
+                ENCORE_FUSE_CMP(inst, cond);
+                ENCORE_FUSE_STEP(br);
+                ENCORE_FUSE_BR(br, cond);
+            }
+                ENCORE_NEXT;
+            ENCORE_FOP(AluCmpBr): {
+                ENCORE_FUSE_GUARD;
+                const DecodedInst &cmp = frame.func->code[frame.ip + 1];
+                const DecodedInst &br = frame.func->code[frame.ip + 2];
+                ENCORE_FUSE_ALU(inst);
+                ENCORE_FUSE_STEP(cmp);
+                std::uint64_t cond;
+                ENCORE_FUSE_CMP(cmp, cond);
+                ENCORE_FUSE_STEP(br);
+                ENCORE_FUSE_BR(br, cond);
+            }
+                ENCORE_NEXT;
+            ENCORE_FOP(AluAlu): {
+                ENCORE_FUSE_GUARD;
+                const DecodedInst &n1 = frame.func->code[frame.ip + 1];
+                ENCORE_FUSE_ALU(inst);
+                ENCORE_FUSE_STEP(n1);
+                ENCORE_FUSE_ALU(n1);
+            }
+                ENCORE_NEXT;
+            ENCORE_FOP(AluAluAlu): {
+                ENCORE_FUSE_GUARD;
+                const DecodedInst &n1 = frame.func->code[frame.ip + 1];
+                const DecodedInst &n2 = frame.func->code[frame.ip + 2];
+                ENCORE_FUSE_ALU(inst);
+                ENCORE_FUSE_STEP(n1);
+                ENCORE_FUSE_ALU(n1);
+                ENCORE_FUSE_STEP(n2);
+                ENCORE_FUSE_ALU(n2);
+            }
+                ENCORE_NEXT;
+            ENCORE_FOP(LoadAlu): {
+                ENCORE_FUSE_GUARD;
+                const DecodedInst &n1 = frame.func->code[frame.ip + 1];
+                ENCORE_FUSE_LOAD(inst);
+                ENCORE_FUSE_STEP(n1);
+                ENCORE_FUSE_ALU(n1);
+            }
+                ENCORE_NEXT;
+            ENCORE_FOP(AluStore): {
+                ENCORE_FUSE_GUARD;
+                const DecodedInst &n1 = frame.func->code[frame.ip + 1];
+                ENCORE_FUSE_ALU(inst);
+                ENCORE_FUSE_STEP(n1);
+                ENCORE_FUSE_STORE(n1);
+            }
+                ENCORE_NEXT;
+            ENCORE_FOP(LoadAluStore): {
+                ENCORE_FUSE_GUARD;
+                const DecodedInst &n1 = frame.func->code[frame.ip + 1];
+                const DecodedInst &n2 = frame.func->code[frame.ip + 2];
+                ENCORE_FUSE_LOAD(inst);
+                ENCORE_FUSE_STEP(n1);
+                ENCORE_FUSE_ALU(n1);
+                ENCORE_FUSE_STEP(n2);
+                ENCORE_FUSE_STORE(n2);
+            }
+                ENCORE_NEXT;
+            ENCORE_FOP(AluLoad): {
+                ENCORE_FUSE_GUARD;
+                const DecodedInst &n1 = frame.func->code[frame.ip + 1];
+                ENCORE_FUSE_ALU(inst);
+                ENCORE_FUSE_STEP(n1);
+                ENCORE_FUSE_LOAD(n1);
+            }
+                ENCORE_NEXT;
+            ENCORE_FOP(LeaAlu): {
+                ENCORE_FUSE_GUARD;
+                const DecodedInst &n1 = frame.func->code[frame.ip + 1];
+                {
+                    ir::ObjectId obj_;
+                    std::uint32_t off_;
+                    evalAddr(frame, inst, obj_, off_);
+                    ENCORE_FUSE_VALUE(
+                        inst, ir::Pointer::encode(obj_, off_));
+                }
+                ENCORE_FUSE_STEP(n1);
+                ENCORE_FUSE_ALU(n1);
+            }
+                ENCORE_NEXT;
+            ENCORE_FOP(Run): {
+                // Generic straight-line run (2..kMaxFuseLen value/lea/
+                // load/store components in any order).
+                ENCORE_FUSE_GUARD;
+                const DecodedInst *comp = &inst;
+                const DecodedInst *last = &inst + inst.fused_len - 1;
+                for (;;) {
+                    ENCORE_FUSE_COMP(*comp);
+                    if (comp == last)
+                        break;
+                    ++comp;
+                    ENCORE_FUSE_STEP(*comp);
+                }
+            }
+                ENCORE_NEXT;
+            ENCORE_FOP(RunCmpBr): {
+                // Run prefix + compare + consuming branch: the general
+                // loop back-edge. Prefix length is fused_len - 2 >= 1;
+                // the 2-instruction form is CmpBr and the pure-value
+                // 3-form AluCmpBr, so this handler never sees them.
+                ENCORE_FUSE_GUARD;
+                const DecodedInst *comp = &inst;
+                const DecodedInst *cmp = &inst + inst.fused_len - 2;
+                while (comp != cmp) {
+                    ENCORE_FUSE_COMP(*comp);
+                    ++comp;
+                    ENCORE_FUSE_STEP(*comp);
+                }
+                std::uint64_t cond;
+                ENCORE_FUSE_CMP(*cmp, cond);
+                const DecodedInst &br = cmp[1];
+                ENCORE_FUSE_STEP(br);
+                ENCORE_FUSE_BR(br, cond);
+            }
+                ENCORE_NEXT;
+
+#ifndef ENCORE_COMPUTED_GOTO
               default:
                 panicf("interpreter dispatch on invalid opcode ",
-                       static_cast<int>(inst.op));
+                       static_cast<int>(dispatch_op));
             }
 #endif
+        L_dispatch_done:;
         } catch (const ExecError &err) {
             // Runtime errors are execution symptoms. The hooks decide
             // whether to treat them as an immediate detection (fault
@@ -656,6 +971,121 @@ Interpreter::execLoop()
     }
 }
 
+std::uint64_t
+Interpreter::applyValueOp(ir::Opcode op, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c)
+{
+    switch (op) {
+    case ir::Opcode::Mov:
+        return a;
+    case ir::Opcode::Add:
+        return a + b;
+    case ir::Opcode::Sub:
+        return a - b;
+    case ir::Opcode::Mul:
+        return a * b;
+    case ir::Opcode::Div: {
+        if (b == 0)
+            throw ExecError{"division by zero"};
+        const std::int64_t sa = asSigned(a), sb = asSigned(b);
+        if (sa == std::numeric_limits<std::int64_t>::min() && sb == -1)
+            return a; // wraps, matching hardware behavior
+        return fromSigned(sa / sb);
+    }
+    case ir::Opcode::Rem: {
+        if (b == 0)
+            throw ExecError{"remainder by zero"};
+        const std::int64_t sa = asSigned(a), sb = asSigned(b);
+        if (sa == std::numeric_limits<std::int64_t>::min() && sb == -1)
+            return 0;
+        return fromSigned(sa % sb);
+    }
+    case ir::Opcode::And:
+        return a & b;
+    case ir::Opcode::Or:
+        return a | b;
+    case ir::Opcode::Xor:
+        return a ^ b;
+    case ir::Opcode::Shl:
+        return a << (b & 63);
+    case ir::Opcode::Shr:
+        return a >> (b & 63);
+    case ir::Opcode::Neg:
+        return fromSigned(-asSigned(a));
+    case ir::Opcode::Not:
+        return ~a;
+    case ir::Opcode::FAdd:
+        return ir::doubleToBits(ir::bitsToDouble(a) + ir::bitsToDouble(b));
+    case ir::Opcode::FSub:
+        return ir::doubleToBits(ir::bitsToDouble(a) - ir::bitsToDouble(b));
+    case ir::Opcode::FMul:
+        return ir::doubleToBits(ir::bitsToDouble(a) * ir::bitsToDouble(b));
+    case ir::Opcode::FDiv:
+        // IEEE division by zero yields inf/nan: well-defined.
+        return ir::doubleToBits(ir::bitsToDouble(a) / ir::bitsToDouble(b));
+    case ir::Opcode::IntToFp:
+        return ir::doubleToBits(static_cast<double>(asSigned(a)));
+    case ir::Opcode::FpToInt: {
+        // Saturating conversion: NaN -> 0, +/-inf clamp like hardware
+        // cvttsd2si-with-saturation semantics.
+        const double d = ir::bitsToDouble(a);
+        if (std::isnan(d))
+            return 0;
+        if (d >= 9.2e18)
+            return fromSigned(std::numeric_limits<std::int64_t>::max());
+        if (d <= -9.2e18)
+            return fromSigned(std::numeric_limits<std::int64_t>::min());
+        return fromSigned(static_cast<std::int64_t>(d));
+    }
+    case ir::Opcode::CmpEq:
+        return a == b ? 1 : 0;
+    case ir::Opcode::CmpNe:
+        return a != b ? 1 : 0;
+    case ir::Opcode::CmpLt:
+        return asSigned(a) < asSigned(b) ? 1 : 0;
+    case ir::Opcode::CmpLe:
+        return asSigned(a) <= asSigned(b) ? 1 : 0;
+    case ir::Opcode::CmpGt:
+        return asSigned(a) > asSigned(b) ? 1 : 0;
+    case ir::Opcode::CmpGe:
+        return asSigned(a) >= asSigned(b) ? 1 : 0;
+    case ir::Opcode::FCmpLt:
+        return ir::bitsToDouble(a) < ir::bitsToDouble(b) ? 1 : 0;
+    case ir::Opcode::Select:
+        return a ? b : c;
+    default:
+        panicf("applyValueOp on non-value opcode ",
+               static_cast<int>(op));
+    }
+    return 0; // unreachable
+}
+
+void
+Interpreter::recomputeFuseLimits()
+{
+    // Interior boundaries of a fused sequence (after each non-final
+    // component) must stay strictly below every value-count barrier;
+    // the worst case is a maximal all-value run, kMaxFuseLen - 1
+    // values before the final component. Sequences are bounded by
+    // kMaxFuseLen source instructions, bounding the budget overshoot
+    // the same way. An attached observer (or a Decoded-engine cache,
+    // which has no fused heads anyway) pins the limit to 0: every head
+    // then permanently de-fuses and the trace is the
+    // one-instruction-per-dispatch one.
+    constexpr std::uint64_t kMaxInteriorValues = kMaxFuseLen - 1;
+    constexpr std::uint64_t kMaxFusedLen = kMaxFuseLen;
+    const std::uint64_t barrier =
+        std::min(snapshot_barrier_, resync_barrier_);
+    if (!observers_.empty() || !decoded_->fused())
+        fuse_value_limit_ = 0;
+    else
+        fuse_value_limit_ = barrier >= kMaxInteriorValues
+                                ? barrier - kMaxInteriorValues
+                                : 0;
+    fuse_dyn_limit_ =
+        max_instrs_ >= kMaxFusedLen ? max_instrs_ - kMaxFusedLen : 0;
+}
+
 void
 Interpreter::armGoldenResync()
 {
@@ -683,6 +1113,12 @@ Interpreter::armGoldenResync()
     resync_barrier_ = anchor->exec.value_count;
     resync_top_ip_ = anchor->exec.frames.back().ip;
     resync_full_compares_ = 0;
+    // The new barrier narrows the de-fuse window; retighten it so no
+    // fused sequence straddles the anchor's loop-top boundary. (This
+    // runs inside a detection callback — the handler in flight is
+    // abandoned right after, so the stale limit is never consulted
+    // mid-sequence.)
+    recomputeFuseLimits();
 }
 
 bool
@@ -702,7 +1138,8 @@ Interpreter::tryGoldenResync()
     if (top.func->index != snap_top.func_index ||
         top.block != snap_top.block || top.ip != snap_top.ip)
         return false;
-    if (top.regs != snap_top.regs)
+    if (!std::equal(snap_top.regs.begin(), snap_top.regs.end(),
+                    top.regs, top.regs + top.func->num_regs))
         return false;
 
     // The fast-forwarded run stands in for executing the golden suffix
@@ -715,6 +1152,7 @@ Interpreter::tryGoldenResync()
     if (dyn_count_ + suffix_dyn >= max_instrs_) {
         resync_target_ = nullptr;
         resync_barrier_ = kNoSnapshotBarrier;
+        recomputeFuseLimits();
         return false;
     }
 
@@ -725,6 +1163,7 @@ Interpreter::tryGoldenResync()
     if (++resync_full_compares_ > kMaxResyncFullCompares) {
         resync_target_ = nullptr;
         resync_barrier_ = kNoSnapshotBarrier;
+        recomputeFuseLimits();
         return false;
     }
 
@@ -734,7 +1173,8 @@ Interpreter::tryGoldenResync()
         if (frame.func->index != saved.func_index ||
             frame.block != saved.block || frame.ip != saved.ip ||
             frame.caller_dest != saved.caller_dest ||
-            frame.regs != saved.regs)
+            !std::equal(saved.regs.begin(), saved.regs.end(), frame.regs,
+                        frame.regs + frame.func->num_regs))
             return false;
         const RecoveryState &rec = frame.recovery;
         // rec.token (and next_token_) are deliberately excluded: tokens
@@ -770,7 +1210,7 @@ Interpreter::saveExecState(ExecSnapshot &out) const
         const Frame &frame = frames_[f];
         SnapFrame saved;
         saved.func_index = frame.func->index;
-        saved.regs = frame.regs;
+        saved.regs.assign(frame.regs, frame.regs + frame.func->num_regs);
         saved.block = frame.block;
         saved.ip = frame.ip;
         saved.caller_dest = frame.caller_dest;
@@ -800,9 +1240,17 @@ Interpreter::restoreExecState(const ExecSnapshot &snap)
     for (const SnapFrame &saved : snap.frames) {
         if (depth_ == frames_.size())
             frames_.emplace_back();
-        Frame &frame = frames_[depth_++];
+        Frame &frame = frames_[depth_];
+        frame.regs = reg_arena_.data() + depth_ * max_regs_;
+        ++depth_;
         frame.func = &decoded_->function(saved.func_index);
-        frame.regs.assign(saved.regs.begin(), saved.regs.end());
+        ENCORE_ASSERT(saved.regs.size() == frame.func->num_regs,
+                      "snapshot frame register count mismatch");
+        std::copy(saved.regs.begin(), saved.regs.end(), frame.regs);
+        // Snapshots carry registers only; the immediate pool is static
+        // per function and re-materialized here.
+        std::copy(frame.func->consts.begin(), frame.func->consts.end(),
+                  frame.regs + frame.func->num_regs);
         frame.block = saved.block;
         frame.ip = saved.ip;
         frame.caller_dest = saved.caller_dest;
@@ -828,8 +1276,17 @@ Interpreter::restoreExecState(const ExecSnapshot &snap)
 } // namespace encore::interp
 
 #undef ENCORE_OP
+#undef ENCORE_FOP
 #undef ENCORE_NEXT
 #undef ENCORE_VA
 #undef ENCORE_VB
 #undef ENCORE_VC
 #undef ENCORE_WRITE_VALUE
+#undef ENCORE_FUSE_GUARD
+#undef ENCORE_FUSE_STEP
+#undef ENCORE_FUSE_VALUE
+#undef ENCORE_FUSE_ALU
+#undef ENCORE_FUSE_CMP
+#undef ENCORE_FUSE_LOAD
+#undef ENCORE_FUSE_STORE
+#undef ENCORE_FUSE_BR

@@ -90,7 +90,8 @@ class Interpreter
     /// Decodes the module privately. Decode the module once and use the
     /// shared-cache constructor instead when many interpreters run the
     /// same module (campaign workers).
-    explicit Interpreter(const ir::Module &module);
+    explicit Interpreter(const ir::Module &module,
+                         EngineKind engine = EngineKind::Fused);
 
     /// Executes from a shared immutable code cache.
     explicit Interpreter(std::shared_ptr<const DecodedModule> decoded);
@@ -251,7 +252,13 @@ class Interpreter
     struct Frame
     {
         const DecodedFunction *func = nullptr;
-        std::vector<std::uint64_t> regs;
+        /// The frame's value window: a view into reg_arena_ at
+        /// (depth × widest slot count) holding the register file
+        /// followed by the function's materialized immediate pool, so
+        /// call/return never allocates, operand fetches are plain
+        /// indexed loads, and the windows of a whole stack are
+        /// contiguous.
+        std::uint64_t *regs = nullptr;
         std::uint32_t block = 0; ///< Current block index.
         std::uint32_t ip = 0;    ///< Index into func->code.
         ir::RegId caller_dest = ir::kInvalidReg;
@@ -267,7 +274,10 @@ class Interpreter
     std::uint64_t
     fetch(const Frame &frame, const DecodedOperand &op) const
     {
-        return op.is_reg ? frame.regs[op.reg] : op.imm;
+        // Registers and pooled immediates share the frame window, so
+        // there is no register/immediate branch here (see
+        // DecodedOperand).
+        return frame.regs[op.slot];
     }
 
     void evalAddr(const Frame &frame, const DecodedInst &inst,
@@ -286,6 +296,26 @@ class Interpreter
     /// The dispatch loop, shared by run() (from a freshly set-up entry
     /// frame) and resumeRun() (from a restored snapshot).
     RunResult execLoop();
+
+    /// Semantics of every pure value opcode (Mov..Select), shared by
+    /// the fused handlers; identical to the unfused case bodies
+    /// (throws ExecError for div/rem by zero). Operands beyond the
+    /// opcode's arity are ignored. Force-inlined so every fused
+    /// component gets its own dispatch site (a shared out-of-line
+    /// switch would re-pay the indirect-branch misprediction the
+    /// fusion tier exists to remove).
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((always_inline))
+#endif
+    static inline std::uint64_t applyValueOp(ir::Opcode op,
+                                             std::uint64_t a,
+                                             std::uint64_t b,
+                                             std::uint64_t c);
+
+    /// Recomputes the de-fuse guard thresholds (see fuse_value_limit_
+    /// below). Called whenever an input changes: loop entry, a
+    /// snapshot capture, arming a resync watch.
+    void recomputeFuseLimits();
 
     /// Exact-equality test of the live state against the armed resync
     /// anchor, cheap-first: cursor (depth, function, block, ip), then
@@ -312,6 +342,12 @@ class Interpreter
     // Per-run state. `frames_` is a pool that only ever grows (bounded
     // by the call-depth limit); frames_[0 .. depth_) are live.
     std::vector<Frame> frames_;
+    /// Backing store for every frame's register file, sized
+    /// kMaxCallDepth × (widest num_regs in the module) once in the
+    /// constructor; never resized, so Frame::regs pointers stay valid
+    /// across pushes.
+    std::vector<std::uint64_t> reg_arena_;
+    std::uint32_t max_regs_ = 0; ///< Arena stride (widest num_slots).
     std::size_t depth_ = 0;
     std::uint64_t dyn_count_ = 0;
     std::uint64_t value_count_ = 0;
@@ -342,6 +378,20 @@ class Interpreter
     /// the detection-handling paths, so it costs nothing per
     /// instruction.
     bool trial_stop_ = false;
+
+    /// De-fuse guard thresholds. A fused handler runs its whole
+    /// sequence between two loop tops, so it must be entered only when
+    /// no loop-top event (snapshot barrier, resync check, instruction
+    /// budget) could fire at an interior boundary; otherwise the guard
+    /// redispatches the head unfused and the sequence executes one
+    /// source instruction per loop iteration, hitting every boundary
+    /// exactly as EngineKind::Decoded would. fuse_value_limit_ is the
+    /// nearer of the snapshot/resync barriers minus the most values a
+    /// sequence's non-final components can produce; observers force 0
+    /// (permanent de-fuse — observers must see each instruction).
+    /// fuse_dyn_limit_ keeps the whole sequence under max_instrs_.
+    std::uint64_t fuse_value_limit_ = 0;
+    std::uint64_t fuse_dyn_limit_ = 0;
 };
 
 } // namespace encore::interp

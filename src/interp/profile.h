@@ -15,7 +15,9 @@
 #ifndef ENCORE_INTERP_PROFILE_H
 #define ENCORE_INTERP_PROFILE_H
 
+#include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "analysis/alias.h"

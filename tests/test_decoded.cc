@@ -148,10 +148,12 @@ func @main(1) {
     const DecodedFunction &callee = decoded.function(call.callee);
     EXPECT_EQ(callee.src, module->functionByName("helper"));
     ASSERT_EQ(call.args_count, 1u);
+    // Register operands keep their id as the slot; immediates would
+    // land at or above num_regs (in the materialized pool).
     const DecodedOperand &arg =
         main_fn->args_pool[call.args_first];
-    EXPECT_TRUE(arg.is_reg);
-    EXPECT_EQ(arg.reg, 0u);
+    EXPECT_LT(arg.slot, main_fn->num_regs);
+    EXPECT_EQ(arg.slot, 0u);
 }
 
 TEST(Decoded, MatchesReferenceOnPlainModule)

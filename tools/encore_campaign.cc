@@ -52,6 +52,7 @@ usage(std::ostream &os)
           "          [--budget-factor F] [--shard i/N] [--progress]\n"
           "          [--heartbeat <path.jsonl>] [--stop-after K] "
           "[--json <path>]\n"
+          "          [--engine fused|decoded]\n"
           "  resume  same flags; --store must name an existing store\n"
           "  merge   --stores <a,b,...> [--json <path>]\n"
           "  inspect --store <path>\n"
@@ -108,7 +109,8 @@ struct PreparedInjector
 PreparedInjector
 prepareInjector(const workloads::Workload &workload,
                 std::uint64_t snapshot_stride,
-                std::uint64_t snapshot_budget_mb)
+                std::uint64_t snapshot_budget_mb,
+                interp::EngineKind engine = interp::EngineKind::Fused)
 {
     std::cerr << "preparing " << workload.name
               << " (build + profile + analyze + instrument)...\n";
@@ -116,7 +118,7 @@ prepareInjector(const workloads::Workload &workload,
     EncoreConfig encore_config;
     out.prepared = bench::prepareWorkload(workload, encore_config);
     out.injector = std::make_unique<fault::FaultInjector>(
-        *out.prepared.module, out.prepared.report);
+        *out.prepared.module, out.prepared.report, engine);
     interp::SnapshotConfig snap_config;
     snap_config.enabled = snapshot_stride > 0;
     snap_config.stride = snapshot_stride;
@@ -212,6 +214,7 @@ cmdRunOrResume(int argc, char **argv, bool resume)
                 "outcomes)");
     cli.addFlag("snapshot-budget-mb", "64",
                 "resident byte budget for the snapshot store, MiB");
+    bench::addEngineFlag(cli);
     bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
 
@@ -253,7 +256,8 @@ cmdRunOrResume(int argc, char **argv, bool resume)
 
     PreparedInjector pi =
         prepareInjector(*workload, cli.getUint("snapshot-stride"),
-                        cli.getUint("snapshot-budget-mb"));
+                        cli.getUint("snapshot-budget-mb"),
+                        bench::engineFlag(cli));
 
     campaign::CampaignRunner runner(*pi.injector, config, options);
     const campaign::RunSummary summary = runner.run();
@@ -552,6 +556,7 @@ cmdWorker(int argc, char **argv)
                 "outcomes)");
     cli.addFlag("snapshot-budget-mb", "64",
                 "resident byte budget for the snapshot store, MiB");
+    bench::addEngineFlag(cli);
     cli.parse(argc, argv);
 
     const std::string address = cli.getString("connect");
@@ -602,7 +607,8 @@ cmdWorker(int argc, char **argv)
 
     PreparedInjector pi =
         prepareInjector(*workload, cli.getUint("snapshot-stride"),
-                        cli.getUint("snapshot-budget-mb"));
+                        cli.getUint("snapshot-budget-mb"),
+                        bench::engineFlag(cli));
 
     // Refuse to execute under identity skew: records from a worker
     // whose build or config differs from the coordinator's would
