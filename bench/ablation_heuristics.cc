@@ -11,10 +11,23 @@
  *
  * Reported per configuration: projected overhead, dynamic fraction
  * protected, and region counts — averaged over all workloads.
+ *
+ * --planner-bench switches to the campaign-planner comparison and
+ * writes BENCH_planner.json: (A) wall-clock of sweeping the same
+ * config grid with fault campaigns, brute force vs sidecar reuse
+ * (tally-identity asserted per point), and (B) trials-to-target-CI,
+ * fixed-count vs adaptive stratified sampling, per workload.
  */
+#include <chrono>
+#include <filesystem>
 #include <iostream>
 
+#include "campaign/planner.h"
 #include "common.h"
+#include "fault/injector.h"
+#include "support/checksum.h"
+#include "support/diagnostics.h"
+#include "support/stats.h"
 #include "support/strings.h"
 
 using namespace encore;
@@ -93,13 +106,370 @@ addRow(Table &table, const std::string &label, const AblationRow &row)
                   formatFixed(row.selected / row.count, 1)});
 }
 
+struct GridPoint
+{
+    std::string label;
+    EncoreConfig config;
+    /// True where a separator follows in the table rendering.
+    bool separator_after = false;
+};
+
+/// The ablation grid — one list shared by the heuristic table and the
+/// planner sweep benchmark, so the benchmark measures exactly the
+/// sweep the table performs.
+std::vector<GridPoint>
+ablationGrid()
+{
+    std::vector<GridPoint> grid;
+    grid.push_back({"baseline (Pmin=0, gamma=50, merge on)",
+                    EncoreConfig{}, true});
+    for (const double pmin : {-1.0, 0.0, 0.1, 0.25}) {
+        EncoreConfig config;
+        config.prune = pmin >= 0.0;
+        config.pmin = std::max(pmin, 0.0);
+        grid.push_back({pmin < 0 ? "Pmin=none"
+                                 : "Pmin=" + formatFixed(pmin, 2),
+                        config, pmin == 0.25});
+    }
+    for (const double gamma : {5.0, 50.0, 500.0, 5000.0}) {
+        EncoreConfig config;
+        config.gamma = gamma;
+        grid.push_back({"gamma=" + formatFixed(gamma, 0), config,
+                        gamma == 5000.0});
+    }
+    {
+        EncoreConfig config;
+        config.merge_regions = false;
+        grid.push_back({"merging off (level-0 intervals only)",
+                        config});
+    }
+    for (const double eta : {10.0, 100.0, 1000.0}) {
+        EncoreConfig config;
+        config.eta = eta;
+        grid.push_back({"eta=" + formatFixed(eta, 0), config,
+                        eta == 1000.0});
+    }
+    for (const double bytes : {64.0, 256.0, 1024.0, 8192.0}) {
+        EncoreConfig config;
+        config.max_storage_bytes = bytes;
+        grid.push_back({"storage<=" + formatFixed(bytes, 0) + "B",
+                        config, bytes == 8192.0});
+    }
+    {
+        EncoreConfig config;
+        config.use_call_summaries = false;
+        grid.push_back({"call summaries off (paper Unknown rule)",
+                        config});
+    }
+    {
+        EncoreConfig config;
+        config.auto_tune = false;
+        grid.push_back({"budget auto-tune off", config});
+    }
+    {
+        EncoreConfig config;
+        config.alias_mode = EncoreConfig::AliasMode::Optimistic;
+        grid.push_back({"optimistic alias analysis", config});
+    }
+    return grid;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/// Planner comparison mode: config-sweep reuse (phase A) and adaptive
+/// trials-to-CI (phase B), written to --json.
+int
+runPlannerBench(const CommandLine &cli)
+{
+    const std::uint64_t seed = cli.getUint("seed");
+    std::uint64_t trials = cli.getUint("trials");
+    if (trials == 0)
+        trials = 600;
+    std::uint64_t sweep_trials = cli.getUint("sweep-trials");
+    if (sweep_trials == 0)
+        sweep_trials = trials;
+    const std::uint64_t universe = cli.getUint("adaptive-universe");
+    const double target_ci = cli.getDouble("target-ci");
+    const double confidence = cli.getDouble("confidence");
+    std::string json_path = cli.getString("json");
+    if (json_path.empty())
+        json_path = "BENCH_planner.json";
+
+    std::vector<std::string> sweep_names;
+    for (const std::string &name :
+         split(cli.getString("planner-workloads"), ','))
+        if (!name.empty())
+            sweep_names.push_back(name);
+
+    const std::vector<GridPoint> grid = ablationGrid();
+    bench::printHeader(
+        "Planner benchmark",
+        "Phase A: " + std::to_string(grid.size()) +
+            "-point config sweep at " + std::to_string(sweep_trials) +
+            " trials/point, brute force vs sidecar reuse "
+            "(tally-identity\nasserted per point). Phase B: fixed-" +
+            std::to_string(trials) +
+            " vs adaptive stratified sampling to a\n+-" +
+            formatPercent(target_ci, 1) + " CI at " +
+            formatPercent(confidence, 0) + " confidence, universe " +
+            std::to_string(universe) + " trials per workload.");
+
+    // --- Phase A: sweep reuse over the ablation grid -----------------
+    struct SweepRow
+    {
+        std::string name;
+        double brute_seconds = 0.0;
+        double planner_seconds = 0.0;
+        std::uint64_t brute_executed = 0;
+        std::uint64_t planner_executed = 0;
+    };
+    std::vector<SweepRow> sweep;
+    const std::string sidecar_dir = "planner_bench_sidecars";
+    std::filesystem::create_directories(sidecar_dir);
+    for (const std::string &name : sweep_names) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        if (w == nullptr) {
+            std::cerr << "error: unknown workload '" << name
+                      << "'; valid names:\n";
+            for (const workloads::Workload &known :
+                 workloads::allWorkloads())
+                std::cerr << "  " << known.name << " (" << known.suite
+                          << ")\n";
+            return 1;
+        }
+        SweepRow sweep_row;
+        sweep_row.name = name;
+        const std::string sidecar =
+            sidecar_dir + "/" + name + ".tally";
+        std::filesystem::remove(sidecar); // cold start every run
+        for (const GridPoint &point : grid) {
+            auto prepared = bench::prepareWorkload(*w, point.config);
+            fault::FaultInjector injector(*prepared.module,
+                                          prepared.report);
+            if (!injector.prepare(w->entry, w->train_args))
+                fatalf("golden run failed for ", name);
+            fault::CampaignConfig campaign;
+            campaign.trials = sweep_trials;
+            campaign.seed = seed;
+            campaign.jobs = 1;
+            campaign.trial.dmax = 100;
+
+            auto start = std::chrono::steady_clock::now();
+            const fault::CampaignResult brute =
+                injector.runCampaign(campaign);
+            sweep_row.brute_seconds += secondsSince(start);
+            sweep_row.brute_executed += sweep_trials;
+
+            campaign::PlannerOptions popts;
+            popts.sidecar_path = sidecar;
+            popts.program_key = fnv1a64(name);
+            campaign::CampaignPlanner planner(
+                injector, prepared.report, campaign, popts);
+            start = std::chrono::steady_clock::now();
+            const campaign::PlanSummary planned = planner.run();
+            sweep_row.planner_seconds += secondsSince(start);
+            sweep_row.planner_executed += planned.executed;
+
+            // The tentpole's contract: reuse must be invisible in the
+            // tallies at every sweep point.
+            for (std::size_t i = 0;
+                 i < static_cast<std::size_t>(
+                         fault::FaultOutcome::NumOutcomes);
+                 ++i)
+                if (planned.result.counts[i] != brute.counts[i])
+                    fatalf("planner tally mismatch at '", point.label,
+                           "' for ", name, ": outcome ", i, " ",
+                           planned.result.counts[i], " vs ",
+                           brute.counts[i]);
+        }
+        std::cout << name << ": brute "
+                  << formatFixed(sweep_row.brute_seconds, 2)
+                  << "s, planner "
+                  << formatFixed(sweep_row.planner_seconds, 2) << "s ("
+                  << formatFixed(sweep_row.brute_seconds /
+                                     std::max(sweep_row.planner_seconds,
+                                              1e-9),
+                                 1)
+                  << "x), executed " << sweep_row.brute_executed
+                  << " vs " << sweep_row.planner_executed << "\n";
+        sweep.push_back(sweep_row);
+    }
+
+    // --- Phase B: adaptive trials-to-CI over every workload ----------
+    struct AdaptiveRow
+    {
+        std::string name;
+        double fixed_covered = 0.0;
+        double fixed_ci_half = 0.0;
+        double adaptive_covered = 0.0;
+        double adaptive_ci_half = 0.0;
+        std::uint64_t adaptive_executed = 0;
+        bool ci_met = false;
+    };
+    std::vector<AdaptiveRow> adaptive;
+    const double z = confidenceZ(confidence);
+    for (const workloads::Workload &w : workloads::allWorkloads()) {
+        EncoreConfig config;
+        auto prepared = bench::prepareWorkload(w, config);
+        fault::FaultInjector injector(*prepared.module,
+                                      prepared.report);
+        if (!injector.prepare(w.entry, w.train_args)) {
+            std::cerr << "golden run failed for " << w.name
+                      << "; skipping\n";
+            continue;
+        }
+        AdaptiveRow row;
+        row.name = w.name;
+
+        fault::CampaignConfig fixed;
+        fixed.trials = trials;
+        fixed.seed = seed;
+        fixed.jobs = 1;
+        fixed.trial.dmax = 100;
+        const fault::CampaignResult fixed_result =
+            injector.runCampaign(fixed);
+        row.fixed_covered = fixed_result.coveredFraction();
+        const std::uint64_t fixed_covered_count = static_cast<
+            std::uint64_t>(row.fixed_covered *
+                               static_cast<double>(fixed_result.trials) +
+                           0.5);
+        const Proportion fixed_ci = wilsonInterval(
+            fixed_covered_count, fixed_result.trials, z);
+        row.fixed_ci_half =
+            (fixed_ci.high - fixed_ci.low) / 2.0;
+
+        fault::CampaignConfig wide = fixed;
+        wide.trials = universe;
+        campaign::PlannerOptions popts;
+        popts.target_ci = target_ci;
+        popts.confidence = confidence;
+        campaign::CampaignPlanner planner(injector, prepared.report,
+                                          wide, popts);
+        const campaign::PlanSummary s = planner.runAdaptive();
+        row.adaptive_covered = s.coverage;
+        row.adaptive_ci_half = s.ci_half;
+        row.adaptive_executed = s.executed;
+        row.ci_met = s.ci_met;
+        std::cout << w.name << ": fixed " << trials << " -> "
+                  << formatPercent(row.fixed_covered) << "+-"
+                  << formatPercent(row.fixed_ci_half)
+                  << "; adaptive " << row.adaptive_executed
+                  << " executed -> "
+                  << formatPercent(row.adaptive_covered) << "+-"
+                  << formatPercent(row.adaptive_ci_half)
+                  << (row.ci_met ? "" : " (target not met)") << "\n";
+        adaptive.push_back(row);
+    }
+    std::uint64_t fewer = 0;
+    for (const AdaptiveRow &row : adaptive)
+        if (row.adaptive_executed < trials && row.ci_met)
+            ++fewer;
+    double brute_total = 0.0, planner_total = 0.0;
+    for (const SweepRow &row : sweep) {
+        brute_total += row.brute_seconds;
+        planner_total += row.planner_seconds;
+    }
+    const double speedup =
+        brute_total / std::max(planner_total, 1e-9);
+    std::cout << "\nsweep speedup " << formatFixed(speedup, 1)
+              << "x over " << grid.size() << " grid points; adaptive "
+              << "beat fixed-" << trials << " on " << fewer << " of "
+              << adaptive.size() << " workloads\n";
+
+    const bool json_ok = bench::writeJsonReport(
+        json_path, [&](std::ostream &out) {
+            out << "  \"bench\": \"ablation_planner\",\n"
+                << "  \"grid_points\": " << grid.size() << ",\n"
+                << "  \"trials_per_point\": " << sweep_trials << ",\n"
+                << "  \"seed\": " << seed << ",\n"
+                << "  \"sweep\": {\n"
+                << "    \"total_brute_seconds\": "
+                << formatFixed(brute_total, 4) << ",\n"
+                << "    \"total_planner_seconds\": "
+                << formatFixed(planner_total, 4) << ",\n"
+                << "    \"speedup\": " << formatFixed(speedup, 2)
+                << ",\n    \"workloads\": [\n";
+            for (std::size_t i = 0; i < sweep.size(); ++i) {
+                const SweepRow &row = sweep[i];
+                out << "      {\"name\": \"" << row.name
+                    << "\", \"brute_seconds\": "
+                    << formatFixed(row.brute_seconds, 4)
+                    << ", \"planner_seconds\": "
+                    << formatFixed(row.planner_seconds, 4)
+                    << ", \"speedup\": "
+                    << formatFixed(row.brute_seconds /
+                                       std::max(row.planner_seconds,
+                                                1e-9),
+                                   2)
+                    << ", \"brute_trials\": " << row.brute_executed
+                    << ", \"planner_executed\": "
+                    << row.planner_executed << "}"
+                    << (i + 1 < sweep.size() ? "," : "") << "\n";
+            }
+            out << "    ]\n  },\n"
+                << "  \"adaptive\": {\n"
+                << "    \"target_ci\": "
+                << formatFixed(target_ci, 6) << ",\n"
+                << "    \"confidence\": "
+                << formatFixed(confidence, 4) << ",\n"
+                << "    \"universe\": " << universe << ",\n"
+                << "    \"fixed_trials\": " << trials << ",\n"
+                << "    \"fewer_than_fixed\": " << fewer << ",\n"
+                << "    \"workloads\": [\n";
+            for (std::size_t i = 0; i < adaptive.size(); ++i) {
+                const AdaptiveRow &row = adaptive[i];
+                out << "      {\"name\": \"" << row.name
+                    << "\", \"fixed_covered\": "
+                    << formatFixed(row.fixed_covered, 6)
+                    << ", \"fixed_ci_half\": "
+                    << formatFixed(row.fixed_ci_half, 6)
+                    << ", \"adaptive_covered\": "
+                    << formatFixed(row.adaptive_covered, 6)
+                    << ", \"adaptive_ci_half\": "
+                    << formatFixed(row.adaptive_ci_half, 6)
+                    << ", \"adaptive_executed\": "
+                    << row.adaptive_executed << ", \"ci_met\": "
+                    << (row.ci_met ? "true" : "false") << "}"
+                    << (i + 1 < adaptive.size() ? "," : "") << "\n";
+            }
+            out << "    ]\n  }\n}\n";
+        });
+    return json_ok ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     CommandLine cli = bench::standardFlags("0");
+    cli.addFlag("planner-bench", "false",
+                "run the campaign-planner comparison (sweep reuse + "
+                "adaptive sampling) instead of the heuristic table");
+    cli.addFlag("planner-workloads", "mpeg2dec,cjpeg,djpeg,rawcaudio",
+                "workloads for the phase-A sweep-reuse comparison "
+                "(phase B always covers the whole suite)");
+    cli.addFlag("sweep-trials", "3000",
+                "trials per grid point in the phase-A sweep; heavier "
+                "than phase B's fixed count so the per-point planner "
+                "overhead (fingerprint + sidecar IO) amortises the "
+                "way a real sweep does");
+    cli.addFlag("adaptive-universe", "20000",
+                "trial universe per workload for the adaptive arm");
+    cli.addFlag("target-ci", "0.005",
+                "adaptive stopping rule: CI half-width target");
+    cli.addFlag("confidence", "0.95",
+                "two-sided confidence level of the adaptive CI");
+    bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
+    if (cli.getBool("planner-bench"))
+        return runPlannerBench(cli);
     const std::size_t jobs = bench::jobsFlag(cli);
     const bool use_cache = bench::analysisCacheFlag(cli);
 
@@ -129,68 +499,10 @@ main(int argc, char **argv)
     Table table({"configuration", "overhead", "protected", "regions",
                  "selected"});
 
-    {
-        EncoreConfig base;
-        addRow(table, "baseline (Pmin=0, gamma=50, merge on)",
-               eval(base));
-    }
-    table.addSeparator();
-
-    for (const double pmin : {-1.0, 0.0, 0.1, 0.25}) {
-        EncoreConfig config;
-        config.prune = pmin >= 0.0;
-        config.pmin = std::max(pmin, 0.0);
-        addRow(table,
-               pmin < 0 ? "Pmin=none"
-                        : "Pmin=" + formatFixed(pmin, 2),
-               eval(config));
-    }
-    table.addSeparator();
-
-    for (const double gamma : {5.0, 50.0, 500.0, 5000.0}) {
-        EncoreConfig config;
-        config.gamma = gamma;
-        addRow(table, "gamma=" + formatFixed(gamma, 0),
-               eval(config));
-    }
-    table.addSeparator();
-
-    {
-        EncoreConfig config;
-        config.merge_regions = false;
-        addRow(table, "merging off (level-0 intervals only)",
-               eval(config));
-    }
-    for (const double eta : {10.0, 100.0, 1000.0}) {
-        EncoreConfig config;
-        config.eta = eta;
-        addRow(table, "eta=" + formatFixed(eta, 0), eval(config));
-    }
-    table.addSeparator();
-
-    for (const double bytes : {64.0, 256.0, 1024.0, 8192.0}) {
-        EncoreConfig config;
-        config.max_storage_bytes = bytes;
-        addRow(table, "storage<=" + formatFixed(bytes, 0) + "B",
-               eval(config));
-    }
-    table.addSeparator();
-
-    {
-        EncoreConfig config;
-        config.use_call_summaries = false;
-        addRow(table, "call summaries off (paper Unknown rule)",
-               eval(config));
-    }
-    {
-        EncoreConfig config;
-        config.auto_tune = false;
-        addRow(table, "budget auto-tune off", eval(config));
-    }
-    {
-        EncoreConfig config;
-        config.alias_mode = EncoreConfig::AliasMode::Optimistic;
-        addRow(table, "optimistic alias analysis", eval(config));
+    for (const GridPoint &point : ablationGrid()) {
+        addRow(table, point.label, eval(point.config));
+        if (point.separator_after)
+            table.addSeparator();
     }
 
     table.print(std::cout);

@@ -20,6 +20,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "campaign/planner.h"
 #include "campaign/runner.h"
 #include "common.h"
 #include "fault/injector.h"
@@ -73,6 +74,14 @@ main(int argc, char **argv)
                 "whole suite); note the per-campaign seeds depend on "
                 "suite position, so a filtered run's coverage numbers "
                 "are not comparable to a full run's");
+    cli.addFlag("adaptive", "false",
+                "stratified adaptive sampling with early stopping: "
+                "cells report coverage +- CI instead of executing "
+                "every trial (see src/campaign/planner.h)");
+    cli.addFlag("target-ci", "0.005",
+                "adaptive stopping rule: CI half-width target");
+    cli.addFlag("confidence", "0.95",
+                "two-sided confidence level of the adaptive CI");
     bench::addEngineFlag(cli);
     cli.parse(argc, argv);
 
@@ -83,6 +92,15 @@ main(int argc, char **argv)
     const interp::EngineKind engine = bench::engineFlag(cli);
     const std::string json_path = cli.getString("json");
     const std::string store_dir = cli.getString("store");
+    const bool adaptive = cli.getBool("adaptive");
+    const double target_ci = cli.getDouble("target-ci");
+    const double ci_confidence = cli.getDouble("confidence");
+    if (adaptive && !store_dir.empty()) {
+        std::cerr << "error: --adaptive and --store are mutually "
+                     "exclusive (an early-stopped sample must not "
+                     "masquerade as an exhaustive trial store)\n";
+        return 1;
+    }
     if (!store_dir.empty())
         std::filesystem::create_directories(store_dir);
 
@@ -136,7 +154,11 @@ main(int argc, char **argv)
             const workloads::Workload *w = workloads::findWorkload(name);
             if (w == nullptr) {
                 std::cerr << "error: unknown workload '" << name
-                          << "'\n";
+                          << "'; valid names:\n";
+                for (const workloads::Workload &known :
+                     workloads::allWorkloads())
+                    std::cerr << "  " << known.name << " ("
+                              << known.suite << ")\n";
                 return 1;
             }
             suite.push_back(bench::prepareWorkload(*w, config));
@@ -177,6 +199,26 @@ main(int argc, char **argv)
             campaign.masking_rate = mask_rate;
             campaign.trial.dmax = dmaxes[d];
             fault::CampaignResult result;
+            if (adaptive) {
+                campaign::PlannerOptions popts;
+                popts.target_ci = target_ci;
+                popts.confidence = ci_confidence;
+                campaign::CampaignPlanner planner(
+                    injector, prepared.report, campaign, popts);
+                const campaign::PlanSummary s = planner.runAdaptive();
+                row.push_back(formatPercent(s.coverage) + "+-" +
+                              formatPercent(s.ci_half));
+                sums[d] += s.coverage;
+                suite_sums[w.suite][d] += s.coverage;
+                wp.trials += s.executed;
+                if (d == 1) {
+                    // The idem/ckpt split of the stratified sample is
+                    // not an unbiased universe estimate; leave the
+                    // cell empty rather than implying one.
+                    split_cell = "-";
+                }
+                continue;
+            }
             if (store_dir.empty()) {
                 result = injector.runCampaign(campaign);
             } else {
@@ -259,7 +301,14 @@ main(int argc, char **argv)
         json_path, [&](std::ostream &json) {
             json << "  \"bench\": \"fig8_fault_coverage\",\n"
                  << "  \"engine\": \""
-                 << interp::engineKindName(engine) << "\",\n"
+                 << interp::engineKindName(engine) << "\",\n";
+            if (adaptive)
+                json << "  \"adaptive\": true,\n"
+                     << "  \"target_ci\": "
+                     << formatFixed(target_ci, 6) << ",\n"
+                     << "  \"confidence\": "
+                     << formatFixed(ci_confidence, 4) << ",\n";
+            json
                  << "  \"jobs\": " << jobs << ",\n"
                  << "  \"hardware_threads\": "
                  << std::thread::hardware_concurrency() << ",\n"

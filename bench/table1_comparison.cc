@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "campaign/planner.h"
 #include "campaign/runner.h"
 #include "common.h"
 #include "fault/injector.h"
@@ -34,6 +35,14 @@ main(int argc, char **argv)
     cli.addFlag("store", "",
                 "directory for durable trial stores when --trials > 0 "
                 "(campaigns resume across reruns; empty = in-memory)");
+    cli.addFlag("adaptive", "false",
+                "adaptive stratified sampling for the measured-"
+                "coverage column: --trials becomes the sampling "
+                "budget cap and the row reports coverage +- CI");
+    cli.addFlag("target-ci", "0.005",
+                "adaptive stopping rule: CI half-width target");
+    cli.addFlag("confidence", "0.95",
+                "two-sided confidence level of the adaptive CI");
     cli.parse(argc, argv);
     const std::size_t jobs = bench::jobsFlag(cli);
     const std::string json_path = cli.getString("json");
@@ -45,6 +54,13 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(cli.getInt("dmax"));
     const double mask_rate = cli.getDouble("mask");
     const std::string store_dir = cli.getString("store");
+    const bool adaptive = cli.getBool("adaptive");
+    if (adaptive && !store_dir.empty()) {
+        std::cerr << "error: --adaptive and --store are mutually "
+                     "exclusive (an early-stopped sample must not "
+                     "masquerade as an exhaustive trial store)\n";
+        return 1;
+    }
     if (!store_dir.empty())
         std::filesystem::create_directories(store_dir);
 
@@ -67,8 +83,12 @@ main(int argc, char **argv)
     {
         std::vector<SelectedRegion> regions;
         std::optional<double> covered;
+        double ci_half = 0.0;
+        std::uint64_t executed = 0;
     };
     RunningStats coverage;
+    RunningStats ci_halves;
+    std::uint64_t adaptive_executed = 0;
     bench::mapWorkloads(
         jobs,
         [&](const workloads::Workload &w) {
@@ -99,15 +119,29 @@ main(int argc, char **argv)
                     campaign.jobs = 1;
                     campaign.masking_rate = mask_rate;
                     campaign.trial.dmax = dmax;
-                    campaign::RunnerOptions opts;
-                    if (!store_dir.empty())
-                        opts.store_path = store_dir + "/" + w.name +
-                                          "_d" + std::to_string(dmax) +
-                                          ".trials";
-                    campaign::CampaignRunner runner(injector, campaign,
-                                                    opts);
-                    row.covered =
-                        runner.run().result.coveredFraction();
+                    if (adaptive) {
+                        campaign::PlannerOptions popts;
+                        popts.target_ci = cli.getDouble("target-ci");
+                        popts.confidence = cli.getDouble("confidence");
+                        campaign::CampaignPlanner planner(
+                            injector, prepared.report, campaign,
+                            popts);
+                        const campaign::PlanSummary s =
+                            planner.runAdaptive();
+                        row.covered = s.coverage;
+                        row.ci_half = s.ci_half;
+                        row.executed = s.executed;
+                    } else {
+                        campaign::RunnerOptions opts;
+                        if (!store_dir.empty())
+                            opts.store_path =
+                                store_dir + "/" + w.name + "_d" +
+                                std::to_string(dmax) + ".trials";
+                        campaign::CampaignRunner runner(
+                            injector, campaign, opts);
+                        row.covered =
+                            runner.run().result.coveredFraction();
+                    }
                 }
             }
             return row;
@@ -120,8 +154,11 @@ main(int argc, char **argv)
                 log_storage.add(region.log_bytes);
                 ckpt_work.add(region.work);
             }
-            if (row.covered)
+            if (row.covered) {
                 coverage.add(*row.covered);
+                ci_halves.add(row.ci_half);
+                adaptive_executed += row.executed;
+            }
         });
 
     Table table({"Attributes", "Enterprise", "Architectural",
@@ -142,6 +179,9 @@ main(int argc, char **argv)
     table.addRow({"Guaranteed Recovery", "Yes", "Yes",
                   coverage.count() > 0
                       ? "No (" + formatPercent(coverage.mean()) +
+                            (adaptive ? "+-" + formatPercent(
+                                                   ci_halves.mean())
+                                      : std::string()) +
                             " measured at Dmax=" +
                             std::to_string(dmax) + ")"
                       : "No"});
@@ -167,11 +207,18 @@ main(int argc, char **argv)
                 << formatFixed(log_storage.mean(), 3)
                 << "},\n  \"checkpoint_work_instrs_per_entry\": "
                 << formatFixed(ckpt_work.mean(), 3);
-            if (coverage.count() > 0)
+            if (coverage.count() > 0) {
                 out << ",\n  \"measured_coverage\": {\"trials\": "
                     << trials << ", \"dmax\": " << dmax
                     << ", \"mean_covered\": "
-                    << formatFixed(coverage.mean(), 6) << "}";
+                    << formatFixed(coverage.mean(), 6);
+                if (adaptive)
+                    out << ", \"adaptive\": true"
+                        << ", \"mean_ci_half\": "
+                        << formatFixed(ci_halves.mean(), 6)
+                        << ", \"executed\": " << adaptive_executed;
+                out << "}";
+            }
             out << "\n}\n";
         });
     return json_ok ? 0 : 1;

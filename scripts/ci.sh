@@ -5,7 +5,9 @@
 # soak that SIGKILLs a serve/worker fleet member mid-campaign)
 # followed by the ThreadSanitizer campaign lane (the concurrent
 # trial-store writer, the multi-threaded campaign/resume paths, and
-# the coordinator/worker service), then two warn-only perf smokes:
+# the coordinator/worker service), then a campaign-planner smoke
+# (sweep-reuse tally identity against brute force, plus a tiny
+# adaptive early-stopping campaign) and two warn-only perf smokes:
 # injection throughput on two medium workloads against the committed
 # BENCH_injection.json, and interpreter throughput (the fused
 # superinstruction tier) against the committed BENCH_interp.json.
@@ -32,7 +34,40 @@ cmake --build "${build_root}/tsan" -j > /dev/null
 echo "==> [tsan] campaign smoke: concurrent store writer + runner + service"
 (cd "${build_root}/tsan" &&
     ctest --output-on-failure \
-        -R 'test_campaign_smoke|test_store_concurrency|test_campaign$|test_campaign_service')
+        -R 'test_campaign_smoke|test_store_concurrency|test_campaign$|test_campaign_service|test_planner')
+
+echo "==> [planner] sweep-reuse tally identity + adaptive smoke"
+# Hard gate on the planner's central contract: a sidecar-reuse run
+# must produce the exact same outcome tally as brute force. Three
+# runs of the same campaign — brute, planner cold (everything
+# executed, sidecar written), planner warm (everything folded from
+# the sidecar) — must agree line-for-line from the "trials N" block
+# down, and the warm run must execute zero trials. Then a tiny
+# adaptive campaign checks the early-stopping path end to end.
+planner_dir="${build_root}/planner_smoke"
+rm -rf "${planner_dir}" && mkdir -p "${planner_dir}"
+campaign_bin="${build_root}/tier1/tools/encore_campaign"
+"${campaign_bin}" run --workload rawcaudio --trials 400 --seed 7 \
+    | sed -n '/^trials /,$p' > "${planner_dir}/brute.txt"
+"${campaign_bin}" run --workload rawcaudio --trials 400 --seed 7 \
+    --sidecar "${planner_dir}/rawcaudio.tally" \
+    | sed -n '/^trials /,$p' > "${planner_dir}/cold.txt"
+"${campaign_bin}" run --workload rawcaudio --trials 400 --seed 7 \
+    --sidecar "${planner_dir}/rawcaudio.tally" \
+    > "${planner_dir}/warm_full.txt"
+sed -n '/^trials /,$p' "${planner_dir}/warm_full.txt" \
+    > "${planner_dir}/warm.txt"
+diff -u "${planner_dir}/brute.txt" "${planner_dir}/cold.txt"
+diff -u "${planner_dir}/brute.txt" "${planner_dir}/warm.txt"
+grep -q 'executed 0$' "${planner_dir}/warm_full.txt" || {
+    echo "planner-smoke: warm sidecar run re-executed trials" >&2
+    exit 1
+}
+"${campaign_bin}" run --workload rawcaudio --trials 4000 --adaptive \
+    --target-ci 0.02 --seed 7 > "${planner_dir}/adaptive.txt"
+grep -E 'coverage|executed' "${planner_dir}/adaptive.txt" \
+    | sed 's/^/planner-smoke: adaptive /'
+echo "planner-smoke: tally identity held (brute == cold == warm)"
 
 echo "==> [perf] injection-throughput smoke (warn-only)"
 # A filtered fig8 run on two medium workloads, compared per-workload
@@ -120,4 +155,4 @@ print("interp-smoke: warn-only; see BENCH_interp.json provenance for "
       "the baseline build")
 EOF
 
-echo "==> ci passed (tier1 + tsan campaign lane + perf smokes)"
+echo "==> ci passed (tier1 + tsan campaign lane + planner smoke + perf smokes)"

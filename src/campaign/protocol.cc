@@ -261,6 +261,7 @@ encodeLease(const LeaseGrant &lease)
     appendU64(payload, lease.lease_id);
     appendU64(payload, lease.first_trial);
     appendU64(payload, lease.count);
+    appendU32(payload, lease.stratum);
     return payload;
 }
 
@@ -272,6 +273,7 @@ decodeLease(const std::vector<char> &payload)
     lease.lease_id = reader.readU64();
     lease.first_trial = reader.readU64();
     lease.count = reader.readU64();
+    lease.stratum = reader.readU32();
     if (!reader.done())
         return std::nullopt;
     return lease;

@@ -60,7 +60,10 @@
 
 namespace encore::campaign {
 
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2 added the stratum tag to lease grants (planner-filtered serve).
+/// The handshake requires an exact version match, so a v1 worker and
+/// a v2 coordinator refuse each other instead of mis-parsing frames.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kFrameHeaderSize = 8;
 /// Upper bound on a payload; anything larger is garbage or an attack,
 /// not a campaign frame (the largest legitimate frame is a result
@@ -138,6 +141,11 @@ struct LeaseGrant
     std::uint64_t lease_id = 0;
     std::uint64_t first_trial = 0;
     std::uint64_t count = 0;
+    /// Sampling stratum of the chunk's trials (planner stratum index;
+    /// 0 when the coordinator runs without a planner). Informational:
+    /// workers log it, and per-stratum accounting on the coordinator
+    /// side keys off the same table that produced it.
+    std::uint32_t stratum = 0;
 };
 
 std::vector<char> encodeLease(const LeaseGrant &lease);

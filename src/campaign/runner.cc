@@ -97,6 +97,46 @@ campaignFingerprint(const fault::FaultInjector &injector,
     return hash;
 }
 
+void
+executeTrialList(
+    const fault::FaultInjector &injector,
+    const fault::CampaignConfig &config,
+    const std::vector<std::uint64_t> &trials,
+    std::vector<std::uint8_t> &outcomes,
+    const std::function<void(std::uint64_t, fault::FaultOutcome)> &sink)
+{
+    // Outcomes land slot-free in a preallocated array indexed by the
+    // list position — no shared mutable state beyond whatever the
+    // sink synchronizes internally.
+    outcomes.assign(trials.size(), 0);
+    auto run_one = [&](std::uint64_t i, interp::Interpreter &interp) {
+        const fault::FaultOutcome outcome =
+            injector.runCampaignTrial(trials[i], config, interp);
+        outcomes[i] = static_cast<std::uint8_t>(outcome);
+        if (sink)
+            sink(trials[i], outcome);
+    };
+
+    const std::size_t jobs = resolveJobs(config.jobs);
+    if (jobs <= 1 || trials.size() <= 1) {
+        interp::Interpreter interp(injector.decodedModule());
+        for (std::uint64_t i = 0; i < trials.size(); ++i)
+            run_one(i, interp);
+    } else {
+        ThreadPool pool(jobs);
+        std::vector<std::unique_ptr<interp::Interpreter>> workers(
+            pool.slotCount());
+        pool.parallelFor(trials.size(),
+                         [&](std::uint64_t i, std::size_t slot) {
+                             if (!workers[slot])
+                                 workers[slot] = std::make_unique<
+                                     interp::Interpreter>(
+                                     injector.decodedModule());
+                             run_one(i, *workers[slot]);
+                         });
+    }
+}
+
 CampaignRunner::CampaignRunner(const fault::FaultInjector &injector,
                                const fault::CampaignConfig &config,
                                RunnerOptions options)
@@ -220,38 +260,16 @@ CampaignRunner::run()
     meter_options.initial = summary.result;
     ProgressMeter meter(meter_options);
 
-    // Outcomes land slot-free in a preallocated array indexed by the
-    // missing-list position — no shared mutable state beyond the
-    // store writer's internal buffer and the meter's atomics.
-    std::vector<std::uint8_t> outcomes(missing.size());
-    auto run_one = [&](std::uint64_t i, interp::Interpreter &interp) {
-        const fault::FaultOutcome outcome =
-            injector_.runCampaignTrial(missing[i], config_, interp);
-        outcomes[i] = static_cast<std::uint8_t>(outcome);
-        if (writer)
-            writer->add(missing[i],
-                        static_cast<std::uint32_t>(outcome));
-        meter.note(outcome);
-    };
-
-    const std::size_t jobs = resolveJobs(config_.jobs);
-    if (jobs <= 1 || missing.size() <= 1) {
-        interp::Interpreter interp(injector_.decodedModule());
-        for (std::uint64_t i = 0; i < missing.size(); ++i)
-            run_one(i, interp);
-    } else {
-        ThreadPool pool(jobs);
-        std::vector<std::unique_ptr<interp::Interpreter>> workers(
-            pool.slotCount());
-        pool.parallelFor(missing.size(),
-                         [&](std::uint64_t i, std::size_t slot) {
-                             if (!workers[slot])
-                                 workers[slot] = std::make_unique<
-                                     interp::Interpreter>(
-                                     injector_.decodedModule());
-                             run_one(i, *workers[slot]);
-                         });
-    }
+    std::vector<std::uint8_t> outcomes;
+    executeTrialList(injector_, config_, missing, outcomes,
+                     [&](std::uint64_t trial,
+                         fault::FaultOutcome outcome) {
+                         if (writer)
+                             writer->add(trial, static_cast<
+                                                    std::uint32_t>(
+                                                    outcome));
+                         meter.note(outcome);
+                     });
 
     if (writer && !writer->finish())
         fatalf("trial store '", path,

@@ -36,6 +36,7 @@
 #define ENCORE_CAMPAIGN_RUNNER_H
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -113,6 +114,23 @@ struct RunSummary
     /// Torn/corrupt bytes the store reader dropped (0 normally).
     std::uint64_t recovered_dropped_bytes = 0;
 };
+
+/// The shared campaign execution core: executes an explicit list of
+/// trial indices across `config.jobs` pooled per-worker interpreters
+/// through FaultInjector::runCampaignTrial. Outcomes land at the
+/// matching position of `outcomes` (resized by the call), so the
+/// result is bit-identical at any job count or schedule. `sink`, when
+/// non-null, is invoked from worker threads after each trial (store
+/// writes, progress accounting) and must be thread-safe. Both
+/// CampaignRunner::run() and the campaign planner execute through
+/// this single entry point.
+void executeTrialList(
+    const fault::FaultInjector &injector,
+    const fault::CampaignConfig &config,
+    const std::vector<std::uint64_t> &trials,
+    std::vector<std::uint8_t> &outcomes,
+    const std::function<void(std::uint64_t, fault::FaultOutcome)> &sink =
+        {});
 
 /// Fingerprint of everything that determines trial outcomes: module
 /// hash, entry, args, seed, trials, Dmax, run budget factor, masking

@@ -308,11 +308,34 @@ CampaignService::serve()
             fatal(error);
     }
 
+    if (options_.planned) {
+        // Trials the planner already accounts for (sidecar-reused
+        // groups and the exact masked stratum) never reach the lease
+        // table; fold their tallies up front so the progress meter and
+        // the completeness check (result.trials == trials) both see
+        // them.
+        for (std::size_t i = 0; i < kNumOutcomes; ++i)
+            summary.result.counts[i] +=
+                options_.planned_base.counts[i];
+        summary.result.trials += options_.planned_base.trials;
+    }
+
     std::vector<std::uint64_t> missing;
-    missing.reserve(trials - summary.resumed);
-    for (std::uint64_t t = 0; t < trials; ++t)
-        if (!done[t])
-            missing.push_back(t);
+    if (options_.planned) {
+        // The execution set, minus whatever a resumed store already
+        // holds. LeaseTable takes any sorted missing list — chunks are
+        // maximal contiguous runs, so gaps between strata or reused
+        // groups just start new chunks.
+        missing.reserve(options_.planned_missing.size());
+        for (const std::uint64_t t : options_.planned_missing)
+            if (t < trials && !done[t])
+                missing.push_back(t);
+    } else {
+        missing.reserve(trials - summary.resumed);
+        for (std::uint64_t t = 0; t < trials; ++t)
+            if (!done[t])
+                missing.push_back(t);
+    }
 
     LeaseTable leases(missing, trials, options_.chunk_trials,
                       options_.lease_timeout);
@@ -377,10 +400,14 @@ CampaignService::serve()
         if (!grant)
             return; // Nothing available; stays queued for work.
         conn.wants_work = false;
+        const std::uint32_t stratum =
+            grant->first_trial < options_.trial_stratum.size()
+                ? options_.trial_stratum[grant->first_trial]
+                : 0;
         if (!sendFrame(conn.socket, FrameType::Lease,
                        encodeLease({grant->lease_id,
-                                    grant->first_trial,
-                                    grant->count})))
+                                    grant->first_trial, grant->count,
+                                    stratum})))
             drop(conn, "send failed");
     };
 

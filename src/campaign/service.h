@@ -173,6 +173,20 @@ struct ServiceOptions
     std::string heartbeat_path;
     std::chrono::milliseconds progress_interval{500};
     std::string label;
+    /// Planner-filtered serve. When set, only `planned_missing`
+    /// (sorted ascending trial indices from
+    /// CampaignPlanner::trialsToExecute) is leased to workers, and
+    /// `planned_base` — the planner's sidecar-reused tallies plus the
+    /// exact modelled-masked count — is folded into the aggregate up
+    /// front, so the final summary is tally-identical to serving the
+    /// whole campaign while distributing only the trials the sidecar
+    /// cannot cover.
+    bool planned = false;
+    std::vector<std::uint64_t> planned_missing;
+    fault::CampaignResult planned_base;
+    /// Per-trial planner stratum (index = trial); each lease is tagged
+    /// with the stratum of its first trial. Empty = every lease tag 0.
+    std::vector<std::uint8_t> trial_stratum;
 };
 
 struct ServiceSummary

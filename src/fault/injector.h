@@ -253,6 +253,11 @@ class FaultInjector
     const std::string &entry() const { return entry_; }
     const std::vector<std::uint64_t> &args() const { return args_; }
 
+    /// The instrumented module trials run against. The campaign
+    /// planner walks it to build the call graph behind its
+    /// per-function instrumentation-closure fingerprints.
+    const ir::Module &module() const { return module_; }
+
     /// The immutable pre-decoded code cache shared by every trial.
     const std::shared_ptr<const interp::DecodedModule> &
     decodedModule() const

@@ -228,6 +228,14 @@ class Interpreter
     ir::RegionId currentRegionId() const;
     /// Depth of the activation stack (1 while the entry function runs).
     std::size_t frameDepth() const { return depth_; }
+    /// Source function of the innermost live frame (nullptr outside a
+    /// run). The campaign planner's attribution hooks use this to map
+    /// fault sites to the function whose instrumentation governs them.
+    const ir::Function *
+    currentFunction() const
+    {
+        return depth_ > 0 ? frames_[depth_ - 1].func->src : nullptr;
+    }
 
   private:
     struct Undo

@@ -1,8 +1,12 @@
 #include "support/build_info.h"
 
-#ifndef ENCORE_GIT_HASH
-#define ENCORE_GIT_HASH "unknown"
-#endif
+namespace encore::detail {
+/// Defined by the build-time-generated build_info_git.cc (see
+/// cmake/git_hash.cmake) so the revision tracks HEAD across
+/// incremental builds instead of the last configure.
+extern const char *const kGitHash;
+} // namespace encore::detail
+
 #ifndef ENCORE_COMPILER_ID
 #define ENCORE_COMPILER_ID "unknown"
 #endif
@@ -16,7 +20,7 @@ const BuildInfo &
 buildInfo()
 {
     static const BuildInfo info = {
-        ENCORE_GIT_HASH,
+        detail::kGitHash,
         ENCORE_COMPILER_ID,
         ENCORE_BUILD_TYPE,
 #ifdef ENCORE_BUILD_COMPUTED_GOTO

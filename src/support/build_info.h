@@ -6,11 +6,10 @@
  * across revisions when each one records which build produced it:
  * the git revision, the compiler, the build type, and performance-
  * relevant build options (the computed-goto dispatcher). The values
- * come from CMake compile definitions (see src/support/CMakeLists.txt);
- * the git hash is sampled at *configure* time, so an incremental
- * build after new commits may report the configure-time revision —
- * good enough for attributing committed numbers, which come from
- * fresh builds.
+ * come from CMake compile definitions (see src/support/CMakeLists.txt),
+ * except the git hash, which is captured at *build* time: the
+ * generated build_info_git.cc depends on .git/HEAD, so incremental
+ * builds after new commits report the new revision.
  */
 #ifndef ENCORE_SUPPORT_BUILD_INFO_H
 #define ENCORE_SUPPORT_BUILD_INFO_H

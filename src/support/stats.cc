@@ -68,8 +68,172 @@ wilsonInterval(std::uint64_t successes, std::uint64_t trials, double z)
     const double center = phat + z2 / (2.0 * n);
     const double spread =
         z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
-    return {phat, std::max(0.0, (center - spread) / denom),
-            std::min(1.0, (center + spread) / denom)};
+    // The outer clamps against phat absorb the one-ulp rounding at the
+    // k=0 / k=n boundaries, where (center ± spread) / denom is exactly
+    // phat in real arithmetic but can land a hair inside it in floats —
+    // the interval must always contain its own point estimate.
+    return {phat,
+            std::min(phat, std::max(0.0, (center - spread) / denom)),
+            std::max(phat, std::min(1.0, (center + spread) / denom))};
+}
+
+double
+normalQuantile(double p)
+{
+    ENCORE_ASSERT(p > 0.0 && p < 1.0,
+                  "normalQuantile needs p strictly inside (0, 1)");
+    // Acklam's piecewise rational approximation.
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    const double p_low = 0.02425;
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) *
+                    q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - p_low)
+        return -normalQuantile(1.0 - p);
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+                r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+                r +
+            1.0);
+}
+
+double
+confidenceZ(double confidence)
+{
+    ENCORE_ASSERT(confidence > 0.0 && confidence < 1.0,
+                  "confidence level must be strictly inside (0, 1)");
+    return normalQuantile(0.5 + confidence / 2.0);
+}
+
+std::vector<std::uint64_t>
+neymanAllocation(const std::vector<NeymanStratum> &strata,
+                 std::uint64_t budget)
+{
+    const std::size_t n = strata.size();
+    std::vector<std::uint64_t> alloc(n, 0);
+    std::vector<std::uint64_t> capacity(n, 0);
+    std::uint64_t total_capacity = 0;
+    for (std::size_t h = 0; h < n; ++h) {
+        capacity[h] = strata[h].size > strata[h].sampled
+                          ? strata[h].size - strata[h].sampled
+                          : 0;
+        total_capacity += capacity[h];
+    }
+    std::uint64_t remaining = std::min(budget, total_capacity);
+
+    // Iterate because a stratum capped by its capacity hands its share
+    // back to the pool: re-split the remainder over the uncapped
+    // strata until either the budget or the weights are exhausted.
+    // Each pass saturates at least one stratum, so this terminates in
+    // at most n passes.
+    std::vector<bool> open(n, true);
+    while (remaining > 0) {
+        double total_weight = 0.0;
+        for (std::size_t h = 0; h < n; ++h)
+            if (open[h] && capacity[h] > alloc[h])
+                total_weight += static_cast<double>(strata[h].size) *
+                                strata[h].stddev;
+        const bool by_size = total_weight <= 0.0;
+        if (by_size) {
+            // All remaining weights are zero (pilot phase, or every
+            // informative stratum is saturated): fall back to
+            // remaining-size-proportional so the budget is still spent
+            // deterministically.
+            for (std::size_t h = 0; h < n; ++h)
+                if (open[h] && capacity[h] > alloc[h])
+                    total_weight +=
+                        static_cast<double>(capacity[h] - alloc[h]);
+        }
+        if (total_weight <= 0.0)
+            break;
+
+        // Largest-remainder apportionment of `remaining` seats.
+        std::vector<double> share(n, 0.0);
+        std::uint64_t given = 0;
+        for (std::size_t h = 0; h < n; ++h) {
+            if (!open[h] || capacity[h] <= alloc[h])
+                continue;
+            const double weight =
+                by_size ? static_cast<double>(capacity[h] - alloc[h])
+                        : static_cast<double>(strata[h].size) *
+                              strata[h].stddev;
+            share[h] = static_cast<double>(remaining) * weight /
+                       total_weight;
+        }
+        std::vector<std::uint64_t> grant(n, 0);
+        for (std::size_t h = 0; h < n; ++h)
+            grant[h] = static_cast<std::uint64_t>(share[h]);
+        for (std::size_t h = 0; h < n; ++h)
+            given += grant[h];
+        // Hand out the leftover seats by largest fractional part,
+        // ties to the lowest index.
+        while (given < remaining) {
+            std::size_t best = n;
+            double best_frac = -1.0;
+            for (std::size_t h = 0; h < n; ++h) {
+                if (!open[h] || capacity[h] <= alloc[h] ||
+                    share[h] <= 0.0)
+                    continue;
+                const double frac =
+                    share[h] - static_cast<double>(grant[h]);
+                if (frac > best_frac) {
+                    best_frac = frac;
+                    best = h;
+                }
+            }
+            if (best == n)
+                break;
+            ++grant[best];
+            share[best] = static_cast<double>(grant[best]);
+            ++given;
+        }
+
+        bool progressed = false;
+        for (std::size_t h = 0; h < n; ++h) {
+            if (grant[h] == 0)
+                continue;
+            const std::uint64_t room = capacity[h] - alloc[h];
+            const std::uint64_t take = std::min(grant[h], room);
+            alloc[h] += take;
+            remaining -= take;
+            if (take > 0)
+                progressed = true;
+            if (alloc[h] == capacity[h])
+                open[h] = false;
+        }
+        if (!progressed)
+            break;
+    }
+    return alloc;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

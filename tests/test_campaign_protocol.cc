@@ -65,11 +65,17 @@ TEST(Protocol, HelloRoundTrip)
 
 TEST(Protocol, LeaseRoundTripIncludingDrain)
 {
-    const auto got = decodeLease(encodeLease({42, 4096, 1024}));
+    const auto got = decodeLease(encodeLease({42, 4096, 1024, 2}));
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(got->lease_id, 42u);
     EXPECT_EQ(got->first_trial, 4096u);
     EXPECT_EQ(got->count, 1024u);
+    EXPECT_EQ(got->stratum, 2u);
+
+    // Default-constructed stratum (non-planner coordinator) is 0.
+    const auto plain = decodeLease(encodeLease({7, 0, 64}));
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain->stratum, 0u);
 
     const auto drain = decodeLease(encodeLease({0, 0, 0}));
     ASSERT_TRUE(drain.has_value());

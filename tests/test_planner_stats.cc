@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Confidence-interval and allocation math behind the campaign
+ * planner, checked against slow oracles: the Wilson interval against
+ * the direct closed-form formula and an exact-binomial coverage
+ * sweep, the normal quantile against tabulated values, and Neyman
+ * allocation against the direct proportional formula — including the
+ * degenerate strata (no trials, all-one-outcome, single element).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/stats.h"
+
+namespace encore {
+namespace {
+
+// --- normalQuantile / confidenceZ ----------------------------------
+
+TEST(NormalQuantile, MatchesTabulatedValues)
+{
+    // Standard two-sided z values to ~1e-6 (the approximation is good
+    // to ~1e-9 relative).
+    EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.995), 2.575829, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.95), 1.644854, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(normalQuantile(0.9995), 3.290527, 1e-4);
+}
+
+TEST(NormalQuantile, IsAntisymmetric)
+{
+    for (const double p : {0.001, 0.023, 0.2, 0.4, 0.49}) {
+        EXPECT_NEAR(normalQuantile(p), -normalQuantile(1.0 - p),
+                    1e-9)
+            << "p=" << p;
+    }
+}
+
+TEST(NormalQuantile, ConfidenceZ)
+{
+    EXPECT_NEAR(confidenceZ(0.95), 1.959964, 1e-5);
+    EXPECT_NEAR(confidenceZ(0.99), 2.575829, 1e-5);
+    EXPECT_NEAR(confidenceZ(0.90), 1.644854, 1e-5);
+}
+
+// --- Wilson interval ------------------------------------------------
+
+/// The direct closed-form Wilson bounds, written out independently of
+/// the implementation.
+void
+wilsonOracle(std::uint64_t k, std::uint64_t n, double z, double &lo,
+             double &hi)
+{
+    const double nn = static_cast<double>(n);
+    const double p = static_cast<double>(k) / nn;
+    const double z2 = z * z;
+    const double centre = p + z2 / (2.0 * nn);
+    const double spread =
+        z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+    const double denom = 1.0 + z2 / nn;
+    lo = std::max(0.0, (centre - spread) / denom);
+    hi = std::min(1.0, (centre + spread) / denom);
+}
+
+TEST(WilsonInterval, MatchesDirectFormula)
+{
+    const double z = 1.959964;
+    const std::uint64_t cases[][2] = {
+        {0, 1},   {1, 1},    {0, 10},    {10, 10},  {3, 10},
+        {7, 50},  {45, 50},  {599, 600}, {1, 600},  {300, 600},
+        {17, 23}, {999, 1000}};
+    for (const auto &c : cases) {
+        double lo, hi;
+        wilsonOracle(c[0], c[1], z, lo, hi);
+        const Proportion got = wilsonInterval(c[0], c[1], z);
+        EXPECT_NEAR(got.low, lo, 1e-12)
+            << c[0] << "/" << c[1];
+        EXPECT_NEAR(got.high, hi, 1e-12)
+            << c[0] << "/" << c[1];
+        EXPECT_NEAR(got.estimate,
+                    static_cast<double>(c[0]) /
+                        static_cast<double>(c[1]),
+                    1e-12);
+        EXPECT_LE(got.low, got.estimate);
+        EXPECT_GE(got.high, got.estimate);
+    }
+}
+
+TEST(WilsonInterval, DegenerateInputs)
+{
+    // No trials: no information, the interval is the whole [0, 1].
+    const Proportion none = wilsonInterval(0, 0);
+    EXPECT_EQ(none.estimate, 0.0);
+    EXPECT_EQ(none.low, 0.0);
+    EXPECT_EQ(none.high, 1.0);
+
+    // A single trial keeps both bounds strictly inside (0, 1): the
+    // Wilson interval never collapses to a point on tiny samples.
+    const Proportion one = wilsonInterval(1, 1);
+    EXPECT_GT(one.low, 0.0);
+    EXPECT_EQ(one.high, 1.0);
+    const Proportion zero = wilsonInterval(0, 1);
+    EXPECT_EQ(zero.low, 0.0);
+    EXPECT_LT(zero.high, 1.0);
+
+    // All-one-outcome at n=600 (the fig8 default): the far bound
+    // stays away from the estimate by a sane margin.
+    const Proportion all = wilsonInterval(600, 600);
+    EXPECT_GT(all.low, 0.99);
+    EXPECT_EQ(all.high, 1.0);
+}
+
+/// Exact-binomial coverage check: over every k, sum the binomial pmf
+/// of the true p for the k whose Wilson interval contains p. Wilson
+/// at 95% nominal should cover ~95%, and never dip below 90% for
+/// moderate n / non-extreme p.
+TEST(WilsonInterval, ExactBinomialCoverage)
+{
+    const double z = 1.959964;
+    for (const double p : {0.1, 0.5, 0.9, 0.97}) {
+        for (const std::uint64_t n : {50ULL, 200ULL, 600ULL}) {
+            double coverage = 0.0;
+            double log_pmf =
+                static_cast<double>(n) * std::log(1.0 - p);
+            // Walk k upward, updating the pmf incrementally:
+            // pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p).
+            for (std::uint64_t k = 0; k <= n; ++k) {
+                const Proportion ci = wilsonInterval(k, n, z);
+                if (ci.low <= p && p <= ci.high)
+                    coverage += std::exp(log_pmf);
+                if (k < n)
+                    log_pmf +=
+                        std::log(static_cast<double>(n - k)) -
+                        std::log(static_cast<double>(k + 1)) +
+                        std::log(p) - std::log(1.0 - p);
+            }
+            EXPECT_GT(coverage, 0.90)
+                << "p=" << p << " n=" << n;
+            EXPECT_LE(coverage, 1.0 + 1e-9);
+        }
+    }
+}
+
+// --- Neyman allocation ----------------------------------------------
+
+std::uint64_t
+sum(const std::vector<std::uint64_t> &v)
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t x : v)
+        total += x;
+    return total;
+}
+
+TEST(NeymanAllocation, ProportionalToSizeTimesStddev)
+{
+    // Unconstrained case against the direct formula: weights 1:2:3
+    // over a budget of 600 → 100/200/300.
+    const std::vector<NeymanStratum> strata = {
+        {10000, 0, 0.1}, {10000, 0, 0.2}, {10000, 0, 0.3}};
+    const auto alloc = neymanAllocation(strata, 600);
+    ASSERT_EQ(alloc.size(), 3u);
+    EXPECT_EQ(alloc[0], 100u);
+    EXPECT_EQ(alloc[1], 200u);
+    EXPECT_EQ(alloc[2], 300u);
+}
+
+TEST(NeymanAllocation, LargestRemainderRounding)
+{
+    // Equal weights, budget 10 over 3 strata: 4/3/3 (remainder seat
+    // to the lowest index on the tie).
+    const std::vector<NeymanStratum> strata = {
+        {100, 0, 0.5}, {100, 0, 0.5}, {100, 0, 0.5}};
+    const auto alloc = neymanAllocation(strata, 10);
+    EXPECT_EQ(sum(alloc), 10u);
+    EXPECT_EQ(alloc[0], 4u);
+    EXPECT_EQ(alloc[1], 3u);
+    EXPECT_EQ(alloc[2], 3u);
+}
+
+TEST(NeymanAllocation, CapacityCapsCascade)
+{
+    // The heaviest stratum has only 5 left; its overflow goes to the
+    // others by weight.
+    const std::vector<NeymanStratum> strata = {
+        {1000, 995, 10.0}, {1000, 0, 1.0}, {1000, 0, 1.0}};
+    const auto alloc = neymanAllocation(strata, 105);
+    EXPECT_EQ(alloc[0], 5u);
+    EXPECT_EQ(alloc[1], 50u);
+    EXPECT_EQ(alloc[2], 50u);
+    EXPECT_EQ(sum(alloc), 105u);
+}
+
+TEST(NeymanAllocation, DegenerateStrata)
+{
+    // Zero-size stratum, fully sampled stratum, single-element
+    // stratum, and an all-one-outcome (stddev 0) stratum alongside an
+    // informative one: only the informative and the single-element
+    // strata can receive anything, and stddev-0 gets nothing while
+    // any weight is positive.
+    const std::vector<NeymanStratum> strata = {
+        {0, 0, 0.5},    // empty
+        {50, 50, 0.5},  // exhausted
+        {1, 0, 0.4},    // single element
+        {1000, 10, 0.0}, // all-one-outcome so far
+        {1000, 10, 0.3}, // informative
+    };
+    const auto alloc = neymanAllocation(strata, 100);
+    EXPECT_EQ(alloc[0], 0u);
+    EXPECT_EQ(alloc[1], 0u);
+    EXPECT_LE(alloc[2], 1u);
+    EXPECT_EQ(alloc[3], 0u);
+    EXPECT_GE(alloc[4], 99u);
+    EXPECT_EQ(sum(alloc), 100u);
+}
+
+TEST(NeymanAllocation, AllZeroWeightsFallBackToSize)
+{
+    // Pilot phase: no variance estimates yet. The budget still gets
+    // spent, proportionally to remaining size.
+    const std::vector<NeymanStratum> strata = {
+        {300, 0, 0.0}, {100, 0, 0.0}};
+    const auto alloc = neymanAllocation(strata, 40);
+    EXPECT_EQ(alloc[0], 30u);
+    EXPECT_EQ(alloc[1], 10u);
+}
+
+TEST(NeymanAllocation, BudgetBeyondCapacity)
+{
+    const std::vector<NeymanStratum> strata = {
+        {10, 4, 0.5}, {7, 0, 0.1}};
+    const auto alloc = neymanAllocation(strata, 1000);
+    EXPECT_EQ(alloc[0], 6u);
+    EXPECT_EQ(alloc[1], 7u);
+}
+
+TEST(NeymanAllocation, EmptyAndZeroBudget)
+{
+    EXPECT_TRUE(neymanAllocation({}, 100).empty());
+    const std::vector<NeymanStratum> strata = {{10, 0, 0.5}};
+    const auto alloc = neymanAllocation(strata, 0);
+    EXPECT_EQ(alloc[0], 0u);
+}
+
+TEST(NeymanAllocation, Deterministic)
+{
+    const std::vector<NeymanStratum> strata = {
+        {977, 13, 0.21}, {431, 7, 0.37}, {89, 89, 0.5},
+        {1543, 0, 0.02}};
+    const auto a = neymanAllocation(strata, 333);
+    const auto b = neymanAllocation(strata, 333);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(sum(a), 333u);
+}
+
+} // namespace
+} // namespace encore

@@ -29,9 +29,11 @@
 #include <iostream>
 #include <memory>
 
+#include "campaign/planner.h"
 #include "campaign/runner.h"
 #include "campaign/service.h"
 #include "common.h"
+#include "support/checksum.h"
 #include "support/diagnostics.h"
 #include "support/socket.h"
 #include "support/strings.h"
@@ -45,7 +47,7 @@ void
 usage(std::ostream &os)
 {
     os << "usage: encore_campaign "
-          "<run|resume|merge|inspect|serve|worker> [flags]\n"
+          "<run|resume|plan|merge|inspect|serve|worker> [flags]\n"
           "  run     --workload <name> [--store <path>] [--trials N] "
           "[--seed S]\n"
           "          [--jobs J] [--dmax D] [--mask R] [--no-masking]\n"
@@ -53,12 +55,19 @@ usage(std::ostream &os)
           "          [--heartbeat <path.jsonl>] [--stop-after K] "
           "[--json <path>]\n"
           "          [--engine fused|decoded]\n"
+          "          planner paths: [--sidecar <path>] [--adaptive]\n"
+          "          [--target-ci E] [--confidence C] [--no-planner]\n"
           "  resume  same flags; --store must name an existing store\n"
+          "  plan    planner dry run: attribution + grouping + sidecar "
+          "probe,\n"
+          "          no trial executes (run flags plus --sidecar)\n"
           "  merge   --stores <a,b,...> [--json <path>]\n"
           "  inspect --store <path>\n"
           "  serve   run flags (minus --jobs/--shard) plus [--port P]\n"
           "          [--port-file <path>] [--chunk K] "
           "[--lease-timeout-ms T]\n"
+          "          [--sidecar <path>] (lease only what reuse cannot "
+          "cover)\n"
           "  worker  --connect host:port [--jobs J] [--label L]\n"
           "Pass --help after a subcommand for its full flag list.\n";
 }
@@ -136,6 +145,48 @@ prepareInjector(const workloads::Workload &workload,
     return out;
 }
 
+/// Planner flags shared by `run`, `resume` (where they must stay
+/// unset) and `plan`.
+void
+addPlannerFlags(CommandLine &cli)
+{
+    cli.addFlag("sidecar", "",
+                "planner tally sidecar for compositional sweep reuse; "
+                "\"\" disables reuse");
+    cli.addFlag("adaptive", "false",
+                "stratified adaptive sampling with early stopping "
+                "instead of the fixed trial count");
+    cli.addFlag("no-planner", "false",
+                "force the brute-force path even when --sidecar is "
+                "given (the planner differential's control arm)");
+    cli.addFlag("target-ci", "0.005",
+                "adaptive stopping rule: stop once the coverage CI "
+                "half-width is at most this");
+    cli.addFlag("confidence", "0.95",
+                "two-sided confidence level of the adaptive CI");
+    cli.addFlag("pilot", "64",
+                "adaptive pilot trials per non-empty stratum");
+    cli.addFlag("round", "512",
+                "adaptive trials per Neyman allocation round");
+}
+
+campaign::PlannerOptions
+plannerFromFlags(const CommandLine &cli,
+                 const std::string &workload_name)
+{
+    campaign::PlannerOptions options;
+    options.sidecar_path = cli.getString("sidecar");
+    // The workload name identifies the uninstrumented program + input:
+    // sweep points over one workload share sidecar entries, different
+    // workloads never collide.
+    options.program_key = fnv1a64(workload_name);
+    options.target_ci = cli.getDouble("target-ci");
+    options.confidence = cli.getDouble("confidence");
+    options.pilot = cli.getUint("pilot");
+    options.round = cli.getUint("round");
+    return options;
+}
+
 /// Counts + fractions as JSON fields under the writeJsonReport
 /// contract (provenance + opening brace come from the harness).
 void
@@ -168,6 +219,47 @@ writeCampaignJson(std::ostream &out, const std::string &mode,
         << "  \"covered\": "
         << formatFixed(result.coveredFraction(), 6) << "\n"
         << "}\n";
+}
+
+/// JSON for the planner paths: the campaign fields plus the CI and
+/// reuse accounting the fixed-count paths do not have.
+void
+writePlannerJson(std::ostream &out, const std::string &mode,
+                 const std::string &workload,
+                 const fault::CampaignConfig &config,
+                 const campaign::PlanSummary &summary)
+{
+    out << "  \"tool\": \"encore_campaign\",\n"
+        << "  \"mode\": \"" << mode << "\",\n"
+        << "  \"workload\": \"" << workload << "\",\n"
+        << "  \"seed\": " << config.seed << ",\n"
+        << "  \"trials\": " << config.trials << ",\n"
+        << "  \"dmax\": " << config.trial.dmax << ",\n"
+        << "  \"adaptive\": "
+        << (summary.adaptive ? "true" : "false") << ",\n"
+        << "  \"executed\": " << summary.executed << ",\n"
+        << "  \"masked_trials\": " << summary.masked_trials << ",\n"
+        << "  \"reused_trials\": " << summary.reused_trials << ",\n"
+        << "  \"groups\": " << summary.groups << ",\n"
+        << "  \"groups_reused\": " << summary.groups_reused << ",\n"
+        << "  \"counts\": {";
+    constexpr int kNumOutcomes =
+        static_cast<int>(fault::FaultOutcome::NumOutcomes);
+    for (int i = 0; i < kNumOutcomes; ++i) {
+        const auto outcome = static_cast<fault::FaultOutcome>(i);
+        out << "\"" << fault::outcomeName(outcome)
+            << "\": " << summary.result.count(outcome)
+            << (i + 1 < kNumOutcomes ? ", " : "");
+    }
+    out << "},\n"
+        << "  \"coverage\": " << formatFixed(summary.coverage, 6)
+        << ",\n"
+        << "  \"ci_half\": " << formatFixed(summary.ci_half, 6)
+        << ",\n"
+        << "  \"ci_low\": " << formatFixed(summary.low, 6) << ",\n"
+        << "  \"ci_high\": " << formatFixed(summary.high, 6) << ",\n"
+        << "  \"ci_met\": " << (summary.ci_met ? "true" : "false")
+        << "\n}\n";
 }
 
 int
@@ -215,6 +307,7 @@ cmdRunOrResume(int argc, char **argv, bool resume)
     cli.addFlag("snapshot-budget-mb", "64",
                 "resident byte budget for the snapshot store, MiB");
     bench::addEngineFlag(cli);
+    addPlannerFlags(cli);
     bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
 
@@ -226,6 +319,32 @@ cmdRunOrResume(int argc, char **argv, bool resume)
     const fault::CampaignConfig config =
         campaignFromFlags(cli, /*has_jobs=*/true);
     fault::validateCampaignConfig(config);
+
+    // Planner paths: compositional sidecar reuse (--sidecar) and/or
+    // adaptive stratified sampling (--adaptive). Store-less by design:
+    // the sidecar is the planner's durability, and an early-stopped
+    // adaptive sample must never masquerade as an exhaustive store.
+    const bool adaptive = cli.getBool("adaptive");
+    const bool planner_path =
+        !cli.getBool("no-planner") &&
+        (adaptive || !cli.getString("sidecar").empty());
+    if (planner_path) {
+        if (resume)
+            fatal("resume: drives the durable brute-force store; the "
+                  "planner paths are store-less (re-run with `run`)");
+        if (!cli.getString("store").empty())
+            fatal("--store and the planner paths are mutually "
+                  "exclusive: the trial store records exhaustive "
+                  "campaigns, the planner's durability is --sidecar");
+        if (cli.getString("shard") != "0/1")
+            fatal("--shard and the planner paths are mutually "
+                  "exclusive: the planner owns the whole campaign");
+        if (cli.getUint("stop-after") != 0)
+            fatal("--stop-after only applies to the durable "
+                  "brute-force path");
+    } else if (adaptive) {
+        fatal("--no-planner and --adaptive are contradictory");
+    }
 
     campaign::RunnerOptions options;
     options.store_path = cli.getString("store");
@@ -259,6 +378,27 @@ cmdRunOrResume(int argc, char **argv, bool resume)
                         cli.getUint("snapshot-budget-mb"),
                         bench::engineFlag(cli));
 
+    if (planner_path) {
+        campaign::CampaignPlanner planner(
+            *pi.injector, pi.prepared.report, config,
+            plannerFromFlags(cli, workload->name));
+        const campaign::PlanSummary summary =
+            adaptive ? planner.runAdaptive() : planner.run();
+        std::cout << "campaign " << workload->name << " seed "
+                  << config.seed << " dmax " << config.trial.dmax
+                  << (adaptive ? " (planner, adaptive)\n"
+                               : " (planner, sweep reuse)\n")
+                  << campaign::formatPlanSummary(summary) << "\n"
+                  << campaign::formatAggregate(summary.result);
+        const bool json_ok = bench::writeJsonReport(
+            cli.getString("json"), [&](std::ostream &out) {
+                writePlannerJson(out,
+                                 adaptive ? "adaptive" : "planner",
+                                 workload->name, config, summary);
+            });
+        return json_ok ? 0 : 1;
+    }
+
     campaign::CampaignRunner runner(*pi.injector, config, options);
     const campaign::RunSummary summary = runner.run();
 
@@ -280,6 +420,53 @@ cmdRunOrResume(int argc, char **argv, bool resume)
         cli.getString("json"), [&](std::ostream &out) {
             writeCampaignJson(out, resume ? "resume" : "run",
                               workload->name, config, summary.result);
+        });
+    return json_ok ? 0 : 1;
+}
+
+/// Planner dry run: attribution, grouping and the sidecar probe with
+/// zero trial executions — prints what a planned `run` would reuse.
+int
+cmdPlan(int argc, char **argv)
+{
+    CommandLine cli;
+    cli.addFlag("workload", "",
+                "workload to plan for (see encore_campaign run "
+                "--workload '' for the list)");
+    cli.addFlag("trials", "10000", "total campaign trials");
+    cli.addFlag("seed", "12345", "campaign RNG seed");
+    cli.addFlag("dmax", "100",
+                "detection latency bound, dynamic instructions");
+    cli.addFlag("mask", "0.91", "hardware masking rate in [0, 1]");
+    cli.addFlag("no-masking", "false",
+                "inject every trial (skip the modelled masking coin)");
+    cli.addFlag("budget-factor", "4.0",
+                "execution budget multiplier over the golden run");
+    addPlannerFlags(cli);
+    bench::addJsonFlag(cli, "");
+    cli.parse(argc, argv);
+
+    const workloads::Workload *workload =
+        resolveWorkload(cli.getString("workload"));
+    if (workload == nullptr)
+        return 1;
+    const fault::CampaignConfig config =
+        campaignFromFlags(cli, /*has_jobs=*/false);
+    fault::validateCampaignConfig(config);
+
+    PreparedInjector pi = prepareInjector(*workload, 0, 0);
+    campaign::CampaignPlanner planner(
+        *pi.injector, pi.prepared.report, config,
+        plannerFromFlags(cli, workload->name));
+    const campaign::PlanSummary summary = planner.plan();
+    std::cout << "plan " << workload->name << " seed " << config.seed
+              << " dmax " << config.trial.dmax << "\n"
+              << campaign::formatPlanSummary(summary);
+
+    const bool json_ok = bench::writeJsonReport(
+        cli.getString("json"), [&](std::ostream &out) {
+            writePlannerJson(out, "plan", workload->name, config,
+                             summary);
         });
     return json_ok ? 0 : 1;
 }
@@ -446,6 +633,10 @@ cmdServe(int argc, char **argv)
                 "trial-store background flush period");
     cli.addFlag("flush-batch", "256",
                 "trial-store records per batched write");
+    cli.addFlag("sidecar", "",
+                "planner tally sidecar: lease only the trials reuse "
+                "cannot cover and fold the stored tallies into the "
+                "aggregate");
     bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
 
@@ -502,6 +693,30 @@ cmdServe(int argc, char **argv)
     options.progress_interval =
         std::chrono::milliseconds(cli.getUint("progress-interval-ms"));
     options.label = workload->name + " serve";
+
+    if (!cli.getString("sidecar").empty()) {
+        // Planner-filtered serve: distribute only the trials the
+        // sidecar cannot cover, stratum-tag the leases, and fold the
+        // reused tallies (plus the exact masked count) into the final
+        // aggregate. Workers are oblivious — they execute whatever
+        // indices they are leased. Executed tallies do not flow back
+        // into the sidecar here; a local planned `run` does that.
+        campaign::PlannerOptions popts;
+        popts.sidecar_path = cli.getString("sidecar");
+        popts.program_key = fnv1a64(workload->name);
+        campaign::CampaignPlanner planner(*pi.injector,
+                                          pi.prepared.report, config,
+                                          popts);
+        options.planned = true;
+        options.planned_missing = planner.trialsToExecute();
+        options.planned_base = planner.reusedBase();
+        options.trial_stratum = planner.trialStrata();
+        std::cerr << "planner: " << options.planned_missing.size()
+                  << " of " << config.trials
+                  << " trials need execution; "
+                  << options.planned_base.trials
+                  << " folded (masked stratum + sidecar reuse)\n";
+    }
 
     campaign::CampaignService service(spec, header, options);
     const campaign::ServiceSummary summary = service.serve();
@@ -663,6 +878,8 @@ main(int argc, char **argv)
         return cmdRunOrResume(argc - 1, argv + 1, /*resume=*/false);
     if (command == "resume")
         return cmdRunOrResume(argc - 1, argv + 1, /*resume=*/true);
+    if (command == "plan")
+        return cmdPlan(argc - 1, argv + 1);
     if (command == "merge")
         return cmdMerge(argc - 1, argv + 1);
     if (command == "inspect")
