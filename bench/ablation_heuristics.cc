@@ -201,6 +201,14 @@ runPlannerBench(const CommandLine &cli)
     if (json_path.empty())
         json_path = "BENCH_planner.json";
 
+    // Scenario axis for both phases. Phase A's sidecar reuse refuses
+    // non-anchored models and replay-cost detectors (the planner's
+    // probeSidecar gates), so off-default pairs are mostly useful for
+    // the phase-B adaptive comparison.
+    const fault::models::FaultModel &fault_model =
+        bench::faultModelFlag(cli);
+    const fault::models::Detector &detector = bench::detectorFlag(cli);
+
     std::vector<std::string> sweep_names;
     for (const std::string &name :
          split(cli.getString("planner-workloads"), ','))
@@ -219,6 +227,10 @@ runPlannerBench(const CommandLine &cli)
             formatPercent(target_ci, 1) + " CI at " +
             formatPercent(confidence, 0) + " confidence, universe " +
             std::to_string(universe) + " trials per workload.");
+    if (&fault_model != fault::models::defaultFaultModel() ||
+        &detector != fault::models::defaultDetector())
+        std::cout << "Scenario: " << fault_model.name() << " + "
+                  << detector.name() << ".\n\n";
 
     // --- Phase A: sweep reuse over the ablation grid -----------------
     struct SweepRow
@@ -259,6 +271,8 @@ runPlannerBench(const CommandLine &cli)
             campaign.seed = seed;
             campaign.jobs = 1;
             campaign.trial.dmax = 100;
+            campaign.trial.model = &fault_model;
+            campaign.trial.detector = &detector;
 
             auto start = std::chrono::steady_clock::now();
             const fault::CampaignResult brute =
@@ -332,6 +346,8 @@ runPlannerBench(const CommandLine &cli)
         fixed.seed = seed;
         fixed.jobs = 1;
         fixed.trial.dmax = 100;
+        fixed.trial.model = &fault_model;
+        fixed.trial.detector = &detector;
         const fault::CampaignResult fixed_result =
             injector.runCampaign(fixed);
         row.fixed_covered = fixed_result.coveredFraction();
@@ -388,6 +404,9 @@ runPlannerBench(const CommandLine &cli)
                 << "  \"grid_points\": " << grid.size() << ",\n"
                 << "  \"trials_per_point\": " << sweep_trials << ",\n"
                 << "  \"seed\": " << seed << ",\n"
+                << "  \"fault_model\": \"" << fault_model.name()
+                << "\",\n  \"detector\": \"" << detector.name()
+                << "\",\n"
                 << "  \"sweep\": {\n"
                 << "    \"total_brute_seconds\": "
                 << formatFixed(brute_total, 4) << ",\n"
@@ -466,6 +485,8 @@ main(int argc, char **argv)
                 "adaptive stopping rule: CI half-width target");
     cli.addFlag("confidence", "0.95",
                 "two-sided confidence level of the adaptive CI");
+    bench::addFaultModelFlag(cli);
+    bench::addDetectorFlag(cli);
     bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
     if (cli.getBool("planner-bench"))

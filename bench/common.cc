@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "support/build_info.h"
+#include "support/strings.h"
 
 namespace encore::bench {
 
@@ -126,6 +127,120 @@ engineFlag(const CommandLine &cli)
         std::exit(1);
     }
     return *kind;
+}
+
+namespace {
+
+std::string
+joinNames(const std::vector<std::string_view> &names)
+{
+    std::string out;
+    for (const std::string_view name : names) {
+        if (!out.empty())
+            out += ", ";
+        out += "'";
+        out += name;
+        out += "'";
+    }
+    return out;
+}
+
+[[noreturn]] void
+unknownScenarioName(const char *flag, const std::string &name,
+                    const std::vector<std::string_view> &valid)
+{
+    std::cerr << "error: unknown --" << flag << " '" << name
+              << "': expected one of " << joinNames(valid) << ".\n";
+    std::exit(1);
+}
+
+} // namespace
+
+void
+addFaultModelFlag(CommandLine &cli)
+{
+    cli.addFlag("fault-model", "reg-bit",
+                "fault model: " +
+                    joinNames(fault::models::faultModelNames()) +
+                    " (default reg-bit, the classic single-bit "
+                    "register flip)");
+}
+
+void
+addDetectorFlag(CommandLine &cli)
+{
+    cli.addFlag("detector", "analytic",
+                "detector: " +
+                    joinNames(fault::models::detectorNames()) +
+                    " (default analytic, the Dmax latency model)");
+}
+
+const fault::models::FaultModel &
+faultModelFlag(const CommandLine &cli)
+{
+    const std::string name = cli.getString("fault-model");
+    const fault::models::FaultModel *model =
+        fault::models::findFaultModel(name);
+    if (!model)
+        unknownScenarioName("fault-model", name,
+                            fault::models::faultModelNames());
+    return *model;
+}
+
+const fault::models::Detector &
+detectorFlag(const CommandLine &cli)
+{
+    const std::string name = cli.getString("detector");
+    const fault::models::Detector *detector =
+        fault::models::findDetector(name);
+    if (!detector)
+        unknownScenarioName("detector", name,
+                            fault::models::detectorNames());
+    return *detector;
+}
+
+std::vector<const fault::models::FaultModel *>
+faultModelListFlag(const CommandLine &cli)
+{
+    std::vector<const fault::models::FaultModel *> models;
+    const std::string list = cli.getString("fault-model");
+    if (list.empty()) {
+        for (const std::string_view name :
+             fault::models::faultModelNames())
+            models.push_back(fault::models::findFaultModel(name));
+        return models;
+    }
+    for (const std::string &name : split(list, ',')) {
+        const fault::models::FaultModel *model =
+            fault::models::findFaultModel(name);
+        if (!model)
+            unknownScenarioName("fault-model", name,
+                                fault::models::faultModelNames());
+        models.push_back(model);
+    }
+    return models;
+}
+
+std::vector<const fault::models::Detector *>
+detectorListFlag(const CommandLine &cli)
+{
+    std::vector<const fault::models::Detector *> detectors;
+    const std::string list = cli.getString("detector");
+    if (list.empty()) {
+        for (const std::string_view name :
+             fault::models::detectorNames())
+            detectors.push_back(fault::models::findDetector(name));
+        return detectors;
+    }
+    for (const std::string &name : split(list, ',')) {
+        const fault::models::Detector *detector =
+            fault::models::findDetector(name);
+        if (!detector)
+            unknownScenarioName("detector", name,
+                                fault::models::detectorNames());
+        detectors.push_back(detector);
+    }
+    return detectors;
 }
 
 bool

@@ -17,6 +17,7 @@
 
 #include "encore/analysis_base.h"
 #include "encore/pipeline.h"
+#include "fault/models/fault_model.h"
 #include "interp/decoded.h"
 #include "support/cli.h"
 #include "support/table.h"
@@ -130,6 +131,25 @@ void addEngineFlag(CommandLine &cli);
 /// Resolved --engine value; exits with an actionable message on
 /// anything parseEngineKind rejects.
 interp::EngineKind engineFlag(const CommandLine &cli);
+
+/// Registers --fault-model (default reg-bit) / --detector (default
+/// analytic), the injection-scenario axis shared by every binary that
+/// runs fault-injection campaigns.
+void addFaultModelFlag(CommandLine &cli);
+void addDetectorFlag(CommandLine &cli);
+
+/// Resolved --fault-model / --detector values; exit with the list of
+/// registered names on an unknown one.
+const fault::models::FaultModel &faultModelFlag(const CommandLine &cli);
+const fault::models::Detector &detectorFlag(const CommandLine &cli);
+
+/// Parses a comma-separated scenario list ("reg-bit,cf-branch"); an
+/// empty string means every registered name. Exits with the registered
+/// list on an unknown entry. Used by the sweep benches (table1).
+std::vector<const fault::models::FaultModel *>
+faultModelListFlag(const CommandLine &cli);
+std::vector<const fault::models::Detector *>
+detectorListFlag(const CommandLine &cli);
 
 /**
  * Writes the machine-readable report to `path`: an opening brace and

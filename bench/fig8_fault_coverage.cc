@@ -83,6 +83,8 @@ main(int argc, char **argv)
     cli.addFlag("confidence", "0.95",
                 "two-sided confidence level of the adaptive CI");
     bench::addEngineFlag(cli);
+    bench::addFaultModelFlag(cli);
+    bench::addDetectorFlag(cli);
     cli.parse(argc, argv);
 
     const std::uint64_t trials = cli.getUint("trials");
@@ -90,6 +92,8 @@ main(int argc, char **argv)
     const double mask_rate = cli.getDouble("mask");
     const std::size_t jobs = bench::jobsFlag(cli);
     const interp::EngineKind engine = bench::engineFlag(cli);
+    const fault::models::FaultModel &model = bench::faultModelFlag(cli);
+    const fault::models::Detector &detector = bench::detectorFlag(cli);
     const std::string json_path = cli.getString("json");
     const std::string store_dir = cli.getString("store");
     const bool adaptive = cli.getBool("adaptive");
@@ -116,6 +120,12 @@ main(int argc, char **argv)
             " trials per cell,\nmasking rate " +
             formatPercent(mask_rate) + ", " + std::to_string(jobs) +
             " jobs). Cells: covered% (masked + recovered + benign).");
+    // Default scenario prints nothing extra, keeping the classic
+    // output byte-identical across builds.
+    if (&model != fault::models::defaultFaultModel() ||
+        &detector != fault::models::defaultDetector())
+        std::cout << "Scenario: " << model.name() << " + "
+                  << detector.name() << ".\n";
 
     std::vector<std::string> headers{"benchmark"};
     for (const std::uint64_t dmax : dmaxes)
@@ -129,6 +139,7 @@ main(int argc, char **argv)
     std::map<std::string, int> suite_counts;
     std::vector<WorkloadPerf> perf;
     double campaign_seconds = 0.0;
+    std::uint64_t total_replay_cost = 0;
 
     interp::SnapshotConfig snap_config;
     const std::uint64_t snap_stride = cli.getUint("snapshot-stride");
@@ -198,6 +209,8 @@ main(int argc, char **argv)
             campaign.jobs = jobs;
             campaign.masking_rate = mask_rate;
             campaign.trial.dmax = dmaxes[d];
+            campaign.trial.model = &model;
+            campaign.trial.detector = &detector;
             fault::CampaignResult result;
             if (adaptive) {
                 campaign::PlannerOptions popts;
@@ -211,6 +224,7 @@ main(int argc, char **argv)
                 sums[d] += s.coverage;
                 suite_sums[w.suite][d] += s.coverage;
                 wp.trials += s.executed;
+                total_replay_cost += s.result.replay_cost;
                 if (d == 1) {
                     // The idem/ckpt split of the stratified sample is
                     // not an unbiased universe estimate; leave the
@@ -234,6 +248,7 @@ main(int argc, char **argv)
                                                 opts);
                 result = runner.run().result;
             }
+            total_replay_cost += result.replay_cost;
             const double covered = result.coveredFraction();
             row.push_back(formatPercent(covered));
             sums[d] += covered;
@@ -301,7 +316,13 @@ main(int argc, char **argv)
         json_path, [&](std::ostream &json) {
             json << "  \"bench\": \"fig8_fault_coverage\",\n"
                  << "  \"engine\": \""
-                 << interp::engineKindName(engine) << "\",\n";
+                 << interp::engineKindName(engine) << "\",\n"
+                 << "  \"fault_model\": \"" << model.name()
+                 << "\",\n"
+                 << "  \"detector\": \"" << detector.name()
+                 << "\",\n"
+                 << "  \"replay_cost\": " << total_replay_cost
+                 << ",\n";
             if (adaptive)
                 json << "  \"adaptive\": true,\n"
                      << "  \"target_ci\": "

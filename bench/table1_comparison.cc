@@ -43,6 +43,8 @@ main(int argc, char **argv)
                 "adaptive stopping rule: CI half-width target");
     cli.addFlag("confidence", "0.95",
                 "two-sided confidence level of the adaptive CI");
+    bench::addFaultModelFlag(cli);
+    bench::addDetectorFlag(cli);
     cli.parse(argc, argv);
     const std::size_t jobs = bench::jobsFlag(cli);
     const std::string json_path = cli.getString("json");
@@ -55,6 +57,26 @@ main(int argc, char **argv)
     const double mask_rate = cli.getDouble("mask");
     const std::string store_dir = cli.getString("store");
     const bool adaptive = cli.getBool("adaptive");
+    // The scenario axis: --fault-model / --detector accept comma-
+    // separated lists (empty = all registered), and the measured
+    // column runs one campaign per pair. The first pair backs the
+    // "Guaranteed Recovery" row, so the default single-pair run is
+    // byte-identical to the pre-registry output.
+    struct Scenario
+    {
+        const fault::models::FaultModel *model;
+        const fault::models::Detector *detector;
+    };
+    std::vector<Scenario> scenarios;
+    for (const fault::models::FaultModel *model :
+         bench::faultModelListFlag(cli))
+        for (const fault::models::Detector *detector :
+             bench::detectorListFlag(cli))
+            scenarios.push_back({model, detector});
+    const bool default_only =
+        scenarios.size() == 1 &&
+        scenarios[0].model == fault::models::defaultFaultModel() &&
+        scenarios[0].detector == fault::models::defaultDetector();
     if (adaptive && !store_dir.empty()) {
         std::cerr << "error: --adaptive and --store are mutually "
                      "exclusive (an early-stopped sample must not "
@@ -79,16 +101,26 @@ main(int argc, char **argv)
     {
         double hot_path, slot_bytes, log_bytes, work;
     };
+    struct ScenarioResult
+    {
+        double covered = 0.0;
+        double ci_half = 0.0;
+        std::uint64_t executed = 0;
+        std::uint64_t replay_cost = 0;
+    };
     struct WorkloadRow
     {
         std::vector<SelectedRegion> regions;
-        std::optional<double> covered;
-        double ci_half = 0.0;
-        std::uint64_t executed = 0;
+        /// One entry per scenario; empty when --trials is 0 or the
+        /// injector could not prepare the workload.
+        std::vector<ScenarioResult> measured;
     };
     RunningStats coverage;
     RunningStats ci_halves;
     std::uint64_t adaptive_executed = 0;
+    std::vector<RunningStats> scenario_cov(scenarios.size());
+    std::vector<RunningStats> scenario_ci(scenarios.size());
+    std::vector<std::uint64_t> scenario_replay(scenarios.size(), 0);
     bench::mapWorkloads(
         jobs,
         [&](const workloads::Workload &w) {
@@ -113,34 +145,70 @@ main(int argc, char **argv)
                 fault::FaultInjector injector(*prepared.module,
                                               prepared.report);
                 if (injector.prepare(w.entry, w.train_args)) {
-                    fault::CampaignConfig campaign;
-                    campaign.trials = trials;
-                    campaign.seed = seed;
-                    campaign.jobs = 1;
-                    campaign.masking_rate = mask_rate;
-                    campaign.trial.dmax = dmax;
-                    if (adaptive) {
-                        campaign::PlannerOptions popts;
-                        popts.target_ci = cli.getDouble("target-ci");
-                        popts.confidence = cli.getDouble("confidence");
-                        campaign::CampaignPlanner planner(
-                            injector, prepared.report, campaign,
-                            popts);
-                        const campaign::PlanSummary s =
-                            planner.runAdaptive();
-                        row.covered = s.coverage;
-                        row.ci_half = s.ci_half;
-                        row.executed = s.executed;
-                    } else {
-                        campaign::RunnerOptions opts;
-                        if (!store_dir.empty())
-                            opts.store_path =
-                                store_dir + "/" + w.name + "_d" +
-                                std::to_string(dmax) + ".trials";
-                        campaign::CampaignRunner runner(
-                            injector, campaign, opts);
-                        row.covered =
-                            runner.run().result.coveredFraction();
+                    for (const Scenario &sc : scenarios) {
+                        fault::CampaignConfig campaign;
+                        campaign.trials = trials;
+                        campaign.seed = seed;
+                        campaign.jobs = 1;
+                        campaign.masking_rate = mask_rate;
+                        campaign.trial.dmax = dmax;
+                        campaign.trial.model = sc.model;
+                        campaign.trial.detector = sc.detector;
+                        ScenarioResult measured;
+                        if (adaptive) {
+                            campaign::PlannerOptions popts;
+                            popts.target_ci =
+                                cli.getDouble("target-ci");
+                            popts.confidence =
+                                cli.getDouble("confidence");
+                            campaign::CampaignPlanner planner(
+                                injector, prepared.report, campaign,
+                                popts);
+                            const campaign::PlanSummary s =
+                                planner.runAdaptive();
+                            measured.covered = s.coverage;
+                            measured.ci_half = s.ci_half;
+                            measured.executed = s.executed;
+                            measured.replay_cost =
+                                s.result.replay_cost;
+                        } else {
+                            campaign::RunnerOptions opts;
+                            if (!store_dir.empty()) {
+                                // The default pair keeps the historic
+                                // store name so existing campaigns
+                                // resume; other scenarios get their
+                                // own stores (the header would refuse
+                                // the mismatch anyway).
+                                std::string store_name =
+                                    w.name + "_d" +
+                                    std::to_string(dmax);
+                                if (sc.model !=
+                                        fault::models::
+                                            defaultFaultModel() ||
+                                    sc.detector !=
+                                        fault::models::
+                                            defaultDetector())
+                                    store_name +=
+                                        "_" +
+                                        std::string(
+                                            sc.model->name()) +
+                                        "_" +
+                                        std::string(
+                                            sc.detector->name());
+                                opts.store_path = store_dir + "/" +
+                                                  store_name +
+                                                  ".trials";
+                            }
+                            campaign::CampaignRunner runner(
+                                injector, campaign, opts);
+                            const fault::CampaignResult result =
+                                runner.run().result;
+                            measured.covered =
+                                result.coveredFraction();
+                            measured.replay_cost =
+                                result.replay_cost;
+                        }
+                        row.measured.push_back(measured);
                     }
                 }
             }
@@ -154,10 +222,15 @@ main(int argc, char **argv)
                 log_storage.add(region.log_bytes);
                 ckpt_work.add(region.work);
             }
-            if (row.covered) {
-                coverage.add(*row.covered);
-                ci_halves.add(row.ci_half);
-                adaptive_executed += row.executed;
+            for (std::size_t i = 0; i < row.measured.size(); ++i) {
+                scenario_cov[i].add(row.measured[i].covered);
+                scenario_ci[i].add(row.measured[i].ci_half);
+                scenario_replay[i] += row.measured[i].replay_cost;
+            }
+            if (!row.measured.empty()) {
+                coverage.add(row.measured[0].covered);
+                ci_halves.add(row.measured[0].ci_half);
+                adaptive_executed += row.measured[0].executed;
             }
         });
 
@@ -188,6 +261,26 @@ main(int argc, char **argv)
     table.addRow({"Extra Hardware", "Sometimes", "Yes", "No"});
     table.print(std::cout);
 
+    if (!default_only && coverage.count() > 0) {
+        std::cout << "\nScenario matrix (measured coverage per "
+                     "fault-model x detector pair):\n";
+        Table scen({"Scenario", "Covered", "Replay cost"});
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            std::string covered =
+                formatPercent(scenario_cov[i].mean());
+            if (adaptive)
+                covered += "+-" + formatPercent(scenario_ci[i].mean());
+            scen.addRow(
+                {std::string(scenarios[i].model->name()) + " + " +
+                     std::string(scenarios[i].detector->name()),
+                 covered,
+                 scenarios[i].detector->reportsReplayCost()
+                     ? std::to_string(scenario_replay[i]) + " instrs"
+                     : std::string("-")});
+        }
+        scen.print(std::cout);
+    }
+
     std::cout << "\nPaper shape check: Encore intervals of ~100-1000 "
                  "instructions with ~10-100 B of\ncheckpoint state — "
                  "orders of magnitude finer/cheaper than the other "
@@ -217,7 +310,20 @@ main(int argc, char **argv)
                         << ", \"mean_ci_half\": "
                         << formatFixed(ci_halves.mean(), 6)
                         << ", \"executed\": " << adaptive_executed;
-                out << "}";
+                out << ", \"scenarios\": [";
+                for (std::size_t i = 0; i < scenarios.size(); ++i) {
+                    if (i > 0)
+                        out << ", ";
+                    out << "{\"fault_model\": \""
+                        << scenarios[i].model->name()
+                        << "\", \"detector\": \""
+                        << scenarios[i].detector->name()
+                        << "\", \"mean_covered\": "
+                        << formatFixed(scenario_cov[i].mean(), 6)
+                        << ", \"replay_cost\": "
+                        << scenario_replay[i] << "}";
+                }
+                out << "]}";
             }
             out << "\n}\n";
         });

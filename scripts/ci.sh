@@ -7,7 +7,9 @@
 # trial-store writer, the multi-threaded campaign/resume paths, and
 # the coordinator/worker service), then a campaign-planner smoke
 # (sweep-reuse tally identity against brute force, plus a tiny
-# adaptive early-stopping campaign) and two warn-only perf smokes:
+# adaptive early-stopping campaign), a scenario-matrix smoke (every
+# fault-model x detector pair byte-identical across --jobs) and two
+# warn-only perf smokes:
 # injection throughput on two medium workloads against the committed
 # BENCH_injection.json, and interpreter throughput (the fused
 # superinstruction tier) against the committed BENCH_interp.json.
@@ -34,7 +36,7 @@ cmake --build "${build_root}/tsan" -j > /dev/null
 echo "==> [tsan] campaign smoke: concurrent store writer + runner + service"
 (cd "${build_root}/tsan" &&
     ctest --output-on-failure \
-        -R 'test_campaign_smoke|test_store_concurrency|test_campaign$|test_campaign_service|test_planner')
+        -R 'test_campaign_smoke|test_store_concurrency|test_campaign$|test_campaign_service|test_planner|test_fault_models|test_snapshot_differential')
 
 echo "==> [planner] sweep-reuse tally identity + adaptive smoke"
 # Hard gate on the planner's central contract: a sidecar-reuse run
@@ -68,6 +70,35 @@ grep -q 'executed 0$' "${planner_dir}/warm_full.txt" || {
 grep -E 'coverage|executed' "${planner_dir}/adaptive.txt" \
     | sed 's/^/planner-smoke: adaptive /'
 echo "planner-smoke: tally identity held (brute == cold == warm)"
+
+echo "==> [scenario] fault-model x detector matrix smoke (--jobs identity)"
+# Every registered fault-model/detector pair gets a tiny fig8 run at
+# --jobs 1 and --jobs 4; the two reports must be byte-identical (the
+# per-trial counter seeding contract, per scenario). The Perf line
+# (wall-clock) and the "N jobs" half of the header are the only
+# legitimate differences, so they are filtered before the diff.
+scenario_dir="${build_root}/scenario_smoke"
+rm -rf "${scenario_dir}" && mkdir -p "${scenario_dir}"
+fig8_bin="${build_root}/tier1/bench/fig8_fault_coverage"
+for model in reg-bit multi-bit cf-branch mem-bus; do
+    for detector in analytic replay; do
+        tag="${model}_${detector}"
+        for jobs in 1 4; do
+            "${fig8_bin}" --workloads rawcaudio,pegwitdec --trials 60 \
+                --fault-model "${model}" --detector "${detector}" \
+                --jobs "${jobs}" --json "" \
+                | grep -v -e '^Perf:' -e ' jobs)\.' \
+                > "${scenario_dir}/${tag}_j${jobs}.txt"
+        done
+        diff -u "${scenario_dir}/${tag}_j1.txt" \
+            "${scenario_dir}/${tag}_j4.txt" || {
+            echo "scenario-smoke: ${model} + ${detector} diverges" \
+                "between --jobs 1 and --jobs 4" >&2
+            exit 1
+        }
+        echo "scenario-smoke: ${model} + ${detector}: jobs identity held"
+    done
+done
 
 echo "==> [perf] injection-throughput smoke (warn-only)"
 # A filtered fig8 run on two medium workloads, compared per-workload
@@ -155,4 +186,4 @@ print("interp-smoke: warn-only; see BENCH_interp.json provenance for "
       "the baseline build")
 EOF
 
-echo "==> ci passed (tier1 + tsan campaign lane + planner smoke + perf smokes)"
+echo "==> ci passed (tier1 + tsan campaign lane + planner smoke + scenario matrix + perf smokes)"

@@ -173,7 +173,8 @@ drawCampaignTrial(std::uint64_t trial,
                   std::uint64_t golden_value_instrs)
 {
     // Mirrors runCampaignTrial + runTrial draw order exactly: masking
-    // coin (when modelled), target value index, bit, latency.
+    // coin (when modelled), then the model's plan, then the
+    // detector's.
     TrialDraw draw;
     Rng rng = Rng::forStream(config.seed, trial);
     if (config.model_masking &&
@@ -181,11 +182,14 @@ drawCampaignTrial(std::uint64_t trial,
         draw.masked = true;
         return draw;
     }
-    draw.target = rng.below(golden_value_instrs);
-    draw.bit = static_cast<int>(rng.below(64));
-    draw.latency = config.trial.dmax == 0
-                       ? 0
-                       : rng.below(config.trial.dmax + 1);
+    const fault::models::FaultModel &model =
+        config.trial.model ? *config.trial.model
+                           : *fault::models::defaultFaultModel();
+    const fault::models::Detector &detector =
+        config.trial.detector ? *config.trial.detector
+                              : *fault::models::defaultDetector();
+    draw.plan = model.draw(rng, golden_value_instrs);
+    draw.detection = detector.draw(rng, config.trial.dmax);
     return draw;
 }
 
@@ -229,6 +233,22 @@ struct CampaignPlanner::Impl
     {
     }
 
+    const fault::models::FaultModel &
+    faultModel() const
+    {
+        return config.trial.model
+                   ? *config.trial.model
+                   : *fault::models::defaultFaultModel();
+    }
+
+    const fault::models::Detector &
+    detectorModel() const
+    {
+        return config.trial.detector
+                   ? *config.trial.detector
+                   : *fault::models::defaultDetector();
+    }
+
     const encore::RegionReport *
     regionReport(ir::RegionId id) const
     {
@@ -260,6 +280,8 @@ struct CampaignPlanner::Impl
         h = fnv1a64(&config.masking_rate, sizeof config.masking_rate,
                     h);
         h = fnv1a64Mix(config.model_masking ? 1 : 0, h);
+        h = fnv1a64(faultModel().name(), h);
+        h = fnv1a64(detectorModel().name(), h);
         h = fnv1a64Mix(injector.golden().value_instrs, h);
         h = fnv1a64Mix(injector.golden().return_value, h);
         return h;
@@ -292,7 +314,7 @@ struct CampaignPlanner::Impl
         targets.reserve(draws.size() - masked_count);
         for (const TrialDraw &draw : draws)
             if (!draw.masked)
-                targets.push_back(draw.target);
+                targets.push_back(draw.plan.target_value_index);
         std::sort(targets.begin(), targets.end());
         targets.erase(std::unique(targets.begin(), targets.end()),
                       targets.end());
@@ -391,15 +413,16 @@ struct CampaignPlanner::Impl
             if (draw.masked)
                 continue;
             const auto site_it = std::lower_bound(
-                targets.begin(), targets.end(), draw.target);
+                targets.begin(), targets.end(),
+                draw.plan.target_value_index);
             const AttributionHooks::Site &site =
                 sites[static_cast<std::size_t>(site_it -
                                                targets.begin())];
             if (!site.func)
                 fatal("campaign planner: fault site outside any "
                       "function (internal error)");
-            const bool tail = draw.target + config.trial.dmax +
-                                  kTailSlack >=
+            const bool tail = draw.plan.target_value_index +
+                                      config.trial.dmax + kTailSlack >=
                               golden.value_instrs;
             const auto key =
                 std::make_tuple(site.func, site.region, tail);
@@ -457,6 +480,24 @@ struct CampaignPlanner::Impl
     {
         if (options.sidecar_path.empty() || sidecar_checked)
             return;
+        // The reuse soundness argument (DESIGN.md §11) attributes a
+        // trial to the function containing its anchor value
+        // instruction. Non-anchored models strike at the *next*
+        // branch/memory op, which may sit in a different function, so
+        // the attribution — and with it the group fingerprint — would
+        // be unsound.
+        if (!faultModel().anchoredStrike())
+            fatalf("campaign planner: compositional reuse requires an "
+                   "anchored-strike fault model; '",
+                   faultModel().name(),
+                   "' is not one — rerun without --sidecar");
+        // Tally records carry outcome counts only; folding them in
+        // would silently drop the reused trials' replay cost.
+        if (detectorModel().reportsReplayCost())
+            fatalf("campaign planner: tally reuse does not account "
+                   "replay cost; the '",
+                   detectorModel().name(),
+                   "' detector reports it — rerun without --sidecar");
         sidecar_checked = true;
         const std::string &path = options.sidecar_path;
         if (std::filesystem::exists(path)) {
@@ -623,7 +664,9 @@ CampaignPlanner::run()
     }
 
     std::vector<std::uint8_t> outcomes;
-    executeTrialList(impl_->injector, impl_->config, to_run, outcomes);
+    std::vector<std::uint32_t> auxs;
+    executeTrialList(impl_->injector, impl_->config, to_run, outcomes,
+                     {}, &auxs);
     for (std::size_t i = 0; i < to_run.size(); ++i)
         ++impl_->groups[group_of[i]].counts[outcomes[i]];
 
@@ -651,6 +694,8 @@ CampaignPlanner::run()
             stratum_sampled[group.stratum] += group.trials.size();
     }
     summary.result.trials = impl_->config.trials;
+    for (const std::uint32_t aux : auxs)
+        summary.result.replay_cost += aux;
 
     // Persist the freshly executed groups (last-wins append).
     if (!impl_->options.sidecar_path.empty()) {
@@ -731,6 +776,7 @@ CampaignPlanner::runAdaptive()
     std::uint64_t sampled[kNumStrata] = {};
     std::uint64_t covered[kNumStrata] = {};
     std::uint64_t counts[kNumStrata][kNumOutcomes] = {};
+    std::uint64_t replay_cost = 0;
 
     auto execute_round = [&](const std::uint64_t (&add)[kNumStrata]) {
         std::vector<std::uint64_t> trials;
@@ -741,8 +787,11 @@ CampaignPlanner::runAdaptive()
                 stratum_of.push_back(s);
             }
         std::vector<std::uint8_t> outcomes;
+        std::vector<std::uint32_t> auxs;
         executeTrialList(impl_->injector, impl_->config, trials,
-                         outcomes);
+                         outcomes, {}, &auxs);
+        for (const std::uint32_t aux : auxs)
+            replay_cost += aux;
         for (std::size_t i = 0; i < trials.size(); ++i) {
             const int s = stratum_of[i];
             ++counts[s][outcomes[i]];
@@ -865,6 +914,7 @@ CampaignPlanner::runAdaptive()
         summary.result.trials += sampled[s];
         summary.executed += sampled[s];
     }
+    summary.result.replay_cost = replay_cost;
 
     for (int s = 0; s < kNumStrata; ++s) {
         StratumSummary stratum;

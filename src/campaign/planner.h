@@ -50,19 +50,23 @@ namespace encore::campaign {
  * The fault parameters of one campaign trial, precomputed from the
  * counter-based stream Rng::forStream(seed, trial) without executing
  * anything. Replicates runCampaignTrial's draw order exactly: masking
- * coin (when modelled), then target value index, bit, latency.
+ * coin (when modelled), then the fault model's injection plan, then
+ * the detector's detection plan — through the same registry draw
+ * functions the injector uses, so the planner's precomputation is
+ * valid for every (model, detector) pair by construction.
  */
 struct TrialDraw
 {
     bool masked = false;
-    std::uint64_t target = 0;
-    int bit = 0;
-    std::uint64_t latency = 0;
+    fault::models::InjectionPlan plan;
+    fault::models::DetectionPlan detection;
 };
 
-/// Draws trial `trial`'s parameters. `golden_value_instrs` is the
-/// fault-site universe size (injector.golden().value_instrs). For a
-/// masked draw only `masked` is meaningful.
+/// Draws trial `trial`'s parameters via the campaign's fault model
+/// and detector (config.trial.model / .detector; null means the
+/// defaults). `golden_value_instrs` is the fault-site universe size
+/// (injector.golden().value_instrs). For a masked draw only `masked`
+/// is meaningful.
 TrialDraw drawCampaignTrial(std::uint64_t trial,
                             const fault::CampaignConfig &config,
                             std::uint64_t golden_value_instrs);

@@ -212,6 +212,8 @@ encodeCampaignSpec(const CampaignSpec &spec)
     appendDouble(payload, spec.run_budget_factor);
     appendDouble(payload, spec.masking_rate);
     appendU32(payload, spec.model_masking ? 1 : 0);
+    appendU32(payload, spec.fault_model);
+    appendU32(payload, spec.detector);
     appendU64(payload, spec.config_fingerprint);
     appendU64(payload, spec.module_hash);
     return payload;
@@ -229,6 +231,8 @@ decodeCampaignSpec(const std::vector<char> &payload)
     spec.run_budget_factor = reader.readDouble();
     spec.masking_rate = reader.readDouble();
     spec.model_masking = reader.readU32() != 0;
+    spec.fault_model = reader.readU32();
+    spec.detector = reader.readU32();
     spec.config_fingerprint = reader.readU64();
     spec.module_hash = reader.readU64();
     if (!reader.done())
@@ -283,15 +287,16 @@ std::vector<char>
 encodeResultBatch(const ResultBatch &batch)
 {
     std::vector<char> payload;
-    payload.reserve(16 + batch.records.size() * 16);
+    payload.reserve(16 + batch.records.size() * 20);
     appendU64(payload, batch.lease_id);
     appendU32(payload,
               static_cast<std::uint32_t>(batch.records.size()));
     for (const WireRecord &record : batch.records) {
         // Identical layout + CRC coverage to a trial-store record.
-        char bytes[12];
+        char bytes[16];
         std::memcpy(bytes, &record.trial, 8);
         std::memcpy(bytes + 8, &record.outcome, 4);
+        std::memcpy(bytes + 12, &record.aux, 4);
         appendBytes(payload, bytes, sizeof bytes);
         appendU32(payload, crc32(bytes, sizeof bytes));
     }
@@ -309,7 +314,7 @@ decodeResultBatch(const std::vector<char> &payload)
         return std::nullopt;
     batch.records.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
-        char bytes[12];
+        char bytes[16];
         if (!reader.read(bytes, sizeof bytes))
             return std::nullopt;
         const std::uint32_t crc = reader.readU32();
@@ -318,6 +323,7 @@ decodeResultBatch(const std::vector<char> &payload)
         WireRecord record;
         std::memcpy(&record.trial, bytes, 8);
         std::memcpy(&record.outcome, bytes + 8, 4);
+        std::memcpy(&record.aux, bytes + 12, 4);
         batch.records.push_back(record);
     }
     if (!reader.done())

@@ -61,13 +61,17 @@
 namespace encore::campaign {
 
 /// v2 added the stratum tag to lease grants (planner-filtered serve).
-/// The handshake requires an exact version match, so a v1 worker and
-/// a v2 coordinator refuse each other instead of mis-parsing frames.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// v3 added the fault-model/detector ids to the CampaignSpec and the
+/// aux field to wire records — scenario identity on the wire, so a
+/// coordinator and worker disagreeing on the fault model refuse each
+/// other at the handshake. The handshake requires an exact version
+/// match, so mismatched builds refuse each other instead of
+/// mis-parsing frames.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 inline constexpr std::size_t kFrameHeaderSize = 8;
 /// Upper bound on a payload; anything larger is garbage or an attack,
 /// not a campaign frame (the largest legitimate frame is a result
-/// batch: 16 B/record).
+/// batch: 20 B/record).
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;
 
 enum class FrameType : std::uint16_t
@@ -122,6 +126,11 @@ struct CampaignSpec
     double run_budget_factor = 0.0;
     double masking_rate = 0.0;
     bool model_masking = true;
+    /// Scenario identity (models::FaultModelId / models::DetectorId):
+    /// a worker that does not know the id must refuse to execute — a
+    /// different model means a different experiment per trial index.
+    std::uint32_t fault_model = 0;
+    std::uint32_t detector = 0;
     std::uint64_t config_fingerprint = 0;
     std::uint64_t module_hash = 0;
 };
@@ -155,6 +164,9 @@ struct WireRecord
 {
     std::uint64_t trial = 0;
     std::uint32_t outcome = 0;
+    /// Auxiliary per-trial cost counter, mirroring the trial-store
+    /// record (replay cost under the replay detector; 0 otherwise).
+    std::uint32_t aux = 0;
 };
 
 /// Completed records for one lease. Each record is laid out and CRC'd

@@ -49,6 +49,30 @@ requireHeaderMatches(const StoreHeader &want, const StoreHeader &found,
         mismatch("shard index", want.shard_index, found.shard_index);
     if (want.shard_count != found.shard_count)
         mismatch("shard count", want.shard_count, found.shard_count);
+    auto scenario_name = [](const char *kind, std::uint32_t id,
+                            std::string_view name) {
+        return std::string(name.empty() ? "?" : name) + " (" + kind +
+               " id " + std::to_string(id) + ")";
+    };
+    if (want.fault_model_id != found.fault_model_id) {
+        auto name_of = [&](std::uint32_t id) {
+            const fault::models::FaultModel *m =
+                fault::models::faultModelById(id);
+            return scenario_name("model", id, m ? m->name() : "");
+        };
+        os << "\n  fault model: store has "
+           << name_of(found.fault_model_id) << ", campaign has "
+           << name_of(want.fault_model_id);
+    }
+    if (want.detector_id != found.detector_id) {
+        auto name_of = [&](std::uint32_t id) {
+            const fault::models::Detector *d =
+                fault::models::detectorById(id);
+            return scenario_name("detector", id, d ? d->name() : "");
+        };
+        os << "\n  detector: store has " << name_of(found.detector_id)
+           << ", campaign has " << name_of(want.detector_id);
+    }
     if (os.str().empty())
         return;
     fatalf("trial store '", path,
@@ -94,6 +118,17 @@ campaignFingerprint(const fault::FaultInjector &injector,
     hash = fnv1a64(&config.masking_rate, sizeof config.masking_rate,
                    hash);
     hash = fnv1a64Mix(config.model_masking ? 1 : 0, hash);
+    // Scenario identity: the same trial index produces a different
+    // outcome under a different fault model or detector, so both names
+    // are part of the fingerprint (defaults included).
+    const fault::models::FaultModel &model =
+        config.trial.model ? *config.trial.model
+                           : *fault::models::defaultFaultModel();
+    const fault::models::Detector &detector =
+        config.trial.detector ? *config.trial.detector
+                              : *fault::models::defaultDetector();
+    hash = fnv1a64(model.name(), hash);
+    hash = fnv1a64(detector.name(), hash);
     return hash;
 }
 
@@ -103,18 +138,25 @@ executeTrialList(
     const fault::CampaignConfig &config,
     const std::vector<std::uint64_t> &trials,
     std::vector<std::uint8_t> &outcomes,
-    const std::function<void(std::uint64_t, fault::FaultOutcome)> &sink)
+    const std::function<void(std::uint64_t, fault::FaultOutcome,
+                             std::uint32_t)> &sink,
+    std::vector<std::uint32_t> *aux_out)
 {
     // Outcomes land slot-free in a preallocated array indexed by the
     // list position — no shared mutable state beyond whatever the
     // sink synchronizes internally.
     outcomes.assign(trials.size(), 0);
+    if (aux_out)
+        aux_out->assign(trials.size(), 0);
     auto run_one = [&](std::uint64_t i, interp::Interpreter &interp) {
+        std::uint32_t aux = 0;
         const fault::FaultOutcome outcome =
-            injector.runCampaignTrial(trials[i], config, interp);
+            injector.runCampaignTrial(trials[i], config, interp, aux);
         outcomes[i] = static_cast<std::uint8_t>(outcome);
+        if (aux_out)
+            (*aux_out)[i] = aux;
         if (sink)
-            sink(trials[i], outcome);
+            sink(trials[i], outcome, aux);
     };
 
     const std::size_t jobs = resolveJobs(config.jobs);
@@ -166,6 +208,16 @@ CampaignRunner::header() const
                 injector_.snapshotConfig().page_words) *
             8;
     }
+    // Scenario identity, checked by resume/merge and surfaced by
+    // `inspect`.
+    const fault::models::FaultModel &model =
+        config_.trial.model ? *config_.trial.model
+                            : *fault::models::defaultFaultModel();
+    const fault::models::Detector &detector =
+        config_.trial.detector ? *config_.trial.detector
+                               : *fault::models::defaultDetector();
+    header.fault_model_id = static_cast<std::uint32_t>(model.id());
+    header.detector_id = static_cast<std::uint32_t>(detector.id());
     return header;
 }
 
@@ -224,6 +276,7 @@ CampaignRunner::run()
                 done[record.trial] = 1;
                 ++summary.result.counts[record.outcome];
                 ++summary.result.trials;
+                summary.result.replay_cost += record.aux;
             }
             summary.resumed = summary.result.trials;
             writer = TrialStoreWriter::append(path, contents,
@@ -261,15 +314,19 @@ CampaignRunner::run()
     ProgressMeter meter(meter_options);
 
     std::vector<std::uint8_t> outcomes;
+    std::vector<std::uint32_t> auxs;
     executeTrialList(injector_, config_, missing, outcomes,
                      [&](std::uint64_t trial,
-                         fault::FaultOutcome outcome) {
+                         fault::FaultOutcome outcome,
+                         std::uint32_t aux) {
                          if (writer)
                              writer->add(trial, static_cast<
                                                     std::uint32_t>(
-                                                    outcome));
+                                                    outcome),
+                                         aux);
                          meter.note(outcome);
-                     });
+                     },
+                     &auxs);
 
     if (writer && !writer->finish())
         fatalf("trial store '", path,
@@ -280,6 +337,8 @@ CampaignRunner::run()
 
     for (const std::uint8_t outcome : outcomes)
         ++summary.result.counts[outcome];
+    for (const std::uint32_t aux : auxs)
+        summary.result.replay_cost += aux;
     summary.result.trials += missing.size();
     summary.executed = missing.size();
     summary.complete = summary.result.trials == summary.shard_trials;
@@ -328,6 +387,13 @@ mergeTrialStores(const std::vector<std::string> &paths,
                        std::to_string(h.shard_count) +
                        " shards, the first store declares " +
                        std::to_string(c.shard_count);
+            if (h.fault_model_id != c.fault_model_id ||
+                h.detector_id != c.detector_id)
+                return "merge: '" + path +
+                       "' ran under a different fault model/detector "
+                       "than the first store; the same trial index "
+                       "means a different experiment there — refusing "
+                       "to combine";
         }
         if (h.shard_index >= h.shard_count)
             return "merge: '" + path + "' has shard index " +
@@ -360,6 +426,7 @@ mergeTrialStores(const std::vector<std::string> &paths,
             done[record.trial] = 1;
             ++out.result.counts[record.outcome];
             ++out.result.trials;
+            out.result.replay_cost += record.aux;
         }
         ++out.stores_merged;
     }
@@ -396,6 +463,11 @@ formatAggregate(const fault::CampaignResult &result)
            << " (" << formatPercent(result.fraction(outcome)) << ")\n";
     }
     os << "covered " << formatPercent(result.coveredFraction()) << "\n";
+    // Only the replay detector accrues replay cost; omitting the line
+    // otherwise keeps analytical-detector output byte-identical to
+    // pre-registry campaigns.
+    if (result.replay_cost > 0)
+        os << "replay-cost " << result.replay_cost << "\n";
     return os.str();
 }
 

@@ -124,13 +124,17 @@ struct RunSummary
 /// writes, progress accounting) and must be thread-safe. Both
 /// CampaignRunner::run() and the campaign planner execute through
 /// this single entry point.
+/// The sink's third argument is the trial's auxiliary cost counter
+/// (replay cost); `aux_out`, when non-null, is resized alongside
+/// `outcomes` and receives it positionally.
 void executeTrialList(
     const fault::FaultInjector &injector,
     const fault::CampaignConfig &config,
     const std::vector<std::uint64_t> &trials,
     std::vector<std::uint8_t> &outcomes,
-    const std::function<void(std::uint64_t, fault::FaultOutcome)> &sink =
-        {});
+    const std::function<void(std::uint64_t, fault::FaultOutcome,
+                             std::uint32_t)> &sink = {},
+    std::vector<std::uint32_t> *aux_out = nullptr);
 
 /// Fingerprint of everything that determines trial outcomes: module
 /// hash, entry, args, seed, trials, Dmax, run budget factor, masking
@@ -180,8 +184,9 @@ mergeTrialStores(const std::vector<std::string> &paths,
                  MergeSummary &out);
 
 /// Renders a CampaignResult as the canonical aggregate table (one row
-/// per outcome: count + fraction, then the covered line). Byte-equal
-/// output is the determinism criterion used by tests and the CLI.
+/// per outcome: count + fraction, then the covered line, then — only
+/// when non-zero — the replay-cost line). Byte-equal output is the
+/// determinism criterion used by tests and the CLI.
 std::string formatAggregate(const fault::CampaignResult &result);
 
 } // namespace encore::campaign

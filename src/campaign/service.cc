@@ -296,6 +296,7 @@ CampaignService::serve()
                 done[record.trial] = 1;
                 ++summary.result.counts[record.outcome];
                 ++summary.result.trials;
+                summary.result.replay_cost += record.aux;
             }
             summary.resumed = summary.result.trials;
             writer = TrialStoreWriter::append(path, contents,
@@ -463,8 +464,10 @@ CampaignService::serve()
                 ++summary.ingested;
                 ++summary.result.counts[record.outcome];
                 ++summary.result.trials;
+                summary.result.replay_cost += record.aux;
                 if (writer)
-                    writer->add(record.trial, record.outcome);
+                    writer->add(record.trial, record.outcome,
+                                record.aux);
                 meter.note(
                     static_cast<fault::FaultOutcome>(record.outcome));
             }
@@ -647,11 +650,12 @@ runWorkerLoop(Socket &socket, FrameReader &reader,
                             std::memory_order_relaxed);
         completed.store(0, std::memory_order_relaxed);
         std::vector<std::uint8_t> outcomes(grant->count);
+        std::vector<std::uint32_t> auxs(grant->count, 0);
         auto run_one = [&](std::uint64_t i,
                            interp::Interpreter &interp) {
             const fault::FaultOutcome outcome =
                 injector.runCampaignTrial(grant->first_trial + i,
-                                          config, interp);
+                                          config, interp, auxs[i]);
             outcomes[i] = static_cast<std::uint8_t>(outcome);
             completed.fetch_add(1, std::memory_order_relaxed);
             if (options.throttle.count() > 0)
@@ -683,7 +687,7 @@ runWorkerLoop(Socket &socket, FrameReader &reader,
             batch.records.reserve(end - offset);
             for (std::uint64_t i = offset; i < end; ++i)
                 batch.records.push_back(
-                    {grant->first_trial + i, outcomes[i]});
+                    {grant->first_trial + i, outcomes[i], auxs[i]});
             sent = sendLocked(FrameType::ResultBatch,
                               encodeResultBatch(batch));
         }

@@ -46,16 +46,19 @@ encodeHeader(char (&bytes)[kTrialStoreHeaderSize],
     put<std::uint64_t>(bytes, 56, header.snapshot_stride);
     put<std::uint64_t>(bytes, 64, header.snapshot_byte_budget);
     put<std::uint32_t>(bytes, 72, header.snapshot_page_bytes);
-    put<std::uint32_t>(bytes, 76, crc32(bytes, 76));
+    put<std::uint32_t>(bytes, 76, header.fault_model_id);
+    put<std::uint32_t>(bytes, 80, header.detector_id);
+    put<std::uint32_t>(bytes, 84, crc32(bytes, 84));
 }
 
 void
 encodeRecord(char (&bytes)[kTrialRecordSize], std::uint64_t trial,
-             std::uint32_t outcome)
+             std::uint32_t outcome, std::uint32_t aux)
 {
     put<std::uint64_t>(bytes, 0, trial);
     put<std::uint32_t>(bytes, 8, outcome);
-    put<std::uint32_t>(bytes, 12, crc32(bytes, 12));
+    put<std::uint32_t>(bytes, 12, aux);
+    put<std::uint32_t>(bytes, 16, crc32(bytes, 16));
 }
 
 } // namespace
@@ -86,7 +89,7 @@ readTrialStore(const std::string &path, StoreContents &out)
         return "trial store '" + path + "' declares " +
                std::to_string(record_size) + "-byte records, expected " +
                std::to_string(kTrialRecordSize);
-    if (get<std::uint32_t>(header_bytes, 76) != crc32(header_bytes, 76))
+    if (get<std::uint32_t>(header_bytes, 84) != crc32(header_bytes, 84))
         return "trial store '" + path + "' has a corrupt header (CRC "
                "mismatch)";
 
@@ -102,6 +105,8 @@ readTrialStore(const std::string &path, StoreContents &out)
         get<std::uint64_t>(header_bytes, 64);
     out.header.snapshot_page_bytes =
         get<std::uint32_t>(header_bytes, 72);
+    out.header.fault_model_id = get<std::uint32_t>(header_bytes, 76);
+    out.header.detector_id = get<std::uint32_t>(header_bytes, 80);
     out.valid_bytes = kTrialStoreHeaderSize;
 
     // Records: accept the longest prefix of whole, CRC-clean records
@@ -117,11 +122,12 @@ readTrialStore(const std::string &path, StoreContents &out)
             out.dropped_bytes += static_cast<std::uint64_t>(got);
             break;
         }
-        const auto stored_crc = get<std::uint32_t>(record_bytes, 12);
+        const auto stored_crc = get<std::uint32_t>(record_bytes, 16);
         TrialRecord record;
         record.trial = get<std::uint64_t>(record_bytes, 0);
         record.outcome = get<std::uint32_t>(record_bytes, 8);
-        if (stored_crc != crc32(record_bytes, 12) ||
+        record.aux = get<std::uint32_t>(record_bytes, 12);
+        if (stored_crc != crc32(record_bytes, 16) ||
             record.trial >= out.header.total_trials) {
             out.dropped_bytes += sizeof record_bytes;
             break;
@@ -210,10 +216,11 @@ TrialStoreWriter::~TrialStoreWriter()
 }
 
 void
-TrialStoreWriter::add(std::uint64_t trial, std::uint32_t outcome)
+TrialStoreWriter::add(std::uint64_t trial, std::uint32_t outcome,
+                      std::uint32_t aux)
 {
     char bytes[kTrialRecordSize];
-    encodeRecord(bytes, trial, outcome);
+    encodeRecord(bytes, trial, outcome, aux);
     std::lock_guard<std::mutex> lock(mutex_);
     pending_.insert(pending_.end(), bytes, bytes + sizeof bytes);
     if (pending_.size() >= batch_bytes_)

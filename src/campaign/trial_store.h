@@ -35,8 +35,11 @@
  *   56      8     snapshot stride      (0 = snapshot tier disabled)
  *   64      8     snapshot byte budget
  *   72      4     snapshot page bytes
- *   76      4     CRC32 of bytes [0, 76)
- *   80      16×N  records: trial u64 | outcome u32 | CRC32(first 12 B)
+ *   76      4     fault-model id       (models::FaultModelId)
+ *   80      4     detector id          (models::DetectorId)
+ *   84      4     CRC32 of bytes [0, 84)
+ *   88      20×N  records: trial u64 | outcome u32 | aux u32 |
+ *                 CRC32(first 16 B)
  *
  * The snapshot_* fields (version 2) are **provenance, not identity**:
  * they record how the shard was produced so `inspect` can audit a
@@ -47,6 +50,17 @@
  * prefix (enforced by the differential suite) — so a snapshot-run
  * shard and a full-rerun shard of the same campaign hold identical
  * records and may be merged freely.
+ *
+ * The fault-model/detector ids (version 3) are the opposite —
+ * **identity, not provenance**: the same trial index produces a
+ * different outcome under a different model, so resume and merge
+ * refuse stores whose model/detector differ (they are also mixed into
+ * the config fingerprint; the header ids exist so `inspect` can name
+ * the scenario and so the refusal message can be precise). The
+ * per-record aux field (version 3) carries the trial's replay cost in
+ * dynamic instructions under the replay detector (saturated to 32
+ * bits; always 0 under the analytical detector), letting a resumed or
+ * merged campaign reproduce replay-cost aggregates exactly.
  */
 #ifndef ENCORE_CAMPAIGN_TRIAL_STORE_H
 #define ENCORE_CAMPAIGN_TRIAL_STORE_H
@@ -64,9 +78,9 @@
 
 namespace encore::campaign {
 
-inline constexpr std::uint32_t kTrialStoreVersion = 2;
-inline constexpr std::size_t kTrialStoreHeaderSize = 80;
-inline constexpr std::size_t kTrialRecordSize = 16;
+inline constexpr std::uint32_t kTrialStoreVersion = 3;
+inline constexpr std::size_t kTrialStoreHeaderSize = 88;
+inline constexpr std::size_t kTrialRecordSize = 20;
 
 struct StoreHeader
 {
@@ -83,12 +97,20 @@ struct StoreHeader
     std::uint64_t snapshot_stride = 0;
     std::uint64_t snapshot_byte_budget = 0;
     std::uint32_t snapshot_page_bytes = 0;
+    /// Scenario identity (see the layout comment): the fault model and
+    /// detector the shard's trials ran under, as registry ids. Part of
+    /// the resume/merge identity checks.
+    std::uint32_t fault_model_id = 0;
+    std::uint32_t detector_id = 0;
 };
 
 struct TrialRecord
 {
     std::uint64_t trial = 0;
     std::uint32_t outcome = 0;
+    /// Auxiliary per-trial cost counter (replayed dynamic instructions
+    /// under the replay detector; 0 otherwise).
+    std::uint32_t aux = 0;
 };
 
 struct StoreContents
@@ -152,7 +174,8 @@ class TrialStoreWriter
 
     /// Queues one record. Thread-safe; may flush inline when the
     /// batch fills.
-    void add(std::uint64_t trial, std::uint32_t outcome);
+    void add(std::uint64_t trial, std::uint32_t outcome,
+             std::uint32_t aux = 0);
 
     /// Stops the flusher thread, writes out everything pending and
     /// closes the file. Idempotent; called by the destructor. Returns

@@ -53,17 +53,24 @@ validateCampaignConfig(const CampaignConfig &config)
 namespace {
 
 /**
- * The per-trial hook: injects one bit flip at a chosen value-producing
- * instruction, then fires detection after the drawn latency.
+ * The per-trial hook: executes one drawn InjectionPlan (register-bit
+ * flips at a chosen value-producing instruction, a redirected branch,
+ * or a memory-bus fault at the first load/store past the anchor), then
+ * fires detection per the drawn DetectionPlan — after a latency under
+ * the analytical detector, or at the next absolute window boundary
+ * under the replay detector.
  *
  * The hook also tracks the corruption's dataflow (registers within the
  * current activation plus memory words written with tainted data).
- * When a tainted value is about to steer a branch or address a memory
- * access, detection fires immediately — the paper's §4.3 assumption
- * that control and address faults exhibit highly visible symptoms and
- * are "typically detected before they propagate to memory and/or
- * divert control flow". Runtime errors (wild pointers, division by
- * zero) are likewise treated as immediate symptoms.
+ * Under the analytical detector, when a tainted value is about to
+ * steer a branch or address a memory access, detection fires
+ * immediately — the paper's §4.3 assumption that control and address
+ * faults exhibit highly visible symptoms and are "typically detected
+ * before they propagate to memory and/or divert control flow". The
+ * replay detector instead lets symptoms run (latching a sticky
+ * divergence flag) until its window's replay-and-diff would expose
+ * them. Runtime errors (wild pointers, division by zero) are treated
+ * as immediate symptoms under both.
  */
 class TrialHooks : public interp::ExecHooks
 {
@@ -73,16 +80,27 @@ class TrialHooks : public interp::ExecHooks
     /// for a full run, the snapshot's value_count when the trial
     /// resumes from a prefix snapshot. Pre-injection the hooks are
     /// pure pass-throughs, so skipping the prefix callbacks changes
-    /// nothing except where the internal counter starts.
-    TrialHooks(interp::Interpreter &interp, std::uint64_t target_value_index,
-               int bit, std::uint64_t latency,
+    /// nothing except where the internal counter starts. (Every model
+    /// anchors on a value index, so this holds for all of them: a
+    /// branch/memory strike happens at the first matching site *after*
+    /// the anchor value instruction executes.)
+    TrialHooks(interp::Interpreter &interp,
+               const models::InjectionPlan &plan,
+               const models::DetectionPlan &detection,
                std::uint64_t start_value_index)
         : interp_(interp),
-          target_value_index_(target_value_index),
-          bit_(bit),
-          latency_(latency),
+          plan_(plan),
+          detection_(detection),
           value_count_(start_value_index)
     {
+    }
+
+    bool
+    needsUnfusedDispatch() const override
+    {
+        // Branch/memory strikes ride on filter points that exist only
+        // in the unfused handlers.
+        return plan_.kind != models::InjectionPlan::Kind::RegFlip;
     }
 
     std::uint64_t
@@ -91,19 +109,16 @@ class TrialHooks : public interp::ExecHooks
     {
         const std::uint64_t my_value_index = value_count_++;
         if (!injected_) {
-            if (my_value_index != target_value_index_) {
+            if (plan_.kind != models::InjectionPlan::Kind::RegFlip ||
+                my_value_index != plan_.target_value_index) {
                 current_load_tainted_ = false;
                 return value;
             }
-            injected_ = true;
-            fault_dyn_ = dyn_index;
-            fault_token_ = interp_.currentRegionToken();
-            fault_region_ = interp_.currentRegionId();
-            detect_at_ = dyn_index + latency_;
+            markInjected(dyn_index);
             if (inst.hasDest())
                 taintReg(inst.dest());
             current_load_tainted_ = false;
-            return value ^ (1ULL << bit_);
+            return value ^ plan_.xor_mask;
         }
 
         // Taint propagation: the destination is corrupt when any
@@ -138,10 +153,97 @@ class TrialHooks : public interp::ExecHooks
     {
         if (!injected_ || detected_)
             return false;
+        if (detection_.kind ==
+            models::DetectionPlan::Kind::ReplayWindow) {
+            // Replay detection has no symptom channel: errors run
+            // free (latching the divergence flag) until the window's
+            // replay-and-diff would expose them at the boundary.
+            if (dyn_index < detect_at_) {
+                if (!diverged_ && isSymptomatic(next))
+                    diverged_ = true;
+                return false;
+            }
+            const bool visible = diverged_ || !tainted_regs_.empty() ||
+                                 !tainted_words_.empty() ||
+                                 current_load_tainted_;
+            if (!visible) {
+                // A clean diff: no taint anywhere and control never
+                // diverged, so no later window can turn dirty either —
+                // stand the watch down. (Cost model: a cheap signature
+                // compare flags the window; the full replay+diff — the
+                // cost charged below — runs only on a mismatch, so a
+                // clean window charges nothing.)
+                detect_at_ = ~0ULL;
+                return false;
+            }
+            replay_cost_ += detection_.window;
+            noteDetectionPoint();
+            return true;
+        }
         if (dyn_index < detect_at_ && !isSymptomatic(next))
             return false;
         noteDetectionPoint();
         return true;
+    }
+
+    void
+    filterBranchTarget(const ir::Instruction &inst, std::uint32_t &target,
+                       std::uint32_t num_blocks,
+                       std::uint64_t dyn_index) override
+    {
+        (void)inst;
+        if (injected_ ||
+            plan_.kind != models::InjectionPlan::Kind::BranchRedirect)
+            return;
+        if (value_count_ <= plan_.target_value_index)
+            return;
+        // A single-block function has no wrong block to land in; the
+        // strike slides to the next branch in a bigger function.
+        if (num_blocks < 2)
+            return;
+        std::uint32_t wrong = static_cast<std::uint32_t>(
+            plan_.selector % (num_blocks - 1));
+        if (wrong >= target)
+            ++wrong;
+        markInjected(dyn_index);
+        // Wrong-path execution is divergence by definition — a replay
+        // diff of this window can only come back dirty.
+        diverged_ = true;
+        target = wrong;
+    }
+
+    std::uint64_t
+    filterMemoryOp(const ir::Instruction &inst, bool is_store,
+                   ir::ObjectId object, std::uint32_t &offset,
+                   std::uint64_t dyn_index) override
+    {
+        (void)inst;
+        (void)object;
+        if (injected_ ||
+            plan_.kind != models::InjectionPlan::Kind::MemBus)
+            return 0;
+        if (value_count_ <= plan_.target_value_index)
+            return 0;
+        markInjected(dyn_index);
+        // Selector: bit 0 picks address vs data; bits 1.. give the bit
+        // index (&31 for the 32-bit word offset, 0..63 for the data
+        // word). The interpreter re-validates a rewritten offset — an
+        // address fault leaving the object surfaces as a runtime
+        // error; an in-bounds one touches the wrong word.
+        mem_fault_pending_ = true;
+        const bool addr_fault = (plan_.selector & 1) != 0;
+        const auto bit =
+            static_cast<std::uint32_t>((plan_.selector >> 1) & 63);
+        if (!is_store) {
+            // Either way the loaded value is wrong; the load's own
+            // filterResult propagation taints the destination.
+            current_load_tainted_ = true;
+        }
+        if (addr_fault) {
+            offset ^= 1u << (bit & 31);
+            return 0;
+        }
+        return 1ULL << bit;
     }
 
     void
@@ -153,6 +255,17 @@ class TrialHooks : public interp::ExecHooks
         (void)dyn_index;
         if (!injected_)
             return;
+        if (mem_fault_pending_) {
+            // This is the access the memory-bus fault just corrupted:
+            // a store wrote a wrong word (or the right word to a wrong
+            // place) — taint it; a corrupted load already forced
+            // current_load_tainted_ in filterMemoryOp. Early-return so
+            // the normal load path below can't clear the forced flag.
+            mem_fault_pending_ = false;
+            if (is_store)
+                tainted_words_.insert({object, offset});
+            return;
+        }
         // With no live taint anywhere, a store can't taint a word and a
         // load can't pick taint up — both set operations are no-ops.
         if (tainted_regs_.empty() && tainted_words_.empty()) {
@@ -184,8 +297,16 @@ class TrialHooks : public interp::ExecHooks
         if (error_recoveries_ >= kMaxErrorRecoveries)
             return false; // crash-looping: give up on the trial
         ++error_recoveries_;
-        if (!detected_)
+        if (!detected_) {
+            if (detection_.kind ==
+                models::DetectionPlan::Kind::ReplayWindow) {
+                // A hard error pins the dirty region to the partial
+                // window executed so far — the replay only re-runs up
+                // to the crash point.
+                replay_cost_ += dyn_index % detection_.window;
+            }
             noteDetectionPoint();
+        }
         return true; // treat as an immediately detected symptom
     }
 
@@ -202,6 +323,8 @@ class TrialHooks : public interp::ExecHooks
             tainted_regs_.clear();
             tainted_words_.clear();
             current_load_tainted_ = false;
+            diverged_ = false;
+            mem_fault_pending_ = false;
             if (!sameInstance()) {
                 // Detection fired after control left the faulty region
                 // instance (or the fault struck unprotected code): the
@@ -235,6 +358,15 @@ class TrialHooks : public interp::ExecHooks
     bool injected() const { return injected_; }
     bool detected() const { return detected_; }
     bool rolledBack() const { return rolled_back_; }
+    /// Replayed dynamic instructions charged to this trial, saturated
+    /// to the 32-bit auxiliary slot the trial store persists.
+    std::uint32_t
+    replayCost() const
+    {
+        return replay_cost_ > 0xffffffffULL
+                   ? 0xffffffffu
+                   : static_cast<std::uint32_t>(replay_cost_);
+    }
     /// True when detection fired in the same region instance the fault
     /// struck — the paper's recoverability criterion.
     bool
@@ -246,6 +378,24 @@ class TrialHooks : public interp::ExecHooks
     ir::RegionId faultRegion() const { return fault_region_; }
 
   private:
+    void
+    markInjected(std::uint64_t dyn_index)
+    {
+        injected_ = true;
+        fault_dyn_ = dyn_index;
+        fault_token_ = interp_.currentRegionToken();
+        fault_region_ = interp_.currentRegionId();
+        detect_at_ =
+            detection_.kind == models::DetectionPlan::Kind::Latency
+                ? dyn_index + detection_.latency
+                // Replay checks at absolute window boundaries, so the
+                // detection point does not depend on where execution
+                // started — snapshot-seeked and full-prefix trials
+                // agree by construction.
+                : ((dyn_index / detection_.window) + 1) *
+                      detection_.window;
+    }
+
     void
     noteDetectionPoint()
     {
@@ -295,9 +445,8 @@ class TrialHooks : public interp::ExecHooks
     static constexpr int kMaxErrorRecoveries = 3;
 
     interp::Interpreter &interp_;
-    std::uint64_t target_value_index_;
-    int bit_;
-    std::uint64_t latency_;
+    models::InjectionPlan plan_;
+    models::DetectionPlan detection_;
 
     std::uint64_t value_count_ = 0;
     bool injected_ = false;
@@ -312,6 +461,15 @@ class TrialHooks : public interp::ExecHooks
     std::set<std::pair<std::size_t, ir::RegId>> tainted_regs_;
     std::set<std::pair<ir::ObjectId, std::uint32_t>> tainted_words_;
     bool current_load_tainted_ = false;
+    /// Sticky control-divergence flag for the replay detector: set at
+    /// a branch redirect and when a tainted value is about to steer
+    /// control or address memory.
+    bool diverged_ = false;
+    /// Handshake between filterMemoryOp (which decides the memory-bus
+    /// strike) and the onMemoryAccess that immediately follows it for
+    /// the same access (which taints the actually-touched word).
+    bool mem_fault_pending_ = false;
+    std::uint64_t replay_cost_ = 0;
 };
 
 } // namespace
@@ -452,11 +610,18 @@ FaultInjector::runTrial(Rng &rng, const TrialConfig &config,
     ENCORE_ASSERT(golden_.value_instrs > 0,
                   "golden run executed no value-producing instructions");
 
-    const std::uint64_t target = rng.below(golden_.value_instrs);
-    const int bit = static_cast<int>(rng.below(64));
-    const std::uint64_t latency =
-        config.dmax == 0 ? 0 : rng.below(config.dmax + 1);
-    return runTrialAt(target, bit, latency, config, interp);
+    // Model first, detector second — for the default pair this is the
+    // historical draw order (target, bit, latency), preserving
+    // byte-identity with pre-registry campaigns.
+    const models::FaultModel &model =
+        config.model ? *config.model : *models::defaultFaultModel();
+    const models::Detector &detector =
+        config.detector ? *config.detector : *models::defaultDetector();
+    const models::InjectionPlan plan =
+        model.draw(rng, golden_.value_instrs);
+    const models::DetectionPlan detection =
+        detector.draw(rng, config.dmax);
+    return runTrialPlanned(plan, detection, config, interp);
 }
 
 FaultOutcome
@@ -465,15 +630,34 @@ FaultInjector::runTrialAt(std::uint64_t target_value_index, int bit,
                           const TrialConfig &config,
                           interp::Interpreter &interp) const
 {
+    models::InjectionPlan plan;
+    plan.kind = models::InjectionPlan::Kind::RegFlip;
+    plan.target_value_index = target_value_index;
+    plan.xor_mask = 1ULL << bit;
+    models::DetectionPlan detection;
+    detection.kind = models::DetectionPlan::Kind::Latency;
+    detection.latency = latency;
+    return runTrialPlanned(plan, detection, config, interp);
+}
+
+FaultOutcome
+FaultInjector::runTrialPlanned(const models::InjectionPlan &plan,
+                               const models::DetectionPlan &detection,
+                               const TrialConfig &config,
+                               interp::Interpreter &interp,
+                               std::uint32_t *aux) const
+{
     ENCORE_ASSERT(prepared_, "runTrial before a successful prepare()");
 
-    // Seek: the latest golden-run snapshot at-or-before the target.
-    // Pre-injection the trial hooks are pure pass-throughs, so the
-    // trial's own prefix is bit-identical to the golden run's — the
-    // restored state is exactly what re-executing would produce.
+    // Seek: the latest golden-run snapshot at-or-before the anchor.
+    // Pre-injection the trial hooks are pure pass-throughs (the
+    // branch/memory strike models fire only *after* the anchor value
+    // instruction executes), so the trial's own prefix is
+    // bit-identical to the golden run's — the restored state is
+    // exactly what re-executing would produce.
     const interp::Snapshot *snap =
         snapshots_
-            ? snapshots_->findAtOrBefore(target_value_index)
+            ? snapshots_->findAtOrBefore(plan.target_value_index)
             : nullptr;
 
     // Keep dirty tracking on across a worker's trials: restore() then
@@ -492,7 +676,7 @@ FaultInjector::runTrialAt(std::uint64_t target_value_index, int bit,
     // taint via ExecHooks::onMemoryAccess) — the observer list stays
     // empty, keeping per-instruction observer dispatch off the
     // campaign hot path.
-    TrialHooks hooks(interp, target_value_index, bit, latency,
+    TrialHooks hooks(interp, plan, detection,
                      snap ? snap->exec.value_count : 0);
     interp.setHooks(&hooks);
     // Trials never read RunResult::globals — output equality is checked
@@ -539,6 +723,8 @@ FaultInjector::runTrialAt(std::uint64_t target_value_index, int bit,
             result.return_value == golden_.return_value &&
             interp.globalsMatch(golden_.globals);
     }
+    if (aux)
+        *aux = hooks.replayCost();
     return classifyTrialOutcome(obs);
 }
 
@@ -547,15 +733,40 @@ FaultInjector::runCampaignTrial(std::uint64_t trial,
                                 const CampaignConfig &config,
                                 interp::Interpreter &interp) const
 {
+    std::uint32_t aux = 0;
+    return runCampaignTrial(trial, config, interp, aux);
+}
+
+FaultOutcome
+FaultInjector::runCampaignTrial(std::uint64_t trial,
+                                const CampaignConfig &config,
+                                interp::Interpreter &interp,
+                                std::uint32_t &aux) const
+{
     // Trial t draws everything — the masking coin first, then the
     // fault parameters — from its own counter-derived stream, so the
     // outcome of trial t is independent of every other trial and of
-    // the thread (or process) that happens to run it.
+    // the thread (or process) that happens to run it. The masking coin
+    // comes before the model draws, so a trial index is masked or not
+    // independently of which model the campaign runs — trial indices
+    // stay aligned across models.
+    aux = 0;
     Rng rng = Rng::forStream(config.seed, trial);
     if (config.model_masking &&
         MaskingModel(config.masking_rate).isMasked(rng))
         return FaultOutcome::Masked;
-    return runTrial(rng, config.trial, interp);
+
+    const models::FaultModel &model =
+        config.trial.model ? *config.trial.model
+                           : *models::defaultFaultModel();
+    const models::Detector &detector =
+        config.trial.detector ? *config.trial.detector
+                              : *models::defaultDetector();
+    const models::InjectionPlan plan =
+        model.draw(rng, golden_.value_instrs);
+    const models::DetectionPlan detection =
+        detector.draw(rng, config.trial.dmax);
+    return runTrialPlanned(plan, detection, config.trial, interp, &aux);
 }
 
 CampaignResult
@@ -565,10 +776,12 @@ FaultInjector::runCampaign(const CampaignConfig &config) const
 
     auto run_one = [&](std::uint64_t t, CampaignResult &acc,
                        interp::Interpreter &interp) {
+        std::uint32_t aux = 0;
         const FaultOutcome outcome =
-            runCampaignTrial(t, config, interp);
+            runCampaignTrial(t, config, interp, aux);
         ++acc.counts[static_cast<int>(outcome)];
         ++acc.trials;
+        acc.replay_cost += aux;
     };
 
     const std::size_t jobs = resolveJobs(config.jobs);
@@ -604,6 +817,7 @@ FaultInjector::runCampaign(const CampaignConfig &config) const
              ++i)
             result.counts[i] += shard.counts[i];
         result.trials += shard.trials;
+        result.replay_cost += shard.replay_cost;
     }
     return result;
 }

@@ -2,14 +2,18 @@
  * @file
  * Statistical fault injection on the instrumented interpreter.
  *
- * Each trial flips one random bit in the destination value of one
- * uniformly chosen value-producing dynamic instruction, then fires a
- * detection event after a uniformly distributed latency in
- * [0, Dmax] dynamic instructions — the paper's fault and detection
- * model (§4.2.1). Runtime symptoms (wild pointers, division by zero)
- * fire detection immediately, reflecting the fast symptom-based
- * detection of ReStore/Shoestring that the paper assumes for address
- * and control faults (§4.3).
+ * The fault and detection scenario of each trial comes from the
+ * pluggable registry in fault/models/: the default pair reproduces the
+ * paper's model (§4.2.1) — flip one random bit in the destination
+ * value of one uniformly chosen value-producing dynamic instruction,
+ * then fire a detection event after a uniformly distributed latency in
+ * [0, Dmax] dynamic instructions. Alternative models inject multi-bit
+ * flips, corrupted branch targets, or memory/address-bus faults, and
+ * the replay detector checks at Dmax-wide window boundaries instead of
+ * drawing a latency. Runtime symptoms (wild pointers, division by
+ * zero) fire detection immediately under the analytical detector,
+ * reflecting the fast symptom-based detection of ReStore/Shoestring
+ * that the paper assumes for address and control faults (§4.3).
  *
  * Outcomes are judged by *execution*, not by the analytical model: a
  * trial only counts as recovered when the rollback actually ran and
@@ -39,6 +43,7 @@
 
 #include "encore/pipeline.h"
 #include "fault/masking.h"
+#include "fault/models/fault_model.h"
 #include "interp/interpreter.h"
 
 namespace encore::fault {
@@ -61,11 +66,17 @@ std::string_view outcomeName(FaultOutcome outcome);
 
 struct TrialConfig
 {
-    /// Maximum detection latency Dmax, in dynamic instructions.
+    /// Maximum detection latency Dmax, in dynamic instructions (the
+    /// replay detector uses it as its window width).
     std::uint64_t dmax = 100;
     /// Execution budget multiplier over the golden run length (runaway
     /// corrupted executions are cut off and counted unrecoverable).
     double run_budget_factor = 4.0;
+    /// Fault model and detector; nullptr selects the registry defaults
+    /// (reg-bit under the analytical Dmax detector — the pre-registry
+    /// behaviour, byte-identical to it).
+    const models::FaultModel *model = nullptr;
+    const models::Detector *detector = nullptr;
 };
 
 struct CampaignConfig
@@ -96,6 +107,10 @@ struct CampaignResult
 {
     std::uint64_t counts[static_cast<int>(FaultOutcome::NumOutcomes)] = {};
     std::uint64_t trials = 0;
+    /// Total replayed dynamic instructions across all trials — the
+    /// Dichev-style recovery-cost side of the replay detector. Always 0
+    /// under the analytical detector.
+    std::uint64_t replay_cost = 0;
 
     std::uint64_t
     count(FaultOutcome outcome) const
@@ -223,6 +238,17 @@ class FaultInjector
                             const TrialConfig &config,
                             interp::Interpreter &interp) const;
 
+    /// Deterministic single-trial execution from fully drawn plans —
+    /// the common core every overload above funnels into. When `aux`
+    /// is non-null it receives the trial's auxiliary cost counter
+    /// (replayed dynamic instructions under the replay detector,
+    /// saturated to 32 bits; 0 otherwise).
+    FaultOutcome runTrialPlanned(const models::InjectionPlan &plan,
+                                 const models::DetectionPlan &detection,
+                                 const TrialConfig &config,
+                                 interp::Interpreter &interp,
+                                 std::uint32_t *aux = nullptr) const;
+
     /// Runs campaign trial `trial` — the masking coin plus (when not
     /// masked) one injected execution — on a caller-owned pooled
     /// interpreter. The outcome is a pure function of (module, golden
@@ -235,6 +261,14 @@ class FaultInjector
     FaultOutcome runCampaignTrial(std::uint64_t trial,
                                   const CampaignConfig &config,
                                   interp::Interpreter &interp) const;
+
+    /// Same, with the per-trial auxiliary cost counter out-param (the
+    /// durable trial store persists it next to the outcome so resumed
+    /// and merged campaigns reproduce replay-cost aggregates exactly).
+    FaultOutcome runCampaignTrial(std::uint64_t trial,
+                                  const CampaignConfig &config,
+                                  interp::Interpreter &interp,
+                                  std::uint32_t &aux) const;
 
     /// Runs a whole campaign (including modelled masking), sharding
     /// trials across `config.jobs` threads with per-worker outcome

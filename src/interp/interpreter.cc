@@ -668,7 +668,22 @@ Interpreter::execLoop()
                 ir::ObjectId object;
                 std::uint32_t offset;
                 evalAddr(frame, inst, object, offset);
-                std::uint64_t value = memory_.wordAt(object, offset);
+                std::uint64_t mem_mask = 0;
+                if (hot_hooks_ && hooks_unfused_) {
+                    mem_mask = hot_hooks_->filterMemoryOp(
+                        *inst.src, false, object, offset, my_index);
+                    // A rewritten offset is re-validated here: an
+                    // address-bus fault that leaves the object surfaces
+                    // as a runtime error, exactly like a wild access.
+                    if (offset >= memory_.objectSize(object)) {
+                        throw ExecError{
+                            "out-of-bounds access to '" +
+                            module_.object(object).name + "' at offset " +
+                            std::to_string(offset)};
+                    }
+                }
+                std::uint64_t value =
+                    memory_.wordAt(object, offset) ^ mem_mask;
                 if (hot_hooks_) {
                     hot_hooks_->onMemoryAccess(*frame.func->src, *inst.src,
                                                object, offset, false,
@@ -690,7 +705,18 @@ Interpreter::execLoop()
                 ir::ObjectId object;
                 std::uint32_t offset;
                 evalAddr(frame, inst, object, offset);
-                memory_.setWord(object, offset, ENCORE_VA);
+                std::uint64_t mem_mask = 0;
+                if (hot_hooks_ && hooks_unfused_) {
+                    mem_mask = hot_hooks_->filterMemoryOp(
+                        *inst.src, true, object, offset, my_index);
+                    if (offset >= memory_.objectSize(object)) {
+                        throw ExecError{
+                            "out-of-bounds access to '" +
+                            module_.object(object).name + "' at offset " +
+                            std::to_string(offset)};
+                    }
+                }
+                memory_.setWord(object, offset, ENCORE_VA ^ mem_mask);
                 if (hot_hooks_) {
                     hot_hooks_->onMemoryAccess(*frame.func->src, *inst.src,
                                                object, offset, true,
@@ -726,13 +752,31 @@ Interpreter::execLoop()
                 ENCORE_NEXT;
             ENCORE_OP(Br): {
                 const std::uint64_t cond = ENCORE_VA;
-                enterBlock(frame, cond ? inst.target0 : inst.target1,
+                std::uint32_t target =
+                    cond ? inst.target0 : inst.target1;
+                if (hot_hooks_ && hooks_unfused_) {
+                    hot_hooks_->filterBranchTarget(
+                        *inst.src, target,
+                        static_cast<std::uint32_t>(
+                            frame.func->blocks.size()),
+                        my_index);
+                }
+                enterBlock(frame, target,
                            frame.func->blocks[frame.block].bb);
             }
                 ENCORE_NEXT;
-            ENCORE_OP(Jmp):
-                enterBlock(frame, inst.target0,
+            ENCORE_OP(Jmp): {
+                std::uint32_t target = inst.target0;
+                if (hot_hooks_ && hooks_unfused_) {
+                    hot_hooks_->filterBranchTarget(
+                        *inst.src, target,
+                        static_cast<std::uint32_t>(
+                            frame.func->blocks.size()),
+                        my_index);
+                }
+                enterBlock(frame, target,
                            frame.func->blocks[frame.block].bb);
+            }
                 ENCORE_NEXT;
             ENCORE_OP(Ret): {
                 const std::uint64_t value = ENCORE_VA;
@@ -1068,15 +1112,16 @@ Interpreter::recomputeFuseLimits()
     // the worst case is a maximal all-value run, kMaxFuseLen - 1
     // values before the final component. Sequences are bounded by
     // kMaxFuseLen source instructions, bounding the budget overshoot
-    // the same way. An attached observer (or a Decoded-engine cache,
-    // which has no fused heads anyway) pins the limit to 0: every head
-    // then permanently de-fuses and the trace is the
-    // one-instruction-per-dispatch one.
+    // the same way. An attached observer, a hook that needs unfused
+    // dispatch (branch/memory filter points exist only in the unfused
+    // handlers), or a Decoded-engine cache (which has no fused heads
+    // anyway) pins the limit to 0: every head then permanently
+    // de-fuses and the trace is the one-instruction-per-dispatch one.
     constexpr std::uint64_t kMaxInteriorValues = kMaxFuseLen - 1;
     constexpr std::uint64_t kMaxFusedLen = kMaxFuseLen;
     const std::uint64_t barrier =
         std::min(snapshot_barrier_, resync_barrier_);
-    if (!observers_.empty() || !decoded_->fused())
+    if (!observers_.empty() || !decoded_->fused() || hooks_unfused_)
         fuse_value_limit_ = 0;
     else
         fuse_value_limit_ = barrier >= kMaxInteriorValues

@@ -103,12 +103,17 @@ class Interpreter
     /// fresh per-trial observers each run).
     void clearObservers() { observers_.clear(); }
 
-    /// Installs active hooks (not owned); pass nullptr to remove.
+    /// Installs active hooks (not owned); pass nullptr to remove. The
+    /// hook's needsUnfusedDispatch() capability is sampled here: hooks
+    /// that use the branch/memory filter points pin superinstruction
+    /// fusion off for as long as they stay installed (the filter points
+    /// exist only in the unfused handlers).
     void
     setHooks(ExecHooks *hooks)
     {
         hooks_ = hooks;
         hot_hooks_ = hooks;
+        hooks_unfused_ = hooks && hooks->needsUnfusedDispatch();
     }
 
     /// Drops the installed hooks from the per-instruction hot sites
@@ -120,8 +125,17 @@ class Interpreter
     /// post-rollback replay is exactly where most of a trial's
     /// instructions execute; skipping the virtual dispatch there
     /// roughly halves replay cost. Re-installed by the next
-    /// setHooks().
-    void quiesceHooks() { hot_hooks_ = nullptr; }
+    /// setHooks(). Also lifts an unfused-dispatch pin, so the
+    /// post-rollback replay re-fuses.
+    void
+    quiesceHooks()
+    {
+        hot_hooks_ = nullptr;
+        if (hooks_unfused_) {
+            hooks_unfused_ = false;
+            recomputeFuseLimits();
+        }
+    }
 
     /// Execution budget; runs exceeding it end with InstructionLimit.
     void setMaxInstructions(std::uint64_t limit) { max_instrs_ = limit; }
@@ -344,6 +358,10 @@ class Interpreter
     /// Same as hooks_ at the per-instruction call sites, but nulled by
     /// quiesceHooks() once the hooks declare themselves pass-through.
     ExecHooks *hot_hooks_ = nullptr;
+    /// Cached hooks_->needsUnfusedDispatch(): pins fusion off (see
+    /// recomputeFuseLimits) and gates the branch/memory filter call
+    /// sites. Cleared by quiesceHooks().
+    bool hooks_unfused_ = false;
     std::uint64_t max_instrs_ = 200'000'000;
     bool capture_globals_ = true;
 

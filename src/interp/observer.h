@@ -72,6 +72,17 @@ class ExecHooks
   public:
     virtual ~ExecHooks() = default;
 
+    /// Capability query, sampled once by Interpreter::setHooks. Hooks
+    /// that need the per-instruction branch/memory filter points below
+    /// must return true: those points exist only in the unfused
+    /// handlers, so the interpreter pins superinstruction fusion off
+    /// while such hooks are installed (and re-fuses on quiesceHooks).
+    virtual bool
+    needsUnfusedDispatch() const
+    {
+        return false;
+    }
+
     /// Called after an instruction computes its destination value and
     /// before write-back; the return value is written instead. This is
     /// the fault-injection point.
@@ -97,6 +108,41 @@ class ExecHooks
         (void)next;
         (void)dyn_index;
         return false;
+    }
+
+    /// Called on the unfused path after a branch/jump has computed its
+    /// taken target block and before control transfers (only when
+    /// needsUnfusedDispatch() is true). The hook may rewrite `target`
+    /// to redirect control — the control-flow fault-injection point.
+    /// `num_blocks` is the current function's block count.
+    virtual void
+    filterBranchTarget(const ir::Instruction &inst, std::uint32_t &target,
+                       std::uint32_t num_blocks, std::uint64_t dyn_index)
+    {
+        (void)inst;
+        (void)target;
+        (void)num_blocks;
+        (void)dyn_index;
+    }
+
+    /// Called on the unfused path after a load/store has evaluated and
+    /// validated its address, before the access (only when
+    /// needsUnfusedDispatch() is true). The hook may rewrite `offset`
+    /// (the interpreter re-validates it and surfaces an out-of-range
+    /// result as a runtime error — an address-bus fault) and returns an
+    /// XOR mask applied to the transferred data word (0 = clean) — the
+    /// memory-bus fault-injection point.
+    virtual std::uint64_t
+    filterMemoryOp(const ir::Instruction &inst, bool is_store,
+                   ir::ObjectId object, std::uint32_t &offset,
+                   std::uint64_t dyn_index)
+    {
+        (void)inst;
+        (void)is_store;
+        (void)object;
+        (void)offset;
+        (void)dyn_index;
+        return 0;
     }
 
     /// Reports what the detection did. `region_token` is the region

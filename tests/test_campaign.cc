@@ -14,9 +14,11 @@
 
 #include <filesystem>
 #include <fstream>
+#include <set>
 
 #include "campaign/runner.h"
 #include "encore/pipeline.h"
+#include "fault/models/fault_model.h"
 #include "ir/parser.h"
 
 namespace encore::campaign {
@@ -453,6 +455,173 @@ TEST(CampaignMerge, RefusesEmptyPathList)
     const auto err = mergeTrialStores({}, merged);
     ASSERT_TRUE(err.has_value());
     EXPECT_NE(err->find("no trial stores"), std::string::npos);
+}
+
+TEST(CampaignScenarioMatrix, FingerprintSeparatesEveryPair)
+{
+    // Two stores whose trials were drawn under different models or
+    // detectors must never look like the same campaign.
+    Harness setup = prepare();
+    std::set<std::uint64_t> fingerprints;
+    std::size_t pairs = 0;
+    for (const std::string_view m : fault::models::faultModelNames())
+        for (const std::string_view d :
+             fault::models::detectorNames()) {
+            fault::CampaignConfig config = campaignConfig();
+            config.trial.model = fault::models::findFaultModel(m);
+            config.trial.detector = fault::models::findDetector(d);
+            fingerprints.insert(
+                campaignFingerprint(*setup.injector, config));
+            ++pairs;
+        }
+    EXPECT_EQ(fingerprints.size(), pairs);
+
+    // The default pair's fingerprint equals the null-pointer config's:
+    // pre-registry stores resume under the explicit default scenario.
+    fault::CampaignConfig implicit = campaignConfig();
+    fault::CampaignConfig explicit_default = campaignConfig();
+    explicit_default.trial.model = fault::models::defaultFaultModel();
+    explicit_default.trial.detector = fault::models::defaultDetector();
+    EXPECT_EQ(campaignFingerprint(*setup.injector, implicit),
+              campaignFingerprint(*setup.injector, explicit_default));
+}
+
+TEST(CampaignScenarioMatrix,
+     EveryPairByteIdenticalAcrossJobsResumeAndShards)
+{
+    // The acceptance matrix for the fault-model/detector subsystem:
+    // for every registered pair, the aggregate must be byte-identical
+    // at --jobs 1 vs --jobs 4, across an interrupted-then-resumed
+    // durable run (with a torn tail), and across a 2-way shard+merge.
+    Harness setup = prepare();
+    for (const std::string_view m : fault::models::faultModelNames())
+        for (const std::string_view d :
+             fault::models::detectorNames()) {
+            const std::string tag =
+                std::string(m) + " + " + std::string(d);
+            fault::CampaignConfig config = campaignConfig();
+            config.trial.model = fault::models::findFaultModel(m);
+            config.trial.detector = fault::models::findDetector(d);
+            const std::string baseline =
+                formatAggregate(setup.injector->runCampaign(config));
+
+            fault::CampaignConfig jobs4 = config;
+            jobs4.jobs = 4;
+            EXPECT_EQ(
+                formatAggregate(setup.injector->runCampaign(jobs4)),
+                baseline)
+                << tag << " diverges at --jobs 4";
+
+            const std::string path = tempStorePath(
+                "matrix_" + std::string(m) + "_" + std::string(d) +
+                ".trials");
+            RunnerOptions first;
+            first.store_path = path;
+            first.stop_after = 100;
+            {
+                CampaignRunner runner(*setup.injector, config, first);
+                EXPECT_FALSE(runner.run().complete);
+            }
+            appendBytes(path, "torn-record-prefix");
+            RunnerOptions second;
+            second.store_path = path;
+            second.store_policy = RunnerOptions::StorePolicy::MustExist;
+            CampaignRunner resume(*setup.injector, config, second);
+            const RunSummary resumed = resume.run();
+            EXPECT_TRUE(resumed.complete) << tag;
+            EXPECT_EQ(resumed.resumed, 100u) << tag;
+            EXPECT_EQ(formatAggregate(resumed.result), baseline)
+                << tag << " diverges across kill->resume";
+
+            std::vector<std::string> shards;
+            for (std::uint32_t i = 0; i < 2; ++i) {
+                const std::string shard_path = tempStorePath(
+                    "matrix_shard" + std::to_string(i) + "_" +
+                    std::string(m) + "_" + std::string(d) + ".trials");
+                RunnerOptions options;
+                options.store_path = shard_path;
+                options.shard = ShardSpec{i, 2};
+                CampaignRunner runner(*setup.injector, config,
+                                      options);
+                EXPECT_TRUE(runner.run().complete) << tag;
+                shards.push_back(shard_path);
+            }
+            MergeSummary merged;
+            const auto err = mergeTrialStores(shards, merged);
+            ASSERT_FALSE(err.has_value()) << tag << ": " << *err;
+            EXPECT_EQ(formatAggregate(merged.result), baseline)
+                << tag << " diverges across shard+merge";
+        }
+}
+
+TEST(CampaignScenarioMatrix, ReplayDetectorAccruesReplayCost)
+{
+    Harness setup = prepare();
+    fault::CampaignConfig config = campaignConfig();
+    config.trial.detector = fault::models::findDetector("replay");
+    CampaignRunner runner(*setup.injector, config, {});
+    const RunSummary summary = runner.run();
+    EXPECT_GT(summary.result.replay_cost, 0u);
+    // The analytic default reports none, and its aggregate text
+    // therefore carries no replay-cost line.
+    fault::CampaignConfig analytic = campaignConfig();
+    CampaignRunner base(*setup.injector, analytic, {});
+    const RunSummary base_summary = base.run();
+    EXPECT_EQ(base_summary.result.replay_cost, 0u);
+    EXPECT_EQ(formatAggregate(base_summary.result)
+                  .find("replay-cost"),
+              std::string::npos);
+    EXPECT_NE(formatAggregate(summary.result).find("replay-cost"),
+              std::string::npos);
+}
+
+TEST(CampaignMerge, RefusesMismatchedFaultModelIds)
+{
+    // Hand-build two shard stores that agree on everything the
+    // fingerprint covers but claim different fault-model ids: the
+    // scenario-id check (not the fingerprint check) must refuse them.
+    StoreHeader header;
+    header.config_fingerprint = 0x1111;
+    header.module_hash = 0x2222;
+    header.seed = 1;
+    header.total_trials = 4;
+    header.shard_count = 2;
+    TrialStoreWriter::Options options;
+    options.flush_interval = std::chrono::milliseconds(0);
+
+    const std::string shard0 = tempStorePath("scen_shard0.trials");
+    header.shard_index = 0;
+    header.fault_model_id =
+        static_cast<std::uint32_t>(fault::models::FaultModelId::RegBit);
+    {
+        std::string error;
+        auto writer =
+            TrialStoreWriter::create(shard0, header, options, &error);
+        ASSERT_NE(writer, nullptr) << error;
+        writer->add(0, 0);
+        writer->add(2, 0);
+        ASSERT_TRUE(writer->finish());
+    }
+
+    const std::string shard1 = tempStorePath("scen_shard1.trials");
+    header.shard_index = 1;
+    header.fault_model_id = static_cast<std::uint32_t>(
+        fault::models::FaultModelId::CfBranch);
+    {
+        std::string error;
+        auto writer =
+            TrialStoreWriter::create(shard1, header, options, &error);
+        ASSERT_NE(writer, nullptr) << error;
+        writer->add(1, 0);
+        writer->add(3, 0);
+        ASSERT_TRUE(writer->finish());
+    }
+
+    MergeSummary merged;
+    const auto err = mergeTrialStores({shard0, shard1}, merged);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("different fault model/detector"),
+              std::string::npos);
 }
 
 TEST(CampaignRunnerDeathTest, RefusesResumeIntoForeignStore)

@@ -26,6 +26,8 @@ sampleSpec()
     spec.run_budget_factor = 4.5;
     spec.masking_rate = 0.91;
     spec.model_masking = false;
+    spec.fault_model = 3; // mem-bus
+    spec.detector = 1;    // replay
     spec.config_fingerprint = 0xDEADBEEFCAFEF00DULL;
     spec.module_hash = 0x0123456789ABCDEFULL;
     return spec;
@@ -43,6 +45,8 @@ TEST(Protocol, CampaignSpecRoundTrip)
     EXPECT_DOUBLE_EQ(got->run_budget_factor, want.run_budget_factor);
     EXPECT_DOUBLE_EQ(got->masking_rate, want.masking_rate);
     EXPECT_EQ(got->model_masking, want.model_masking);
+    EXPECT_EQ(got->fault_model, want.fault_model);
+    EXPECT_EQ(got->detector, want.detector);
     EXPECT_EQ(got->config_fingerprint, want.config_fingerprint);
     EXPECT_EQ(got->module_hash, want.module_hash);
 }
@@ -94,8 +98,12 @@ TEST(Protocol, ResultBatchRoundTrip)
 {
     ResultBatch batch;
     batch.lease_id = 9;
+    // Every third record carries a replay-cost aux payload, as a
+    // replay-detector campaign's would.
     for (std::uint64_t t = 100; t < 150; ++t)
-        batch.records.push_back({t, static_cast<std::uint32_t>(t % 7)});
+        batch.records.push_back(
+            {t, static_cast<std::uint32_t>(t % 7),
+             t % 3 == 0 ? static_cast<std::uint32_t>(t) : 0u});
     const auto got = decodeResultBatch(encodeResultBatch(batch));
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(got->lease_id, 9u);
@@ -103,6 +111,7 @@ TEST(Protocol, ResultBatchRoundTrip)
     for (std::size_t i = 0; i < batch.records.size(); ++i) {
         EXPECT_EQ(got->records[i].trial, batch.records[i].trial);
         EXPECT_EQ(got->records[i].outcome, batch.records[i].outcome);
+        EXPECT_EQ(got->records[i].aux, batch.records[i].aux);
     }
 }
 

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the fault-model/detector registry: lookup identity,
+ * per-model draw disciplines (plan shape, bounds, determinism), and
+ * the capability bits the campaign layers key off (anchored strike,
+ * unfused dispatch, replay-cost reporting).
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/models/fault_model.h"
+#include "support/rng.h"
+
+namespace encore::fault::models {
+namespace {
+
+TEST(FaultModelRegistry, LookupByNameAndIdAgree)
+{
+    for (const std::string_view name : faultModelNames()) {
+        const FaultModel *model = findFaultModel(name);
+        ASSERT_NE(model, nullptr) << name;
+        EXPECT_EQ(model->name(), name);
+        EXPECT_EQ(faultModelById(
+                      static_cast<std::uint32_t>(model->id())),
+                  model);
+    }
+    for (const std::string_view name : detectorNames()) {
+        const Detector *detector = findDetector(name);
+        ASSERT_NE(detector, nullptr) << name;
+        EXPECT_EQ(detector->name(), name);
+        EXPECT_EQ(detectorById(
+                      static_cast<std::uint32_t>(detector->id())),
+                  detector);
+    }
+    EXPECT_EQ(findFaultModel("no-such-model"), nullptr);
+    EXPECT_EQ(faultModelById(0xffffffffu), nullptr);
+    EXPECT_EQ(findDetector("no-such-detector"), nullptr);
+    EXPECT_EQ(detectorById(0xffffffffu), nullptr);
+}
+
+TEST(FaultModelRegistry, DefaultsAreTheLegacyScenario)
+{
+    ASSERT_NE(defaultFaultModel(), nullptr);
+    ASSERT_NE(defaultDetector(), nullptr);
+    EXPECT_EQ(defaultFaultModel()->name(), "reg-bit");
+    EXPECT_EQ(defaultFaultModel()->id(), FaultModelId::RegBit);
+    EXPECT_EQ(defaultDetector()->name(), "analytic");
+    EXPECT_EQ(defaultDetector()->id(), DetectorId::Analytic);
+}
+
+TEST(FaultModelRegistry, IdsAreDurable)
+{
+    // These values live in trial-store headers and wire specs: any
+    // renumbering silently reinterprets old campaign data.
+    EXPECT_EQ(findFaultModel("reg-bit")->id(), FaultModelId::RegBit);
+    EXPECT_EQ(findFaultModel("multi-bit")->id(),
+              FaultModelId::MultiBit);
+    EXPECT_EQ(findFaultModel("cf-branch")->id(),
+              FaultModelId::CfBranch);
+    EXPECT_EQ(findFaultModel("mem-bus")->id(), FaultModelId::MemBus);
+    EXPECT_EQ(findDetector("analytic")->id(), DetectorId::Analytic);
+    EXPECT_EQ(findDetector("replay")->id(), DetectorId::Replay);
+}
+
+TEST(FaultModelRegistry, CapabilityBits)
+{
+    EXPECT_TRUE(findFaultModel("reg-bit")->anchoredStrike());
+    EXPECT_TRUE(findFaultModel("multi-bit")->anchoredStrike());
+    EXPECT_FALSE(findFaultModel("cf-branch")->anchoredStrike());
+    EXPECT_FALSE(findFaultModel("mem-bus")->anchoredStrike());
+
+    EXPECT_FALSE(findFaultModel("reg-bit")->needsUnfusedDispatch());
+    EXPECT_FALSE(findFaultModel("multi-bit")->needsUnfusedDispatch());
+    EXPECT_TRUE(findFaultModel("cf-branch")->needsUnfusedDispatch());
+    EXPECT_TRUE(findFaultModel("mem-bus")->needsUnfusedDispatch());
+
+    EXPECT_FALSE(findDetector("analytic")->reportsReplayCost());
+    EXPECT_TRUE(findDetector("replay")->reportsReplayCost());
+}
+
+TEST(FaultModelRegistry, DrawsAreDeterministicPerStream)
+{
+    for (const std::string_view name : faultModelNames()) {
+        const FaultModel &model = *findFaultModel(name);
+        for (std::uint64_t trial = 0; trial < 16; ++trial) {
+            Rng a = Rng::forStream(99, trial);
+            Rng b = Rng::forStream(99, trial);
+            const InjectionPlan pa = model.draw(a, 1000);
+            const InjectionPlan pb = model.draw(b, 1000);
+            EXPECT_EQ(pa.kind, pb.kind);
+            EXPECT_EQ(pa.target_value_index, pb.target_value_index);
+            EXPECT_EQ(pa.xor_mask, pb.xor_mask);
+            EXPECT_EQ(pa.selector, pb.selector);
+        }
+    }
+}
+
+TEST(FaultModel, RegBitDrawsSingleBitInRange)
+{
+    const FaultModel &model = *findFaultModel("reg-bit");
+    for (std::uint64_t trial = 0; trial < 200; ++trial) {
+        Rng rng = Rng::forStream(7, trial);
+        const InjectionPlan plan = model.draw(rng, 500);
+        EXPECT_EQ(plan.kind, InjectionPlan::Kind::RegFlip);
+        EXPECT_LT(plan.target_value_index, 500u);
+        // Exactly one bit set.
+        EXPECT_NE(plan.xor_mask, 0u);
+        EXPECT_EQ(plan.xor_mask & (plan.xor_mask - 1), 0u);
+    }
+}
+
+TEST(FaultModel, MultiBitDrawsAdjacentBurst)
+{
+    const FaultModel &model = *findFaultModel("multi-bit");
+    std::set<int> widths;
+    for (std::uint64_t trial = 0; trial < 500; ++trial) {
+        Rng rng = Rng::forStream(11, trial);
+        const InjectionPlan plan = model.draw(rng, 500);
+        EXPECT_EQ(plan.kind, InjectionPlan::Kind::RegFlip);
+        EXPECT_LT(plan.target_value_index, 500u);
+        ASSERT_NE(plan.xor_mask, 0u);
+        // Contiguous run of 2-4 set bits: m >> ctz(m) is 2^w - 1.
+        const std::uint64_t normalized =
+            plan.xor_mask >> __builtin_ctzll(plan.xor_mask);
+        EXPECT_EQ(normalized & (normalized + 1), 0u)
+            << "non-contiguous mask " << plan.xor_mask;
+        const int width = __builtin_popcountll(plan.xor_mask);
+        EXPECT_GE(width, 2);
+        EXPECT_LE(width, 4);
+        widths.insert(width);
+    }
+    // Over 500 trials every burst width must occur.
+    EXPECT_EQ(widths.size(), 3u);
+}
+
+TEST(FaultModel, CfBranchAndMemBusAnchorInRange)
+{
+    for (const char *name : {"cf-branch", "mem-bus"}) {
+        const FaultModel &model = *findFaultModel(name);
+        for (std::uint64_t trial = 0; trial < 200; ++trial) {
+            Rng rng = Rng::forStream(13, trial);
+            const InjectionPlan plan = model.draw(rng, 700);
+            EXPECT_EQ(plan.kind,
+                      model.id() == FaultModelId::CfBranch
+                          ? InjectionPlan::Kind::BranchRedirect
+                          : InjectionPlan::Kind::MemBus)
+                << name;
+            EXPECT_LT(plan.target_value_index, 700u) << name;
+        }
+    }
+}
+
+TEST(Detector, AnalyticLatencyBoundedByDmax)
+{
+    const Detector &detector = *findDetector("analytic");
+    bool saw_nonzero = false;
+    for (std::uint64_t trial = 0; trial < 200; ++trial) {
+        Rng rng = Rng::forStream(17, trial);
+        const DetectionPlan plan = detector.draw(rng, 100);
+        EXPECT_EQ(plan.kind, DetectionPlan::Kind::Latency);
+        EXPECT_LE(plan.latency, 100u);
+        saw_nonzero |= plan.latency > 0;
+    }
+    EXPECT_TRUE(saw_nonzero);
+
+    Rng rng = Rng::forStream(17, 0);
+    EXPECT_EQ(detector.draw(rng, 0).latency, 0u);
+}
+
+TEST(Detector, ReplayWindowConsumesNoDraws)
+{
+    // The replay detector's window is a pure function of Dmax; it must
+    // not consume Rng draws, so trial streams stay aligned with the
+    // analytic detector's.
+    const Detector &detector = *findDetector("replay");
+    Rng rng = Rng::forStream(23, 5);
+    const std::uint64_t before = rng();
+    Rng replay_rng = Rng::forStream(23, 5);
+    const DetectionPlan plan = detector.draw(replay_rng, 80);
+    EXPECT_EQ(plan.kind, DetectionPlan::Kind::ReplayWindow);
+    EXPECT_EQ(plan.window, 80u);
+    EXPECT_EQ(replay_rng(), before);
+
+    Rng zero = Rng::forStream(23, 6);
+    EXPECT_EQ(detector.draw(zero, 0).window, 1u);
+}
+
+} // namespace
+} // namespace encore::fault::models

@@ -7,6 +7,8 @@
 
 #include "encore/pipeline.h"
 #include "fault/injector.h"
+#include "fault/models/fault_model.h"
+#include "interp/interpreter.h"
 #include "ir/parser.h"
 
 namespace encore::fault {
@@ -288,6 +290,84 @@ TEST(Injector, ParallelCampaignBitIdenticalToSequential)
                 EXPECT_EQ(sequential.counts[i], parallel.counts[i])
                     << "seed " << seed << ", outcome "
                     << outcomeName(static_cast<FaultOutcome>(i));
+        }
+    }
+}
+
+TEST(Injector, MaskingEdgeRatesHoldForEveryFaultModel)
+{
+    // The masking coin short-circuits before the model draws its plan,
+    // so the edge rates must behave identically under every registered
+    // fault model, not just the default reg-bit.
+    Harness setup = prepare();
+    for (const std::string_view name : models::faultModelNames()) {
+        const models::FaultModel *model = models::findFaultModel(name);
+        ASSERT_NE(model, nullptr);
+
+        CampaignConfig all;
+        all.trials = 40;
+        all.masking_rate = 1.0;
+        all.trial.dmax = 40;
+        all.trial.model = model;
+        const CampaignResult fully_masked =
+            setup.injector->runCampaign(all);
+        EXPECT_EQ(fully_masked.count(FaultOutcome::Masked), 40u)
+            << name;
+        EXPECT_DOUBLE_EQ(fully_masked.coveredFraction(), 1.0) << name;
+
+        CampaignConfig none = all;
+        none.masking_rate = 0.0;
+        EXPECT_EQ(setup.injector->runCampaign(none).count(
+                      FaultOutcome::Masked),
+                  0u)
+            << name;
+
+        CampaignConfig arm = all;
+        arm.masking_rate = MaskingModel::kArm926Rate;
+        const std::uint64_t masked =
+            setup.injector->runCampaign(arm).count(
+                FaultOutcome::Masked);
+        EXPECT_GT(masked, 0u) << name;
+        EXPECT_LT(masked, 40u) << name;
+    }
+}
+
+TEST(Injector, MaskedTrialIndicesAlignAcrossModels)
+{
+    // Which trials come up masked depends only on (seed, trial, rate)
+    // — the coin is flipped before the model consumes any draws — so
+    // trial index t means the same masked/unmasked decision under
+    // every fault model, and per-trial results stay comparable across
+    // scenario sweeps.
+    Harness setup = prepare();
+    interp::Interpreter interp(setup.injector->decodedModule());
+    CampaignConfig config;
+    config.trials = 150;
+    config.seed = 5150;
+    config.masking_rate = MaskingModel::kArm926Rate;
+    config.trial.dmax = 40;
+
+    std::vector<bool> reference;
+    for (const std::string_view name : models::faultModelNames()) {
+        config.trial.model = models::findFaultModel(name);
+        std::vector<bool> masked;
+        for (std::uint64_t t = 0; t < config.trials; ++t)
+            masked.push_back(
+                setup.injector->runCampaignTrial(t, config, interp) ==
+                FaultOutcome::Masked);
+        if (reference.empty()) {
+            reference = masked;
+            // The pattern must be non-trivial for the comparison to
+            // mean anything.
+            EXPECT_NE(std::count(reference.begin(), reference.end(),
+                                 true),
+                      0);
+            EXPECT_NE(std::count(reference.begin(), reference.end(),
+                                 false),
+                      0);
+        } else {
+            EXPECT_EQ(masked, reference)
+                << name << " shifts the masked trial set";
         }
     }
 }

@@ -16,6 +16,7 @@
 
 #include "encore/pipeline.h"
 #include "fault/injector.h"
+#include "fault/models/fault_model.h"
 #include "interp/interpreter.h"
 #include "workloads/workload.h"
 
@@ -115,6 +116,68 @@ TEST(SnapshotDifferential, AllWorkloadsBitIdenticalOnAndOff)
     // most of the suite must have crossed at least one barrier.
     EXPECT_GT(with_snapshots,
               workloads::allWorkloads().size() / 2);
+}
+
+TEST(SnapshotDifferential, CfBranchModelBitIdenticalOnAndOff)
+{
+    // The cf-branch model anchors on a value-instruction index (so the
+    // snapshot seek is still valid) but strikes later, at the first
+    // taken branch after the anchor. A restored trial therefore
+    // executes a stretch of golden instructions between the snapshot
+    // barrier and the strike site before redirecting control; if the
+    // restore missed any interpreter state, that resync would evaluate
+    // a branch differently and the redirect would land elsewhere.
+    const fault::models::FaultModel *model =
+        fault::models::findFaultModel("cf-branch");
+    ASSERT_NE(model, nullptr);
+
+    interp::SnapshotConfig snap_on;
+    snap_on.stride = 2048;
+    interp::SnapshotConfig snap_off;
+    snap_off.enabled = false;
+
+    for (const char *name : {"rawcaudio", "pegwitdec", "mpeg2dec"}) {
+        SCOPED_TRACE(name);
+        const workloads::Workload *w = workloads::findWorkload(name);
+        ASSERT_NE(w, nullptr);
+        const Prepared p = runPipeline(*w);
+
+        fault::FaultInjector off(*p.module, p.report);
+        off.configureSnapshots(snap_off);
+        ASSERT_TRUE(off.prepare(w->entry, w->train_args));
+
+        fault::FaultInjector on(*p.module, p.report);
+        on.configureSnapshots(snap_on);
+        ASSERT_TRUE(on.prepare(w->entry, w->train_args));
+
+        fault::CampaignConfig cc;
+        cc.trials = 25;
+        cc.seed = 20260808;
+        cc.trial.dmax = 100;
+        cc.trial.model = model;
+        cc.model_masking = false; // every trial takes the restore path
+
+        interp::Interpreter interp_on(on.decodedModule());
+        interp::Interpreter interp_off(off.decodedModule());
+        for (std::uint64_t t = 0; t < cc.trials; ++t)
+            EXPECT_EQ(on.runCampaignTrial(t, cc, interp_on),
+                      off.runCampaignTrial(t, cc, interp_off))
+                << "trial " << t;
+
+        for (const std::size_t jobs : {1u, 4u}) {
+            cc.jobs = jobs;
+            const fault::CampaignResult a = on.runCampaign(cc);
+            const fault::CampaignResult b = off.runCampaign(cc);
+            ASSERT_EQ(a.trials, b.trials);
+            for (int i = 0;
+                 i < static_cast<int>(fault::FaultOutcome::NumOutcomes);
+                 ++i)
+                EXPECT_EQ(a.counts[i], b.counts[i])
+                    << "jobs " << jobs << ", outcome "
+                    << outcomeName(
+                           static_cast<fault::FaultOutcome>(i));
+        }
+    }
 }
 
 TEST(SnapshotDifferential, AdaptiveStrideStaysWithinBudget)

@@ -38,6 +38,8 @@ sampleHeader(std::uint64_t trials = 100)
     header.snapshot_stride = 65536;
     header.snapshot_byte_budget = 64ULL << 20;
     header.snapshot_page_bytes = 512;
+    header.fault_model_id = 2; // cf-branch
+    header.detector_id = 1;    // replay
     return header;
 }
 
@@ -51,7 +53,7 @@ writeRecords(const std::string &path, const StoreHeader &header,
     auto writer = TrialStoreWriter::create(path, header, options, &error);
     ASSERT_NE(writer, nullptr) << error;
     for (const TrialRecord &record : records)
-        writer->add(record.trial, record.outcome);
+        writer->add(record.trial, record.outcome, record.aux);
     EXPECT_TRUE(writer->finish());
 }
 
@@ -81,9 +83,9 @@ TEST(TrialStore, RoundTripPreservesHeaderAndRecords)
     const std::string path = tempStorePath("round_trip.trials");
     const StoreHeader header = sampleHeader(10);
     // Out-of-order trial indices: file order is completion order, not
-    // trial order.
+    // trial order. Trial 7 carries a replay-cost aux payload.
     const std::vector<TrialRecord> records = {
-        {3, 1}, {0, 0}, {7, 2}, {1, 6}};
+        {3, 1, 0}, {0, 0, 0}, {7, 2, 512}, {1, 6, 0}};
     writeRecords(path, header, records);
 
     StoreContents contents;
@@ -101,10 +103,13 @@ TEST(TrialStore, RoundTripPreservesHeaderAndRecords)
               header.snapshot_byte_budget);
     EXPECT_EQ(contents.header.snapshot_page_bytes,
               header.snapshot_page_bytes);
+    EXPECT_EQ(contents.header.fault_model_id, header.fault_model_id);
+    EXPECT_EQ(contents.header.detector_id, header.detector_id);
     ASSERT_EQ(contents.records.size(), records.size());
     for (std::size_t i = 0; i < records.size(); ++i) {
         EXPECT_EQ(contents.records[i].trial, records[i].trial);
         EXPECT_EQ(contents.records[i].outcome, records[i].outcome);
+        EXPECT_EQ(contents.records[i].aux, records[i].aux);
     }
     EXPECT_EQ(contents.valid_bytes,
               kTrialStoreHeaderSize + records.size() * kTrialRecordSize);
@@ -243,8 +248,8 @@ TEST(TrialStore, WrongFormatVersionIsAnError)
     file.read(header, sizeof header);
     const std::uint32_t version = kTrialStoreVersion + 7;
     std::memcpy(header + 8, &version, sizeof version);
-    const std::uint32_t crc = crc32(header, 76);
-    std::memcpy(header + 76, &crc, sizeof crc);
+    const std::uint32_t crc = crc32(header, 84);
+    std::memcpy(header + 84, &crc, sizeof crc);
     file.seekp(0);
     file.write(header, sizeof header);
     file.close();

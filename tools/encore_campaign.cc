@@ -54,7 +54,8 @@ usage(std::ostream &os)
           "          [--budget-factor F] [--shard i/N] [--progress]\n"
           "          [--heartbeat <path.jsonl>] [--stop-after K] "
           "[--json <path>]\n"
-          "          [--engine fused|decoded]\n"
+          "          [--engine fused|decoded] [--fault-model M] "
+          "[--detector D]\n"
           "          planner paths: [--sidecar <path>] [--adaptive]\n"
           "          [--target-ci E] [--confidence C] [--no-planner]\n"
           "  resume  same flags; --store must name an existing store\n"
@@ -85,7 +86,44 @@ campaignFromFlags(const CommandLine &cli, bool has_jobs)
     config.trial.run_budget_factor = cli.getDouble("budget-factor");
     config.masking_rate = cli.getDouble("mask");
     config.model_masking = !cli.getBool("no-masking");
+    config.trial.model = &bench::faultModelFlag(cli);
+    config.trial.detector = &bench::detectorFlag(cli);
     return config;
+}
+
+const fault::models::FaultModel &
+configModel(const fault::CampaignConfig &config)
+{
+    return config.trial.model ? *config.trial.model
+                              : *fault::models::defaultFaultModel();
+}
+
+const fault::models::Detector &
+configDetector(const fault::CampaignConfig &config)
+{
+    return config.trial.detector
+               ? *config.trial.detector
+               : *fault::models::defaultDetector();
+}
+
+/// "scenario <model> + <detector>" line for the human-readable
+/// output, printed only when either differs from the default so the
+/// classic reg-bit/analytic output stays byte-identical to older
+/// builds.
+std::string
+scenarioLine(const fault::CampaignConfig &config)
+{
+    const fault::models::FaultModel &model = configModel(config);
+    const fault::models::Detector &detector = configDetector(config);
+    if (&model == fault::models::defaultFaultModel() &&
+        &detector == fault::models::defaultDetector())
+        return "";
+    std::string line = "scenario ";
+    line += model.name();
+    line += " + ";
+    line += detector.name();
+    line += "\n";
+    return line;
 }
 
 /// Looks up a workload by name; on failure prints the available
@@ -206,6 +244,11 @@ writeCampaignJson(std::ostream &out, const std::string &mode,
         << "  \"masking_rate\": " << config.masking_rate << ",\n"
         << "  \"model_masking\": "
         << (config.model_masking ? "true" : "false") << ",\n"
+        << "  \"fault_model\": \"" << configModel(config).name()
+        << "\",\n"
+        << "  \"detector\": \"" << configDetector(config).name()
+        << "\",\n"
+        << "  \"replay_cost\": " << result.replay_cost << ",\n"
         << "  \"counts\": {";
     constexpr int kNumOutcomes =
         static_cast<int>(fault::FaultOutcome::NumOutcomes);
@@ -235,6 +278,12 @@ writePlannerJson(std::ostream &out, const std::string &mode,
         << "  \"seed\": " << config.seed << ",\n"
         << "  \"trials\": " << config.trials << ",\n"
         << "  \"dmax\": " << config.trial.dmax << ",\n"
+        << "  \"fault_model\": \"" << configModel(config).name()
+        << "\",\n"
+        << "  \"detector\": \"" << configDetector(config).name()
+        << "\",\n"
+        << "  \"replay_cost\": " << summary.result.replay_cost
+        << ",\n"
         << "  \"adaptive\": "
         << (summary.adaptive ? "true" : "false") << ",\n"
         << "  \"executed\": " << summary.executed << ",\n"
@@ -307,6 +356,8 @@ cmdRunOrResume(int argc, char **argv, bool resume)
     cli.addFlag("snapshot-budget-mb", "64",
                 "resident byte budget for the snapshot store, MiB");
     bench::addEngineFlag(cli);
+    bench::addFaultModelFlag(cli);
+    bench::addDetectorFlag(cli);
     addPlannerFlags(cli);
     bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
@@ -388,6 +439,7 @@ cmdRunOrResume(int argc, char **argv, bool resume)
                   << config.seed << " dmax " << config.trial.dmax
                   << (adaptive ? " (planner, adaptive)\n"
                                : " (planner, sweep reuse)\n")
+                  << scenarioLine(config)
                   << campaign::formatPlanSummary(summary) << "\n"
                   << campaign::formatAggregate(summary.result);
         const bool json_ok = bench::writeJsonReport(
@@ -406,6 +458,7 @@ cmdRunOrResume(int argc, char **argv, bool resume)
               << config.seed << " dmax " << config.trial.dmax
               << " shard " << options.shard.index << "/"
               << options.shard.count << "\n"
+              << scenarioLine(config)
               << "resumed " << summary.resumed << ", executed "
               << summary.executed << " of " << summary.shard_trials
               << " owned trials\n\n"
@@ -442,6 +495,8 @@ cmdPlan(int argc, char **argv)
                 "inject every trial (skip the modelled masking coin)");
     cli.addFlag("budget-factor", "4.0",
                 "execution budget multiplier over the golden run");
+    bench::addFaultModelFlag(cli);
+    bench::addDetectorFlag(cli);
     addPlannerFlags(cli);
     bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
@@ -461,6 +516,7 @@ cmdPlan(int argc, char **argv)
     const campaign::PlanSummary summary = planner.plan();
     std::cout << "plan " << workload->name << " seed " << config.seed
               << " dmax " << config.trial.dmax << "\n"
+              << scenarioLine(config)
               << campaign::formatPlanSummary(summary);
 
     const bool json_ok = bench::writeJsonReport(
@@ -543,6 +599,35 @@ cmdInspect(int argc, char **argv)
 
     const campaign::StoreHeader &h = contents.header;
     const campaign::ShardSpec spec{h.shard_index, h.shard_count};
+    // Scenario identity: a store written under a fault model this
+    // build does not know cannot be interpreted (the outcome of every
+    // trial depends on it) — refuse with the registered list, the way
+    // unknown workloads are reported.
+    const fault::models::FaultModel *model =
+        fault::models::faultModelById(h.fault_model_id);
+    if (model == nullptr) {
+        std::cerr << "error: store '" << path
+                  << "' was written under unknown fault-model id "
+                  << h.fault_model_id
+                  << " (a newer build?); models this build knows:\n";
+        for (const std::string_view name :
+             fault::models::faultModelNames())
+            std::cerr << "  " << name << "\n";
+        return 1;
+    }
+    const fault::models::Detector *detector =
+        fault::models::detectorById(h.detector_id);
+    if (detector == nullptr) {
+        std::cerr << "error: store '" << path
+                  << "' was written under unknown detector id "
+                  << h.detector_id
+                  << " (a newer build?); detectors this build "
+                     "knows:\n";
+        for (const std::string_view name :
+             fault::models::detectorNames())
+            std::cerr << "  " << name << "\n";
+        return 1;
+    }
     fault::CampaignResult tally;
     std::vector<std::uint8_t> done(h.total_trials, 0);
     std::uint64_t bad_records = 0;
@@ -557,6 +642,7 @@ cmdInspect(int argc, char **argv)
         done[record.trial] = 1;
         ++tally.counts[record.outcome];
         ++tally.trials;
+        tally.replay_cost += record.aux;
     }
 
     std::cout << "store " << path << "\n"
@@ -565,7 +651,11 @@ cmdInspect(int argc, char **argv)
               << h.module_hash << std::dec << "\n  seed " << h.seed
               << "\n  total trials " << h.total_trials << " (shard "
               << h.shard_index << "/" << h.shard_count << " owns "
-              << spec.ownedTrials(h.total_trials) << ")\n";
+              << spec.ownedTrials(h.total_trials) << ")\n"
+              << "  fault model " << model->name() << " ("
+              << model->description() << ")\n  detector "
+              << detector->name() << " (" << detector->description()
+              << ")\n";
     // Snapshot provenance: how the shard was produced. Audit-only —
     // snapshot settings never change outcomes, so merge/resume accept
     // shards that differ here (see campaign/trial_store.h).
@@ -637,6 +727,8 @@ cmdServe(int argc, char **argv)
                 "planner tally sidecar: lease only the trials reuse "
                 "cannot cover and fold the stored tallies into the "
                 "aggregate");
+    bench::addFaultModelFlag(cli);
+    bench::addDetectorFlag(cli);
     bench::addJsonFlag(cli, "");
     cli.parse(argc, argv);
 
@@ -661,6 +753,10 @@ cmdServe(int argc, char **argv)
     spec.run_budget_factor = config.trial.run_budget_factor;
     spec.masking_rate = config.masking_rate;
     spec.model_masking = config.model_masking;
+    spec.fault_model =
+        static_cast<std::uint32_t>(configModel(config).id());
+    spec.detector =
+        static_cast<std::uint32_t>(configDetector(config).id());
     spec.config_fingerprint =
         campaign::campaignFingerprint(*pi.injector, config);
     spec.module_hash = pi.injector->moduleHash();
@@ -672,6 +768,8 @@ cmdServe(int argc, char **argv)
     header.total_trials = config.trials;
     header.shard_index = 0;
     header.shard_count = 1;
+    header.fault_model_id = spec.fault_model;
+    header.detector_id = spec.detector;
 
     campaign::ServiceOptions options;
     options.host = cli.getString("host");
@@ -726,6 +824,7 @@ cmdServe(int argc, char **argv)
     std::cout << "campaign " << workload->name << " seed "
               << config.seed << " dmax " << config.trial.dmax
               << " (serve)\n"
+              << scenarioLine(config)
               << "resumed " << summary.resumed << ", ingested "
               << summary.ingested << " fresh records ("
               << summary.duplicates << " duplicates dropped)\n"
@@ -818,6 +917,24 @@ cmdWorker(int argc, char **argv)
     config.trial.run_budget_factor = spec->run_budget_factor;
     config.masking_rate = spec->masking_rate;
     config.model_masking = spec->model_masking;
+    // A model/detector id this build does not know means a different
+    // experiment per trial index — refuse rather than fill the
+    // coordinator's store with records drawn under the wrong model.
+    config.trial.model =
+        fault::models::faultModelById(spec->fault_model);
+    if (config.trial.model == nullptr)
+        fatalf("worker: the coordinator's campaign runs fault-model "
+               "id ",
+               spec->fault_model,
+               ", which this build does not have — build skew; "
+               "refusing to execute");
+    config.trial.detector =
+        fault::models::detectorById(spec->detector);
+    if (config.trial.detector == nullptr)
+        fatalf("worker: the coordinator's campaign runs detector id ",
+               spec->detector,
+               ", which this build does not have — build skew; "
+               "refusing to execute");
     fault::validateCampaignConfig(config);
 
     PreparedInjector pi =
